@@ -1,0 +1,99 @@
+// Ablation: dense MPI_Alltoallv vs the Bruck log-round exchange.
+//
+// The paper's intra-bucket phase is built on all-to-all exchanges, and the
+// authors' companion work (Fan et al., HPDC'22, cited as [16]) optimises
+// the Bruck algorithm for exactly the non-uniform exchanges iterated
+// relational algebra produces.  This ablation reproduces the trade-off on
+// vmpi: per-rank message count (one per destination vs ceil(log2 n))
+// against relayed byte volume — Bruck wins when exchanges are sparse and
+// latency-bound (tiny deltas at high rank counts, the Fig. 5 tail), dense
+// wins when they are bandwidth-bound (early iterations).
+
+#include <chrono>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace paralagg;
+
+template <typename T>
+void do_not_optimize(T&& v) {
+  asm volatile("" : : "g"(v) : "memory");
+}
+
+struct Cell {
+  std::uint64_t messages;  // network messages a real MPI would send
+  double mib;              // remote bytes actually moved (incl. relays)
+};
+
+/// One exchange pattern: each rank sends `payload` bytes to `fanout`
+/// pseudo-random destinations, `reps` times.
+Cell run_pattern(int ranks, int fanout, std::size_t payload, int reps, bool bruck) {
+  Cell cell{};
+  std::uint64_t dense_msgs = 0;
+  const auto total = vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    graph::Rng rng(static_cast<std::uint64_t>(comm.rank()) * 7919 + 1);
+    std::uint64_t my_dense_msgs = 0;
+    for (int r = 0; r < reps; ++r) {
+      std::vector<vmpi::Bytes> send(static_cast<std::size_t>(comm.size()));
+      for (int f = 0; f < fanout; ++f) {
+        const auto dst = rng.below(static_cast<std::uint64_t>(comm.size()));
+        send[dst].assign(payload, std::byte{0x5a});
+      }
+      for (int d = 0; d < comm.size(); ++d) {
+        if (d != comm.rank() && !send[static_cast<std::size_t>(d)].empty()) {
+          ++my_dense_msgs;  // what a network alltoallv would transmit
+        }
+      }
+      auto got = bruck ? comm.alltoallv_bruck(std::move(send))
+                       : comm.alltoallv(std::move(send));
+      do_not_optimize(got.size());
+    }
+    vmpi::StatsPause pause(comm);
+    const auto sum = comm.allreduce<std::uint64_t>(my_dense_msgs, vmpi::ReduceOp::kSum);
+    if (comm.is_root()) dense_msgs = sum;
+  });
+  cell.messages = bruck ? total.messages_sent : dense_msgs;
+  cell.mib = bench::mib(total.total_remote_bytes());
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: dense alltoallv vs Bruck log-round exchange",
+                "Fan et al. (HPDC'22), the all-to-all optimisation the paper builds on",
+                "synthetic exchange patterns on vmpi, 32/64 ranks, 20 repetitions");
+
+  std::printf("%6s %8s %9s | %10s %10s %12s | %10s %10s\n", "ranks", "fanout", "payload",
+              "msgs dense", "msgs bruck", "msg cut", "MiB dense", "MiB bruck");
+  bench::rule(96);
+
+  for (const int ranks : {32, 64}) {
+    struct Pattern {
+      int fanout;
+      std::size_t payload;
+    };
+    for (const auto& [fanout, payload] :
+         {Pattern{2, 64}, Pattern{8, 64}, Pattern{2, 8192}, Pattern{ranks, 512}}) {
+      const auto dense = run_pattern(ranks, fanout, payload, 20, false);
+      const auto bruck = run_pattern(ranks, fanout, payload, 20, true);
+      std::printf("%6d %8d %8zuB | %10llu %10llu %11.1fx | %10.3f %10.3f\n", ranks, fanout,
+                  payload, static_cast<unsigned long long>(dense.messages),
+                  static_cast<unsigned long long>(bruck.messages),
+                  static_cast<double>(dense.messages) /
+                      static_cast<double>(bruck.messages ? bruck.messages : 1),
+                  dense.mib, bruck.mib);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: Bruck caps messages at ceil(log2 n) per rank per exchange\n"
+      "regardless of how many destinations are hit, at the price of relayed bytes.\n"
+      "The message cut grows with fanout (6-7x for full fanout at 64 ranks) —\n"
+      "the regime of the engine's tuple shuffles — while for very sparse or very\n"
+      "fat exchanges the dense algorithm's lower byte volume wins.  This is the\n"
+      "latency/bandwidth trade Fan et al. navigate with non-uniform Bruck.\n");
+  return 0;
+}

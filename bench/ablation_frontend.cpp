@@ -1,0 +1,129 @@
+// Ablation: declarative frontend vs hand-written query construction.
+//
+// The paper's pitch is *declarative* implementation of recursive
+// aggregates; this checks the compiler keeps that free: the Datalog SSSP
+// and CC programs must produce identical result sets to the hand-built
+// queries, with identical iteration counts and (near-)identical
+// communication volume — the compiled plan is the same plan.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace paralagg;
+
+constexpr std::string_view kSsspDl = R"(
+  .decl edge(x, y, w) input
+  .decl source(n) input
+  .decl spath(f, t, d min) output
+  spath(n, n, 0)      :- source(n).
+  spath(f, t2, d + w) :- spath(f, t, d), edge(t, t2, w).
+)";
+
+constexpr std::string_view kCcDl = R"(
+  .decl edge(x, y) input
+  .decl cc(n, rep min) output
+  cc(n, n) :- edge(n, _).
+  cc(y, r) :- cc(x, r), edge(x, y).
+)";
+
+struct Cell {
+  std::uint64_t tuples;
+  std::uint64_t iters;
+  double mib;
+  double wall;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: compiled Datalog vs hand-written query plans",
+                "the paper's declarative-implementation claim",
+                "SSSP and CC on twitter-like RMAT (scale 13, ef 8), 8 virtual ranks");
+
+  const auto g = graph::make_twitter_like(13, 8);
+  const auto sources = g.pick_hubs(5);
+  const int ranks = 8;
+
+  // ---- SSSP -------------------------------------------------------------------
+  Cell hand{}, compiled{};
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = sources;
+    const auto r = run_sssp(comm, g, opts);
+    if (comm.is_root()) {
+      hand = {r.path_count, r.iterations,
+              bench::mib(r.run.comm_total.total_remote_bytes()), r.run.wall_seconds};
+    }
+  });
+  const auto prog = frontend::CompiledProgram::compile(kSsspDl);
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<core::Tuple> edges, seeds;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < g.edges.size();
+         i += static_cast<std::size_t>(comm.size())) {
+      edges.push_back(core::Tuple{g.edges[i].src, g.edges[i].dst, g.edges[i].weight});
+    }
+    if (comm.is_root()) {
+      for (const auto s : sources) seeds.push_back(core::Tuple{s});
+    }
+    inst.load("edge", edges);
+    inst.load("source", seeds);
+    const auto r = inst.run();
+    const auto n = inst.size("spath");
+    if (comm.is_root()) {
+      compiled = {n, r.total_iterations,
+                  bench::mib(r.comm_total.total_remote_bytes()), r.wall_seconds};
+    }
+  });
+
+  std::printf("%-12s %-12s %12s %8s %10s %9s\n", "query", "plan", "tuples", "iters",
+              "remote MiB", "wall s");
+  bench::rule(70);
+  std::printf("%-12s %-12s %12llu %8llu %10.2f %9.3f\n", "sssp", "hand-built",
+              static_cast<unsigned long long>(hand.tuples),
+              static_cast<unsigned long long>(hand.iters), hand.mib, hand.wall);
+  std::printf("%-12s %-12s %12llu %8llu %10.2f %9.3f\n", "sssp", "compiled",
+              static_cast<unsigned long long>(compiled.tuples),
+              static_cast<unsigned long long>(compiled.iters), compiled.mib, compiled.wall);
+
+  // ---- CC ---------------------------------------------------------------------
+  Cell hand_cc{}, compiled_cc{};
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    const auto r = run_cc(comm, g, queries::CcOptions{});
+    if (comm.is_root()) {
+      hand_cc = {r.labelled_nodes, r.iterations,
+                 bench::mib(r.run.comm_total.total_remote_bytes()), r.run.wall_seconds};
+    }
+  });
+  const auto cc_prog = frontend::CompiledProgram::compile(kCcDl);
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    auto inst = cc_prog.instantiate(comm);
+    std::vector<core::Tuple> edges;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < g.edges.size();
+         i += static_cast<std::size_t>(comm.size())) {
+      edges.push_back(core::Tuple{g.edges[i].src, g.edges[i].dst});
+      edges.push_back(core::Tuple{g.edges[i].dst, g.edges[i].src});
+    }
+    inst.load("edge", edges);
+    const auto r = inst.run();
+    const auto n = inst.size("cc");
+    if (comm.is_root()) {
+      compiled_cc = {n, r.total_iterations,
+                     bench::mib(r.comm_total.total_remote_bytes()), r.wall_seconds};
+    }
+  });
+  std::printf("%-12s %-12s %12llu %8llu %10.2f %9.3f\n", "cc", "hand-built",
+              static_cast<unsigned long long>(hand_cc.tuples),
+              static_cast<unsigned long long>(hand_cc.iters), hand_cc.mib, hand_cc.wall);
+  std::printf("%-12s %-12s %12llu %8llu %10.2f %9.3f\n", "cc", "compiled",
+              static_cast<unsigned long long>(compiled_cc.tuples),
+              static_cast<unsigned long long>(compiled_cc.iters), compiled_cc.mib,
+              compiled_cc.wall);
+
+  std::printf(
+      "\nexpected shape: identical tuple counts; identical iteration counts (the\n"
+      "compiler derives the same stored orders and semi-naive plan the queries\n"
+      "hand-pick), and communication within noise of each other.\n");
+  return (hand.tuples == compiled.tuples && hand_cc.tuples == compiled_cc.tuples) ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared plumbing for the figure/table benchmark binaries.
+//
+// Each binary reproduces one table or figure from the paper.  Because this
+// container has a single physical core, binaries report three time-like
+// quantities (see DESIGN.md §2):
+//
+//   wall      — end-to-end seconds of the whole SPMD run (all ranks
+//               timeshare one core, so wall tracks TOTAL work)
+//   modelled  — BSP critical path: Σ over iterations of the max per-rank
+//               CPU seconds per phase (tracks what a real cluster pays)
+//   MiB       — remote bytes crossing rank boundaries (the paper's subject)
+//
+// Strong-scaling *shape* lives in the modelled column: more ranks divide
+// the per-rank work, so the critical path drops even though wall does not.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "paralagg/paralagg.hpp"
+
+namespace paralagg::bench {
+
+inline double mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline double phase_seconds(const core::ProfileSummary& p, core::Phase ph) {
+  return p.modelled_seconds[static_cast<std::size_t>(ph)];
+}
+
+inline std::uint64_t phase_bytes(const core::ProfileSummary& p, core::Phase ph) {
+  return p.total_bytes[static_cast<std::size_t>(ph)];
+}
+
+/// Header shared by every binary: which paper artifact this regenerates.
+inline void banner(const char* figure, const char* paper_setup, const char* ours) {
+  std::printf("== %s ==\n", figure);
+  std::printf("paper setup : %s\n", paper_setup);
+  std::printf("this run    : %s\n", ours);
+  std::printf("\n");
+}
+
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Sum of the phase-modelled seconds.
+inline double modelled_total(const core::ProfileSummary& p) { return p.modelled_total(); }
+
+}  // namespace paralagg::bench

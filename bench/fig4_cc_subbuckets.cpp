@@ -1,0 +1,71 @@
+// Figure 4: local-join computation time for the CC query with one vs
+// eight sub-buckets, across rank counts.
+//
+// Paper result: with one sub-bucket the query stops scaling (the hottest
+// rank bottlenecks the join) around 2k processes and then regresses; with
+// eight sub-buckets local join keeps improving to 16,384 processes.  At
+// low rank counts the balanced version is *slower* — the price of the
+// extra intra-bucket replication (§IV-C).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace paralagg;
+
+struct Cell {
+  double local_join;
+  double total;
+  double intra_mib;
+};
+
+Cell run_one(const graph::Graph& g, int ranks, int sub_buckets) {
+  Cell cell{};
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    queries::CcOptions opts;
+    opts.tuning.edge_sub_buckets = sub_buckets;
+    opts.tuning.balance_edges = false;  // isolate the static fan-out effect
+    const auto result = run_cc(comm, g, opts);
+    if (comm.is_root()) {
+      cell.local_join = bench::phase_seconds(result.run.profile, core::Phase::kLocalJoin);
+      cell.total = result.run.profile.modelled_total();
+      cell.intra_mib =
+          bench::mib(bench::phase_bytes(result.run.profile, core::Phase::kIntraBucket));
+    }
+  });
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 4: CC local-join time, 1 vs 8 sub-buckets",
+                "Twitter on Theta, 256-16,384 processes",
+                "celebrity-augmented RMAT (scale 14, ef 8 + 120k-degree celebrity), 4-96 ranks");
+
+  const auto g = graph::make_celebrity_like(14, 8, 120'000);
+  std::printf("graph: %zu edges, skew %.1fx\n\n", g.num_edges(), g.degree_skew());
+
+  std::printf("%6s | %12s %12s %10s | %12s %12s %10s | %8s\n", "ranks", "lj(1sub)",
+              "total(1sub)", "intraMiB", "lj(8sub)", "total(8sub)", "intraMiB",
+              "lj 1/8");
+  bench::rule(104);
+
+  double prev_lj1 = 0;
+  for (const int ranks : {4, 8, 16, 32, 64, 96}) {
+    const auto one = run_one(g, ranks, 1);
+    const auto eight = run_one(g, ranks, 8);
+    std::printf("%6d | %12.4f %12.4f %10.2f | %12.4f %12.4f %10.2f | %8.2f\n", ranks,
+                one.local_join, one.total, one.intra_mib, eight.local_join, eight.total,
+                eight.intra_mib, one.local_join / eight.local_join);
+    prev_lj1 = one.local_join;
+  }
+  (void)prev_lj1;
+
+  std::printf("\nexpected shape (matches paper Fig. 4): below the crossover the balanced run\n"
+              "is SLOWER (it pays 8x intra-bucket replication), mirroring the paper's\n"
+              "<1,024-process regime; at the top of the sweep the 1-sub-bucket local join\n"
+              "flattens (the celebrity bucket does not shrink with more ranks) while the\n"
+              "8-sub-bucket join keeps dropping -- the paper's 4,096-16,384 regime.\n");
+  return 0;
+}

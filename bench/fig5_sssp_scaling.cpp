@@ -1,0 +1,66 @@
+// Figure 5: strong scaling of multi-source SSSP on the Twitter stand-in.
+//
+// Paper result (256 -> 16,384 cores): 96% running-time reduction,
+// near-perfect scaling to 2,048 cores, diminishing but positive returns
+// beyond (B-tree work scales nearly linearly; tiny per-iteration deltas
+// starve ranks at the top end; the planning vote's synchronization grows
+// with rank count).  The paper increases problem size by running 30 start
+// nodes simultaneously; we do the same.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace paralagg;
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5: SSSP strong scaling (multi-source), Twitter stand-in",
+                "Twitter on Theta, 256-16,384 cores, 30 simultaneous sources",
+                "twitter-like RMAT (scale 14, ef 12), 2-128 virtual ranks, 30 sources, "
+                "modelled seconds");
+
+  const auto g = graph::make_twitter_like(14, 12);
+  const auto sources = g.pick_hubs(30);
+  std::printf("graph: %zu edges, %zu sources\n\n", g.num_edges(), sources.size());
+
+  std::printf("%6s %10s %10s %10s %10s %10s | %10s %9s %9s | %10s\n", "ranks", "intra",
+              "localjoin", "comm", "dedup", "other+pln", "total", "vs2rk", "ideal",
+              "projected");
+  bench::rule(116);
+  const core::CostModel cluster{};  // 1 GB/s links, 5 us collectives
+
+  double base = 0;
+  for (const int ranks : {2, 4, 8, 16, 32, 64, 128}) {
+    double cells[core::kPhaseCount] = {};
+    double total = 0, projected = 0;
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      queries::SsspOptions opts;
+      opts.sources = sources;
+      opts.tuning.edge_sub_buckets = 8;
+      const auto r = run_sssp(comm, g, opts);
+      if (comm.is_root()) {
+        for (std::size_t p = 0; p < core::kPhaseCount; ++p) {
+          cells[p] = r.run.profile.modelled_seconds[p];
+        }
+        total = r.run.profile.modelled_total();
+        projected = cluster.project(r.run.profile, ranks);
+      }
+    });
+    if (base == 0) base = total;
+    const auto ph = [&](core::Phase p) { return cells[static_cast<std::size_t>(p)]; };
+    std::printf("%6d %10.4f %10.4f %10.4f %10.4f %10.4f | %10.4f %8.2fx %8.2fx | %10.4f\n",
+                ranks, ph(core::Phase::kIntraBucket), ph(core::Phase::kLocalJoin),
+                ph(core::Phase::kAllToAll), ph(core::Phase::kDedupAgg),
+                ph(core::Phase::kOther) + ph(core::Phase::kPlan) +
+                    ph(core::Phase::kBalance),
+                total, base / total, static_cast<double>(ranks) / 2.0, projected);
+  }
+
+  std::printf(
+      "\nexpected shape: near-ideal speedup at the left of the sweep, saturating as\n"
+      "per-iteration deltas shrink below the rank count (paper: knee at ~2k of 16k\n"
+      "cores; here the same knee appears at a proportional fraction of the sweep).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 7: per-iteration running time for SSSP on the Twitter stand-in.
+//
+// Paper result (1,024 cores): a long-tail dynamic — the bulk of the time
+// is spent in the first few iterations (where the frontier is huge and
+// B-tree insertion dominates), followed by a long tail of cheap
+// iterations dominated by local join on tiny deltas.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace paralagg;
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 7: per-iteration phase profile, SSSP",
+                "Twitter on Theta at 1,024 cores",
+                "twitter-like RMAT (scale 14, ef 12), 16 virtual ranks, 30 sources, "
+                "critical-path seconds per iteration");
+
+  const auto g = graph::make_twitter_like(14, 12);
+  const auto sources = g.pick_hubs(30);
+
+  core::ProfileSummary prof;
+  std::size_t iters = 0;
+  vmpi::run(16, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = sources;
+    opts.tuning.edge_sub_buckets = 8;
+    const auto r = run_sssp(comm, g, opts);
+    if (comm.is_root()) {
+      prof = r.run.profile;
+      iters = r.iterations;
+    }
+  });
+
+  std::printf("fixpoint iterations: %zu\n\n", iters);
+  std::printf("%5s %10s %10s %10s %10s %10s | %10s %7s\n", "iter", "intra", "localjoin",
+              "comm", "dedup", "other", "total", "cum%");
+  bench::rule(88);
+
+  double grand_total = 0;
+  for (const auto& row : prof.per_iteration_max) {
+    for (double v : row) grand_total += v;
+  }
+  double cum = 0;
+  for (std::size_t i = 0; i < prof.per_iteration_max.size(); ++i) {
+    const auto& row = prof.per_iteration_max[i];
+    const auto ph = [&](core::Phase p) { return row[static_cast<std::size_t>(p)]; };
+    double total = 0;
+    for (double v : row) total += v;
+    cum += total;
+    std::printf("%5zu %10.5f %10.5f %10.5f %10.5f %10.5f | %10.5f %6.1f%%\n", i,
+                ph(core::Phase::kIntraBucket), ph(core::Phase::kLocalJoin),
+                ph(core::Phase::kAllToAll), ph(core::Phase::kDedupAgg),
+                ph(core::Phase::kOther) + ph(core::Phase::kPlan) +
+                    ph(core::Phase::kBalance),
+                total, 100.0 * cum / grand_total);
+  }
+
+  std::printf(
+      "\nexpected shape: the first few iterations carry most of the cumulative time\n"
+      "(dedup/B-tree insertion on the large frontier); the tail is long and cheap,\n"
+      "dominated by local join over shrinking deltas.\n");
+  return 0;
+}

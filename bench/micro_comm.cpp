@@ -1,0 +1,82 @@
+// Microbenchmarks: the virtual MPI substrate's collectives.  These bound
+// the per-iteration fixed costs (vote, termination check, exchanges) that
+// limit top-end scaling in Figs. 5/6.
+
+#include <benchmark/benchmark.h>
+
+#include "vmpi/runtime.hpp"
+
+namespace {
+
+using namespace paralagg::vmpi;
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int reps = 64;
+  for (auto _ : state) {
+    run(ranks, [&](Comm& comm) {
+      for (int i = 0; i < reps; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AllreduceU64(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int reps = 64;
+  for (auto _ : state) {
+    run(ranks, [&](Comm& comm) {
+      std::uint64_t acc = comm.rank();
+      for (int i = 0; i < reps; ++i) {
+        acc = comm.allreduce<std::uint64_t>(acc, ReduceOp::kSum);
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_AllreduceU64)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Alltoallv(benchmark::State& state) {
+  const int ranks = 8;
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  const int reps = 16;
+  for (auto _ : state) {
+    run(ranks, [&](Comm& comm) {
+      std::vector<std::vector<std::uint64_t>> send(static_cast<std::size_t>(ranks));
+      for (auto& buf : send) buf.assign(payload / 8, 42);
+      for (int i = 0; i < reps; ++i) {
+        auto got = comm.alltoallv_t(send);
+        benchmark::DoNotOptimize(got);
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * reps * static_cast<std::int64_t>(payload) *
+                          ranks);
+}
+BENCHMARK(BM_Alltoallv)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_P2PRoundTrip(benchmark::State& state) {
+  const int reps = 64;
+  for (auto _ : state) {
+    run(2, [&](Comm& comm) {
+      BufferWriter w;
+      w.put<std::uint64_t>(7);
+      const auto payload = w.take();
+      for (int i = 0; i < reps; ++i) {
+        if (comm.rank() == 0) {
+          comm.isend(1, i, payload);
+          benchmark::DoNotOptimize(comm.recv(1, i));
+        } else {
+          benchmark::DoNotOptimize(comm.recv(0, i));
+          comm.isend(0, i, payload);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * reps);
+}
+BENCHMARK(BM_P2PRoundTrip);
+
+}  // namespace

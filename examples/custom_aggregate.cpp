@@ -1,0 +1,107 @@
+// custom_aggregate: implementing your own RecursiveAggregator (the paper's
+// Listing 1/2 API) and running it inside a recursive query.
+//
+// The aggregate here is *widest path* (maximum bottleneck capacity): the
+// lattice join is max over min-capacities — a classic monotone aggregate
+// that is neither $MIN nor $SUM:
+//
+//   Wide(n, n, INF)                 <- Start(n).
+//   Wide(f, t, $MAX(min(c, w)))     <- Wide(f, m, c), Edge(m, t, w).
+//
+// Like every PreM-style aggregate, the dependent column (capacity) is
+// excluded from distribution, so the engine's fused local aggregation
+// applies unchanged — zero extra communication for the new aggregate.
+//
+// Usage: ./custom_aggregate [ranks]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "paralagg/paralagg.hpp"
+
+namespace {
+
+using namespace paralagg;
+using core::PartialOrder;
+using core::value_t;
+
+/// Widest-path aggregator: larger bottleneck capacity = more information.
+class WidestPath final : public core::RecursiveAggregator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "$WIDEST"; }
+
+  [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
+                                         std::span<const value_t> b) const override {
+    if (a[0] == b[0]) return PartialOrder::kEqual;
+    return a[0] < b[0] ? PartialOrder::kLess : PartialOrder::kGreater;
+  }
+
+  void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) const override {
+    out[0] = a[0] > b[0] ? a[0] : b[0];
+  }
+};
+
+constexpr value_t kInf = 1'000'000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  // A capacity network: two routes from 0 to 5; the southern route has the
+  // wider bottleneck.
+  graph::Graph g;
+  g.name = "capacity-net";
+  g.num_nodes = 6;
+  g.edges = {
+      {0, 1, 30}, {1, 2, 10}, {2, 5, 30},  // north: bottleneck 10
+      {0, 3, 20}, {3, 4, 25}, {4, 5, 20},  // south: bottleneck 20
+      {1, 3, 5},                           // weak crossover
+  };
+
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    core::Program program(comm);
+    auto* edge = program.relation({.name = "edge", .arity = 3, .jcc = 1});
+    auto* wide = program.relation({
+        .name = "wide",
+        .arity = 3,
+        .jcc = 1,
+        .dep_arity = 1,
+        .aggregator = std::make_shared<WidestPath>(),
+    });
+
+    auto& stratum = program.stratum();
+    // Stored order (to, from, capacity); head: min(c, w) then $MAX-fused.
+    stratum.loop_rules.push_back(core::JoinRule{
+        .a = wide,
+        .a_version = core::Version::kDelta,
+        .b = edge,
+        .b_version = core::Version::kFull,
+        .out = {.target = wide,
+                .cols = {core::Expr::col_b(1), core::Expr::col_a(1),
+                         core::Expr::min(core::Expr::col_a(2), core::Expr::col_b(2))}},
+    });
+
+    edge->load_facts(queries::edge_slice(comm, g, /*weighted=*/true));
+    std::vector<core::Tuple> seed;
+    if (comm.is_root()) seed.push_back(core::Tuple{0, 0, kInf});
+    wide->load_facts(seed);
+
+    core::Engine engine(comm);
+    engine.run(program);
+
+    const auto rows = wide->gather_to_root(0);
+    if (comm.is_root()) {
+      std::cout << "widest-path capacities from node 0 (custom $WIDEST aggregate):\n";
+      for (const auto& row : rows) {
+        std::cout << "  0 -> " << row[0] << "  capacity "
+                  << (row[2] == kInf ? std::string("inf") : std::to_string(row[2]))
+                  << "\n";
+      }
+      std::cout << "\nnode 5 gets capacity 20 via the southern route — $MAX over\n"
+                   "bottlenecks collapsed the 10-wide northern route locally.\n";
+    }
+  });
+  return 0;
+}

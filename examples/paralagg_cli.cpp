@@ -1,0 +1,332 @@
+// paralagg_cli: run any built-in query on an edge-list file (or a named
+// synthetic graph) from the command line — the "downstream user" entry
+// point.
+//
+//   paralagg_cli <query> [options]
+//
+//   queries:  sssp | cc | tc | pagerank | triangles | lsp | sssp-tree
+//             datalog  (run a .dl program through the declarative frontend)
+//   datalog options:
+//     --program FILE      Datalog source (see src/frontend/ast.hpp)
+//     --facts REL=FILE    load whitespace-separated rows into input REL
+//                         (repeatable); .dl inline facts also work
+//   options:
+//     --graph FILE        text edge list: "src dst [weight]" per line
+//     --synthetic NAME    rmat | grid | chain | er | twitter (default rmat)
+//     --scale N           synthetic size parameter (default 12)
+//     --ranks N           virtual MPI ranks (default 4)
+//     --sources a,b,c     start nodes (default: 3 hubs)
+//     --rounds N          pagerank rounds (default 20)
+//     --sub-buckets N     edge relation fan-out (default 1)
+//     --baseline          disable dynamic join order + balancing
+//     --out FILE          write result tuples as text
+//
+// Examples:
+//   paralagg_cli sssp --synthetic twitter --scale 13 --ranks 8 --sources 0
+//   paralagg_cli cc --graph my_edges.txt --ranks 16 --out components.txt
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "paralagg/paralagg.hpp"
+
+namespace {
+
+using namespace paralagg;
+
+struct Args {
+  std::string query;
+  std::string program_file;
+  std::vector<std::pair<std::string, std::string>> fact_files;  // rel -> path
+  std::string graph_file;
+  std::string synthetic = "rmat";
+  int scale = 12;
+  int ranks = 4;
+  std::vector<core::value_t> sources;
+  std::size_t rounds = 20;
+  int sub_buckets = 1;
+  bool baseline = false;
+  std::string out_file;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: paralagg_cli <sssp|cc|tc|pagerank|triangles|lsp|sssp-tree> "
+               "[--graph FILE | --synthetic NAME] [--scale N] [--ranks N]\n"
+               "       [--sources a,b,c] [--rounds N] [--sub-buckets N] [--baseline] "
+               "[--out FILE]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.query = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--program") {
+      args.program_file = next();
+    } else if (flag == "--facts") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) usage("--facts expects REL=FILE");
+      args.fact_files.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--graph") {
+      args.graph_file = next();
+    } else if (flag == "--synthetic") {
+      args.synthetic = next();
+    } else if (flag == "--scale") {
+      args.scale = std::stoi(next());
+    } else if (flag == "--ranks") {
+      args.ranks = std::stoi(next());
+    } else if (flag == "--sources") {
+      std::istringstream ss(next());
+      std::string tok;
+      while (std::getline(ss, tok, ',')) args.sources.push_back(std::stoull(tok));
+    } else if (flag == "--rounds") {
+      args.rounds = std::stoull(next());
+    } else if (flag == "--sub-buckets") {
+      args.sub_buckets = std::stoi(next());
+    } else if (flag == "--baseline") {
+      args.baseline = true;
+    } else if (flag == "--out") {
+      args.out_file = next();
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return args;
+}
+
+graph::Graph load_graph(const Args& args) {
+  if (!args.graph_file.empty()) {
+    return graph::read_edge_list(args.graph_file, args.graph_file);
+  }
+  if (args.synthetic == "rmat") {
+    return graph::make_rmat({.scale = args.scale, .edge_factor = 8});
+  }
+  if (args.synthetic == "twitter") return graph::make_twitter_like(args.scale, 10);
+  if (args.synthetic == "grid") {
+    const auto side = static_cast<std::uint64_t>(1) << (args.scale / 2);
+    return graph::make_grid(side, side);
+  }
+  if (args.synthetic == "chain") {
+    return graph::make_chain(static_cast<std::uint64_t>(1) << args.scale);
+  }
+  if (args.synthetic == "er") {
+    const auto n = static_cast<std::uint64_t>(1) << args.scale;
+    return graph::make_erdos_renyi(n, n * 8);
+  }
+  usage(("unknown synthetic graph " + args.synthetic).c_str());
+}
+
+void write_rows(const std::string& path, const std::vector<core::Tuple>& rows,
+                const char* header) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "# " << header << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) out << (c ? " " : "") << row[c];
+    out << "\n";
+  }
+  std::cout << rows.size() << " rows written to " << path << "\n";
+}
+
+void report(const core::RunResult& run) {
+  std::cout << "iterations " << run.total_iterations << ", wall " << run.wall_seconds
+            << " s, remote " << run.comm_total.total_remote_bytes() / 1024 << " KiB, "
+            << "modelled parallel " << run.profile.modelled_total() << " s\n";
+}
+
+}  // namespace
+
+std::vector<core::Tuple> read_rows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read facts file " << path << "\n";
+    std::exit(1);
+  }
+  std::vector<core::Tuple> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    core::Tuple t;
+    core::value_t v = 0;
+    while (ss >> v) t.push_back(v);
+    if (!t.empty()) rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+int run_datalog(const Args& args) {
+  if (args.program_file.empty()) usage("datalog mode needs --program FILE");
+  std::ifstream in(args.program_file);
+  if (!in) {
+    std::cerr << "cannot read " << args.program_file << "\n";
+    return 1;
+  }
+  std::stringstream src;
+  src << in.rdbuf();
+
+  frontend::CompiledProgram prog;
+  try {
+    prog = frontend::CompiledProgram::compile(src.str());
+  } catch (const frontend::FrontendError& e) {
+    std::cerr << args.program_file << ":" << e.what() << "\n";
+    return 1;
+  }
+
+  std::map<std::string, std::vector<core::Tuple>> facts;
+  for (const auto& [rel, path] : args.fact_files) facts[rel] = read_rows(path);
+
+  vmpi::run(args.ranks, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm, args.sub_buckets);
+    for (const auto& [rel, rows] : facts) {
+      // Round-robin slice so every rank contributes a share.
+      std::vector<core::Tuple> slice;
+      for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < rows.size();
+           i += static_cast<std::size_t>(comm.size())) {
+        slice.push_back(rows[i]);
+      }
+      inst.load(rel, slice);
+    }
+    core::EngineConfig cfg;
+    if (args.baseline) cfg = core::baseline_config();
+    const auto result = inst.run(cfg);
+    if (comm.is_root()) {
+      report(result);
+      for (const auto& rp : prog.relations()) {
+        if (!rp.is_output) continue;
+        std::cout << rp.name << ": " << inst.size(rp.name) << " tuples\n";
+      }
+      if (!args.out_file.empty()) {
+        for (const auto& rp : prog.relations()) {
+          if (rp.is_output) {
+            write_rows(args.out_file, inst.gather(rp.name), rp.name.c_str());
+            break;
+          }
+        }
+      }
+    } else {
+      for (const auto& rp : prog.relations()) {
+        if (!rp.is_output) continue;
+        (void)inst.size(rp.name);  // collective
+      }
+      if (!args.out_file.empty()) {
+        for (const auto& rp : prog.relations()) {
+          if (rp.is_output) {
+            (void)inst.gather(rp.name);  // collective
+            break;
+          }
+        }
+      }
+    }
+  });
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.query == "datalog") return run_datalog(args);
+  const auto g = load_graph(args);
+  std::cout << "graph '" << g.name << "': " << g.num_nodes << " nodes, " << g.num_edges()
+            << " edges; " << args.ranks << " ranks\n";
+
+  queries::QueryTuning tuning;
+  if (args.baseline) tuning = queries::QueryTuning::baseline();
+  tuning.edge_sub_buckets = args.sub_buckets;
+
+  auto sources = args.sources;
+  if (sources.empty()) sources = g.pick_hubs(3);
+
+  vmpi::run(args.ranks, [&](vmpi::Comm& comm) {
+    const bool root = comm.is_root();
+    if (args.query == "sssp") {
+      queries::SsspOptions opts;
+      opts.sources = sources;
+      opts.tuning = tuning;
+      opts.collect_distances = !args.out_file.empty();
+      const auto r = run_sssp(comm, g, opts);
+      if (root) {
+        std::cout << "sssp: " << r.path_count << " (source, node) distances\n";
+        report(r.run);
+        if (!args.out_file.empty()) write_rows(args.out_file, r.distances, "to from dist");
+      }
+    } else if (args.query == "cc") {
+      queries::CcOptions opts;
+      opts.tuning = tuning;
+      opts.collect_labels = !args.out_file.empty();
+      const auto r = run_cc(comm, g, opts);
+      if (root) {
+        std::cout << "cc: " << r.component_count << " components over "
+                  << r.labelled_nodes << " nodes\n";
+        report(r.run);
+        if (!args.out_file.empty()) write_rows(args.out_file, r.labels, "node label");
+      }
+    } else if (args.query == "tc") {
+      queries::TcOptions opts;
+      opts.tuning = tuning;
+      opts.collect_pairs = !args.out_file.empty();
+      const auto r = run_tc(comm, g, opts);
+      if (root) {
+        std::cout << "tc: " << r.path_count << " reachable pairs\n";
+        report(r.run);
+        if (!args.out_file.empty()) write_rows(args.out_file, r.pairs, "dst src");
+      }
+    } else if (args.query == "pagerank") {
+      queries::PagerankOptions opts;
+      opts.rounds = args.rounds;
+      opts.tuning = tuning;
+      opts.collect_ranks = !args.out_file.empty();
+      const auto r = run_pagerank(comm, g, opts);
+      if (root) {
+        std::cout << "pagerank: " << r.ranked_nodes << " nodes, mass " << r.total_mass
+                  << " after " << r.rounds << " rounds\n";
+        report(r.run);
+        if (!args.out_file.empty()) {
+          write_rows(args.out_file, r.ranks, "node rank(x1e6)");
+        }
+      }
+    } else if (args.query == "triangles") {
+      const auto r = run_triangles(comm, g, queries::TrianglesOptions{.tuning = tuning});
+      if (root) {
+        std::cout << "triangles: " << r.triangles << " (from " << r.wedges << " wedges)\n";
+        report(r.run);
+      }
+    } else if (args.query == "lsp") {
+      queries::LspOptions opts;
+      opts.sources = sources;
+      opts.tuning = tuning;
+      const auto r = run_lsp(comm, g, opts);
+      if (root) {
+        std::cout << "lsp: longest shortest path " << r.longest << " over "
+                  << r.spath_count << " paths\n";
+        report(r.run);
+      }
+    } else if (args.query == "sssp-tree") {
+      queries::SsspTreeOptions opts;
+      opts.source = sources.front();
+      opts.tuning = tuning;
+      const auto r = run_sssp_tree(comm, g, opts);
+      if (root) {
+        std::cout << "sssp-tree: " << r.reached << " nodes from source "
+                  << sources.front() << "\n";
+        report(r.run);
+        if (!args.out_file.empty()) write_rows(args.out_file, r.tree, "node dist parent");
+      }
+    } else if (root) {
+      std::cerr << "unknown query '" << args.query << "'\n";
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,102 @@
+// points_to: Andersen-style inclusion-based pointer analysis through the
+// declarative frontend — the paper's "program analysis" motivation (§I)
+// on a synthetic program.
+//
+// The classic four-rule Andersen analysis, factored into binary joins (the
+// load/store rules are ternary in textbooks; auxiliary relations split
+// them, which is exactly what the frontend's error message tells you to
+// do):
+//
+//   pts(v, o)      :- addr_of(v, o).
+//   pts(v, o)      :- assign(v, w), pts(w, o).
+//   ld(v, a)       :- load(v, p), pts(p, a).      // v = *p
+//   pts(v, o)      :- ld(v, a), pts(a, o).
+//   st(a, w)       :- store(p, w), pts(p, a).     // *p = w
+//   pts(a, o)      :- st(a, w), pts(w, o).
+//
+// pts / ld / st are mutually recursive — one SCC, one fixpoint stratum —
+// and pts is joined on its first column by three different rules, so no
+// secondary indexes are needed; the frontend's analysis confirms it.
+//
+// Usage: ./points_to [ranks] [num_vars] [num_statements]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "paralagg/paralagg.hpp"
+
+namespace {
+
+constexpr std::string_view kAndersen = R"(
+  .decl addr_of(v, o) input      // v = &o
+  .decl assign(v, w) input       // v = w
+  .decl load(v, p) input         // v = *p
+  .decl store(p, w) input        // *p = w
+
+  .decl pts(v, o) output
+  .decl ld(v, a)
+  .decl st(a, w)
+
+  pts(v, o) :- addr_of(v, o).
+  pts(v, o) :- assign(v, w), pts(w, o).
+  ld(v, a)  :- load(v, p), pts(p, a).
+  pts(v, o) :- ld(v, a), pts(a, o).
+  st(a, w)  :- store(p, w), pts(p, a).
+  pts(a, o) :- st(a, w), pts(w, o).
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace paralagg;
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t vars = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 800;
+  const std::uint64_t stmts = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2400;
+
+  // A synthetic "program": random address-ofs, copies, loads, and stores
+  // over `vars` variables (objects share the variable id space).
+  graph::Rng rng(2026);
+  std::vector<core::Tuple> addr_of, assign, load, store;
+  for (std::uint64_t i = 0; i < stmts; ++i) {
+    const core::value_t a = rng.below(vars), b = rng.below(vars);
+    switch (rng.below(8)) {
+      case 0: addr_of.push_back(core::Tuple{a, b}); break;
+      case 1: case 2: case 3: case 4: assign.push_back(core::Tuple{a, b}); break;
+      case 5: case 6: load.push_back(core::Tuple{a, b}); break;
+      default: store.push_back(core::Tuple{a, b}); break;
+    }
+  }
+  std::cout << "synthetic program: " << vars << " vars, " << addr_of.size()
+            << " addr-of, " << assign.size() << " copies, " << load.size() << " loads, "
+            << store.size() << " stores; " << ranks << " ranks\n";
+
+  const auto prog = frontend::CompiledProgram::compile(kAndersen);
+
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    const auto slice = [&](const std::vector<core::Tuple>& rows) {
+      std::vector<core::Tuple> out;
+      for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < rows.size();
+           i += static_cast<std::size_t>(comm.size())) {
+        out.push_back(rows[i]);
+      }
+      return out;
+    };
+    inst.load("addr_of", slice(addr_of));
+    inst.load("assign", slice(assign));
+    inst.load("load", slice(load));
+    inst.load("store", slice(store));
+
+    const auto result = inst.run();
+    const auto pts = inst.size("pts");
+    if (comm.is_root()) {
+      std::cout << "\npoints-to facts: " << pts << " (avg "
+                << static_cast<double>(pts) / static_cast<double>(vars)
+                << " objects per variable)\n"
+                << "fixpoint iterations: " << result.total_iterations << "\n"
+                << "wall " << result.wall_seconds << " s, remote "
+                << result.comm_total.total_remote_bytes() / 1024 << " KiB\n";
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest complete PARALAGG program.
+//
+// Computes transitive closure (vanilla Datalog, paper §II-A) of a small
+// graph on 4 virtual ranks, then single-source shortest paths with a
+// recursive $MIN aggregate (§II-C) on the same graph — the pair the paper
+// uses to introduce why recursive aggregation matters.
+//
+//   Path(x, y)  <- Edge(x, y).
+//   Path(x, z)  <- Path(x, y), Edge(y, z).
+//
+//   Spath(n, n, 0)               <- Start(n).
+//   Spath(f, t, $MIN(l + w))     <- Spath(f, m, l), Edge(m, t, w).
+//
+// Build & run:  ./quickstart [ranks]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "paralagg/paralagg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace paralagg;
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  // A small weighted digraph: two clusters joined by one bridge.
+  graph::Graph g;
+  g.name = "quickstart";
+  g.num_nodes = 8;
+  g.edges = {
+      {0, 1, 2}, {1, 2, 2}, {2, 0, 2},  // cluster A cycle
+      {2, 3, 5},                        // bridge
+      {3, 4, 1}, {4, 5, 1}, {5, 6, 1}, {6, 7, 1}, {3, 7, 10},  // cluster B
+  };
+
+  std::cout << "graph: " << g.num_nodes << " nodes, " << g.num_edges() << " edges, "
+            << ranks << " virtual MPI ranks\n\n";
+
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    // --- transitive closure ---------------------------------------------------
+    queries::TcOptions tc_opts;
+    tc_opts.collect_pairs = true;
+    const auto tc = queries::run_tc(comm, g, tc_opts);
+    if (comm.is_root()) {
+      std::cout << "transitive closure: " << tc.path_count << " reachable pairs in "
+                << tc.iterations << " iterations\n";
+    }
+
+    // --- shortest paths via recursive $MIN ------------------------------------
+    queries::SsspOptions sp_opts;
+    sp_opts.sources = {0};
+    sp_opts.collect_distances = true;
+    const auto sp = queries::run_sssp(comm, g, sp_opts);
+    if (comm.is_root()) {
+      std::cout << "shortest paths from node 0 (" << sp.path_count << " reachable):\n";
+      for (const auto& row : sp.distances) {
+        // Stored order: (to, from, dist).
+        std::cout << "  0 -> " << row[0] << "  dist " << row[2] << "\n";
+      }
+      std::cout << "\ncommunication, whole run: "
+                << sp.run.comm_total.total_remote_bytes() << " remote bytes across "
+                << ranks << " ranks\n";
+      std::cout << "note: node 7 is reached via the 3->4->5->6->7 chain (dist 13), not\n"
+                << "the direct 3->7 edge (dist 19) — $MIN collapsed the detour.\n";
+    }
+  });
+  return 0;
+}

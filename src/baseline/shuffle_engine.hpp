@@ -1,0 +1,62 @@
+#pragma once
+
+// The comparator strategy: hash-shuffle engines in the style of
+// RaSQL / BigDatalog ("shuffle" mode) and SociaLite ("master" mode).
+//
+// The paper's §IV-A diagnosis of these systems: they treat aggregated
+// columns like ordinary columns.  The aggregated relation is partitioned
+// by a hash of the *whole* tuple, so two partial results for the same
+// (from, to) pair generally live on different ranks; folding them requires
+// a dedicated aggregation exchange every iteration against "a global
+// hashmap with a special partition key", plus a redistribution of the
+// surviving tuples back to their storage owners.  PARALAGG's fused local
+// aggregation removes both hops.
+//
+// These engines run the same frontier algorithm (per-iteration tuple
+// counts and iteration counts match PARALAGG), so byte-count differences
+// isolate exactly the strategy the paper criticizes.
+//
+//   mode kShuffle (RaSQL-like):   join shuffle -> reducer shuffle keyed on
+//                                 independent columns -> redistribution by
+//                                 full-tuple hash
+//   mode kMaster  (SociaLite-like single-coordinator flavour): candidates
+//                                 gathered to rank 0, merged there, changed
+//                                 rows broadcast back
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "vmpi/comm.hpp"
+
+namespace paralagg::baseline {
+
+using graph::value_t;
+
+enum class ShuffleMode : std::uint8_t { kShuffle, kMaster };
+
+struct ShuffleOptions {
+  ShuffleMode mode = ShuffleMode::kShuffle;
+  std::size_t max_iterations = 1'000'000;
+};
+
+struct ShuffleResult {
+  std::uint64_t result_count = 0;  // |answer| (paths / labelled nodes)
+  std::size_t iterations = 0;
+  std::uint64_t remote_bytes = 0;  // Σ over ranks, this run only
+  double wall_seconds = 0;
+  bool converged = false;
+};
+
+/// SSSP under the shuffle strategy.  Collective; result identical on all
+/// ranks.
+ShuffleResult run_sssp_shuffle(vmpi::Comm& comm, const graph::Graph& g,
+                               const std::vector<value_t>& sources,
+                               const ShuffleOptions& opts = {});
+
+/// Connected components (min-label propagation) under the shuffle
+/// strategy.  Collective.
+ShuffleResult run_cc_shuffle(vmpi::Comm& comm, const graph::Graph& g,
+                             const ShuffleOptions& opts = {});
+
+}  // namespace paralagg::baseline

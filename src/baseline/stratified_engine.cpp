@@ -1,0 +1,146 @@
+#include "baseline/stratified_engine.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::baseline {
+
+using core::Expr;
+using core::Tuple;
+using core::Version;
+using queries::value_t;
+
+StratifiedResult run_sssp_stratified(vmpi::Comm& comm, const graph::Graph& g,
+                                     const StratifiedOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 3,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  // All distinct (to, from, length) triples — *plain*, every length kept.
+  auto* path = program.relation({.name = "path_all", .arity = 3, .jcc = 1});
+  auto* spath = program.relation({
+      .name = "spath",
+      .arity = 3,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_min_aggregator(),
+  });
+
+  auto& enumerate = program.stratum();
+  enumerate.loop_rules.push_back(core::JoinRule{
+      .a = path,
+      .a_version = Version::kDelta,
+      .b = edge,
+      .b_version = Version::kFull,
+      .out = {.target = path,
+              .cols = {Expr::col_b(1), Expr::col_a(1),
+                       Expr::add(Expr::col_a(2), Expr::col_b(2))}},
+  });
+
+  auto& aggregate = program.stratum();
+  aggregate.init_rules.push_back(core::CopyRule{
+      .src = path,
+      .version = Version::kFull,
+      .out = {.target = spath,
+              .cols = {Expr::col_a(0), Expr::col_a(1), Expr::col_a(2)}},
+  });
+
+  edge->load_facts(queries::edge_slice(comm, g, /*weighted=*/true));
+  std::vector<Tuple> seeds;
+  if (comm.rank() == 0) {
+    for (value_t s : opts.sources) seeds.push_back(Tuple{s, s, 0});
+  }
+  path->load_facts(seeds);
+
+  auto engine_cfg = opts.tuning.engine;
+  engine_cfg.tuple_limit = opts.tuple_limit;
+  core::Engine engine(comm, engine_cfg);
+
+  StratifiedResult result;
+  result.run = engine.run(program);
+  result.iterations = result.run.total_iterations;
+  result.completed = true;
+  for (const auto& s : result.run.strata) {
+    if (s.aborted_tuple_limit) result.completed = false;
+  }
+  result.materialized = path->global_size(Version::kFull);
+  result.answer_count = result.completed ? spath->global_size(Version::kFull) : 0;
+  return result;
+}
+
+StratifiedResult run_cc_stratified(vmpi::Comm& comm, const graph::Graph& g,
+                                   const StratifiedOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 2,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  // Every (node, reachable-node) pair — the node product §V-A warns about.
+  auto* reach = program.relation({.name = "reach", .arity = 2, .jcc = 1});
+  auto* cc = program.relation({
+      .name = "cc",
+      .arity = 2,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_min_aggregator(),
+  });
+
+  auto& enumerate = program.stratum();
+  // reach(n, n) <- edge(n, _).
+  enumerate.init_rules.push_back(core::CopyRule{
+      .src = edge,
+      .version = Version::kFull,
+      .out = {.target = reach, .cols = {Expr::col_a(0), Expr::col_a(0)}},
+  });
+  // reach(y, m) <- reach(x, m), edge(x, y): stored (x, m) joined on x.
+  enumerate.loop_rules.push_back(core::JoinRule{
+      .a = reach,
+      .a_version = Version::kDelta,
+      .b = edge,
+      .b_version = Version::kFull,
+      .out = {.target = reach, .cols = {Expr::col_b(1), Expr::col_a(1)}},
+  });
+
+  auto& aggregate = program.stratum();
+  aggregate.init_rules.push_back(core::CopyRule{
+      .src = reach,
+      .version = Version::kFull,
+      .out = {.target = cc, .cols = {Expr::col_a(0), Expr::col_a(1)}},
+  });
+
+  {
+    std::vector<Tuple> slice;
+    const auto n = static_cast<std::size_t>(comm.size());
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < g.edges.size(); i += n) {
+      const auto& e = g.edges[i];
+      slice.push_back(Tuple{e.src, e.dst});
+      slice.push_back(Tuple{e.dst, e.src});
+    }
+    edge->load_facts(slice);
+  }
+
+  auto engine_cfg = opts.tuning.engine;
+  engine_cfg.tuple_limit = opts.tuple_limit;
+  core::Engine engine(comm, engine_cfg);
+
+  StratifiedResult result;
+  result.run = engine.run(program);
+  result.iterations = result.run.total_iterations;
+  result.completed = true;
+  for (const auto& s : result.run.strata) {
+    if (s.aborted_tuple_limit) result.completed = false;
+  }
+  result.materialized = reach->global_size(Version::kFull);
+  result.answer_count = result.completed ? cc->global_size(Version::kFull) : 0;
+  return result;
+}
+
+}  // namespace paralagg::baseline

@@ -1,0 +1,45 @@
+#pragma once
+
+// Vanilla-Datalog baseline: stratified aggregation (paper §II-B).
+//
+// The asymptotically poor plan the paper opens with: compute the *set of
+// all distinct path lengths* as a plain relation to a fixed point, then
+// aggregate $MIN in a later stratum.  On graphs with cycles the first
+// stratum enumerates unboundedly many lengths — which is why these runs
+// carry a tuple budget and report `completed = false` when they blow
+// through it (the reproduction's analogue of the engines that "run out of
+// memory due to materialization overhead", §V-A, and the Table I "N/A"
+// rows).
+//
+// Built on the same PARALAGG substrate, so the comparison isolates the
+// *plan*, not the infrastructure.
+
+#include "queries/common.hpp"
+
+namespace paralagg::baseline {
+
+struct StratifiedOptions {
+  std::vector<queries::value_t> sources;  // SSSP only
+  /// Materialization budget before the run is declared failed.
+  std::uint64_t tuple_limit = 5'000'000;
+  queries::QueryTuning tuning;
+};
+
+struct StratifiedResult {
+  bool completed = false;          // false: exceeded tuple_limit ("OOM")
+  std::uint64_t materialized = 0;  // |all-paths| (the overhead itself)
+  std::uint64_t answer_count = 0;  // |aggregated result| when completed
+  std::size_t iterations = 0;
+  core::RunResult run;
+};
+
+/// SSSP the stratified way: Path to fixpoint, then Spath = MIN per pair.
+StratifiedResult run_sssp_stratified(vmpi::Comm& comm, const graph::Graph& g,
+                                     const StratifiedOptions& opts);
+
+/// CC the stratified way: full reachability pairs, then MIN per node —
+/// materializes the node product within each component (§V-A).
+StratifiedResult run_cc_stratified(vmpi::Comm& comm, const graph::Graph& g,
+                                   const StratifiedOptions& opts);
+
+}  // namespace paralagg::baseline

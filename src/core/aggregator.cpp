@@ -1,0 +1,120 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paralagg::core {
+
+namespace {
+
+/// Total orders (chains) share everything but the direction of "more
+/// information": for $MIN smaller ascends, for $MAX larger ascends.
+class ChainAggregator : public RecursiveAggregator {
+ public:
+  explicit ChainAggregator(bool smaller_wins) : smaller_wins_(smaller_wins) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return smaller_wins_ ? "$MIN" : "$MAX";
+  }
+
+  [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
+                                         std::span<const value_t> b) const override {
+    assert(a.size() == 1 && b.size() == 1);
+    if (a[0] == b[0]) return PartialOrder::kEqual;
+    const bool b_wins = smaller_wins_ ? b[0] < a[0] : b[0] > a[0];
+    return b_wins ? PartialOrder::kLess : PartialOrder::kGreater;
+  }
+
+  void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) const override {
+    out[0] = smaller_wins_ ? std::min(a[0], b[0]) : std::max(a[0], b[0]);
+  }
+
+ private:
+  bool smaller_wins_;
+};
+
+class BitOrAggregator : public RecursiveAggregator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "$UNION64"; }
+
+  [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
+                                         std::span<const value_t> b) const override {
+    if (a[0] == b[0]) return PartialOrder::kEqual;
+    if ((a[0] & b[0]) == a[0]) return PartialOrder::kLess;     // a ⊂ b
+    if ((a[0] & b[0]) == b[0]) return PartialOrder::kGreater;  // b ⊂ a
+    return PartialOrder::kIncomparable;
+  }
+
+  void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) const override {
+    out[0] = a[0] | b[0];
+  }
+};
+
+class SumAggregator : public RecursiveAggregator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "$SUM"; }
+
+  [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
+                                         std::span<const value_t> b) const override {
+    if (a[0] == b[0]) return PartialOrder::kEqual;
+    return a[0] < b[0] ? PartialOrder::kLess : PartialOrder::kGreater;
+  }
+
+  void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) const override {
+    out[0] = a[0] + b[0];
+  }
+};
+
+/// Monotonic count: partial results are lower bounds, so ⊔ = max.
+class MCountAggregator : public RecursiveAggregator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "$MCOUNT"; }
+
+  [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
+                                         std::span<const value_t> b) const override {
+    if (a[0] == b[0]) return PartialOrder::kEqual;
+    return a[0] < b[0] ? PartialOrder::kLess : PartialOrder::kGreater;
+  }
+
+  void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) const override {
+    out[0] = std::max(a[0], b[0]);
+  }
+};
+
+class ArgMinAggregator : public RecursiveAggregator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "$ARGMIN"; }
+  [[nodiscard]] std::size_t dep_arity() const override { return 2; }
+
+  [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
+                                         std::span<const value_t> b) const override {
+    assert(a.size() == 2 && b.size() == 2);
+    if (a[0] == b[0] && a[1] == b[1]) return PartialOrder::kEqual;
+    // Lexicographic (value, witness) chain: smaller value, then smaller
+    // witness, is "more information".
+    const bool b_wins = b[0] < a[0] || (b[0] == a[0] && b[1] < a[1]);
+    return b_wins ? PartialOrder::kLess : PartialOrder::kGreater;
+  }
+
+  void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                   std::span<value_t> out) const override {
+    const bool keep_a = a[0] < b[0] || (a[0] == b[0] && a[1] <= b[1]);
+    out[0] = keep_a ? a[0] : b[0];
+    out[1] = keep_a ? a[1] : b[1];
+  }
+};
+
+}  // namespace
+
+AggregatorPtr make_min_aggregator() { return std::make_shared<ChainAggregator>(true); }
+AggregatorPtr make_max_aggregator() { return std::make_shared<ChainAggregator>(false); }
+AggregatorPtr make_bitor_aggregator() { return std::make_shared<BitOrAggregator>(); }
+AggregatorPtr make_sum_aggregator() { return std::make_shared<SumAggregator>(); }
+AggregatorPtr make_mcount_aggregator() { return std::make_shared<MCountAggregator>(); }
+AggregatorPtr make_argmin_aggregator() { return std::make_shared<ArgMinAggregator>(); }
+
+}  // namespace paralagg::core

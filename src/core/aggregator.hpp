@@ -1,0 +1,85 @@
+#pragma once
+
+// The recursive-aggregate API (paper Listing 1).
+//
+// An aggregator interprets the trailing "dependent" columns of a tuple as
+// an element of a join-semilattice.  `partial_agg` is the lattice join ⊔;
+// `partial_cmp` is the induced partial order.  The engine calls these from
+// the fused deduplication/aggregation pass: when a newly generated tuple
+// lands on the rank owning its independent columns, its dependent value is
+// joined into the stored accumulator, and only a strict lattice ascent
+// enters the delta — anything else is "no new information" and is dropped
+// on the spot, with zero communication (paper §III-A, §IV-A).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace paralagg::core {
+
+enum class PartialOrder : std::uint8_t { kLess, kEqual, kGreater, kIncomparable };
+
+/// Base class for recursive aggregates; mirrors the paper's
+/// `RecursiveAggregator` (Listing 1) with spans in place of value sets.
+/// Implementations must be stateless and thread-safe: one instance is
+/// shared by every rank.
+class RecursiveAggregator {
+ public:
+  virtual ~RecursiveAggregator() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Number of dependent (aggregated) columns; they are the tuple suffix.
+  [[nodiscard]] virtual std::size_t dep_arity() const { return 1; }
+
+  /// Partial order on dependent values.  a kLess b means b carries strictly
+  /// more information (b = a ⊔ b, a != b).
+  [[nodiscard]] virtual PartialOrder partial_cmp(std::span<const value_t> a,
+                                                 std::span<const value_t> b) const = 0;
+
+  /// Lattice join: out := a ⊔ b.  out has dep_arity() columns and may alias
+  /// neither input.
+  virtual void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
+                           std::span<value_t> out) const = 0;
+
+  /// True when `candidate` strictly ascends past `current` — i.e. the fused
+  /// pass must update the accumulator and emit a delta row.
+  [[nodiscard]] bool ascends(std::span<const value_t> current,
+                             std::span<const value_t> candidate) const {
+    const auto c = partial_cmp(current, candidate);
+    return c == PartialOrder::kLess || c == PartialOrder::kIncomparable;
+  }
+};
+
+using AggregatorPtr = std::shared_ptr<const RecursiveAggregator>;
+
+/// $MIN over one column: the (ℕ, min) semilattice, ordered by ≥ (smaller is
+/// "more information").  SSSP and CC use this.
+AggregatorPtr make_min_aggregator();
+
+/// $MAX over one column: the (ℕ, max) semilattice.
+AggregatorPtr make_max_aggregator();
+
+/// Set-union over a 64-bit bitmask column: the powerset lattice P({0..63}).
+/// Exercises a genuinely partial (non-chain) order.
+AggregatorPtr make_bitor_aggregator();
+
+/// $SUM over one column.  Addition is not idempotent, so this is only
+/// meaningful under AggMode::kRefresh (PageRank) or in a single
+/// non-recursive stratum (COUNT/SUM stratified aggregates); the engine
+/// enforces this.
+AggregatorPtr make_sum_aggregator();
+
+/// $MCOUNT (DatalogFS-style monotonic count): partial counts are lower
+/// bounds of the final count; the lattice join is max.
+AggregatorPtr make_mcount_aggregator();
+
+/// ($MIN, witness) pair over two columns: minimises column 0 and carries
+/// column 1 along as the argmin witness (ties broken toward the smaller
+/// witness, keeping the join deterministic).  Used for shortest-path trees.
+AggregatorPtr make_argmin_aggregator();
+
+}  // namespace paralagg::core

@@ -1,0 +1,53 @@
+#include "core/balancer.hpp"
+
+#include <algorithm>
+
+#include "core/phase_scope.hpp"
+
+namespace paralagg::core {
+
+namespace {
+
+double imbalance_of(const std::vector<std::uint64_t>& sizes) {
+  std::uint64_t total = 0, biggest = 0;
+  for (auto s : sizes) {
+    total += s;
+    biggest = std::max(biggest, s);
+  }
+  if (total == 0) return 1.0;
+  const double avg = static_cast<double>(total) / static_cast<double>(sizes.size());
+  return static_cast<double>(biggest) / avg;
+}
+
+}  // namespace
+
+double measure_imbalance(vmpi::Comm& comm, const Relation& rel) {
+  const auto sizes =
+      comm.allgather<std::uint64_t>(rel.local_size(Version::kFull));
+  return imbalance_of(sizes);
+}
+
+BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relation& rel,
+                                 const BalanceConfig& cfg) {
+  BalanceDecision d;
+  d.sub_buckets_after = rel.sub_buckets();
+
+  PhaseScope scope(comm, profile, Phase::kBalance);
+  const auto sizes = comm.allgather<std::uint64_t>(rel.local_size(Version::kFull));
+  d.imbalance = imbalance_of(sizes);
+
+  const bool want = rel.config().balanceable && cfg.enabled &&
+                    d.imbalance > cfg.imbalance_threshold &&
+                    rel.sub_buckets() < cfg.target_sub_buckets;
+  // Every rank computed the same sizes vector, hence the same decision — no
+  // extra coordination round needed.
+  if (!want) return d;
+
+  d.bytes_moved = rel.reshuffle_to_sub_buckets(cfg.target_sub_buckets);
+  d.rebalanced = true;
+  d.sub_buckets_after = rel.sub_buckets();
+  profile.add_work(Phase::kBalance, rel.local_size(Version::kFull));
+  return d;
+}
+
+}  // namespace paralagg::core

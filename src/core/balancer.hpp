@@ -1,0 +1,46 @@
+#pragma once
+
+// Spatial load balancing (paper §IV-C).
+//
+// Double hashing alone cannot fix key skew: every tuple sharing a join key
+// hashes to the same bucket, so a Twitter-style celebrity vertex piles its
+// whole adjacency onto one rank.  The balancer watches per-rank partition
+// sizes and, when the max/avg ratio exceeds a threshold, raises the
+// relation's sub-bucket count — splitting each bucket across several ranks
+// by H2 over the non-join independent columns.  The price is the
+// intra-bucket replication the join must then perform; §V-B shows (and our
+// benches reproduce) that this trade pays off at scale.
+
+#include "core/profile.hpp"
+#include "core/relation.hpp"
+
+namespace paralagg::core {
+
+struct BalanceConfig {
+  bool enabled = true;
+  /// Sub-bucket fan-out applied when a relation is found imbalanced (the
+  /// paper's default is 8 sub-buckets for input relations).
+  int target_sub_buckets = 8;
+  /// max/avg partition-size ratio that triggers a reshuffle.
+  double imbalance_threshold = 2.0;
+  /// Check cadence in iterations (checks are one allgather of a size_t).
+  std::size_t period = 2;
+};
+
+struct BalanceDecision {
+  double imbalance = 1.0;  // max/avg before any action
+  bool rebalanced = false;
+  int sub_buckets_after = 1;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// Measure imbalance of `rel` (collective: one allgather) and reshuffle it
+/// to `cfg.target_sub_buckets` when warranted.  No-op for relations not
+/// marked balanceable or already at the target fan-out.
+BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relation& rel,
+                                 const BalanceConfig& cfg);
+
+/// Measure only (collective); used by diagnostics and Fig. 3.
+double measure_imbalance(vmpi::Comm& comm, const Relation& rel);
+
+}  // namespace paralagg::core

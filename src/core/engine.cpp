@@ -1,0 +1,146 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/phase_scope.hpp"
+
+namespace paralagg::core {
+
+namespace {
+
+void push_unique(std::vector<Relation*>& v, Relation* r) {
+  if (r != nullptr && std::find(v.begin(), v.end(), r) == v.end()) v.push_back(r);
+}
+
+}  // namespace
+
+std::vector<Relation*> Engine::targets_of(const std::vector<Rule>& rules) {
+  std::vector<Relation*> out;
+  for (const auto& rule : rules) {
+    std::visit([&](const auto& r) { push_unique(out, r.out.target); }, rule);
+  }
+  return out;
+}
+
+std::vector<Relation*> Engine::sources_of(const std::vector<Rule>& rules) {
+  std::vector<Relation*> out;
+  for (const auto& rule : rules) {
+    if (const auto* j = std::get_if<JoinRule>(&rule)) {
+      push_unique(out, j->a);
+      push_unique(out, j->b);
+    } else {
+      push_unique(out, std::get<CopyRule>(rule).src);
+    }
+  }
+  return out;
+}
+
+RuleExecStats Engine::execute_rule(const Rule& rule) {
+  if (const auto* j = std::get_if<JoinRule>(&rule)) {
+    const std::optional<JoinOrderPolicy> forced =
+        cfg_.dynamic_join_order ? std::nullopt : std::optional(cfg_.fixed_order);
+    return execute_join(*comm_, profile_, *j, forced, cfg_.exchange);
+  }
+  return execute_copy(*comm_, profile_, std::get<CopyRule>(rule), cfg_.exchange);
+}
+
+StratumResult Engine::run_stratum(const Stratum& stratum) {
+  StratumResult result;
+
+  // ---- init rules: run once, seed the deltas --------------------------------
+  if (!stratum.init_rules.empty()) {
+    for (const auto& rule : stratum.init_rules) execute_rule(rule);
+    PhaseScope scope(*comm_, profile_, Phase::kDedupAgg);
+    for (Relation* t : targets_of(stratum.init_rules)) {
+      const auto m = t->materialize();
+      profile_.add_work(Phase::kDedupAgg, m.staged);
+    }
+    profile_.end_iteration();
+  }
+
+  if (stratum.loop_rules.empty()) {
+    result.reached_fixpoint = true;
+    return result;
+  }
+
+  const auto loop_targets = targets_of(stratum.loop_rules);
+  auto balance_candidates = sources_of(stratum.loop_rules);
+  for (Relation* t : loop_targets) push_unique(balance_candidates, t);
+
+  const std::size_t bound =
+      stratum.fixpoint ? cfg_.max_iterations
+                       : std::min(stratum.max_rounds, cfg_.max_iterations);
+
+  for (std::size_t iter = 0; iter < bound; ++iter) {
+    // ---- spatial load balancing ---------------------------------------------
+    if (cfg_.balance.enabled && iter % std::max<std::size_t>(cfg_.balance.period, 1) == 0) {
+      for (Relation* rel : balance_candidates) {
+        if (rel->config().balanceable) balance_relation(*comm_, profile_, *rel, cfg_.balance);
+      }
+    }
+
+    // ---- rules ----------------------------------------------------------------
+    for (const auto& rule : stratum.loop_rules) execute_rule(rule);
+
+    // ---- fused dedup / local aggregation ---------------------------------------
+    std::uint64_t local_delta = 0;
+    {
+      PhaseScope scope(*comm_, profile_, Phase::kDedupAgg);
+      for (Relation* t : loop_targets) {
+        const auto m = t->materialize();
+        profile_.add_work(Phase::kDedupAgg, m.staged);
+        result.tuples_generated += m.staged;
+        local_delta += m.delta_size;
+      }
+    }
+
+    // ---- global termination detection ------------------------------------------
+    std::uint64_t global_delta = 0;
+    {
+      PhaseScope scope(*comm_, profile_, Phase::kOther);
+      global_delta = comm_->allreduce<std::uint64_t>(local_delta, vmpi::ReduceOp::kSum);
+    }
+    profile_.end_iteration();
+    ++result.iterations;
+    cumulative_materialized_ += global_delta;
+
+    if (stratum.fixpoint && global_delta == 0) {
+      result.reached_fixpoint = true;
+      break;
+    }
+    if (cumulative_materialized_ > cfg_.tuple_limit) {
+      result.aborted_tuple_limit = true;  // deterministic on all ranks
+      break;
+    }
+  }
+  if (!stratum.fixpoint) result.reached_fixpoint = true;  // ran its budget by design
+  return result;
+}
+
+RunResult Engine::run(Program& program) {
+  program.validate();
+  RunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (const auto& stratum : program.strata()) {
+    auto sr = run_stratum(*stratum);
+    result.total_iterations += sr.iterations;
+    result.strata.push_back(sr);
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Cross-rank assembly: profile summary plus a race-free total of the
+  // per-rank communication counters (each rank contributes its own).
+  result.profile = summarize_profiles(*comm_, profile_);
+  {
+    vmpi::StatsPause pause(*comm_);
+    const auto all = comm_->allgather<vmpi::CommStats>(comm_->stats());
+    for (const auto& s : all) result.comm_total += s;
+  }
+  return result;
+}
+
+}  // namespace paralagg::core

@@ -1,0 +1,104 @@
+#pragma once
+
+// The semi-naive fixpoint executor.
+//
+// Per iteration (paper Fig. 1, left to right):
+//   1. spatial load balancing           (Phase::kBalance)
+//   2. per rule: dynamic join planning  (Phase::kPlan)
+//      intra-bucket exchange            (Phase::kIntraBucket)
+//      local join                       (Phase::kLocalJoin)
+//      all-to-all of generated tuples   (Phase::kAllToAll)
+//   3. fused dedup/local aggregation    (Phase::kDedupAgg)
+//   4. global termination check         (Phase::kOther)
+//
+// The engine is configurable into the paper's *baseline* mode (no
+// balancing, fixed join order) for the RQ1 comparison.
+
+#include <limits>
+#include <optional>
+
+#include "core/balancer.hpp"
+#include "core/program.hpp"
+#include "core/profile.hpp"
+
+namespace paralagg::core {
+
+struct EngineConfig {
+  /// Algorithm 1 on/off.  Off = every join ships the side named by
+  /// `fixed_order`, reproducing the baseline "B" bars of Fig. 2.
+  bool dynamic_join_order = true;
+  JoinOrderPolicy fixed_order = JoinOrderPolicy::kFixedBOuter;
+
+  BalanceConfig balance;
+
+  /// Exchange algorithm for the engine's tuple shuffles.  kBruck caps the
+  /// per-rank message count at ceil(log2 n) per exchange — the trade the
+  /// authors' HPDC'22 all-to-all work makes for latency-bound iterations.
+  ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense;
+
+  /// Safety net for runaway fixpoints (and the bound for refresh strata
+  /// that forgot to set max_rounds).
+  std::size_t max_iterations = 1'000'000;
+
+  /// Abort a stratum once the cumulative number of materialized tuples
+  /// exceeds this bound — the reproduction's stand-in for running a
+  /// materializing query out of memory (the Table I "N/A" entries and the
+  /// §V-A observation that Datalog CC cannot avoid the node product).
+  std::uint64_t tuple_limit = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Convenience: the paper's unoptimized configuration (RQ1 baseline).
+inline EngineConfig baseline_config() {
+  EngineConfig cfg;
+  cfg.dynamic_join_order = false;
+  cfg.fixed_order = JoinOrderPolicy::kFixedBOuter;
+  cfg.balance.enabled = false;
+  return cfg;
+}
+
+struct StratumResult {
+  std::size_t iterations = 0;          // loop iterations executed
+  std::uint64_t tuples_generated = 0;  // staged across all loop rules
+  bool reached_fixpoint = false;
+  bool aborted_tuple_limit = false;    // stopped by EngineConfig::tuple_limit
+};
+
+struct RunResult {
+  std::size_t total_iterations = 0;
+  std::vector<StratumResult> strata;
+  ProfileSummary profile;      // identical on every rank
+  vmpi::CommStats comm_total;  // identical on every rank
+  double wall_seconds = 0;     // this rank's view
+};
+
+class Engine {
+ public:
+  Engine(vmpi::Comm& comm, EngineConfig cfg = {}) : comm_(&comm), cfg_(cfg) {}
+
+  [[nodiscard]] RankProfile& rank_profile() { return profile_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+  /// Execute one stratum to completion.  Collective.
+  StratumResult run_stratum(const Stratum& stratum);
+
+  /// Validate and execute a whole program, then assemble the cross-rank
+  /// summary.  Collective; the result is identical on every rank.
+  RunResult run(Program& program);
+
+ private:
+  /// Execute one rule (join or copy), honouring the engine's join-order
+  /// override, and return its stats.
+  RuleExecStats execute_rule(const Rule& rule);
+
+  /// Distinct relations targeted by a rule list, in first-use order.
+  static std::vector<Relation*> targets_of(const std::vector<Rule>& rules);
+  /// Distinct relations read by a rule list (join sides / copy sources).
+  static std::vector<Relation*> sources_of(const std::vector<Rule>& rules);
+
+  vmpi::Comm* comm_;
+  EngineConfig cfg_;
+  RankProfile profile_;
+  std::uint64_t cumulative_materialized_ = 0;
+};
+
+}  // namespace paralagg::core

@@ -1,0 +1,150 @@
+#pragma once
+
+// Tiny expression trees for rule heads and filters.
+//
+// A rule's head constructs an output tuple column-by-column from the two
+// joined tuples (sides A and B as written in the rule, independent of
+// which side the planner ships).  SSSP's `l + n`, PageRank's
+// `r * d / outdeg`, and comparison filters (`y < z`) are all expressible.
+// Arithmetic is unsigned 64-bit; fractional quantities use fixed-point
+// scaling chosen by the query builder.
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace paralagg::core {
+
+class Expr {
+ public:
+  enum class Kind : std::uint8_t {
+    kColA,    // column idx_ of side A
+    kColB,    // column idx_ of side B
+    kConst,   // cval_
+    kAdd,     // kids[0] + kids[1]
+    kSub,     // kids[0] - kids[1] (saturating at 0)
+    kMin,
+    kMax,
+    kMulDiv,  // kids[0] * num_ / den_   (fixed-point scale)
+    kDiv,     // kids[0] / kids[1]       (0 when divisor is 0)
+    kLess,    // kids[0] < kids[1] ? 1 : 0
+    kLessEq,
+    kEq,
+    kNeq,
+    kAnd,     // both nonzero
+  };
+
+  static Expr col_a(std::size_t i) { return Expr(Kind::kColA, i); }
+  static Expr col_b(std::size_t i) { return Expr(Kind::kColB, i); }
+  static Expr constant(value_t v) {
+    Expr e(Kind::kConst, 0);
+    e.cval_ = v;
+    return e;
+  }
+  static Expr add(Expr x, Expr y) { return binary(Kind::kAdd, std::move(x), std::move(y)); }
+  static Expr sub(Expr x, Expr y) { return binary(Kind::kSub, std::move(x), std::move(y)); }
+  static Expr min(Expr x, Expr y) { return binary(Kind::kMin, std::move(x), std::move(y)); }
+  static Expr max(Expr x, Expr y) { return binary(Kind::kMax, std::move(x), std::move(y)); }
+  static Expr div(Expr x, Expr y) { return binary(Kind::kDiv, std::move(x), std::move(y)); }
+  static Expr less(Expr x, Expr y) { return binary(Kind::kLess, std::move(x), std::move(y)); }
+  static Expr less_eq(Expr x, Expr y) {
+    return binary(Kind::kLessEq, std::move(x), std::move(y));
+  }
+  static Expr eq(Expr x, Expr y) { return binary(Kind::kEq, std::move(x), std::move(y)); }
+  static Expr neq(Expr x, Expr y) { return binary(Kind::kNeq, std::move(x), std::move(y)); }
+  static Expr logical_and(Expr x, Expr y) {
+    return binary(Kind::kAnd, std::move(x), std::move(y));
+  }
+  /// x * num / den with 128-bit intermediate (fixed-point multiply).
+  static Expr mul_div(Expr x, value_t num, value_t den) {
+    Expr e(Kind::kMulDiv, 0);
+    e.kids_.push_back(std::move(x));
+    e.num_ = num;
+    e.den_ = den;
+    return e;
+  }
+
+  [[nodiscard]] value_t eval(std::span<const value_t> a, std::span<const value_t> b) const {
+    switch (kind_) {
+      case Kind::kColA:
+        assert(idx_ < a.size());
+        return a[idx_];
+      case Kind::kColB:
+        assert(idx_ < b.size());
+        return b[idx_];
+      case Kind::kConst:
+        return cval_;
+      case Kind::kAdd:
+        return kids_[0].eval(a, b) + kids_[1].eval(a, b);
+      case Kind::kSub: {
+        const value_t x = kids_[0].eval(a, b), y = kids_[1].eval(a, b);
+        return x > y ? x - y : 0;
+      }
+      case Kind::kMin: {
+        const value_t x = kids_[0].eval(a, b), y = kids_[1].eval(a, b);
+        return x < y ? x : y;
+      }
+      case Kind::kMax: {
+        const value_t x = kids_[0].eval(a, b), y = kids_[1].eval(a, b);
+        return x > y ? x : y;
+      }
+      case Kind::kMulDiv: {
+        // 128-bit intermediate so fixed-point scaling cannot overflow.
+        __extension__ typedef unsigned __int128 u128;  // GCC/Clang extension
+        const auto x = static_cast<u128>(kids_[0].eval(a, b));
+        return den_ == 0 ? 0 : static_cast<value_t>(x * num_ / den_);
+      }
+      case Kind::kDiv: {
+        const value_t y = kids_[1].eval(a, b);
+        return y == 0 ? 0 : kids_[0].eval(a, b) / y;
+      }
+      case Kind::kLess:
+        return kids_[0].eval(a, b) < kids_[1].eval(a, b) ? 1 : 0;
+      case Kind::kLessEq:
+        return kids_[0].eval(a, b) <= kids_[1].eval(a, b) ? 1 : 0;
+      case Kind::kEq:
+        return kids_[0].eval(a, b) == kids_[1].eval(a, b) ? 1 : 0;
+      case Kind::kNeq:
+        return kids_[0].eval(a, b) != kids_[1].eval(a, b) ? 1 : 0;
+      case Kind::kAnd:
+        return (kids_[0].eval(a, b) != 0 && kids_[1].eval(a, b) != 0) ? 1 : 0;
+    }
+    return 0;  // unreachable
+  }
+
+  /// Highest side-A (resp. side-B) column index referenced, or -1.
+  [[nodiscard]] int max_col_a() const { return max_col(Kind::kColA); }
+  [[nodiscard]] int max_col_b() const { return max_col(Kind::kColB); }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Expr(Kind k, std::size_t idx) : kind_(k), idx_(idx) {}
+
+  static Expr binary(Kind k, Expr x, Expr y) {
+    Expr e(k, 0);
+    e.kids_.push_back(std::move(x));
+    e.kids_.push_back(std::move(y));
+    return e;
+  }
+
+  [[nodiscard]] int max_col(Kind which) const {
+    int m = kind_ == which ? static_cast<int>(idx_) : -1;
+    for (const auto& k : kids_) {
+      const int c = k.max_col(which);
+      if (c > m) m = c;
+    }
+    return m;
+  }
+
+  Kind kind_;
+  std::size_t idx_ = 0;
+  value_t cval_ = 0;
+  value_t num_ = 1, den_ = 1;
+  std::vector<Expr> kids_;
+};
+
+}  // namespace paralagg::core

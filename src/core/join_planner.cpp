@@ -1,0 +1,24 @@
+#include "core/join_planner.hpp"
+
+namespace paralagg::core {
+
+PlanDecision plan_join_order(vmpi::Comm& comm, JoinOrderPolicy policy,
+                             std::size_t a_local_size, std::size_t b_local_size) {
+  switch (policy) {
+    case JoinOrderPolicy::kFixedAOuter:
+      return {.a_outer = true, .votes_for_a = 0, .voted = false};
+    case JoinOrderPolicy::kFixedBOuter:
+      return {.a_outer = false, .votes_for_a = 0, .voted = false};
+    case JoinOrderPolicy::kDynamic:
+      break;
+  }
+  // Algorithm 1.  Each rank votes with one small integer for the side it
+  // would rather ship (its smaller partition); ties prefer A so that all
+  // ranks break them identically.
+  const std::uint32_t local_vote = a_local_size <= b_local_size ? 1U : 0U;
+  const std::uint32_t votes = comm.allreduce<std::uint32_t>(local_vote, vmpi::ReduceOp::kSum);
+  const bool a_outer = votes >= static_cast<std::uint32_t>((comm.size() + 1) / 2);
+  return {.a_outer = a_outer, .votes_for_a = static_cast<int>(votes), .voted = true};
+}
+
+}  // namespace paralagg::core

@@ -1,0 +1,34 @@
+#pragma once
+
+// Dynamic join planning (paper §IV-D, Algorithm 1).
+//
+// Before each iteration's join, every rank votes for the relation it would
+// rather serialize and ship (the smaller of its two local partitions); a
+// single-integer MPI_Allreduce tallies the votes, and the majority choice
+// becomes the *outer* relation on every rank.  The inner relation stays in
+// its B-tree and is probed in O(log n).
+
+#include <cstdint>
+
+#include "vmpi/comm.hpp"
+
+namespace paralagg::core {
+
+enum class JoinOrderPolicy : std::uint8_t {
+  kDynamic,      // Algorithm 1: per-iteration majority vote
+  kFixedAOuter,  // always ship side A (baseline knob)
+  kFixedBOuter,  // always ship side B (baseline knob)
+};
+
+struct PlanDecision {
+  bool a_outer;          // true: side A is serialized and shipped
+  int votes_for_a;       // ranks preferring A as outer (dynamic only)
+  bool voted;            // false when the policy was fixed
+};
+
+/// Collective.  `a_local_size` / `b_local_size` are this rank's partition
+/// sizes for the two join sides.
+PlanDecision plan_join_order(vmpi::Comm& comm, JoinOrderPolicy policy,
+                             std::size_t a_local_size, std::size_t b_local_size);
+
+}  // namespace paralagg::core

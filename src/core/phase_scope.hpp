@@ -1,0 +1,37 @@
+#pragma once
+
+// RAII scope measuring one engine phase: thread CPU seconds plus the remote
+// bytes this rank sent while inside the scope.  The byte delta attributes
+// communication volume to phases, reproducing the paper's per-phase
+// breakdowns (Fig. 2) without touching the communication code itself.
+
+#include "core/profile.hpp"
+#include "vmpi/comm.hpp"
+
+namespace paralagg::core {
+
+class PhaseScope {
+ public:
+  PhaseScope(vmpi::Comm& comm, RankProfile& profile, Phase phase)
+      : timer_(profile, phase),
+        comm_(&comm),
+        profile_(&profile),
+        phase_(phase),
+        start_bytes_(comm.stats().total_remote_bytes()) {}
+
+  ~PhaseScope() {
+    profile_->add_bytes(phase_, comm_->stats().total_remote_bytes() - start_bytes_);
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  ScopedPhaseTimer timer_;
+  vmpi::Comm* comm_;
+  RankProfile* profile_;
+  Phase phase_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace paralagg::core

@@ -1,0 +1,77 @@
+#include "core/profile.hpp"
+
+#include <ctime>
+
+#include "vmpi/comm.hpp"
+
+namespace paralagg::core {
+
+double ScopedPhaseTimer::thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
+  vmpi::StatsPause pause(comm);  // instrumentation traffic is not "communication"
+
+  // Serialize my history: [iterations, then per iteration the three arrays].
+  const auto& hist = mine.history();
+  vmpi::BufferWriter w;
+  w.put<std::uint64_t>(hist.size());
+  for (const auto& rec : hist) {
+    for (double s : rec.cpu_seconds) w.put(s);
+    for (std::uint64_t v : rec.work) w.put(v);
+    for (std::uint64_t b : rec.bytes) w.put(b);
+  }
+  const auto mine_bytes = w.take();
+  auto all = comm.allgatherv(mine_bytes);
+
+  // Parse everyone (ranks may differ in iteration count only if a stratum
+  // diverged, which would be a bug; take the max and treat missing
+  // iterations as zero).
+  const int nranks = comm.size();
+  std::vector<std::vector<IterationRecord>> per_rank(static_cast<std::size_t>(nranks));
+  std::size_t max_iters = 0;
+  for (int r = 0; r < nranks; ++r) {
+    vmpi::BufferReader rd(all[static_cast<std::size_t>(r)]);
+    const auto n = rd.get<std::uint64_t>();
+    auto& recs = per_rank[static_cast<std::size_t>(r)];
+    recs.resize(n);
+    for (auto& rec : recs) {
+      for (auto& s : rec.cpu_seconds) s = rd.get<double>();
+      for (auto& v : rec.work) v = rd.get<std::uint64_t>();
+      for (auto& b : rec.bytes) b = rd.get<std::uint64_t>();
+    }
+    max_iters = recs.size() > max_iters ? recs.size() : max_iters;
+  }
+
+  ProfileSummary out;
+  out.iterations = max_iters;
+  out.ranks = nranks;
+  out.per_iteration_max.resize(max_iters);
+  out.per_iteration_max_bytes.assign(max_iters, 0);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    auto& row = out.per_iteration_max[it];
+    row.fill(0.0);
+    for (int r = 0; r < nranks; ++r) {
+      const auto& recs = per_rank[static_cast<std::size_t>(r)];
+      if (it >= recs.size()) continue;
+      const auto& rec = recs[it];
+      std::uint64_t rank_bytes = 0;
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        if (rec.cpu_seconds[p] > row[p]) row[p] = rec.cpu_seconds[p];
+        out.total_cpu_seconds[p] += rec.cpu_seconds[p];
+        out.total_bytes[p] += rec.bytes[p];
+        rank_bytes += rec.bytes[p];
+      }
+      if (rank_bytes > out.per_iteration_max_bytes[it]) {
+        out.per_iteration_max_bytes[it] = rank_bytes;
+      }
+    }
+    for (std::size_t p = 0; p < kPhaseCount; ++p) out.modelled_seconds[p] += row[p];
+  }
+  return out;
+}
+
+}  // namespace paralagg::core

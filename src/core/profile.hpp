@@ -1,0 +1,181 @@
+#pragma once
+
+// Per-rank, per-iteration phase profiling.
+//
+// The paper's figures break running time into phases (Fig. 2: balancing,
+// join planning, intra-bucket communication, local join, all-to-all
+// "comm", deduplication/aggregation) and per-iteration series (Fig. 7).
+// This profiler reproduces both views.
+//
+// Because this reproduction runs all ranks on one physical core, wall
+// clock cannot separate the ranks; instead each rank measures its own
+// *thread CPU time* per phase (CLOCK_THREAD_CPUTIME_ID — time actually
+// spent computing in that rank, excluding time blocked in collectives),
+// plus abstract work counters (probes, tuples, bytes).  The harness then
+// reports the BSP critical-path model:
+//
+//   modelled time(phase) = Σ over iterations of max over ranks of
+//                          cpu_seconds(rank, iteration, phase)
+//
+// which is exactly what an ideally overlapped distributed run would pay,
+// and reproduces the *shape* of the paper's strong-scaling curves.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace paralagg::vmpi {
+class Comm;
+}
+
+namespace paralagg::core {
+
+enum class Phase : std::uint8_t {
+  kBalance = 0,    // spatial load balancing (sub-bucket reshuffle)
+  kPlan,           // dynamic join planning vote (Algorithm 1)
+  kIntraBucket,    // outer-relation serialization + intra-bucket exchange
+  kLocalJoin,      // B-tree probing and output construction
+  kAllToAll,       // distributing newly generated tuples ("comm" in Fig. 2)
+  kDedupAgg,       // fused deduplication / local aggregation
+  kOther,          // termination detection, bookkeeping
+  kCount,
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+constexpr std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kBalance: return "balance";
+    case Phase::kPlan: return "plan";
+    case Phase::kIntraBucket: return "intra-bucket";
+    case Phase::kLocalJoin: return "local-join";
+    case Phase::kAllToAll: return "all-to-all";
+    case Phase::kDedupAgg: return "dedup/agg";
+    case Phase::kOther: return "other";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+/// One iteration's phase totals for one rank.
+struct IterationRecord {
+  std::array<double, kPhaseCount> cpu_seconds{};
+  std::array<std::uint64_t, kPhaseCount> work{};
+  std::array<std::uint64_t, kPhaseCount> bytes{};  // remote bytes sent in phase
+
+  IterationRecord& operator+=(const IterationRecord& o) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      cpu_seconds[i] += o.cpu_seconds[i];
+      work[i] += o.work[i];
+      bytes[i] += o.bytes[i];
+    }
+    return *this;
+  }
+};
+
+/// Accumulates one rank's profile; owned by that rank's engine instance.
+class RankProfile {
+ public:
+  void add_seconds(Phase p, double s) { current_.cpu_seconds[idx(p)] += s; }
+  void add_work(Phase p, std::uint64_t w) { current_.work[idx(p)] += w; }
+  void add_bytes(Phase p, std::uint64_t b) { current_.bytes[idx(p)] += b; }
+
+  /// Close the current iteration and append it to the history.
+  void end_iteration() {
+    history_.push_back(current_);
+    current_ = IterationRecord{};
+  }
+
+  [[nodiscard]] const std::vector<IterationRecord>& history() const { return history_; }
+  [[nodiscard]] const IterationRecord& current() const { return current_; }
+
+ private:
+  static std::size_t idx(Phase p) { return static_cast<std::size_t>(p); }
+  IterationRecord current_;
+  std::vector<IterationRecord> history_;
+};
+
+/// RAII phase timer over the calling thread's CPU clock.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(RankProfile& profile, Phase phase)
+      : profile_(&profile), phase_(phase), start_(thread_cpu_seconds()) {}
+  ~ScopedPhaseTimer() { profile_->add_seconds(phase_, thread_cpu_seconds() - start_); }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  /// CPU time consumed by the calling thread, in seconds.
+  static double thread_cpu_seconds();
+
+ private:
+  RankProfile* profile_;
+  Phase phase_;
+  double start_;
+};
+
+/// Cross-rank view assembled after a run (on every rank, deterministic).
+struct ProfileSummary {
+  std::size_t iterations = 0;
+  int ranks = 0;
+
+  /// Σ_iter max_ranks cpu_seconds — the BSP critical-path model.
+  std::array<double, kPhaseCount> modelled_seconds{};
+  /// Σ over ranks and iterations — total CPU burned.
+  std::array<double, kPhaseCount> total_cpu_seconds{};
+  /// Σ over ranks and iterations of remote bytes per phase.
+  std::array<std::uint64_t, kPhaseCount> total_bytes{};
+  /// Per-iteration critical-path seconds per phase (Fig. 7 series).
+  std::vector<std::array<double, kPhaseCount>> per_iteration_max;
+  /// Per-iteration max-over-ranks remote bytes sent (feeds CostModel).
+  std::vector<std::uint64_t> per_iteration_max_bytes;
+
+  [[nodiscard]] double modelled_total() const {
+    double s = 0;
+    for (double v : modelled_seconds) s += v;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    std::uint64_t s = 0;
+    for (auto v : total_bytes) s += v;
+    return s;
+  }
+};
+
+/// Collective: every rank contributes its history; all ranks receive the
+/// same summary.  Instrumentation traffic is excluded from CommStats.
+ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine);
+
+/// Projects a profile onto a target cluster: BSP per iteration, the
+/// critical path pays the slowest rank's compute plus its communication at
+/// the modelled link bandwidth, plus a per-iteration synchronization cost
+/// that grows logarithmically with rank count (tree collectives).  This is
+/// the model behind the scaling figures' "projected" columns: it makes the
+/// top-of-sweep saturation (tiny deltas, fixed sync costs — the paper's
+/// §V-D analysis) quantitative instead of anecdotal.
+struct CostModel {
+  double bytes_per_second = 1.0e9;      // effective per-link bandwidth
+  double collective_latency = 5.0e-6;   // one tree round
+  double collectives_per_iteration = 8; // plan + exchanges + termination
+
+  /// Projected seconds for the whole run on `ranks` ranks.
+  [[nodiscard]] double project(const ProfileSummary& p, int ranks) const {
+    double total = 0;
+    for (std::size_t it = 0; it < p.per_iteration_max.size(); ++it) {
+      double cpu = 0;
+      for (double v : p.per_iteration_max[it]) cpu += v;
+      const double comm =
+          it < p.per_iteration_max_bytes.size()
+              ? static_cast<double>(p.per_iteration_max_bytes[it]) / bytes_per_second
+              : 0.0;
+      total += cpu + comm;
+    }
+    const double sync = collective_latency * collectives_per_iteration *
+                        std::log2(static_cast<double>(ranks < 2 ? 2 : ranks)) *
+                        static_cast<double>(p.iterations);
+    return total + sync;
+  }
+};
+
+}  // namespace paralagg::core

@@ -1,0 +1,70 @@
+#pragma once
+
+// Declarative query container.
+//
+// A Program owns its relations and a list of strata.  Each stratum has
+// init rules (run once, seeding the deltas) and loop rules (run to a
+// fixed point, or for a fixed number of rounds for non-monotone refresh
+// aggregates).  Strata execute in order — this is classic stratification,
+// with the twist that *within* a stratum, aggregation runs inside the
+// recursion (the paper's subject).
+//
+// Programs are built SPMD-style: every rank constructs an identical
+// Program against its own Comm, then hands it to an Engine.
+
+#include <memory>
+#include <vector>
+
+#include "core/ra_op.hpp"
+#include "core/relation.hpp"
+
+namespace paralagg::core {
+
+struct Stratum {
+  std::vector<Rule> init_rules;
+  std::vector<Rule> loop_rules;
+  /// True: iterate loop rules until the global delta is empty.
+  /// False: run exactly max_rounds rounds (refresh aggregates, PageRank).
+  bool fixpoint = true;
+  std::size_t max_rounds = 0;
+};
+
+class Program {
+ public:
+  explicit Program(vmpi::Comm& comm) : comm_(&comm) {}
+
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Create a relation owned by this program.
+  Relation* relation(RelationConfig cfg) {
+    relations_.push_back(std::make_unique<Relation>(*comm_, std::move(cfg)));
+    return relations_.back().get();
+  }
+
+  Stratum& stratum() {
+    strata_.push_back(std::make_unique<Stratum>());
+    return *strata_.back();
+  }
+
+  [[nodiscard]] vmpi::Comm& comm() const { return *comm_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Stratum>>& strata() const { return strata_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Relation>>& relations() const {
+    return relations_;
+  }
+
+  /// Validate every rule of every stratum; throws on malformed programs.
+  void validate() const {
+    for (const auto& s : strata_) {
+      for (const auto& r : s->init_rules) validate_rule(r);
+      for (const auto& r : s->loop_rules) validate_rule(r);
+    }
+  }
+
+ private:
+  vmpi::Comm* comm_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+  std::vector<std::unique_ptr<Stratum>> strata_;
+};
+
+}  // namespace paralagg::core

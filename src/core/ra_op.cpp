@@ -1,0 +1,272 @@
+#include "core/ra_op.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/phase_scope.hpp"
+
+namespace paralagg::core {
+
+namespace {
+
+/// Append every tuple of `tree` to the per-destination buffers, replicating
+/// each tuple to all ranks that hold a sub-bucket of its bucket in the
+/// *inner* relation.  This is the outer-relation serialization feeding the
+/// intra-bucket exchange.
+std::uint64_t serialize_outer(const storage::TupleBTree& tree, const Relation& outer,
+                              const Relation& inner,
+                              std::vector<vmpi::BufferWriter>& outgoing) {
+  std::uint64_t shipped = 0;
+  std::vector<int> dests;
+  tree.for_each([&](const Tuple& t) {
+    const auto bucket = outer.bucket_of(t.view());
+    inner.ranks_of_bucket(bucket, dests);
+    for (int d : dests) {
+      outgoing[static_cast<std::size_t>(d)].put_span(t.view());
+      ++shipped;
+    }
+  });
+  return shipped;
+}
+
+std::vector<vmpi::Bytes> take_all(std::vector<vmpi::BufferWriter>& outgoing) {
+  std::vector<vmpi::Bytes> send(outgoing.size());
+  for (std::size_t d = 0; d < outgoing.size(); ++d) send[d] = outgoing[d].take();
+  return send;
+}
+
+std::vector<vmpi::Bytes> exchange(vmpi::Comm& comm, std::vector<vmpi::Bytes> send,
+                                  ExchangeAlgorithm algo) {
+  return algo == ExchangeAlgorithm::kBruck ? comm.alltoallv_bruck(std::move(send))
+                                           : comm.alltoallv(std::move(send));
+}
+
+/// Evaluate the head and route the output tuple toward its owner.
+void emit_output(const OutputSpec& out, std::span<const value_t> a,
+                 std::span<const value_t> b, Tuple& scratch,
+                 std::vector<vmpi::BufferWriter>& outgoing) {
+  scratch.clear();
+  for (const auto& e : out.cols) scratch.push_back(e.eval(a, b));
+  const int dst = out.target->owner_rank(scratch.view());
+  outgoing[static_cast<std::size_t>(dst)].put_span(scratch.view());
+}
+
+/// Stage every tuple of the received buffers into the target.
+std::uint64_t stage_received(Relation& target, const std::vector<vmpi::Bytes>& got) {
+  std::uint64_t staged = 0;
+  Tuple row;
+  const std::size_t arity = target.arity();
+  for (const auto& buf : got) {
+    vmpi::BufferReader r(buf);
+    while (!r.done()) {
+      row.clear();
+      for (std::size_t c = 0; c < arity; ++c) row.push_back(r.get<value_t>());
+      target.stage(row.view());
+      ++staged;
+    }
+  }
+  return staged;
+}
+
+}  // namespace
+
+RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
+                           std::optional<JoinOrderPolicy> forced,
+                           ExchangeAlgorithm exchange_algo) {
+  RuleExecStats stats;
+  const std::size_t jcc = rule.a->jcc();
+  assert(jcc == rule.b->jcc() && "join sides must agree on join-column count");
+
+  // ---- Phase: dynamic join planning (Algorithm 1) --------------------------
+  PlanDecision plan{};
+  if (rule.anti) {
+    // Antijoins cannot swap sides: absence can only be decided where ALL
+    // of B's candidates for a bucket live.
+    assert(rule.b->sub_buckets() == 1 && "antijoin inner must not be sub-bucketed");
+    plan = PlanDecision{.a_outer = true, .votes_for_a = 0, .voted = false};
+  } else {
+    PhaseScope scope(comm, profile, Phase::kPlan);
+    const auto policy = forced.value_or(rule.order);
+    plan = plan_join_order(comm, policy, rule.a->local_size(rule.a_version),
+                           rule.b->local_size(rule.b_version));
+    profile.add_work(Phase::kPlan, 1);
+  }
+  stats.a_was_outer = plan.a_outer;
+  stats.planned_dynamically = plan.voted;
+
+  const Relation& outer = plan.a_outer ? *rule.a : *rule.b;
+  const Relation& inner = plan.a_outer ? *rule.b : *rule.a;
+  const Version outer_version = plan.a_outer ? rule.a_version : rule.b_version;
+  const Version inner_version = plan.a_outer ? rule.b_version : rule.a_version;
+
+  // ---- Phase: outer serialization + intra-bucket exchange -------------------
+  std::vector<vmpi::Bytes> received_outer;
+  {
+    PhaseScope scope(comm, profile, Phase::kIntraBucket);
+    std::vector<vmpi::BufferWriter> outgoing(static_cast<std::size_t>(comm.size()));
+    stats.outer_tuples_shipped =
+        serialize_outer(outer.tree(outer_version), outer, inner, outgoing);
+    profile.add_work(Phase::kIntraBucket, stats.outer_tuples_shipped);
+    received_outer = exchange(comm, take_all(outgoing), exchange_algo);
+  }
+
+  // ---- Phase: local join ----------------------------------------------------
+  std::vector<vmpi::BufferWriter> result_out(static_cast<std::size_t>(comm.size()));
+  {
+    PhaseScope scope(comm, profile, Phase::kLocalJoin);
+    const auto& inner_tree = inner.tree(inner_version);
+    const std::size_t outer_arity = outer.arity();
+    Tuple otup;
+    Tuple scratch;
+    static const Tuple kNoMatch;
+    for (const auto& buf : received_outer) {
+      vmpi::BufferReader r(buf);
+      while (!r.done()) {
+        otup.clear();
+        for (std::size_t c = 0; c < outer_arity; ++c) otup.push_back(r.get<value_t>());
+        ++stats.probes;
+        if (rule.anti) {
+          if (rule.pre_filter &&
+              rule.pre_filter->eval(otup.view(), kNoMatch.view()) == 0) {
+            continue;  // the rule never considers this A row
+          }
+          bool exists = false;
+          inner_tree.scan_prefix(otup.prefix(jcc), [&](const Tuple& itup) {
+            if (rule.filter && rule.filter->eval(otup.view(), itup.view()) == 0) return;
+            exists = true;
+          });
+          if (!exists) {
+            ++stats.matches;
+            emit_output(rule.out, otup.view(), kNoMatch.view(), scratch, result_out);
+          }
+          continue;
+        }
+        inner_tree.scan_prefix(otup.prefix(jcc), [&](const Tuple& itup) {
+          const auto a = plan.a_outer ? otup.view() : itup.view();
+          const auto b = plan.a_outer ? itup.view() : otup.view();
+          if (rule.filter && rule.filter->eval(a, b) == 0) return;
+          ++stats.matches;
+          emit_output(rule.out, a, b, scratch, result_out);
+        });
+      }
+    }
+    stats.outputs = stats.matches;
+    profile.add_work(Phase::kLocalJoin, stats.probes + stats.matches);
+  }
+
+  // ---- Phase: all-to-all distribution of generated tuples -------------------
+  std::vector<vmpi::Bytes> received_new;
+  {
+    PhaseScope scope(comm, profile, Phase::kAllToAll);
+    received_new = exchange(comm, take_all(result_out), exchange_algo);
+  }
+
+  // ---- Staging (first half of fused dedup/aggregation) ----------------------
+  {
+    PhaseScope scope(comm, profile, Phase::kDedupAgg);
+    const auto staged = stage_received(*rule.out.target, received_new);
+    profile.add_work(Phase::kDedupAgg, staged);
+  }
+  return stats;
+}
+
+RuleExecStats execute_copy(vmpi::Comm& comm, RankProfile& profile, const CopyRule& rule,
+                           ExchangeAlgorithm exchange_algo) {
+  RuleExecStats stats;
+
+  std::vector<vmpi::BufferWriter> result_out(static_cast<std::size_t>(comm.size()));
+  {
+    PhaseScope scope(comm, profile, Phase::kLocalJoin);
+    static const Tuple kEmpty;
+    Tuple scratch;
+    rule.src->tree(rule.version).for_each([&](const Tuple& t) {
+      ++stats.probes;
+      if (rule.filter && rule.filter->eval(t.view(), kEmpty.view()) == 0) return;
+      ++stats.matches;
+      emit_output(rule.out, t.view(), kEmpty.view(), scratch, result_out);
+    });
+    stats.outputs = stats.matches;
+    profile.add_work(Phase::kLocalJoin, stats.probes);
+  }
+
+  std::vector<vmpi::Bytes> received;
+  {
+    PhaseScope scope(comm, profile, Phase::kAllToAll);
+    received = exchange(comm, take_all(result_out), exchange_algo);
+  }
+  {
+    PhaseScope scope(comm, profile, Phase::kDedupAgg);
+    const auto staged = stage_received(*rule.out.target, received);
+    profile.add_work(Phase::kDedupAgg, staged);
+  }
+  return stats;
+}
+
+namespace {
+
+void validate_output(const OutputSpec& out, int max_a_arity, int max_b_arity,
+                     const char* what) {
+  if (out.target == nullptr) throw std::invalid_argument(std::string(what) + ": no target");
+  if (out.cols.size() != out.target->arity()) {
+    throw std::invalid_argument(std::string(what) + " -> " + out.target->name() +
+                                ": head arity mismatch");
+  }
+  for (const auto& e : out.cols) {
+    if (e.max_col_a() >= max_a_arity || e.max_col_b() >= max_b_arity) {
+      throw std::invalid_argument(std::string(what) + " -> " + out.target->name() +
+                                  ": column reference out of range");
+    }
+  }
+}
+
+}  // namespace
+
+void validate_rule(const Rule& rule) {
+  if (const auto* j = std::get_if<JoinRule>(&rule)) {
+    if (j->a == nullptr || j->b == nullptr) throw std::invalid_argument("join: null side");
+    if (j->a->jcc() != j->b->jcc()) {
+      throw std::invalid_argument("join " + j->a->name() + " x " + j->b->name() +
+                                  ": sides disagree on join-column count");
+    }
+    if (j->pre_filter) {
+      if (!j->anti) {
+        throw std::invalid_argument("join: pre_filter is only meaningful on antijoins");
+      }
+      if (j->pre_filter->max_col_b() >= 0) {
+        throw std::invalid_argument("antijoin pre_filter may not reference the negated side");
+      }
+    }
+    if (j->anti) {
+      // Heads of antijoins cannot read the (absent) B side, and B must not
+      // be rebalanced away from single sub-buckets mid-run.
+      for (const auto& e : j->out.cols) {
+        if (e.max_col_b() >= 0) {
+          throw std::invalid_argument("antijoin -> " + j->out.target->name() +
+                                      ": head may not reference the negated side");
+        }
+      }
+      if (j->b->sub_buckets() != 1 || j->b->config().balanceable) {
+        throw std::invalid_argument("antijoin against " + j->b->name() +
+                                    ": the negated relation must stay in a single "
+                                    "sub-bucket (absence is a global property)");
+      }
+    }
+    validate_output(j->out, static_cast<int>(j->a->arity()), static_cast<int>(j->b->arity()),
+                    "join");
+    if (j->filter) {
+      if (j->filter->max_col_a() >= static_cast<int>(j->a->arity()) ||
+          j->filter->max_col_b() >= static_cast<int>(j->b->arity())) {
+        throw std::invalid_argument("join filter: column reference out of range");
+      }
+    }
+    return;
+  }
+  const auto& c = std::get<CopyRule>(rule);
+  if (c.src == nullptr) throw std::invalid_argument("copy: null source");
+  validate_output(c.out, static_cast<int>(c.src->arity()), 0, "copy");
+  if (c.filter && c.filter->max_col_a() >= static_cast<int>(c.src->arity())) {
+    throw std::invalid_argument("copy filter: column reference out of range");
+  }
+}
+
+}  // namespace paralagg::core

@@ -1,0 +1,100 @@
+#pragma once
+
+// Relational-algebra kernels: distributed binary join and copy/project.
+//
+// One call to `execute_join` is one pass of the pipeline in the paper's
+// Fig. 1: dynamic join planning → outer-relation serialization →
+// intra-bucket exchange (MPI_Alltoallv) → highly parallel local join
+// (B-tree probes) → all-to-all distribution of generated tuples → staging
+// into the target's fused dedup/aggregation area.  Materialization itself
+// (Relation::materialize) is driven by the engine at iteration end, after
+// all rules have run.
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/join_planner.hpp"
+#include "core/profile.hpp"
+#include "core/relation.hpp"
+
+namespace paralagg::core {
+
+/// Head of a rule: how each output column is computed from the joined pair
+/// (side A, side B) — or from the single source tuple for copy rules.
+struct OutputSpec {
+  Relation* target = nullptr;
+  std::vector<Expr> cols;  // one per target column, in the target's stored order
+};
+
+/// out(head) ← A(...), B(...) joined on the first `jcc` columns of each
+/// side (A.jcc must equal B.jcc, and both sides must share the bucket
+/// decomposition, which they do by construction).
+///
+/// With `anti = true` the rule is an ANTIJOIN (stratified negation,
+/// paper §II-B background): a head tuple is emitted for each A row with
+/// *no* matching B row (among matches, `filter` — which may reference both
+/// sides — selects what counts as a match).  Head columns may then only
+/// reference side A.  Side A is always the shipped side, and B must not be
+/// sub-bucketed (a replica seeing "no local match" could not conclude
+/// global absence).
+struct JoinRule {
+  Relation* a = nullptr;
+  Version a_version = Version::kDelta;
+  Relation* b = nullptr;
+  Version b_version = Version::kFull;
+  OutputSpec out;
+  std::optional<Expr> filter;  // keep the pair when it evaluates nonzero
+  /// Antijoins only: a side-A-only predicate gating emission.  (For a
+  /// normal join an A-only condition can live in `filter`; for an antijoin
+  /// it must not — "no matching B" would otherwise spuriously fire for A
+  /// rows the rule never meant to consider.)
+  std::optional<Expr> pre_filter;
+  /// Per-rule override; the engine's config may force a fixed order for
+  /// baseline measurements.
+  JoinOrderPolicy order = JoinOrderPolicy::kDynamic;
+  bool anti = false;
+};
+
+/// out(head) ← src(...) — projection/selection/copy, rerouted to the
+/// target's distribution.
+struct CopyRule {
+  Relation* src = nullptr;
+  Version version = Version::kDelta;
+  OutputSpec out;  // Exprs may reference side A only
+  std::optional<Expr> filter;
+};
+
+using Rule = std::variant<JoinRule, CopyRule>;
+
+struct RuleExecStats {
+  bool a_was_outer = false;
+  bool planned_dynamically = false;
+  std::uint64_t outer_tuples_shipped = 0;  // intra-bucket serialization volume
+  std::uint64_t probes = 0;                // outer tuples probed into the inner tree
+  std::uint64_t matches = 0;               // joined pairs surviving the filter
+  std::uint64_t outputs = 0;               // tuples sent to the target
+};
+
+/// How the tuple exchanges are routed.
+enum class ExchangeAlgorithm : std::uint8_t {
+  kDense,  // matrix alltoallv (bandwidth-optimal)
+  kBruck,  // log-round relay (message-count-optimal; see vmpi::Comm)
+};
+
+/// Run one join pass.  Collective.  `forced` overrides the rule's own
+/// order policy when set (engine baseline mode).
+RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
+                           std::optional<JoinOrderPolicy> forced = std::nullopt,
+                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
+
+/// Run one copy/project pass.  Collective.
+RuleExecStats execute_copy(vmpi::Comm& comm, RankProfile& profile, const CopyRule& rule,
+                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
+
+/// Validate rule shape (arities, column references, join compatibility).
+/// Throws std::invalid_argument with a descriptive message.
+void validate_rule(const Rule& rule);
+
+}  // namespace paralagg::core

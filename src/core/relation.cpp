@@ -1,0 +1,334 @@
+#include "core/relation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <stdexcept>
+
+namespace paralagg::core {
+
+Relation::Relation(vmpi::Comm& comm, RelationConfig cfg)
+    : comm_(&comm),
+      cfg_(std::move(cfg)),
+      num_buckets_(static_cast<std::uint32_t>(comm.size())),
+      sub_buckets_(cfg_.sub_buckets),
+      full_(cfg_.arity, cfg_.arity - cfg_.dep_arity),
+      delta_(cfg_.arity, cfg_.arity - cfg_.dep_arity) {
+  validate_config();
+  // A relation with no non-join independent columns has nothing for H2 to
+  // hash; sub-bucketing cannot apply (all tuples of a bucket would land in
+  // sub-bucket 0 anyway).
+  if (effective_sub_cols() == 0) sub_buckets_ = 1;
+}
+
+void Relation::validate_config() const {
+  if (cfg_.arity == 0) throw std::invalid_argument(cfg_.name + ": arity must be positive");
+  if (cfg_.jcc == 0 || cfg_.jcc > cfg_.arity) {
+    throw std::invalid_argument(cfg_.name + ": jcc out of range");
+  }
+  if (cfg_.dep_arity >= cfg_.arity) {
+    throw std::invalid_argument(cfg_.name + ": at least one independent column required");
+  }
+  // The paper's restriction (§III-A): aggregated columns are never joined
+  // upon within a fixed point.  Structurally: join columns must lie in the
+  // independent prefix.
+  if (cfg_.jcc > cfg_.arity - cfg_.dep_arity) {
+    throw std::invalid_argument(cfg_.name +
+                                ": join columns must not include aggregated columns");
+  }
+  if (cfg_.dep_arity > 0) {
+    if (!cfg_.aggregator) {
+      throw std::invalid_argument(cfg_.name + ": aggregated relation needs an aggregator");
+    }
+    if (cfg_.aggregator->dep_arity() != cfg_.dep_arity) {
+      throw std::invalid_argument(cfg_.name + ": aggregator dep_arity mismatch");
+    }
+  }
+  if (cfg_.sub_buckets < 1) throw std::invalid_argument(cfg_.name + ": sub_buckets < 1");
+}
+
+std::uint32_t Relation::bucket_of(std::span<const value_t> tuple) const {
+  return static_cast<std::uint32_t>(
+      storage::hash_columns(tuple.subspan(0, cfg_.jcc), storage::kBucketSeed) % num_buckets_);
+}
+
+std::uint32_t Relation::sub_bucket_of(std::span<const value_t> tuple) const {
+  if (sub_buckets_ == 1) return 0;
+  const auto cols = tuple.subspan(cfg_.jcc, effective_sub_cols());
+  return static_cast<std::uint32_t>(storage::hash_columns(cols, storage::kSubBucketSeed) %
+                                    static_cast<std::uint64_t>(sub_buckets_));
+}
+
+int Relation::rank_of(std::uint32_t bucket, std::uint32_t sub) const {
+  const auto n = static_cast<std::uint64_t>(comm_->size());
+  return static_cast<int>((static_cast<std::uint64_t>(bucket) *
+                               static_cast<std::uint64_t>(sub_buckets_) +
+                           sub) %
+                          n);
+}
+
+int Relation::owner_rank(std::span<const value_t> tuple) const {
+  return rank_of(bucket_of(tuple), sub_bucket_of(tuple));
+}
+
+void Relation::ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) const {
+  out.clear();
+  for (int s = 0; s < sub_buckets_; ++s) {
+    const int r = rank_of(bucket, static_cast<std::uint32_t>(s));
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+}
+
+void Relation::stage(std::span<const value_t> tuple) {
+  assert(tuple.size() == cfg_.arity);
+  assert(owner_rank(tuple) == comm_->rank() && "tuple staged on a non-owner rank");
+  if (!aggregated()) {
+    staged_set_.insert(Tuple(tuple));
+    return;
+  }
+  // Local aggregation, step one: collapse within-iteration duplicates of a
+  // key before they reach the B-tree.
+  Tuple key(tuple.subspan(0, indep_arity()));
+  const auto dep = tuple.subspan(indep_arity(), cfg_.dep_arity);
+  auto [it, inserted] = staged_agg_.try_emplace(std::move(key), Tuple(dep));
+  if (!inserted) {
+    Tuple merged = it->second;  // copy sized dep_arity
+    cfg_.aggregator->partial_agg(it->second.view(), dep, merged.mutable_view());
+    it->second = std::move(merged);
+  }
+}
+
+MaterializeResult Relation::materialize() {
+  MaterializeResult res;
+  delta_.clear();
+
+  if (!aggregated()) {
+    res.staged = staged_set_.size();
+    for (const auto& t : staged_set_) {
+      if (full_.insert(t)) {
+        delta_.insert(t);
+        ++res.inserted;
+      } else {
+        ++res.rejected;
+      }
+    }
+    staged_set_.clear();
+    res.delta_size = delta_.size();
+    return res;
+  }
+
+  res.staged = staged_agg_.size();
+
+  if (cfg_.agg_mode == AggMode::kRefresh) {
+    // Jacobi-style replacement: the staged aggregates *are* the next state.
+    full_.clear();
+    for (const auto& [key, dep] : staged_agg_) {
+      Tuple row = key;
+      for (std::size_t i = 0; i < cfg_.dep_arity; ++i) row.push_back(dep[i]);
+      full_.insert(row);
+      ++res.inserted;
+    }
+    staged_agg_.clear();
+    res.delta_size = 0;
+    return res;
+  }
+
+  // Lattice mode: fused dedup/aggregation (paper §IV-A).
+  Tuple merged;
+  for (const auto& [key, dep] : staged_agg_) {
+    Tuple* cur = full_.find_key(key.view());
+    if (cur == nullptr) {
+      Tuple row = key;
+      for (std::size_t i = 0; i < cfg_.dep_arity; ++i) row.push_back(dep[i]);
+      delta_.insert(row);
+      full_.insert(std::move(row));
+      ++res.inserted;
+      continue;
+    }
+    const auto cur_dep = cur->suffix_from(indep_arity());
+    merged.clear();
+    for (std::size_t i = 0; i < cfg_.dep_arity; ++i) merged.push_back(cur_dep[i]);
+    cfg_.aggregator->partial_agg(cur_dep, dep.view(), merged.mutable_view());
+    if (std::equal(merged.view().begin(), merged.view().end(), cur_dep.begin(),
+                   cur_dep.end())) {
+      ++res.rejected;  // no new information: never enters delta, never moves
+      continue;
+    }
+    // Lattice law: cur ⊔ x must sit above cur.  A violating aggregator
+    // would break termination, so catch it in debug builds.
+    assert(cfg_.aggregator->partial_cmp(cur_dep, merged.view()) == PartialOrder::kLess);
+    auto payload = cur->mutable_view().subspan(indep_arity(), cfg_.dep_arity);
+    std::copy(merged.view().begin(), merged.view().end(), payload.begin());
+    delta_.insert(*cur);
+    ++res.updated;
+  }
+  staged_agg_.clear();
+  res.delta_size = delta_.size();
+  return res;
+}
+
+void Relation::load_facts(std::span<const Tuple> slice) {
+  const auto n = static_cast<std::size_t>(comm_->size());
+  std::vector<vmpi::BufferWriter> outgoing(n);
+  for (const auto& t : slice) {
+    assert(t.size() == cfg_.arity);
+    outgoing[static_cast<std::size_t>(owner_rank(t.view()))].put_span(t.view());
+  }
+  std::vector<vmpi::Bytes> send(n);
+  for (std::size_t d = 0; d < n; ++d) send[d] = outgoing[d].take();
+  auto got = comm_->alltoallv(std::move(send));
+
+  Tuple row;
+  for (const auto& buf : got) {
+    vmpi::BufferReader r(buf);
+    while (!r.done()) {
+      row.clear();
+      for (std::size_t c = 0; c < cfg_.arity; ++c) row.push_back(r.get<value_t>());
+      stage(row.view());
+    }
+  }
+  materialize();
+}
+
+std::uint64_t Relation::global_size(Version v) {
+  return comm_->allreduce<std::uint64_t>(local_size(v), vmpi::ReduceOp::kSum);
+}
+
+std::vector<Tuple> Relation::gather_to_root(int root) {
+  vmpi::BufferWriter w;
+  serialize_all(Version::kFull, w);
+  const auto mine = w.take();
+  auto all = comm_->gatherv(root, mine);
+
+  std::vector<Tuple> out;
+  if (comm_->rank() != root) return out;
+  Tuple row;
+  for (const auto& buf : all) {
+    vmpi::BufferReader r(buf);
+    while (!r.done()) {
+      row.clear();
+      for (std::size_t c = 0; c < cfg_.arity; ++c) row.push_back(r.get<value_t>());
+      out.push_back(row);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
+  assert(new_sub_buckets >= 1);
+  if (effective_sub_cols() == 0) new_sub_buckets = 1;
+  const int old_sub = sub_buckets_;
+  sub_buckets_ = new_sub_buckets;
+  if (old_sub == new_sub_buckets) return 0;
+
+  const auto n = static_cast<std::size_t>(comm_->size());
+  const auto me = comm_->rank();
+  std::uint64_t moved_bytes = 0;
+
+  // Re-route both versions under the new mapping.  Delta must survive a
+  // mid-fixpoint rebalance, so it travels tagged separately from full.
+  for (const Version v : {Version::kFull, Version::kDelta}) {
+    std::vector<vmpi::BufferWriter> outgoing(n);
+    tree(v).for_each([&](const Tuple& t) {
+      outgoing[static_cast<std::size_t>(owner_rank(t.view()))].put_span(t.view());
+    });
+    std::vector<vmpi::Bytes> send(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d != static_cast<std::size_t>(me)) moved_bytes += outgoing[d].size();
+      send[d] = outgoing[d].take();
+    }
+    auto got = comm_->alltoallv(std::move(send));
+
+    storage::TupleBTree rebuilt(cfg_.arity, indep_arity());
+    Tuple row;
+    for (const auto& buf : got) {
+      vmpi::BufferReader r(buf);
+      while (!r.done()) {
+        row.clear();
+        for (std::size_t c = 0; c < cfg_.arity; ++c) row.push_back(r.get<value_t>());
+        rebuilt.insert(row);
+      }
+    }
+    tree(v) = std::move(rebuilt);
+  }
+  return moved_bytes;
+}
+
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0x50415241'4c414747ULL;  // "PARALAGG"
+
+}  // namespace
+
+void Relation::save_checkpoint(const std::string& path) {
+  vmpi::BufferWriter w;
+  serialize_all(Version::kFull, w);
+  const auto mine = w.take();
+  auto all = comm_->gatherv(0, mine);
+
+  if (comm_->rank() == 0) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("checkpoint: cannot open for writing: " + path);
+    std::uint64_t count = 0;
+    for (const auto& buf : all) count += buf.size() / (cfg_.arity * sizeof(value_t));
+    const std::uint64_t header[3] = {kCheckpointMagic, cfg_.arity, count};
+    out.write(reinterpret_cast<const char*>(header), sizeof(header));
+    for (const auto& buf : all) {
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+    }
+    if (!out) throw std::runtime_error("checkpoint: write failed: " + path);
+  }
+  comm_->barrier();  // nobody returns before the file exists
+}
+
+void Relation::load_checkpoint(const std::string& path) {
+  std::vector<Tuple> rows;
+  bool failed = false;
+  std::string error;
+  if (comm_->rank() == 0) {
+    std::ifstream in(path, std::ios::binary);
+    std::uint64_t header[3] = {};
+    if (!in || !in.read(reinterpret_cast<char*>(header), sizeof(header))) {
+      failed = true;
+      error = "checkpoint: cannot read " + path;
+    } else if (header[0] != kCheckpointMagic) {
+      failed = true;
+      error = "checkpoint: bad magic in " + path;
+    } else if (header[1] != cfg_.arity) {
+      failed = true;
+      error = "checkpoint: arity mismatch in " + path + " (file " +
+              std::to_string(header[1]) + ", relation " + std::to_string(cfg_.arity) + ")";
+    } else {
+      rows.reserve(header[2]);
+      std::vector<value_t> vals(cfg_.arity);
+      for (std::uint64_t i = 0; i < header[2]; ++i) {
+        if (!in.read(reinterpret_cast<char*>(vals.data()),
+                     static_cast<std::streamsize>(cfg_.arity * sizeof(value_t)))) {
+          failed = true;
+          error = "checkpoint: truncated file " + path;
+          break;
+        }
+        rows.emplace_back(std::span<const value_t>(vals));
+      }
+    }
+  }
+  // All ranks must agree on failure before anyone throws, or the others
+  // would hang in the scatter.
+  if (comm_->allreduce<std::uint8_t>(failed ? 1 : 0, vmpi::ReduceOp::kLor) != 0) {
+    throw std::runtime_error(comm_->rank() == 0 ? error : "checkpoint: load failed");
+  }
+
+  full_.clear();
+  delta_.clear();
+  staged_set_.clear();
+  staged_agg_.clear();
+  load_facts(rows);  // rank 0 contributes everything; others pass empty
+}
+
+void Relation::serialize_all(Version v, vmpi::BufferWriter& w) const {
+  tree(v).for_each([&](const Tuple& t) { w.put_span(t.view()); });
+}
+
+}  // namespace paralagg::core

@@ -1,0 +1,176 @@
+#pragma once
+
+// Distributed relations with bucket/sub-bucket double hashing.
+//
+// A relation's tuples are laid out in *stored order*:
+//
+//   [ join columns | other independent columns | dependent columns ]
+//     0 .. jcc-1     jcc .. indep_arity-1        indep_arity .. arity-1
+//
+// Distribution (paper §II-D, §IV-A):
+//   bucket      = H1(join columns)              mod  num_buckets
+//   sub-bucket  = H2(other independent columns) mod  sub_buckets
+//   rank        = (bucket * sub_buckets + sub)  mod  nranks
+//
+// Dependent (aggregated) columns participate in *neither* hash — that is
+// the communication-avoiding restriction: any two tuples that agree on
+// their independent columns land on the same rank no matter what partial
+// aggregate they carry, so aggregation can be fused with deduplication
+// locally, with zero extra communication (paper §IV-A).
+//
+// Each rank holds its partition in two B-trees (full and delta, keyed on
+// the independent columns) plus a staging area where tuples arriving from
+// the all-to-all exchange are *pre-aggregated* before materialization.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/types.hpp"
+#include "storage/btree.hpp"
+#include "vmpi/comm.hpp"
+
+namespace paralagg::core {
+
+struct RelationConfig {
+  std::string name;
+  std::size_t arity = 0;
+  /// Join-column count: the tuple prefix the relation is indexed and
+  /// bucketed on.  Joins match this prefix against the other side's.
+  std::size_t jcc = 1;
+  /// Trailing aggregated columns (0 = plain relation).
+  std::size_t dep_arity = 0;
+  AggregatorPtr aggregator;  // required iff dep_arity > 0
+  AggMode agg_mode = AggMode::kLattice;
+  /// Sub-buckets per bucket (spatial load balancing fan-out, paper §IV-C).
+  int sub_buckets = 1;
+  /// May the spatial load balancer raise sub_buckets at run time?
+  bool balanceable = false;
+};
+
+struct MaterializeResult {
+  std::uint64_t staged = 0;    // tuples received this iteration (pre-agg keys)
+  std::uint64_t inserted = 0;  // new keys
+  std::uint64_t updated = 0;   // existing keys whose accumulator ascended
+  std::uint64_t rejected = 0;  // no new information (paper Fig. 1, right)
+  std::size_t delta_size = 0;
+};
+
+class Relation {
+ public:
+  /// Collective only in the sense that every rank must construct the same
+  /// relation in the same order; the constructor itself does not
+  /// communicate.
+  Relation(vmpi::Comm& comm, RelationConfig cfg);
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  // -- metadata ---------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] const RelationConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t arity() const { return cfg_.arity; }
+  [[nodiscard]] std::size_t jcc() const { return cfg_.jcc; }
+  [[nodiscard]] std::size_t dep_arity() const { return cfg_.dep_arity; }
+  [[nodiscard]] std::size_t indep_arity() const { return cfg_.arity - cfg_.dep_arity; }
+  [[nodiscard]] bool aggregated() const { return cfg_.dep_arity > 0; }
+  [[nodiscard]] int sub_buckets() const { return sub_buckets_; }
+  [[nodiscard]] vmpi::Comm& comm() const { return *comm_; }
+
+  // -- distribution -------------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_buckets() const { return num_buckets_; }
+  [[nodiscard]] std::uint32_t bucket_of(std::span<const value_t> tuple) const;
+  [[nodiscard]] std::uint32_t sub_bucket_of(std::span<const value_t> tuple) const;
+  [[nodiscard]] int rank_of(std::uint32_t bucket, std::uint32_t sub) const;
+  [[nodiscard]] int owner_rank(std::span<const value_t> tuple) const;
+  /// Distinct ranks holding any sub-bucket of `bucket` (the destinations of
+  /// intra-bucket replication when this relation is the inner side).
+  void ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) const;
+
+  // -- local storage ------------------------------------------------------------
+
+  [[nodiscard]] storage::TupleBTree& tree(Version v) {
+    return v == Version::kFull ? full_ : delta_;
+  }
+  [[nodiscard]] const storage::TupleBTree& tree(Version v) const {
+    return v == Version::kFull ? full_ : delta_;
+  }
+  [[nodiscard]] std::size_t local_size(Version v) const { return tree(v).size(); }
+
+  // -- staging + fused dedup/aggregation ---------------------------------------
+
+  /// Stage a tuple that this rank owns (arrived via all-to-all or was
+  /// generated locally for a local bucket).  For aggregated relations this
+  /// performs the *local aggregation* immediately: within-iteration
+  /// duplicates of a key are collapsed before they ever touch the B-tree.
+  void stage(std::span<const value_t> tuple);
+
+  /// Fused deduplication / aggregation (paper §IV-A): fold the staging
+  /// area into full, computing the next delta.  Local; no communication.
+  MaterializeResult materialize();
+
+  [[nodiscard]] std::size_t staged_count() const {
+    return aggregated() ? staged_agg_.size() : staged_set_.size();
+  }
+
+  // -- collective operations ----------------------------------------------------
+
+  /// Distribute and materialize initial facts.  Collective: every rank
+  /// calls it with its (possibly empty) slice; each tuple is routed to its
+  /// owner.  The resulting delta equals the loaded set.
+  void load_facts(std::span<const Tuple> slice);
+
+  /// Global tuple count of a version.  Collective.
+  [[nodiscard]] std::uint64_t global_size(Version v);
+
+  /// All tuples of `full`, gathered to `root` and sorted (empty elsewhere).
+  /// Collective.  Test/readout oracle.
+  [[nodiscard]] std::vector<Tuple> gather_to_root(int root = 0);
+
+  /// Re-shard to a new sub-bucket count (spatial load balancing).
+  /// Collective; returns the remote bytes this rank shipped.
+  std::uint64_t reshuffle_to_sub_buckets(int new_sub_buckets);
+
+  /// Persist the full version to a binary checkpoint file (rank 0 writes).
+  /// Collective.  Long-running deductive jobs on shared clusters need
+  /// restartability; checkpoints also let a fixpoint computed at one rank
+  /// count be reloaded at another (the file is layout-independent).
+  void save_checkpoint(const std::string& path);
+
+  /// Replace this relation's contents with a checkpoint written by
+  /// save_checkpoint (any rank count / sub-bucket layout).  Collective;
+  /// rank 0 reads and scatters.  After loading, delta == full, as after
+  /// load_facts.  Throws std::runtime_error on IO or format errors.
+  void load_checkpoint(const std::string& path);
+
+  // -- serialization helpers ----------------------------------------------------
+
+  void serialize_all(Version v, vmpi::BufferWriter& w) const;
+  static void serialize_tuple(vmpi::BufferWriter& w, std::span<const value_t> t) {
+    w.put_span(t);
+  }
+
+ private:
+  void validate_config() const;
+  [[nodiscard]] std::size_t effective_sub_cols() const {
+    return indep_arity() - cfg_.jcc;  // columns feeding H2
+  }
+
+  vmpi::Comm* comm_;
+  RelationConfig cfg_;
+  std::uint32_t num_buckets_;
+  int sub_buckets_;
+
+  storage::TupleBTree full_;
+  storage::TupleBTree delta_;
+
+  // Staging: plain relations deduplicate, aggregated relations pre-aggregate.
+  std::unordered_set<Tuple, storage::TupleHash> staged_set_;
+  std::unordered_map<Tuple, Tuple, storage::TupleHash> staged_agg_;  // key -> dep
+};
+
+}  // namespace paralagg::core

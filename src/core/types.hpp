@@ -1,0 +1,34 @@
+#pragma once
+
+// Shared vocabulary types for the PARALAGG engine.
+
+#include <cstdint>
+
+#include "storage/tuple.hpp"
+
+namespace paralagg::core {
+
+using storage::Tuple;
+using storage::value_t;
+
+/// Semi-naive evaluation splits each relation into versions (paper §II-C):
+/// `delta` holds tuples discovered last iteration, `full` everything known.
+/// (The transient `new` version lives in the staging area of Relation and
+/// never needs a name of its own.)
+enum class Version : std::uint8_t { kDelta, kFull };
+
+/// How an aggregated relation's accumulator evolves across iterations.
+enum class AggMode : std::uint8_t {
+  /// Monotone lattice join (paper §III): values only ascend, the delta is
+  /// the set of rows whose accumulator changed, and the ascending-chain
+  /// condition guarantees termination.  $MIN / $MAX / set-union live here.
+  kLattice,
+  /// Per-iteration recomputation: each round the staged contributions are
+  /// aggregated from scratch and *replace* the stored value (Jacobi-style).
+  /// Not monotone, so strata using it run a fixed number of rounds.
+  /// PageRank's $SUM lives here (the RaSQL/SociaLite formulation the paper
+  /// cites).
+  kRefresh,
+};
+
+}  // namespace paralagg::core

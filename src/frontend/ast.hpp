@@ -1,0 +1,113 @@
+#pragma once
+
+// Abstract syntax for the PARALAGG Datalog dialect.
+//
+// The paper presents queries in Datalog-with-aggregates notation
+// (SSSP/CC in §II, §V-A); this frontend accepts that notation directly:
+//
+//   .decl edge(x, y, w) input
+//   .decl spath(f, t, d min)
+//   .decl reach(n) output
+//
+//   spath(n, n, 0)         :- edge(n, _, _).
+//   spath(f, t2, d + w)    :- spath(f, t, d), edge(t, t2, w).
+//   reach(t)               :- spath(_, t, _).
+//
+// Bodies contain one or two positive atoms plus comparison constraints;
+// heads may compute arithmetic (+, -, min, max) over body variables; a
+// `min` / `max` / `sum` / `mcount` annotation on a declared column makes
+// the relation a recursive aggregate with that column as the dependent
+// value (paper Listing 1/2 semantics).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace paralagg::frontend {
+
+using core::value_t;
+
+/// A term in a head argument or constraint: variables, constants,
+/// wildcards, and arithmetic over them.
+struct Term {
+  enum class Kind : std::uint8_t {
+    kVar,
+    kConst,
+    kWildcard,
+    kAdd,
+    kSub,
+    kMin,
+    kMax,
+  };
+
+  Kind kind = Kind::kWildcard;
+  std::string var;        // kVar
+  value_t constant = 0;   // kConst
+  std::vector<Term> kids; // binary kinds
+
+  [[nodiscard]] bool is_simple() const {
+    return kind == Kind::kVar || kind == Kind::kConst || kind == Kind::kWildcard;
+  }
+
+  /// Collect variable names (with repetition) into `out`.
+  void collect_vars(std::vector<std::string>& out) const {
+    if (kind == Kind::kVar) out.push_back(var);
+    for (const auto& k : kids) k.collect_vars(out);
+  }
+};
+
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+  bool negated = false;  // body only: "!rel(args)" (stratified negation)
+  int line = 0;
+};
+
+struct Constraint {
+  enum class Kind : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+  Kind kind = Kind::kEq;
+  Term lhs, rhs;
+  int line = 0;
+};
+
+struct RuleAst {
+  Atom head;
+  std::vector<Atom> body;               // 1 or 2 positive atoms
+  std::vector<Constraint> constraints;  // side conditions
+  int line = 0;
+};
+
+enum class AggKind : std::uint8_t { kNone, kMin, kMax, kSum, kMCount };
+
+struct DeclAst {
+  std::string name;
+  std::vector<std::string> columns;
+  AggKind agg = AggKind::kNone;
+  std::size_t agg_column = 0;  // index into columns, valid when agg != kNone
+  bool is_input = false;       // facts supplied externally
+  bool is_output = false;      // gathered/printed by drivers
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::vector<DeclAst> decls;
+  std::vector<RuleAst> rules;
+  std::vector<Atom> facts;  // ground atoms ("edge(1, 2, 5).")
+};
+
+/// Parse/analysis failure with a source line attached.
+class FrontendError : public std::runtime_error {
+ public:
+  FrontendError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+}  // namespace paralagg::frontend

@@ -1,0 +1,819 @@
+#include "frontend/compiler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+namespace paralagg::frontend {
+
+namespace {
+
+core::AggregatorPtr make_aggregator(AggKind k) {
+  switch (k) {
+    case AggKind::kMin: return core::make_min_aggregator();
+    case AggKind::kMax: return core::make_max_aggregator();
+    case AggKind::kSum: return core::make_sum_aggregator();
+    case AggKind::kMCount: return core::make_mcount_aggregator();
+    case AggKind::kNone: break;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis state
+// ---------------------------------------------------------------------------
+
+struct Analysis {
+  const ProgramAst* ast = nullptr;
+  std::map<std::string, std::size_t> decl_of;  // name -> ast->decls index
+  std::vector<bool> in_head;                   // per decl
+  std::vector<int> scc_of;                     // per decl
+  std::vector<bool> scc_recursive;             // per scc id
+  std::vector<std::vector<std::size_t>> scc_members;  // decl ids, topo order
+
+  [[nodiscard]] const DeclAst& decl(std::size_t i) const { return ast->decls[i]; }
+
+  std::size_t decl_index(const std::string& name, int line) const {
+    const auto it = decl_of.find(name);
+    if (it == decl_of.end()) {
+      throw FrontendError(line, "relation '" + name + "' is not declared");
+    }
+    return it->second;
+  }
+};
+
+void check_atom_shape(const Analysis& a, const Atom& atom, bool body) {
+  const auto d = a.decl_index(atom.relation, atom.line);
+  if (atom.args.size() != a.decl(d).columns.size()) {
+    throw FrontendError(atom.line, atom.relation + ": expected " +
+                                       std::to_string(a.decl(d).columns.size()) +
+                                       " arguments, got " + std::to_string(atom.args.size()));
+  }
+  for (const auto& arg : atom.args) {
+    if (body && !arg.is_simple()) {
+      throw FrontendError(atom.line,
+                          atom.relation + ": body arguments must be variables, constants, "
+                                          "or wildcards (arithmetic belongs in the head)");
+    }
+    if (!body && arg.kind == Term::Kind::kWildcard) {
+      throw FrontendError(atom.line, atom.relation + ": wildcards are not allowed in heads");
+    }
+  }
+}
+
+/// Tarjan SCC over relation dependencies (head -> body).  Finalization
+/// order puts dependencies before dependents, which is exactly stratum
+/// evaluation order.
+void compute_sccs(Analysis& a) {
+  const std::size_t n = a.ast->decls.size();
+  std::vector<std::set<std::size_t>> deps(n);
+  for (const auto& rule : a.ast->rules) {
+    const auto h = a.decl_index(rule.head.relation, rule.line);
+    for (const auto& atom : rule.body) {
+      deps[h].insert(a.decl_index(atom.relation, atom.line));
+    }
+  }
+
+  a.scc_of.assign(n, -1);
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  int next_index = 0;
+
+  std::function<void(std::size_t)> strongconnect = [&](std::size_t v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (const auto w : deps[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      const int scc = static_cast<int>(a.scc_members.size());
+      a.scc_members.emplace_back();
+      for (;;) {
+        const auto w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        a.scc_of[w] = scc;
+        a.scc_members.back().push_back(w);
+        if (w == v) break;
+      }
+    }
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+
+  // An SCC is recursive if it has >1 member or a self-loop.
+  a.scc_recursive.assign(a.scc_members.size(), false);
+  for (std::size_t s = 0; s < a.scc_members.size(); ++s) {
+    if (a.scc_members[s].size() > 1) a.scc_recursive[s] = true;
+  }
+  for (const auto& rule : a.ast->rules) {
+    const auto h = a.decl_index(rule.head.relation, rule.line);
+    for (const auto& atom : rule.body) {
+      const auto b = a.decl_index(atom.relation, atom.line);
+      if (b == h) a.scc_recursive[static_cast<std::size_t>(a.scc_of[h])] = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join patterns and index selection
+// ---------------------------------------------------------------------------
+
+/// Ordered join variables of a two-atom body: shared vars, ordered by first
+/// occurrence in atom0.
+std::vector<std::string> join_vars(const Atom& a0, const Atom& a1, int line) {
+  std::set<std::string> in1;
+  for (const auto& t : a1.args) {
+    if (t.kind == Term::Kind::kVar) in1.insert(t.var);
+  }
+  std::vector<std::string> out;
+  for (const auto& t : a0.args) {
+    if (t.kind == Term::Kind::kVar && in1.contains(t.var) &&
+        std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  }
+  if (out.empty()) {
+    throw FrontendError(line,
+                        "the two body atoms share no variable (cartesian products are "
+                        "not supported; add a join variable)");
+  }
+  return out;
+}
+
+/// Declared-column pattern: first occurrence of each join var in the atom.
+std::vector<std::size_t> pattern_of(const Analysis& a, const Atom& atom,
+                                    const std::vector<std::string>& vars) {
+  const auto& decl = a.decl(a.decl_index(atom.relation, atom.line));
+  std::vector<std::size_t> out;
+  for (const auto& v : vars) {
+    std::size_t pos = decl.columns.size();
+    for (std::size_t c = 0; c < atom.args.size(); ++c) {
+      if (atom.args[c].kind == Term::Kind::kVar && atom.args[c].var == v) {
+        pos = c;
+        break;
+      }
+    }
+    assert(pos < decl.columns.size());
+    if (decl.agg != AggKind::kNone && pos == decl.agg_column) {
+      throw FrontendError(atom.line,
+                          atom.relation + ": joining on the aggregated column '" +
+                              decl.columns[pos] +
+                              "' is not allowed (paper §III-A: aggregated columns are "
+                              "never joined upon)");
+    }
+    out.push_back(pos);
+  }
+  return out;
+}
+
+struct PatternUse {
+  std::vector<std::size_t> cols;
+  int count = 0;
+};
+
+/// Per-declared-relation pattern demand, in first-seen order.
+using PatternDemand = std::vector<std::vector<PatternUse>>;
+
+void record_pattern(PatternDemand& demand, std::size_t decl_id,
+                    const std::vector<std::size_t>& cols) {
+  for (auto& use : demand[decl_id]) {
+    if (use.cols == cols) {
+      ++use.count;
+      return;
+    }
+  }
+  demand[decl_id].push_back({cols, 1});
+}
+
+/// Stored order for (decl, pattern): pattern cols, then the remaining
+/// independent cols in declared order, then the aggregated col last.
+std::vector<std::size_t> make_perm(const DeclAst& decl,
+                                   const std::vector<std::size_t>& pattern) {
+  std::vector<std::size_t> perm = pattern;
+  for (std::size_t c = 0; c < decl.columns.size(); ++c) {
+    if (decl.agg != AggKind::kNone && c == decl.agg_column) continue;
+    if (std::find(perm.begin(), perm.end(), c) == perm.end()) perm.push_back(c);
+  }
+  if (decl.agg != AggKind::kNone) perm.push_back(decl.agg_column);
+  return perm;
+}
+
+// ---------------------------------------------------------------------------
+// Expression lowering
+// ---------------------------------------------------------------------------
+
+struct Binding {
+  int side;  // 0 = A, 1 = B
+  std::size_t slot;
+};
+
+core::Expr col_ref(const Binding& b) {
+  return b.side == 0 ? core::Expr::col_a(b.slot) : core::Expr::col_b(b.slot);
+}
+
+void add_filter(std::optional<core::Expr>& filter, core::Expr clause) {
+  if (filter) {
+    filter = core::Expr::logical_and(std::move(*filter), std::move(clause));
+  } else {
+    filter = std::move(clause);
+  }
+}
+
+std::optional<core::Expr> conjoin(std::vector<core::Expr> clauses) {
+  std::optional<core::Expr> out;
+  for (auto& c : clauses) add_filter(out, std::move(c));
+  return out;
+}
+
+/// Bind one body atom's variables to stored slots; emit equality filters
+/// for constants and repeated variables.  Prefix slots of side B skip the
+/// filter when the variable is already bound at the same prefix slot of
+/// side A — the join itself enforces that equality.
+void bind_atom(const Atom& atom, const RelationPlan& plan, int side,
+               std::map<std::string, Binding>& bind,
+               std::vector<core::Expr>& clauses) {
+  for (std::size_t s = 0; s < plan.arity(); ++s) {
+    const auto& arg = atom.args[plan.perm[s]];
+    switch (arg.kind) {
+      case Term::Kind::kWildcard:
+        break;
+      case Term::Kind::kConst:
+        clauses.push_back(
+            core::Expr::eq(col_ref({side, s}), core::Expr::constant(arg.constant)));
+        break;
+      case Term::Kind::kVar: {
+        const auto it = bind.find(arg.var);
+        if (it == bind.end()) {
+          bind.emplace(arg.var, Binding{side, s});
+          break;
+        }
+        const bool join_enforced =
+            side == 1 && s < plan.jcc && it->second.side == 0 && it->second.slot == s;
+        if (!join_enforced) {
+          clauses.push_back(core::Expr::eq(col_ref({side, s}), col_ref(it->second)));
+        }
+        break;
+      }
+      default:
+        break;  // validated earlier: body args are simple
+    }
+  }
+}
+
+core::Expr compile_term(const Term& t, const std::map<std::string, Binding>& bind,
+                        int line) {
+  switch (t.kind) {
+    case Term::Kind::kConst:
+      return core::Expr::constant(t.constant);
+    case Term::Kind::kVar: {
+      const auto it = bind.find(t.var);
+      if (it == bind.end()) {
+        throw FrontendError(line, "variable '" + t.var +
+                                      "' is not bound by any body atom (unsafe rule)");
+      }
+      return col_ref(it->second);
+    }
+    case Term::Kind::kAdd:
+      return core::Expr::add(compile_term(t.kids[0], bind, line),
+                             compile_term(t.kids[1], bind, line));
+    case Term::Kind::kSub:
+      return core::Expr::sub(compile_term(t.kids[0], bind, line),
+                             compile_term(t.kids[1], bind, line));
+    case Term::Kind::kMin:
+      return core::Expr::min(compile_term(t.kids[0], bind, line),
+                             compile_term(t.kids[1], bind, line));
+    case Term::Kind::kMax:
+      return core::Expr::max(compile_term(t.kids[0], bind, line),
+                             compile_term(t.kids[1], bind, line));
+    case Term::Kind::kWildcard:
+      throw FrontendError(line, "wildcard used where a value is required");
+  }
+  throw FrontendError(line, "malformed term");
+}
+
+core::Expr compile_constraint(const Constraint& c, const std::map<std::string, Binding>& bind) {
+  auto lhs = compile_term(c.lhs, bind, c.line);
+  auto rhs = compile_term(c.rhs, bind, c.line);
+  switch (c.kind) {
+    case Constraint::Kind::kLt: return core::Expr::less(std::move(lhs), std::move(rhs));
+    case Constraint::Kind::kLe: return core::Expr::less_eq(std::move(lhs), std::move(rhs));
+    case Constraint::Kind::kGt: return core::Expr::less(std::move(rhs), std::move(lhs));
+    case Constraint::Kind::kGe: return core::Expr::less_eq(std::move(rhs), std::move(lhs));
+    case Constraint::Kind::kEq: return core::Expr::eq(std::move(lhs), std::move(rhs));
+    case Constraint::Kind::kNe: return core::Expr::neq(std::move(lhs), std::move(rhs));
+  }
+  throw FrontendError(c.line, "malformed constraint");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompiledProgram::compile
+// ---------------------------------------------------------------------------
+
+CompiledProgram CompiledProgram::compile(const ProgramAst& ast) {
+  Analysis a;
+  a.ast = &ast;
+
+  // --- declarations ----------------------------------------------------------
+  for (std::size_t i = 0; i < ast.decls.size(); ++i) {
+    const auto& d = ast.decls[i];
+    if (!a.decl_of.emplace(d.name, i).second) {
+      throw FrontendError(d.line, "relation '" + d.name + "' declared twice");
+    }
+    if (d.columns.empty()) throw FrontendError(d.line, d.name + ": no columns");
+    if (d.agg != AggKind::kNone && d.columns.size() < 2) {
+      throw FrontendError(d.line,
+                          d.name + ": an aggregated relation needs at least one "
+                                   "independent column besides the aggregate");
+    }
+    std::set<std::string> seen;
+    for (const auto& c : d.columns) {
+      if (!seen.insert(c).second) {
+        throw FrontendError(d.line, d.name + ": duplicate column '" + c + "'");
+      }
+    }
+  }
+
+  // --- rule shape ----------------------------------------------------------
+  a.in_head.assign(ast.decls.size(), false);
+  for (const auto& rule : ast.rules) {
+    check_atom_shape(a, rule.head, /*body=*/false);
+    if (rule.body.empty()) {
+      throw FrontendError(rule.line, "rules need at least one body atom");
+    }
+    if (rule.body.size() > 2) {
+      throw FrontendError(rule.line,
+                          "at most two body atoms per rule (PARALAGG compiles to binary "
+                          "joins; factor larger bodies through auxiliary relations)");
+    }
+    for (const auto& atom : rule.body) check_atom_shape(a, atom, /*body=*/true);
+    const auto negated =
+        std::count_if(rule.body.begin(), rule.body.end(),
+                      [](const Atom& at) { return at.negated; });
+    if (negated > 1) {
+      throw FrontendError(rule.line, "at most one negated atom per rule");
+    }
+    if (negated == static_cast<long>(rule.body.size())) {
+      throw FrontendError(rule.line,
+                          "a rule needs a positive atom to bind its variables "
+                          "(negation alone is unsafe)");
+    }
+    if (negated == 1 && rule.body.size() != 2) {
+      throw FrontendError(rule.line,
+                          "negation currently pairs one positive and one negated atom");
+    }
+    if (negated == 1) {
+      const auto& pos = rule.body[0].negated ? rule.body[1] : rule.body[0];
+      const auto& neg = rule.body[0].negated ? rule.body[0] : rule.body[1];
+      std::set<std::string> pos_vars;
+      for (const auto& t : pos.args) {
+        if (t.kind == Term::Kind::kVar) pos_vars.insert(t.var);
+      }
+      for (const auto& t : neg.args) {
+        if (t.kind == Term::Kind::kVar && !pos_vars.contains(t.var)) {
+          throw FrontendError(rule.line, "variable '" + t.var +
+                                             "' appears only under negation (unsafe)");
+        }
+      }
+    }
+    a.in_head[a.decl_index(rule.head.relation, rule.line)] = true;
+  }
+  for (std::size_t i = 0; i < ast.decls.size(); ++i) {
+    if (ast.decls[i].is_input && a.in_head[i]) {
+      throw FrontendError(ast.decls[i].line,
+                          ast.decls[i].name + ": input relations cannot appear in rule heads");
+    }
+  }
+  for (const auto& fact : ast.facts) {
+    check_atom_shape(a, fact, /*body=*/true);
+    if (a.in_head[a.decl_index(fact.relation, fact.line)]) {
+      throw FrontendError(fact.line,
+                          fact.relation + ": facts may only seed relations that no rule "
+                                          "derives (declare a separate input relation)");
+    }
+  }
+
+  // --- stratification --------------------------------------------------------
+  compute_sccs(a);
+  for (const auto& rule : ast.rules) {
+    const auto h = a.decl_index(rule.head.relation, rule.line);
+    for (const auto& atom : rule.body) {
+      if (atom.negated &&
+          a.scc_of[a.decl_index(atom.relation, atom.line)] == a.scc_of[h]) {
+        throw FrontendError(rule.line,
+                            "negation of '" + atom.relation +
+                                "' inside its own recursion is not stratified");
+      }
+    }
+    const auto& d = a.decl(h);
+    if (d.agg == AggKind::kSum && a.scc_recursive[static_cast<std::size_t>(a.scc_of[h])]) {
+      throw FrontendError(rule.line,
+                          d.name + ": $SUM is not a lattice and cannot run inside a "
+                                   "recursive stratum (use min/max/mcount, or make the "
+                                   "stratum non-recursive)");
+    }
+  }
+
+  // --- pattern demand ---------------------------------------------------------
+  PatternDemand demand(ast.decls.size());
+  for (const auto& rule : ast.rules) {
+    if (rule.body.size() != 2) continue;
+    // Order join variables by the positive atom (for antijoins the negated
+    // atom may come first syntactically).
+    const bool swap = rule.body[0].negated;
+    const auto& a0 = rule.body[swap ? 1 : 0];
+    const auto& a1 = rule.body[swap ? 0 : 1];
+    const auto vars = join_vars(a0, a1, rule.line);
+    record_pattern(demand, a.decl_index(a0.relation, rule.line),
+                   pattern_of(a, a0, vars));
+    record_pattern(demand, a.decl_index(a1.relation, rule.line),
+                   pattern_of(a, a1, vars));
+  }
+
+  // --- relation plans -----------------------------------------------------------
+  CompiledProgram out;
+  std::vector<std::size_t> primary_plan(ast.decls.size());
+  // plan id for (decl, pattern):
+  std::map<std::pair<std::size_t, std::vector<std::size_t>>, std::size_t> plan_for_pattern;
+
+  for (std::size_t i = 0; i < ast.decls.size(); ++i) {
+    const auto& d = ast.decls[i];
+    // Primary pattern: the most demanded; first-seen wins ties; fall back
+    // to the first independent column.
+    std::vector<std::size_t> primary;
+    int best = 0;
+    for (const auto& use : demand[i]) {
+      if (use.count > best) {
+        best = use.count;
+        primary = use.cols;
+      }
+    }
+    if (primary.empty()) {
+      for (std::size_t c = 0; c < d.columns.size(); ++c) {
+        if (d.agg == AggKind::kNone || c != d.agg_column) {
+          primary = {c};
+          break;
+        }
+      }
+    }
+    RelationPlan plan;
+    plan.name = d.name;
+    plan.declared_columns = d.columns;
+    plan.perm = make_perm(d, primary);
+    plan.jcc = primary.size();
+    plan.agg = d.agg;
+    plan.is_input = d.is_input;
+    plan.is_output = d.is_output;
+    primary_plan[i] = out.relations_.size();
+    plan_for_pattern[{i, primary}] = out.relations_.size();
+    out.by_name_[d.name] = out.relations_.size();
+    out.relations_.push_back(std::move(plan));
+  }
+  // Secondary indexes.
+  for (std::size_t i = 0; i < ast.decls.size(); ++i) {
+    const auto& d = ast.decls[i];
+    for (const auto& use : demand[i]) {
+      if (plan_for_pattern.contains({i, use.cols})) continue;
+      RelationPlan plan;
+      plan.name = d.name + "@";
+      for (std::size_t k = 0; k < use.cols.size(); ++k) {
+        plan.name += (k ? "_" : "") + d.columns[use.cols[k]];
+      }
+      plan.declared_columns = d.columns;
+      plan.perm = make_perm(d, use.cols);
+      plan.jcc = use.cols.size();
+      plan.agg = d.agg;
+      plan.is_input = d.is_input;
+      plan.base = static_cast<int>(primary_plan[i]);
+      plan_for_pattern[{i, use.cols}] = out.relations_.size();
+      out.relations_.push_back(std::move(plan));
+    }
+  }
+
+  // --- strata ---------------------------------------------------------------------
+  // Index-maintenance copy: base stored order -> index stored order.
+  const auto index_copy = [&](std::size_t base_id, std::size_t index_id,
+                              core::Version version) {
+    const auto& base = out.relations_[base_id];
+    const auto& index = out.relations_[index_id];
+    RulePlan rp;
+    rp.is_join = false;
+    rp.a = base_id;
+    rp.a_version = version;
+    rp.target = index_id;
+    for (std::size_t s = 0; s < index.arity(); ++s) {
+      const auto declared = index.perm[s];
+      const auto p = std::find(base.perm.begin(), base.perm.end(), declared);
+      rp.head.push_back(core::Expr::col_a(
+          static_cast<std::size_t>(std::distance(base.perm.begin(), p))));
+    }
+    return rp;
+  };
+
+  // Secondary indexes per declared relation.
+  std::vector<std::vector<std::size_t>> indexes_of(ast.decls.size());
+  for (std::size_t p = 0; p < out.relations_.size(); ++p) {
+    if (out.relations_[p].base >= 0) {
+      // Find the decl by primary id.
+      for (std::size_t i = 0; i < ast.decls.size(); ++i) {
+        if (primary_plan[i] == static_cast<std::size_t>(out.relations_[p].base)) {
+          indexes_of[i].push_back(p);
+        }
+      }
+    }
+  }
+
+  // Stratum 0 (if needed): indexes of relations no rule derives (inputs and
+  // fact-only relations), filled from kFull after facts are loaded.
+  {
+    StratumPlan inputs;
+    for (std::size_t i = 0; i < ast.decls.size(); ++i) {
+      if (a.in_head[i]) continue;
+      for (const auto idx : indexes_of[i]) {
+        inputs.init.push_back(index_copy(primary_plan[i], idx, core::Version::kFull));
+      }
+    }
+    if (!inputs.init.empty()) out.strata_.push_back(std::move(inputs));
+  }
+
+  // One stratum per SCC with rules, in topological (Tarjan finalization)
+  // order.
+  for (std::size_t scc = 0; scc < a.scc_members.size(); ++scc) {
+    StratumPlan stratum;
+    const bool recursive = a.scc_recursive[scc];
+
+    for (const auto& rule : ast.rules) {
+      const auto h = a.decl_index(rule.head.relation, rule.line);
+      if (a.scc_of[h] != static_cast<int>(scc)) continue;
+
+      // Normalize: the positive atom is side A (for antijoins the engine
+      // requires the negated relation on side B).
+      std::vector<const Atom*> body;
+      for (const auto& atom : rule.body) {
+        if (!atom.negated) body.push_back(&atom);
+      }
+      const Atom* negated_atom = nullptr;
+      for (const auto& atom : rule.body) {
+        if (atom.negated) {
+          negated_atom = &atom;
+          body.push_back(&atom);
+        }
+      }
+      const bool is_anti = negated_atom != nullptr;
+
+      // Resolve each body atom to its plan (primary or secondary index).
+      std::vector<std::size_t> atom_plan(body.size());
+      if (body.size() == 2) {
+        const auto vars = join_vars(*body[0], *body[1], rule.line);
+        for (int k = 0; k < 2; ++k) {
+          const auto decl_id =
+              a.decl_index(body[static_cast<std::size_t>(k)]->relation, rule.line);
+          atom_plan[static_cast<std::size_t>(k)] = plan_for_pattern.at(
+              {decl_id, pattern_of(a, *body[static_cast<std::size_t>(k)], vars)});
+        }
+      } else {
+        atom_plan[0] = primary_plan[a.decl_index(body[0]->relation, rule.line)];
+      }
+      if (is_anti) out.relations_[atom_plan[1]].negated_use = true;
+
+      // Which atoms are recursive (same SCC as the head)?  (A negated atom
+      // never is — stratification already rejected that.)
+      std::vector<bool> rec(body.size(), false);
+      int rec_count = 0;
+      for (std::size_t k = 0; k < body.size(); ++k) {
+        const auto b = a.decl_index(body[k]->relation, rule.line);
+        if (a.scc_of[b] == static_cast<int>(scc)) {
+          rec[k] = true;
+          ++rec_count;
+        }
+      }
+
+      // Compile with a given (a_version, b_version, swap) arrangement; the
+      // engine's planner may still flip outer/inner at run time — versions
+      // here encode semi-naive roles, not shipping order.
+      const auto emit = [&](core::Version va, core::Version vb) {
+        RulePlan rp;
+        rp.line = rule.line;
+        rp.target = primary_plan[h];
+        rp.anti = is_anti;
+        std::map<std::string, Binding> bind;
+        std::vector<core::Expr> clauses;
+        bind_atom(*body[0], out.relations_[atom_plan[0]], 0, bind, clauses);
+        if (body.size() == 2) {
+          rp.is_join = true;
+          rp.a = atom_plan[0];
+          rp.b = atom_plan[1];
+          rp.a_version = va;
+          rp.b_version = vb;
+          bind_atom(*body[1], out.relations_[atom_plan[1]], 1, bind, clauses);
+        } else {
+          rp.is_join = false;
+          rp.a = atom_plan[0];
+          rp.a_version = va;
+        }
+        for (const auto& c : rule.constraints) {
+          clauses.push_back(compile_constraint(c, bind));
+        }
+        std::optional<core::Expr> filter;
+        if (is_anti) {
+          // Antijoin semantics split the conjuncts: clauses over the
+          // positive side gate the rule; clauses touching the negated side
+          // define what counts as a blocking match.
+          std::vector<core::Expr> pre, against_b;
+          for (auto& c : clauses) {
+            (c.max_col_b() >= 0 ? against_b : pre).push_back(std::move(c));
+          }
+          rp.pre_filter = conjoin(std::move(pre));
+          filter = conjoin(std::move(against_b));
+        } else {
+          filter = conjoin(std::move(clauses));
+        }
+        const auto& target = out.relations_[rp.target];
+        for (std::size_t s = 0; s < target.arity(); ++s) {
+          rp.head.push_back(
+              compile_term(rule.head.args[target.perm[s]], bind, rule.line));
+        }
+        rp.filter = std::move(filter);
+        return rp;
+      };
+
+      if (rec_count == 0) {
+        stratum.init.push_back(emit(core::Version::kFull, core::Version::kFull));
+      } else if (body.size() == 1) {
+        stratum.loop.push_back(emit(core::Version::kDelta, core::Version::kFull));
+      } else if (rec_count == 1) {
+        stratum.loop.push_back(rec[0] ? emit(core::Version::kDelta, core::Version::kFull)
+                                      : emit(core::Version::kFull, core::Version::kDelta));
+      } else {
+        // Non-linear: the standard semi-naive pair.
+        stratum.loop.push_back(emit(core::Version::kDelta, core::Version::kFull));
+        stratum.loop.push_back(emit(core::Version::kFull, core::Version::kDelta));
+      }
+    }
+
+    if (stratum.init.empty() && stratum.loop.empty()) continue;  // input-only SCC
+
+    // Index maintenance for this SCC's relations.
+    StratumPlan index_stratum;
+    for (const auto decl_id : a.scc_members[scc]) {
+      for (const auto idx : indexes_of[decl_id]) {
+        if (recursive) {
+          // Keep the index fresh inside the fixpoint: copy the delta.
+          stratum.loop.push_back(
+              index_copy(primary_plan[decl_id], idx, core::Version::kDelta));
+        } else {
+          index_stratum.init.push_back(
+              index_copy(primary_plan[decl_id], idx, core::Version::kFull));
+        }
+      }
+    }
+    out.strata_.push_back(std::move(stratum));
+    if (!index_stratum.init.empty()) out.strata_.push_back(std::move(index_stratum));
+  }
+
+  // --- inline facts -----------------------------------------------------------------
+  for (const auto& fact : ast.facts) {
+    const auto decl_id = a.decl_index(fact.relation, fact.line);
+    const auto plan_id = primary_plan[decl_id];
+    const auto& plan = out.relations_[plan_id];
+    core::Tuple row;
+    for (std::size_t s = 0; s < plan.arity(); ++s) {
+      row.push_back(fact.args[plan.perm[s]].constant);
+    }
+    out.facts_[plan_id].push_back(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Instance
+// ---------------------------------------------------------------------------
+
+CompiledProgram::Instance CompiledProgram::instantiate(vmpi::Comm& comm,
+                                                       int input_sub_buckets,
+                                                       bool input_balanceable) const {
+  return Instance(*this, comm, input_sub_buckets, input_balanceable);
+}
+
+CompiledProgram::Instance::Instance(const CompiledProgram& plan, vmpi::Comm& comm,
+                                    int input_sub_buckets, bool input_balanceable)
+    : plan_(&plan), comm_(&comm), program_(std::make_unique<core::Program>(comm)) {
+  for (const auto& rp : plan.relations_) {
+    const bool input_like =
+        rp.is_input || (rp.base >= 0 && plan.relations_[static_cast<std::size_t>(rp.base)].is_input);
+    // Antijoin targets must stay single-sub-bucket (see RelationPlan).
+    const bool spreadable = input_like && !rp.negated_use;
+    rels_.push_back(program_->relation({
+        .name = rp.name,
+        .arity = rp.arity(),
+        .jcc = rp.jcc,
+        .dep_arity = rp.aggregated() ? 1u : 0u,
+        .aggregator = make_aggregator(rp.agg),
+        .sub_buckets = spreadable ? input_sub_buckets : 1,
+        .balanceable = spreadable && input_balanceable,
+    }));
+  }
+  for (const auto& sp : plan.strata_) {
+    auto& stratum = program_->stratum();
+    const auto lower = [&](const RulePlan& rp) -> core::Rule {
+      core::OutputSpec spec{.target = rels_[rp.target], .cols = rp.head};
+      if (rp.is_join) {
+        return core::JoinRule{.a = rels_[rp.a],
+                              .a_version = rp.a_version,
+                              .b = rels_[rp.b],
+                              .b_version = rp.b_version,
+                              .out = std::move(spec),
+                              .filter = rp.filter,
+                              .pre_filter = rp.pre_filter,
+                              .anti = rp.anti};
+      }
+      return core::CopyRule{.src = rels_[rp.a],
+                            .version = rp.a_version,
+                            .out = std::move(spec),
+                            .filter = rp.filter};
+    };
+    for (const auto& rp : sp.init) stratum.init_rules.push_back(lower(rp));
+    for (const auto& rp : sp.loop) stratum.loop_rules.push_back(lower(rp));
+  }
+
+  // Inline facts, sliced round-robin (every rank holds the same AST).
+  for (const auto& [plan_id, rows] : plan.facts_) {
+    std::vector<core::Tuple> slice;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < rows.size();
+         i += static_cast<std::size_t>(comm.size())) {
+      slice.push_back(rows[i]);
+    }
+    rels_[plan_id]->load_facts(slice);
+  }
+  // Relations with no inline facts still need their collective load when
+  // others have facts?  No: load_facts is per-relation collective, and all
+  // ranks iterate the same facts_ map in the same order.  Nothing to do.
+}
+
+std::size_t CompiledProgram::Instance::plan_id(const std::string& relation) const {
+  const auto it = plan_->by_name_.find(relation);
+  if (it == plan_->by_name_.end()) {
+    throw FrontendError(0, "unknown relation '" + relation + "'");
+  }
+  return it->second;
+}
+
+core::Relation* CompiledProgram::Instance::relation(const std::string& name) {
+  return rels_[plan_id(name)];
+}
+
+void CompiledProgram::Instance::load(const std::string& relation,
+                                     std::span<const core::Tuple> declared_rows) {
+  const auto id = plan_id(relation);
+  const auto& rp = plan_->relations_[id];
+  std::vector<core::Tuple> stored;
+  stored.reserve(declared_rows.size());
+  for (const auto& row : declared_rows) {
+    if (row.size() != rp.arity()) {
+      throw FrontendError(0, relation + ": row arity mismatch");
+    }
+    core::Tuple t;
+    for (std::size_t s = 0; s < rp.arity(); ++s) t.push_back(row[rp.perm[s]]);
+    stored.push_back(std::move(t));
+  }
+  rels_[id]->load_facts(stored);
+}
+
+core::RunResult CompiledProgram::Instance::run(const core::EngineConfig& cfg) {
+  core::Engine engine(*comm_, cfg);
+  return engine.run(*program_);
+}
+
+std::uint64_t CompiledProgram::Instance::size(const std::string& relation) {
+  return rels_[plan_id(relation)]->global_size(core::Version::kFull);
+}
+
+std::vector<core::Tuple> CompiledProgram::Instance::gather(const std::string& relation,
+                                                           int root) {
+  const auto id = plan_id(relation);
+  const auto& rp = plan_->relations_[id];
+  auto stored = rels_[id]->gather_to_root(root);
+  std::vector<core::Tuple> declared;
+  declared.reserve(stored.size());
+  for (const auto& row : stored) {
+    core::Tuple t;
+    t = row;  // right size
+    for (std::size_t s = 0; s < rp.arity(); ++s) t[rp.perm[s]] = row[s];
+    declared.push_back(std::move(t));
+  }
+  std::sort(declared.begin(), declared.end());
+  return declared;
+}
+
+}  // namespace paralagg::frontend

@@ -1,0 +1,151 @@
+#pragma once
+
+// Compiler from the Datalog dialect (ast.hpp) to engine programs.
+//
+// What "compiling Datalog onto PARALAGG" involves (and what this module
+// does):
+//
+//  1. **Stratification.**  Relations form a dependency graph (head depends
+//     on body); Tarjan SCCs become strata, emitted in topological order.
+//     Rules whose bodies stay in lower strata are init rules; rules that
+//     read their own SCC are recursive loop rules (the recursive atom runs
+//     on the delta).  Rules with two recursive atoms expand into the
+//     standard semi-naive pair (delta x full) + (full x delta).
+//
+//  2. **Index selection.**  The engine joins on a stored-order prefix, so
+//     every join dictates an ordered column pattern for each side.  Each
+//     relation gets one primary stored order (its most demanded pattern;
+//     dependent columns forced last, per the paper's restriction);
+//     additional patterns materialize as secondary index relations
+//     ("rel@c1_c2") kept up to date by generated copy rules — inside the
+//     fixpoint for recursive relations (copying the delta), in a dedicated
+//     stratum otherwise.
+//
+//  3. **Negation.**  `!rel(args)` compiles to the engine's antijoin;
+//     analysis enforces stratification (no negation through a cycle) and
+//     safety (negated variables bound positively), and splits filter
+//     conjuncts between the emission gate (positive side) and the
+//     blocking-match predicate (negated side).
+//
+//  4. **Lowering.**  Head terms compile to Expr trees over the two sides'
+//     stored columns; repeated variables and constant arguments become
+//     equality filters; comparisons become filter conjuncts.
+//
+// The result is a pure-data CompiledProgram that every rank instantiates
+// against its Comm (SPMD, like the hand-written queries).
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "frontend/ast.hpp"
+#include "frontend/parser.hpp"
+
+namespace paralagg::frontend {
+
+/// Stored layout chosen for one engine relation.
+struct RelationPlan {
+  std::string name;  // engine name; secondary indexes are "base@cols"
+  std::vector<std::string> declared_columns;
+  /// perm[s] = declared column stored at slot s.
+  std::vector<std::size_t> perm;
+  std::size_t jcc = 1;
+  AggKind agg = AggKind::kNone;  // dependent column = last stored slot
+  bool is_input = false;
+  bool is_output = false;
+  /// Appears as a negated (antijoin) atom somewhere: must keep a single
+  /// sub-bucket so absence stays a rank-local decision.
+  bool negated_use = false;
+  int base = -1;  // secondary indexes: RelationPlan id of the base relation
+
+  [[nodiscard]] std::size_t arity() const { return perm.size(); }
+  [[nodiscard]] bool aggregated() const { return agg != AggKind::kNone; }
+};
+
+struct RulePlan {
+  bool is_join = false;
+  std::size_t a = 0;  // RelationPlan ids
+  std::size_t b = 0;  // join only
+  core::Version a_version = core::Version::kFull;
+  core::Version b_version = core::Version::kFull;
+  std::size_t target = 0;
+  std::vector<core::Expr> head;
+  std::optional<core::Expr> filter;
+  std::optional<core::Expr> pre_filter;  // antijoins: side-A gate
+  bool anti = false;  // side B is negated (stratified negation)
+  int line = 0;       // source rule, for diagnostics
+};
+
+struct StratumPlan {
+  std::vector<RulePlan> init;
+  std::vector<RulePlan> loop;
+};
+
+/// A fully analyzed program: immutable, shareable across ranks.
+class CompiledProgram {
+ public:
+  /// Analyze a parsed program.  Throws FrontendError on semantic errors.
+  static CompiledProgram compile(const ProgramAst& ast);
+  /// Convenience: parse + compile.
+  static CompiledProgram compile(std::string_view source) {
+    return compile(parse_program(source));
+  }
+
+  [[nodiscard]] const std::vector<RelationPlan>& relations() const { return relations_; }
+  [[nodiscard]] const std::vector<StratumPlan>& strata() const { return strata_; }
+
+  /// Declared relations by name -> primary plan id.
+  [[nodiscard]] const std::map<std::string, std::size_t>& by_name() const { return by_name_; }
+
+  /// Inline facts per primary plan id, already in stored order.
+  [[nodiscard]] const std::map<std::size_t, std::vector<core::Tuple>>& facts() const {
+    return facts_;
+  }
+
+  class Instance;
+  /// Build this rank's executable instance.  SPMD: all ranks call it.
+  /// Inline facts are loaded immediately (collective).
+  Instance instantiate(vmpi::Comm& comm, int input_sub_buckets = 1,
+                       bool input_balanceable = true) const;
+
+ private:
+  std::vector<RelationPlan> relations_;
+  std::vector<StratumPlan> strata_;
+  std::map<std::string, std::size_t> by_name_;
+  std::map<std::size_t, std::vector<core::Tuple>> facts_;
+};
+
+/// Executable instantiation: engine relations + program bound to one rank.
+class CompiledProgram::Instance {
+ public:
+  /// Load external facts into an input relation; rows are in DECLARED
+  /// column order.  Collective.
+  void load(const std::string& relation, std::span<const core::Tuple> declared_rows);
+
+  /// Execute all strata.  Collective.
+  core::RunResult run(const core::EngineConfig& cfg = {});
+
+  /// Global tuple count of a declared relation.  Collective.
+  [[nodiscard]] std::uint64_t size(const std::string& relation);
+
+  /// Gather a declared relation to `root`, rows in DECLARED order, sorted.
+  /// Collective.
+  [[nodiscard]] std::vector<core::Tuple> gather(const std::string& relation, int root = 0);
+
+  [[nodiscard]] core::Relation* relation(const std::string& name);
+
+ private:
+  friend class CompiledProgram;
+  Instance(const CompiledProgram& plan, vmpi::Comm& comm, int input_sub_buckets,
+           bool input_balanceable);
+
+  [[nodiscard]] std::size_t plan_id(const std::string& relation) const;
+
+  const CompiledProgram* plan_;
+  vmpi::Comm* comm_;
+  std::unique_ptr<core::Program> program_;
+  std::vector<core::Relation*> rels_;  // by plan id
+};
+
+}  // namespace paralagg::frontend

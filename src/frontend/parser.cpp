@@ -1,0 +1,409 @@
+#include "frontend/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace paralagg::frontend {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  kIdent,
+  kNumber,
+  kDot,       // .
+  kDirective, // .decl (dot immediately followed by an identifier)
+  kComma,
+  kLParen,
+  kRParen,
+  kTurnstile, // :-
+  kUnderscore,
+  kPlus,
+  kMinus,
+  kBang,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  value_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_space();
+    current_ = Token{.kind = Tok::kEnd, .line = line_};
+    if (pos_ >= src_.size()) return;
+    const char c = src_[pos_];
+    current_.line = line_;
+
+    if (c == '.') {
+      ++pos_;
+      // ".decl" style directive: dot glued to an identifier.
+      if (pos_ < src_.size() && (std::isalpha(static_cast<unsigned char>(src_[pos_])) != 0)) {
+        current_.kind = Tok::kDirective;
+        current_.text = take_ident();
+        return;
+      }
+      current_.kind = Tok::kDot;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      current_.kind = Tok::kNumber;
+      value_t v = 0;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0) {
+        v = v * 10 + static_cast<value_t>(src_[pos_] - '0');
+        ++pos_;
+      }
+      current_.number = v;
+      return;
+    }
+    if (c == '_' && !is_ident_char(pos_ + 1)) {
+      ++pos_;
+      current_.kind = Tok::kUnderscore;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      current_.kind = Tok::kIdent;
+      current_.text = take_ident();
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case ',': current_.kind = Tok::kComma; return;
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '+': current_.kind = Tok::kPlus; return;
+      case '-': current_.kind = Tok::kMinus; return;
+      case ':':
+        if (pos_ < src_.size() && src_[pos_] == '-') {
+          ++pos_;
+          current_.kind = Tok::kTurnstile;
+          return;
+        }
+        throw FrontendError(line_, "expected ':-'");
+      case '<':
+        if (pos_ < src_.size() && src_[pos_] == '=') {
+          ++pos_;
+          current_.kind = Tok::kLe;
+        } else {
+          current_.kind = Tok::kLt;
+        }
+        return;
+      case '>':
+        if (pos_ < src_.size() && src_[pos_] == '=') {
+          ++pos_;
+          current_.kind = Tok::kGe;
+        } else {
+          current_.kind = Tok::kGt;
+        }
+        return;
+      case '=': current_.kind = Tok::kEq; return;
+      case '!':
+        if (pos_ < src_.size() && src_[pos_] == '=') {
+          ++pos_;
+          current_.kind = Tok::kNe;
+          return;
+        }
+        current_.kind = Tok::kBang;
+        return;
+      default:
+        throw FrontendError(line_, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  [[nodiscard]] bool is_ident_char(std::size_t at) const {
+    if (at >= src_.size()) return false;
+    const char c = src_[at];
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+
+  std::string take_ident() {
+    const std::size_t start = pos_;
+    while (is_ident_char(pos_)) ++pos_;
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])) != 0) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  ProgramAst parse() {
+    ProgramAst out;
+    while (lex_.peek().kind != Tok::kEnd) {
+      if (lex_.peek().kind == Tok::kDirective) {
+        out.decls.push_back(parse_decl());
+        continue;
+      }
+      parse_rule_or_fact(out);
+    }
+    return out;
+  }
+
+ private:
+  Token expect(Tok kind, const char* what) {
+    if (lex_.peek().kind != kind) {
+      throw FrontendError(lex_.peek().line, std::string("expected ") + what);
+    }
+    return lex_.take();
+  }
+
+  static std::optional<AggKind> agg_keyword(const std::string& word) {
+    if (word == "min") return AggKind::kMin;
+    if (word == "max") return AggKind::kMax;
+    if (word == "sum") return AggKind::kSum;
+    if (word == "mcount") return AggKind::kMCount;
+    return std::nullopt;
+  }
+
+  DeclAst parse_decl() {
+    const Token directive = lex_.take();
+    if (directive.text != "decl") {
+      throw FrontendError(directive.line, "unknown directive ." + directive.text +
+                                              " (only .decl is supported)");
+    }
+    DeclAst decl;
+    decl.line = directive.line;
+    decl.name = expect(Tok::kIdent, "relation name").text;
+    expect(Tok::kLParen, "'('");
+    for (;;) {
+      const Token col = expect(Tok::kIdent, "column name");
+      decl.columns.push_back(col.text);
+      if (lex_.peek().kind == Tok::kIdent) {
+        const auto agg = agg_keyword(lex_.peek().text);
+        if (agg) {
+          if (decl.agg != AggKind::kNone) {
+            throw FrontendError(lex_.peek().line,
+                                decl.name + ": only one aggregated column is supported");
+          }
+          decl.agg = *agg;
+          decl.agg_column = decl.columns.size() - 1;
+          lex_.take();
+        }
+      }
+      if (lex_.peek().kind == Tok::kComma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::kRParen, "')'");
+    // Optional markers; anything else starts the next item.
+    while (lex_.peek().kind == Tok::kIdent &&
+           (lex_.peek().text == "input" || lex_.peek().text == "output")) {
+      if (lex_.take().text == "input") {
+        decl.is_input = true;
+      } else {
+        decl.is_output = true;
+      }
+    }
+    return decl;
+  }
+
+  void parse_rule_or_fact(ProgramAst& out) {
+    Atom head = parse_atom();
+    if (lex_.peek().kind == Tok::kDot) {
+      lex_.take();
+      // Ground fact.
+      for (const auto& arg : head.args) {
+        if (arg.kind != Term::Kind::kConst) {
+          throw FrontendError(head.line, head.relation + ": facts must be ground");
+        }
+      }
+      out.facts.push_back(std::move(head));
+      return;
+    }
+    expect(Tok::kTurnstile, "':-' or '.'");
+    RuleAst rule;
+    rule.line = head.line;
+    rule.head = std::move(head);
+    for (;;) {
+      parse_body_element(rule);
+      if (lex_.peek().kind == Tok::kComma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::kDot, "'.' at end of rule");
+    out.rules.push_back(std::move(rule));
+  }
+
+  void parse_body_element(RuleAst& rule) {
+    // An atom is NAME '('; a bare NAME (or anything else) starts a
+    // constraint.  min/max are function calls inside constraints, never
+    // relation names.
+    if (lex_.peek().kind == Tok::kBang) {
+      lex_.take();
+      const Token name = expect(Tok::kIdent, "relation name after '!'");
+      Atom atom = parse_atom_named(name);
+      atom.negated = true;
+      rule.body.push_back(std::move(atom));
+      return;
+    }
+    Constraint c;
+    c.line = lex_.peek().line;
+    if (lex_.peek().kind == Tok::kIdent && !agg_keyword(lex_.peek().text)) {
+      const Token name = lex_.take();
+      if (lex_.peek().kind == Tok::kLParen) {
+        rule.body.push_back(parse_atom_named(name));
+        return;
+      }
+      Term first;
+      first.kind = Term::Kind::kVar;
+      first.var = name.text;
+      c.lhs = continue_additive(std::move(first));
+    } else {
+      c.lhs = parse_term();
+    }
+    switch (lex_.peek().kind) {
+      case Tok::kLt: c.kind = Constraint::Kind::kLt; break;
+      case Tok::kLe: c.kind = Constraint::Kind::kLe; break;
+      case Tok::kGt: c.kind = Constraint::Kind::kGt; break;
+      case Tok::kGe: c.kind = Constraint::Kind::kGe; break;
+      case Tok::kEq: c.kind = Constraint::Kind::kEq; break;
+      case Tok::kNe: c.kind = Constraint::Kind::kNe; break;
+      default: throw FrontendError(c.line, "expected a comparison operator");
+    }
+    lex_.take();
+    c.rhs = parse_term();
+    rule.constraints.push_back(std::move(c));
+  }
+
+  Atom parse_atom() {
+    const Token name = expect(Tok::kIdent, "relation name");
+    return parse_atom_named(name);
+  }
+
+  Atom parse_atom_named(const Token& name) {
+    Atom atom;
+    atom.relation = name.text;
+    atom.line = name.line;
+    expect(Tok::kLParen, "'('");
+    for (;;) {
+      atom.args.push_back(parse_term());
+      if (lex_.peek().kind == Tok::kComma) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::kRParen, "')'");
+    // A constraint may follow an atom inside the body ("spath(f,t,d), d < 9")
+    // but comparisons directly after ')' belong to the next element, so
+    // nothing more to do here.
+    return atom;
+  }
+
+  Term parse_term() { return continue_additive(parse_primary()); }
+
+  Term continue_additive(Term t) {
+    while (lex_.peek().kind == Tok::kPlus || lex_.peek().kind == Tok::kMinus) {
+      const bool add = lex_.take().kind == Tok::kPlus;
+      Term rhs = parse_primary();
+      Term parent;
+      parent.kind = add ? Term::Kind::kAdd : Term::Kind::kSub;
+      parent.kids.push_back(std::move(t));
+      parent.kids.push_back(std::move(rhs));
+      t = std::move(parent);
+    }
+    return t;
+  }
+
+  Term parse_primary() {
+    const Token& p = lex_.peek();
+    switch (p.kind) {
+      case Tok::kNumber: {
+        Term t;
+        t.kind = Term::Kind::kConst;
+        t.constant = lex_.take().number;
+        return t;
+      }
+      case Tok::kUnderscore: {
+        lex_.take();
+        Term t;
+        t.kind = Term::Kind::kWildcard;
+        return t;
+      }
+      case Tok::kLParen: {
+        lex_.take();
+        Term t = parse_term();
+        expect(Tok::kRParen, "')'");
+        return t;
+      }
+      case Tok::kIdent: {
+        const Token ident = lex_.take();
+        const auto agg = agg_keyword(ident.text);
+        if (agg && lex_.peek().kind == Tok::kLParen &&
+            (*agg == AggKind::kMin || *agg == AggKind::kMax)) {
+          lex_.take();
+          Term t;
+          t.kind = *agg == AggKind::kMin ? Term::Kind::kMin : Term::Kind::kMax;
+          t.kids.push_back(parse_term());
+          expect(Tok::kComma, "','");
+          t.kids.push_back(parse_term());
+          expect(Tok::kRParen, "')'");
+          return t;
+        }
+        Term t;
+        t.kind = Term::Kind::kVar;
+        t.var = ident.text;
+        return t;
+      }
+      default:
+        throw FrontendError(p.line, "expected a term");
+    }
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+ProgramAst parse_program(std::string_view source) { return Parser(source).parse(); }
+
+}  // namespace paralagg::frontend

@@ -1,0 +1,31 @@
+#pragma once
+
+// Lexer + recursive-descent parser for the PARALAGG Datalog dialect.
+//
+// Grammar (see ast.hpp for examples):
+//
+//   program    := (decl | rule | fact)*
+//   decl       := ".decl" NAME "(" col ("," col)* ")" ("input" | "output")*
+//   col        := NAME ("min" | "max" | "sum" | "mcount")?
+//   rule       := atom ":-" bodyelem ("," bodyelem)* "."
+//   fact       := atom "."                       (all args constant)
+//   bodyelem   := atom | constraint
+//   atom       := NAME "(" term ("," term)* ")"
+//   constraint := term ("<"|"<="|">"|">="|"="|"!=") term
+//   term       := primary (("+"|"-") primary)*
+//   primary    := NUMBER | NAME | "_" | ("min"|"max") "(" term "," term ")"
+//               | "(" term ")"
+//
+// Comments run from "//" or "#" to end of line.  Errors throw
+// FrontendError with the offending line number.
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+
+namespace paralagg::frontend {
+
+/// Parse a whole program.  Throws FrontendError on the first syntax error.
+ProgramAst parse_program(std::string_view source);
+
+}  // namespace paralagg::frontend

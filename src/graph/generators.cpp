@@ -1,0 +1,209 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace paralagg::graph {
+
+Graph Graph::symmetrized() const {
+  Graph g;
+  g.name = name + "-sym";
+  g.num_nodes = num_nodes;
+  g.edges.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    g.edges.push_back(e);
+    g.edges.push_back(Edge{e.dst, e.src, e.weight});
+  }
+  return g;
+}
+
+std::vector<value_t> Graph::source_nodes() const {
+  std::vector<value_t> srcs;
+  srcs.reserve(edges.size());
+  for (const auto& e : edges) srcs.push_back(e.src);
+  std::sort(srcs.begin(), srcs.end());
+  srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+  return srcs;
+}
+
+std::vector<value_t> Graph::pick_sources(std::size_t k, std::uint64_t seed) const {
+  const auto srcs = source_nodes();
+  std::vector<value_t> out;
+  if (srcs.empty()) return out;
+  Rng rng(seed);
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(srcs[rng.below(srcs.size())]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<value_t> Graph::pick_hubs(std::size_t k) const {
+  std::unordered_map<value_t, std::uint64_t> deg;
+  for (const auto& e : edges) ++deg[e.src];
+  std::vector<std::pair<std::uint64_t, value_t>> by_degree;
+  by_degree.reserve(deg.size());
+  for (const auto& [node, d] : deg) by_degree.emplace_back(d, node);
+  // Descending by degree, ties toward the smaller id (deterministic).
+  std::sort(by_degree.begin(), by_degree.end(),
+            [](const auto& a, const auto& b) {
+              return a.first > b.first || (a.first == b.first && a.second < b.second);
+            });
+  std::vector<value_t> out;
+  for (std::size_t i = 0; i < by_degree.size() && i < k; ++i) {
+    out.push_back(by_degree[i].second);
+  }
+  return out;
+}
+
+double Graph::degree_skew() const {
+  if (edges.empty()) return 1.0;
+  std::unordered_map<value_t, std::uint64_t> deg;
+  std::uint64_t max_deg = 0;
+  for (const auto& e : edges) max_deg = std::max(max_deg, ++deg[e.src]);
+  const double avg = static_cast<double>(edges.size()) / static_cast<double>(deg.size());
+  return static_cast<double>(max_deg) / avg;
+}
+
+Graph make_rmat(const RmatParams& p) {
+  Graph g;
+  g.name = "rmat-s" + std::to_string(p.scale) + "-e" + std::to_string(p.edge_factor);
+  g.num_nodes = 1ULL << p.scale;
+  const std::uint64_t m = g.num_nodes * static_cast<std::uint64_t>(p.edge_factor);
+  g.edges.reserve(m);
+  Rng rng(p.seed);
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t row = 0, col = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      const double r = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (r < p.a) {
+        // top-left quadrant
+      } else if (r < ab) {
+        col |= 1;
+      } else if (r < abc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row == col) col = (col + 1) % g.num_nodes;  // drop self loops
+    g.edges.push_back(Edge{row, col, 1 + rng.below(p.max_weight)});
+  }
+  return g;
+}
+
+Graph make_erdos_renyi(std::uint64_t nodes, std::uint64_t edges, value_t max_weight,
+                       std::uint64_t seed) {
+  Graph g;
+  g.name = "er-" + std::to_string(nodes) + "-" + std::to_string(edges);
+  g.num_nodes = nodes;
+  g.edges.reserve(edges);
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < edges; ++i) {
+    const value_t u = rng.below(nodes);
+    value_t v = rng.below(nodes);
+    if (u == v) v = (v + 1) % nodes;
+    g.edges.push_back(Edge{u, v, 1 + rng.below(max_weight)});
+  }
+  return g;
+}
+
+Graph make_grid(std::uint64_t width, std::uint64_t height, value_t max_weight,
+                std::uint64_t seed) {
+  Graph g;
+  g.name = "grid-" + std::to_string(width) + "x" + std::to_string(height);
+  g.num_nodes = width * height;
+  Rng rng(seed);
+  const auto id = [&](std::uint64_t x, std::uint64_t y) { return y * width + x; };
+  for (std::uint64_t y = 0; y < height; ++y) {
+    for (std::uint64_t x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        const value_t w = 1 + rng.below(max_weight);
+        g.edges.push_back(Edge{id(x, y), id(x + 1, y), w});
+        g.edges.push_back(Edge{id(x + 1, y), id(x, y), w});
+      }
+      if (y + 1 < height) {
+        const value_t w = 1 + rng.below(max_weight);
+        g.edges.push_back(Edge{id(x, y), id(x, y + 1), w});
+        g.edges.push_back(Edge{id(x, y + 1), id(x, y), w});
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_chain(std::uint64_t nodes, value_t max_weight, std::uint64_t seed) {
+  Graph g;
+  g.name = "chain-" + std::to_string(nodes);
+  g.num_nodes = nodes;
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i + 1 < nodes; ++i) {
+    g.edges.push_back(Edge{i, i + 1, 1 + rng.below(max_weight)});
+  }
+  return g;
+}
+
+Graph make_star(std::uint64_t spokes, value_t max_weight, std::uint64_t seed) {
+  Graph g;
+  g.name = "star-" + std::to_string(spokes);
+  g.num_nodes = spokes + 1;
+  Rng rng(seed);
+  for (std::uint64_t i = 1; i <= spokes; ++i) {
+    g.edges.push_back(Edge{0, i, 1 + rng.below(max_weight)});
+  }
+  return g;
+}
+
+Graph make_complete(std::uint64_t nodes, value_t max_weight, std::uint64_t seed) {
+  Graph g;
+  g.name = "complete-" + std::to_string(nodes);
+  g.num_nodes = nodes;
+  Rng rng(seed);
+  for (std::uint64_t u = 0; u < nodes; ++u) {
+    for (std::uint64_t v = 0; v < nodes; ++v) {
+      if (u != v) g.edges.push_back(Edge{u, v, 1 + rng.below(max_weight)});
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(std::uint64_t nodes, value_t max_weight, std::uint64_t seed) {
+  Graph g;
+  g.name = "tree-" + std::to_string(nodes);
+  g.num_nodes = nodes;
+  Rng rng(seed);
+  for (std::uint64_t i = 1; i < nodes; ++i) {
+    g.edges.push_back(Edge{rng.below(i), i, 1 + rng.below(max_weight)});
+  }
+  return g;
+}
+
+Graph make_components(std::uint64_t k, std::uint64_t nodes_per, std::uint64_t edges_per,
+                      std::uint64_t seed) {
+  Graph g;
+  g.name = "components-" + std::to_string(k) + "x" + std::to_string(nodes_per);
+  g.num_nodes = k * nodes_per;
+  Rng rng(seed);
+  for (std::uint64_t c = 0; c < k; ++c) {
+    const std::uint64_t base = c * nodes_per;
+    // A spanning chain keeps each component connected, then extra edges.
+    for (std::uint64_t i = 0; i + 1 < nodes_per; ++i) {
+      g.edges.push_back(Edge{base + i, base + i + 1, 1});
+    }
+    for (std::uint64_t i = 0; i < edges_per; ++i) {
+      const value_t u = base + rng.below(nodes_per);
+      value_t v = base + rng.below(nodes_per);
+      if (u == v) v = base + (v - base + 1) % nodes_per;
+      g.edges.push_back(Edge{u, v, 1});
+    }
+  }
+  return g;
+}
+
+}  // namespace paralagg::graph

@@ -1,0 +1,114 @@
+#pragma once
+
+// Synthetic graph generators.
+//
+// The paper evaluates on Twitter-2010, SNAP graphs, and eight SuiteSparse
+// matrices — none of which ship with this container.  These generators
+// produce graphs with the *properties that drive the paper's effects*:
+// power-law degree skew (RMAT — breaks single-sub-bucket distribution,
+// Fig. 3), high diameter (grids/chains — long fixpoint tails, Fig. 7), and
+// density (ER/complete).  All generators are deterministic in their seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.hpp"
+
+namespace paralagg::graph {
+
+using storage::value_t;
+
+struct Edge {
+  value_t src = 0;
+  value_t dst = 0;
+  value_t weight = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct Graph {
+  std::string name;
+  std::uint64_t num_nodes = 0;  // node ids are in [0, num_nodes)
+  std::vector<Edge> edges;
+
+  [[nodiscard]] std::size_t num_edges() const { return edges.size(); }
+
+  /// Add the reverse of every edge (idempotent duplicates are fine; the
+  /// engine deduplicates).  CC runs on symmetrized graphs.
+  [[nodiscard]] Graph symmetrized() const;
+
+  /// Nodes that appear as a source of at least one edge, ascending.
+  [[nodiscard]] std::vector<value_t> source_nodes() const;
+
+  /// `k` deterministic start nodes for SSSP-style queries, spread over the
+  /// node-id space but guaranteed to have outgoing edges.
+  [[nodiscard]] std::vector<value_t> pick_sources(std::size_t k, std::uint64_t seed = 7) const;
+
+  /// The `k` highest-out-degree nodes (hubs), descending by degree.  Hubs
+  /// reach the giant component, which keeps benchmark workloads non-trivial
+  /// on power-law graphs where random sources may reach almost nothing.
+  [[nodiscard]] std::vector<value_t> pick_hubs(std::size_t k) const;
+
+  /// Max out-degree / average out-degree — the skew that defeats
+  /// single-sub-bucket distribution.
+  [[nodiscard]] double degree_skew() const;
+};
+
+/// Deterministic splitmix64 PRNG (no libc state, identical on all ranks).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return storage::mix64(state_);
+  }
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct RmatParams {
+  int scale = 14;        // 2^scale nodes
+  int edge_factor = 8;   // edges = edge_factor * nodes
+  double a = 0.57, b = 0.19, c = 0.19;  // Graph500 defaults (d = 1-a-b-c)
+  value_t max_weight = 100;
+  std::uint64_t seed = 1;
+};
+
+/// Graph500-style recursive-matrix generator: power-law in/out degrees,
+/// the stand-in for Twitter-2010 and other social/web graphs.
+Graph make_rmat(const RmatParams& p);
+
+/// Erdős–Rényi G(n, m): m uniform random edges, no degree skew.
+Graph make_erdos_renyi(std::uint64_t nodes, std::uint64_t edges, value_t max_weight = 100,
+                       std::uint64_t seed = 1);
+
+/// W x H 4-neighbour mesh, both directions per adjacency: high diameter,
+/// perfectly balanced — the stand-in for the SuiteSparse FEM matrices.
+Graph make_grid(std::uint64_t width, std::uint64_t height, value_t max_weight = 10,
+                std::uint64_t seed = 1);
+
+/// Directed path 0 -> 1 -> ... -> n-1: the diameter extreme.
+Graph make_chain(std::uint64_t nodes, value_t max_weight = 10, std::uint64_t seed = 1);
+
+/// Hub 0 with `spokes` out-edges: the skew extreme (one bucket holds
+/// everything under single-sub-bucket hashing).
+Graph make_star(std::uint64_t spokes, value_t max_weight = 10, std::uint64_t seed = 1);
+
+/// Complete directed graph on n nodes (n small!).
+Graph make_complete(std::uint64_t nodes, value_t max_weight = 10, std::uint64_t seed = 1);
+
+/// Uniform random tree on n nodes, edges parent -> child.
+Graph make_random_tree(std::uint64_t nodes, value_t max_weight = 10, std::uint64_t seed = 1);
+
+/// Union of `k` disjoint ER components (for CC tests with known answers).
+Graph make_components(std::uint64_t k, std::uint64_t nodes_per, std::uint64_t edges_per,
+                      std::uint64_t seed = 1);
+
+}  // namespace paralagg::graph

@@ -1,0 +1,42 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace paralagg::graph {
+
+void write_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << "# " << g.name << " nodes=" << g.num_nodes << " edges=" << g.edges.size() << "\n";
+  for (const auto& e : g.edges) {
+    out << e.src << " " << e.dst << " " << e.weight << "\n";
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Graph read_edge_list(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  Graph g;
+  g.name = name;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    Edge e;
+    if (!(ss >> e.src >> e.dst)) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": malformed edge");
+    }
+    if (!(ss >> e.weight)) e.weight = 1;
+    g.edges.push_back(e);
+    const auto hi = std::max(e.src, e.dst) + 1;
+    if (hi > g.num_nodes) g.num_nodes = hi;
+  }
+  return g;
+}
+
+}  // namespace paralagg::graph

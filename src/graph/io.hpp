@@ -1,0 +1,23 @@
+#pragma once
+
+// Edge-list file IO.
+//
+// Text format, one edge per line: `src dst [weight]`, '#'-prefixed comment
+// lines ignored — the format SNAP and SuiteSparse exports use, so a user
+// with the paper's real datasets can feed them straight in.
+
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace paralagg::graph {
+
+/// Write `g` as a text edge list (with a header comment).
+void write_edge_list(const Graph& g, const std::string& path);
+
+/// Parse a text edge list; `name` labels the result.  Node count is
+/// 1 + max id seen.  Throws std::runtime_error on unreadable files or
+/// malformed lines.
+Graph read_edge_list(const std::string& path, const std::string& name = "file");
+
+}  // namespace paralagg::graph

@@ -1,0 +1,72 @@
+#include "graph/zoo.hpp"
+
+namespace paralagg::graph {
+
+namespace {
+
+Graph named(Graph g, const std::string& name) {
+  g.name = name;
+  return g;
+}
+
+Graph rmat_named(const std::string& name, int scale, int ef, double a, std::uint64_t seed) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = ef;
+  p.a = a;
+  const double rest = (1.0 - a) / 3.0;
+  p.b = p.c = rest;
+  p.seed = seed;
+  return named(make_rmat(p), name);
+}
+
+}  // namespace
+
+const std::vector<ZooEntry>& table2_zoo() {
+  static const std::vector<ZooEntry> zoo = {
+      {"flickr-like", "flickr", 9'800'000, "social graph, strong hub skew, short diameter",
+       [] { return rmat_named("flickr-like", 12, 6, 0.57, 11); }},
+      {"freescale-like", "Freescale1", 19'000'000,
+       "circuit mesh, balanced degrees, ~126-iteration fixpoint",
+       [] { return named(make_grid(100, 100, 10, 12), "freescale-like"); }},
+      {"wiki-like", "wiki", 37'200'000, "web graph, heavy skew, deep link chains",
+       [] { return rmat_named("wiki-like", 13, 7, 0.60, 13); }},
+      {"wb-edu-like", "wb-edu", 57'200'000, "web crawl, skewed, many reachable pairs",
+       [] { return rmat_named("wb-edu-like", 13, 10, 0.57, 14); }},
+      {"ml-geer-like", "ML_Geer", 110'800'000,
+       "FEM mesh, highest iteration count in the suite (paper: 500)",
+       [] { return named(make_grid(170, 170, 10, 15), "ml-geer-like"); }},
+      {"hv15r-like", "HV15R", 283'100'000, "dense CFD matrix, low diameter (paper: 75 iters)",
+       [] { return named(make_erdos_renyi(1ULL << 14, 200'000, 100, 16), "hv15r-like"); }},
+      {"arabic-like", "arabic", 640'000'000, "largest crawl in the suite, extreme hub skew",
+       [] { return rmat_named("arabic-like", 14, 17, 0.62, 17); }},
+      {"stokes-like", "stokes", 349'300'000, "FEM mesh, long fixpoint (paper: 367 iters)",
+       [] { return named(make_grid(160, 160, 10, 18), "stokes-like"); }},
+  };
+  return zoo;
+}
+
+Graph make_livejournal_like() { return rmat_named("livejournal-like", 13, 8, 0.57, 21); }
+
+Graph make_orkut_like() { return rmat_named("orkut-like", 12, 16, 0.55, 22); }
+
+Graph make_topcats_like() { return rmat_named("topcats-like", 11, 8, 0.57, 23); }
+
+Graph make_twitter_like(int scale, int edge_factor) {
+  return rmat_named("twitter-like", scale, edge_factor, 0.65, 42);
+}
+
+Graph make_celebrity_like(int scale, int edge_factor, std::uint64_t celebrity_degree) {
+  Graph g = rmat_named("celebrity-like", scale, edge_factor, 0.57, 43);
+  Rng rng(4242);
+  // The celebrity gets a mid-range id so it carries no special hash.
+  const value_t celebrity = g.num_nodes / 3;
+  for (std::uint64_t i = 0; i < celebrity_degree; ++i) {
+    value_t follower = rng.below(g.num_nodes);
+    if (follower == celebrity) follower = (follower + 1) % g.num_nodes;
+    g.edges.push_back(Edge{celebrity, follower, 1 + rng.below(100)});
+  }
+  return g;
+}
+
+}  // namespace paralagg::graph

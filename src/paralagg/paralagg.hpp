@@ -1,0 +1,38 @@
+#pragma once
+
+// Umbrella header: the PARALAGG public API.
+//
+//   #include "paralagg/paralagg.hpp"
+//
+//   paralagg::vmpi::run(nranks, [&](paralagg::vmpi::Comm& comm) {
+//     paralagg::queries::SsspOptions opts;
+//     opts.sources = {0};
+//     auto result = paralagg::queries::run_sssp(comm, graph, opts);
+//   });
+//
+// Layers, bottom to top:
+//   vmpi      — message-passing substrate (ranks, collectives, stats)
+//   storage   — tuples and B-tree partitions
+//   core      — relations, aggregators, RA kernels, fixpoint engine
+//   graph     — generators, IO, dataset zoo
+//   queries   — prebuilt declarative queries (SSSP, CC, PageRank, TC, ...)
+//   baseline  — comparator engines (shuffle-style, stratified Datalog)
+
+#include "baseline/shuffle_engine.hpp"
+#include "baseline/stratified_engine.hpp"
+#include "core/aggregator.hpp"
+#include "core/engine.hpp"
+#include "core/program.hpp"
+#include "frontend/compiler.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/zoo.hpp"
+#include "queries/cc.hpp"
+#include "queries/lsp.hpp"
+#include "queries/pagerank.hpp"
+#include "queries/reference.hpp"
+#include "queries/sssp.hpp"
+#include "queries/sssp_tree.hpp"
+#include "queries/tc.hpp"
+#include "queries/triangles.hpp"
+#include "vmpi/runtime.hpp"

@@ -1,0 +1,41 @@
+#pragma once
+
+// Connected components via recursive $MIN aggregation (paper §V-A):
+//
+//   cc(n, n)                      <- edge(n, _).
+//   cc(y, $MIN(z))                <- cc(x, z), edge(x, y).
+//   cc_representative(n)          <- cc(_, n).
+//
+// Stored orders:
+//   edge = (x, y)      plain, jcc = 1, symmetrized, balanceable
+//   cc   = (x, label)  $MIN,  jcc = 1 (label is the dependent column)
+//   comp = (label)     plain  (second stratum; |comp| is Table II "Comp")
+//
+// The $MIN canonicalizes each component to its smallest member id; the
+// fused local aggregation keeps at most one label per node at all times —
+// the collapse that Datalog-style materialization cannot do.
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+struct CcOptions {
+  QueryTuning tuning;
+  /// Treat the input as undirected by inserting both edge directions
+  /// (paper semantics).  Disable only for tests on pre-symmetrized input.
+  bool symmetrize = true;
+  bool collect_labels = false;  // gather (node, label) rows to rank 0
+};
+
+struct CcResult {
+  std::uint64_t component_count = 0;  // |cc_representative|
+  std::uint64_t labelled_nodes = 0;   // |cc|
+  std::size_t iterations = 0;
+  core::RunResult run;
+  std::vector<Tuple> labels;  // stored-order (node, label); rank 0 only
+};
+
+/// Collective.
+CcResult run_cc(vmpi::Comm& comm, const graph::Graph& g, const CcOptions& opts);
+
+}  // namespace paralagg::queries

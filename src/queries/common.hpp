@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared helpers for the prebuilt queries.
+//
+// Queries are SPMD: every rank calls run_<query> with the same graph and
+// options; fact loading slices the edge list round-robin by rank so no
+// rank needs the whole input resident in relation form.
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace paralagg::queries {
+
+using core::Expr;
+using core::Tuple;
+using core::value_t;
+
+/// This rank's round-robin slice of the edge list as (src, dst[, weight])
+/// tuples.
+inline std::vector<Tuple> edge_slice(const vmpi::Comm& comm, const graph::Graph& g,
+                                     bool weighted) {
+  std::vector<Tuple> out;
+  const auto n = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+  out.reserve(g.edges.size() / n + 1);
+  for (std::size_t i = me; i < g.edges.size(); i += n) {
+    const auto& e = g.edges[i];
+    if (weighted) {
+      out.push_back(Tuple{e.src, e.dst, e.weight});
+    } else {
+      out.push_back(Tuple{e.src, e.dst});
+    }
+  }
+  return out;
+}
+
+/// This rank's slice of the node-id range [0, num_nodes) as unary tuples.
+inline std::vector<Tuple> node_slice(const vmpi::Comm& comm, std::uint64_t num_nodes) {
+  std::vector<Tuple> out;
+  const auto n = static_cast<std::uint64_t>(comm.size());
+  const auto me = static_cast<std::uint64_t>(comm.rank());
+  for (std::uint64_t v = me; v < num_nodes; v += n) out.push_back(Tuple{v});
+  return out;
+}
+
+/// Engine + relation-layout knobs shared by the graph queries; defaults
+/// match the paper's optimized configuration.
+struct QueryTuning {
+  core::EngineConfig engine;
+  /// Initial sub-bucket fan-out of the (skew-prone) edge relation; the
+  /// paper's default is 8 per rank for input relations.
+  int edge_sub_buckets = 1;
+  /// Mark the edge relation balanceable so the spatial balancer may raise
+  /// its fan-out when it detects skew.
+  bool balance_edges = true;
+
+  /// The paper's RQ1 baseline: no balancing, fixed join order.
+  static QueryTuning baseline() {
+    QueryTuning t;
+    t.engine = core::baseline_config();
+    t.balance_edges = false;
+    return t;
+  }
+};
+
+}  // namespace paralagg::queries

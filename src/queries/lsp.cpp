@@ -1,0 +1,99 @@
+#include "queries/lsp.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::queries {
+
+LspResult run_lsp(vmpi::Comm& comm, const graph::Graph& g, const LspOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 3,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  auto* spath = program.relation({
+      .name = "spath",
+      .arity = 3,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_min_aggregator(),
+  });
+  // SpNorm is a *plain* relation: it remembers every row ever copied into
+  // it — that is what makes the leaky plan observable.
+  auto* spnorm = program.relation({.name = "spnorm", .arity = 3, .jcc = 1});
+  auto* lsp = program.relation({
+      .name = "lsp",
+      .arity = 2,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_max_aggregator(),
+  });
+
+  const core::JoinRule sssp_rule{
+      .a = spath,
+      .a_version = core::Version::kDelta,
+      .b = edge,
+      .b_version = core::Version::kFull,
+      .out = {.target = spath,
+              .cols = {Expr::col_b(1), Expr::col_a(1),
+                       Expr::add(Expr::col_a(2), Expr::col_b(2))}},
+  };
+  const core::CopyRule norm_from_delta{
+      .src = spath,
+      .version = core::Version::kDelta,
+      .out = {.target = spnorm,
+              .cols = {Expr::col_a(0), Expr::col_a(1), Expr::col_a(2)}},
+  };
+  const core::CopyRule norm_from_full{
+      .src = spath,
+      .version = core::Version::kFull,
+      .out = {.target = spnorm,
+              .cols = {Expr::col_a(0), Expr::col_a(1), Expr::col_a(2)}},
+  };
+
+  auto& fix = program.stratum();
+  fix.loop_rules.push_back(sssp_rule);
+  if (opts.plan == LspPlan::kLeaky) {
+    // Anti-pattern: observe the delta inside the fixpoint.  Transient
+    // lengths leak into SpNorm before $MIN can purge them.
+    fix.loop_rules.push_back(norm_from_delta);
+  }
+
+  // Init rules within one stratum all read pre-stratum state, so the
+  // normalize -> aggregate chain needs two strata.
+  if (opts.plan == LspPlan::kStratified) {
+    auto& normalize = program.stratum();
+    normalize.init_rules.push_back(norm_from_full);
+  }
+  auto& aggregate = program.stratum();
+  aggregate.init_rules.push_back(core::CopyRule{
+      .src = spnorm,
+      .version = core::Version::kFull,
+      .out = {.target = lsp, .cols = {Expr::constant(0), Expr::col_a(2)}},
+  });
+
+  edge->load_facts(edge_slice(comm, g, /*weighted=*/true));
+  std::vector<Tuple> seeds;
+  if (comm.rank() == 0) {
+    for (value_t s : opts.sources) seeds.push_back(Tuple{s, s, 0});
+  }
+  spath->load_facts(seeds);
+
+  core::Engine engine(comm, opts.tuning.engine);
+  LspResult result;
+  result.run = engine.run(program);
+  result.iterations = result.run.total_iterations;
+  result.spath_count = spath->global_size(core::Version::kFull);
+  result.spnorm_count = spnorm->global_size(core::Version::kFull);
+
+  const auto rows = lsp->gather_to_root(0);
+  value_t longest = 0;
+  if (comm.rank() == 0 && !rows.empty()) longest = rows.front()[1];
+  result.longest = comm.bcast_value<value_t>(0, longest);
+  return result;
+}
+
+}  // namespace paralagg::queries

@@ -1,0 +1,50 @@
+#pragma once
+
+// Longest shortest path (graph "eccentricity" from the sources) — the
+// paper's §III-A example of why recursive aggregates must not leak
+// intermediate results:
+//
+//   SpNorm(f, t, v) <- Spath(f, t, v).
+//   Lsp($MAX(v))    <- SpNorm(_, _, v).
+//
+// Two implementations are provided:
+//
+//  * kStratified (correct): the copy into SpNorm runs in a *later stratum*,
+//    after the Spath fixpoint, so only final (fully collapsed) shortest
+//    distances are observed and communicated.
+//
+//  * kLeaky (the anti-pattern): the copy runs *inside* the Spath fixpoint
+//    on the delta, so every transient path length — lengths that $MIN later
+//    purges — is materialized into SpNorm and shipped across ranks.  The
+//    result for Lsp is still correct (max over a superset of lengths that
+//    contains all finals... it is NOT: transient lengths can exceed the
+//    true eccentricity), which is exactly the paper's point: the leaky
+//    plan computes a different, larger relation and pays for it.
+//
+// The ablation bench compares tuples and bytes communicated between the
+// two; tests assert the stratified answer against the Dijkstra oracle.
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+enum class LspPlan : std::uint8_t { kStratified, kLeaky };
+
+struct LspOptions {
+  std::vector<value_t> sources;
+  LspPlan plan = LspPlan::kStratified;
+  QueryTuning tuning;
+};
+
+struct LspResult {
+  value_t longest = 0;            // MAX over observed path lengths
+  std::uint64_t spnorm_count = 0;  // |SpNorm| — the leak shows up here
+  std::uint64_t spath_count = 0;
+  std::size_t iterations = 0;
+  core::RunResult run;
+};
+
+/// Collective.
+LspResult run_lsp(vmpi::Comm& comm, const graph::Graph& g, const LspOptions& opts);
+
+}  // namespace paralagg::queries

@@ -1,0 +1,95 @@
+#include "queries/pagerank.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::queries {
+
+PagerankResult run_pagerank(vmpi::Comm& comm, const graph::Graph& g,
+                            const PagerankOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 2,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  auto* nodes = program.relation({.name = "nodes", .arity = 1, .jcc = 1});
+  auto* outdeg = program.relation({
+      .name = "outdeg",
+      .arity = 2,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_sum_aggregator(),
+  });
+  auto* edeg = program.relation({.name = "edeg", .arity = 3, .jcc = 1});
+  auto* rank = program.relation({
+      .name = "rank",
+      .arity = 2,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_sum_aggregator(),
+      .agg_mode = core::AggMode::kRefresh,
+  });
+
+  // Stratum 1: degrees, then edges annotated with their source's degree.
+  auto& prepare = program.stratum();
+  prepare.init_rules.push_back(core::CopyRule{
+      .src = edge,
+      .version = core::Version::kFull,
+      .out = {.target = outdeg, .cols = {Expr::col_a(0), Expr::constant(1)}},
+  });
+  auto& annotate = program.stratum();
+  annotate.init_rules.push_back(core::JoinRule{
+      .a = edge,
+      .a_version = core::Version::kFull,
+      .b = outdeg,
+      .b_version = core::Version::kFull,
+      .out = {.target = edeg,
+              .cols = {Expr::col_a(0), Expr::col_a(1), Expr::col_b(1)}},
+  });
+
+  // Stratum 2: K Jacobi rounds of rank refresh.
+  const value_t base =
+      kRankScale * (opts.damping_den - opts.damping_num) / opts.damping_den;
+  auto& iterate = program.stratum();
+  iterate.fixpoint = false;
+  iterate.max_rounds = opts.rounds;
+  iterate.loop_rules.push_back(core::CopyRule{
+      .src = nodes,
+      .version = core::Version::kFull,
+      .out = {.target = rank, .cols = {Expr::col_a(0), Expr::constant(base)}},
+  });
+  iterate.loop_rules.push_back(core::JoinRule{
+      .a = rank,
+      .a_version = core::Version::kFull,
+      .b = edeg,
+      .b_version = core::Version::kFull,
+      // damped share: d * r / c, routed to the target y.
+      .out = {.target = rank,
+              .cols = {Expr::col_b(1),
+                       Expr::mul_div(Expr::div(Expr::col_a(1), Expr::col_b(2)),
+                                     opts.damping_num, opts.damping_den)}},
+  });
+
+  edge->load_facts(edge_slice(comm, g, /*weighted=*/false));
+  nodes->load_facts(node_slice(comm, g.num_nodes));
+
+  core::Engine engine(comm, opts.tuning.engine);
+  PagerankResult result;
+  result.run = engine.run(program);
+  result.rounds = result.run.total_iterations;
+  result.ranked_nodes = rank->global_size(core::Version::kFull);
+
+  // Mass check: Σ rank / (N * scale).
+  std::uint64_t local_mass = 0;
+  rank->tree(core::Version::kFull).for_each([&](const Tuple& t) { local_mass += t[1]; });
+  const auto mass = comm.allreduce<std::uint64_t>(local_mass, vmpi::ReduceOp::kSum);
+  result.total_mass = static_cast<double>(mass) /
+                      (static_cast<double>(g.num_nodes) * static_cast<double>(kRankScale));
+  if (opts.collect_ranks) result.ranks = rank->gather_to_root(0);
+  return result;
+}
+
+}  // namespace paralagg::queries

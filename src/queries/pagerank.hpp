@@ -1,0 +1,47 @@
+#pragma once
+
+// PageRank as a recursive aggregate (the RaSQL/SociaLite formulation the
+// paper cites; the paper names PageRank as expressible in §I/§II-C):
+//
+//   outdeg(x, $SUM(1))                  <- edge(x, _).            [stratum 1]
+//   edeg(x, y, c)                       <- edge(x, y), outdeg(x, c).
+//   rank(y, 0.15 + 0.85 * $SUM(r / c))  <- rank(x, r), edeg(x, y, c).
+//                                          (fixed K rounds)       [stratum 2]
+//
+// Ranks are carried as fixed-point integers (kScale = 1e6).  $SUM is not
+// idempotent, so the rank relation runs in AggMode::kRefresh: each round
+// the staged contributions are aggregated from scratch and replace the
+// stored vector (synchronous Jacobi iteration), and the stratum runs a
+// fixed number of rounds instead of detecting a fixpoint.  Communication
+// structure is identical to the lattice queries — contributions are routed
+// by the independent column and summed in the fused dedup/agg pass.
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+inline constexpr value_t kRankScale = 1'000'000;  // fixed-point 1.0
+
+struct PagerankOptions {
+  std::size_t rounds = 20;
+  /// Damping factor as a rational (default 0.85).
+  value_t damping_num = 85, damping_den = 100;
+  QueryTuning tuning;
+  bool collect_ranks = false;
+};
+
+struct PagerankResult {
+  std::uint64_t ranked_nodes = 0;
+  std::size_t rounds = 0;
+  /// Σ ranks / (N * kRankScale); approaches 1 as rounds grow (with the
+  /// 1/N-normalized base (1-d)/N folded out, this sanity-checks mass).
+  double total_mass = 0;
+  core::RunResult run;
+  std::vector<Tuple> ranks;  // (node, fixed-point rank); rank 0 only
+};
+
+/// Collective.
+PagerankResult run_pagerank(vmpi::Comm& comm, const graph::Graph& g,
+                            const PagerankOptions& opts);
+
+}  // namespace paralagg::queries

@@ -1,0 +1,197 @@
+#include "queries/reference.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace paralagg::queries::reference {
+
+namespace {
+
+using Adjacency = std::unordered_map<value_t, std::vector<std::pair<value_t, value_t>>>;
+
+Adjacency adjacency(const Graph& g, bool symmetrize) {
+  Adjacency adj;
+  for (const auto& e : g.edges) {
+    adj[e.src].emplace_back(e.dst, e.weight);
+    if (symmetrize) adj[e.dst].emplace_back(e.src, e.weight);
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::map<std::pair<value_t, value_t>, value_t> sssp(const Graph& g,
+                                                    const std::vector<value_t>& sources) {
+  const auto adj = adjacency(g, /*symmetrize=*/false);
+  std::map<std::pair<value_t, value_t>, value_t> out;
+  for (const value_t s : sources) {
+    std::unordered_map<value_t, value_t> dist;
+    using Item = std::pair<value_t, value_t>;  // (distance, node)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.emplace(0, s);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      const auto it = dist.find(u);
+      if (it != dist.end() && it->second < d) continue;
+      const auto au = adj.find(u);
+      if (au == adj.end()) continue;
+      for (const auto& [v, w] : au->second) {
+        const value_t nd = d + w;
+        const auto dv = dist.find(v);
+        if (dv == dist.end() || nd < dv->second) {
+          dist[v] = nd;
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    for (const auto& [node, d] : dist) out[{s, node}] = d;
+  }
+  return out;
+}
+
+value_t eccentricity(const Graph& g, const std::vector<value_t>& sources) {
+  value_t longest = 0;
+  for (const auto& [pair, d] : sssp(g, sources)) {
+    (void)pair;
+    longest = std::max(longest, d);
+  }
+  return longest;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  value_t find(value_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    value_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const value_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void unite(value_t a, value_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller id wins the root, so roots coincide with $MIN labels.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+  [[nodiscard]] const std::unordered_map<value_t, value_t>& nodes() const { return parent_; }
+
+ private:
+  std::unordered_map<value_t, value_t> parent_;
+};
+
+}  // namespace
+
+std::unordered_map<value_t, value_t> cc_labels(const Graph& g) {
+  UnionFind uf;
+  for (const auto& e : g.edges) uf.unite(e.src, e.dst);
+  std::unordered_map<value_t, value_t> labels;
+  for (const auto& [node, ignored] : uf.nodes()) {
+    (void)ignored;
+    labels[node] = uf.find(node);
+  }
+  return labels;
+}
+
+std::uint64_t cc_count(const Graph& g) {
+  const auto labels = cc_labels(g);
+  std::set<value_t> reps;
+  for (const auto& [node, label] : labels) {
+    (void)node;
+    reps.insert(label);
+  }
+  return reps.size();
+}
+
+std::uint64_t tc_size(const Graph& g) {
+  const auto adj = adjacency(g, /*symmetrize=*/false);
+  std::uint64_t pairs = 0;
+  for (const auto& [start, ignored] : adj) {
+    (void)ignored;
+    std::set<value_t> seen;
+    std::vector<value_t> stack;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const value_t u = stack.back();
+      stack.pop_back();
+      const auto au = adj.find(u);
+      if (au == adj.end()) continue;
+      for (const auto& [v, w] : au->second) {
+        (void)w;
+        if (seen.insert(v).second) stack.push_back(v);
+      }
+    }
+    pairs += seen.size();
+  }
+  return pairs;
+}
+
+std::uint64_t triangles(const Graph& g) {
+  // Build the simple undirected neighbour sets.
+  std::unordered_map<value_t, std::set<value_t>> nbr;
+  for (const auto& e : g.edges) {
+    if (e.src == e.dst) continue;
+    nbr[e.src].insert(e.dst);
+    nbr[e.dst].insert(e.src);
+  }
+  std::uint64_t count = 0;
+  for (const auto& [u, us] : nbr) {
+    for (const value_t v : us) {
+      if (v <= u) continue;
+      for (const value_t w : nbr[v]) {
+        if (w <= v) continue;
+        if (us.contains(w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<value_t> pagerank(const Graph& g, std::size_t rounds, value_t damping_num,
+                              value_t damping_den) {
+  constexpr value_t kScale = 1'000'000;
+  const value_t base = kScale * (damping_den - damping_num) / damping_den;
+
+  // Distinct out-neighbours (the engine's edge relation is a set).
+  std::unordered_map<value_t, std::set<value_t>> out_nbrs;
+  for (const auto& e : g.edges) out_nbrs[e.src].insert(e.dst);
+
+  std::vector<value_t> rank(g.num_nodes, 0);
+  std::vector<value_t> next(g.num_nodes, 0);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::fill(next.begin(), next.end(), base);
+    for (const auto& [x, nbrs] : out_nbrs) {
+      if (x >= g.num_nodes) continue;
+      const value_t c = nbrs.size();
+      // Same integer arithmetic as the engine's Expr tree:
+      // mul_div(div(r, c), num, den) with a 128-bit intermediate.
+      __extension__ typedef unsigned __int128 u128;
+      const auto share =
+          static_cast<value_t>(static_cast<u128>(rank[x] / c) * damping_num / damping_den);
+      for (const value_t y : nbrs) {
+        if (y < g.num_nodes) next[y] += share;
+      }
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+}  // namespace paralagg::queries::reference

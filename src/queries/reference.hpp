@@ -1,0 +1,50 @@
+#pragma once
+
+// Sequential reference oracles.
+//
+// Textbook single-threaded implementations used by the test suite and the
+// benchmark harness to validate every distributed result: Dijkstra for
+// SSSP, union-find for CC, BFS closure for TC, wedge counting for
+// triangles, and an integer-exact Jacobi loop for PageRank (replicating
+// the engine's fixed-point arithmetic so results compare with ==).
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace paralagg::queries::reference {
+
+using graph::Graph;
+using graph::value_t;
+
+/// Multi-source shortest paths: dist[(from, to)] for every reachable pair.
+std::map<std::pair<value_t, value_t>, value_t> sssp(
+    const Graph& g, const std::vector<value_t>& sources);
+
+/// Longest finite shortest-path distance from any of `sources`.
+value_t eccentricity(const Graph& g, const std::vector<value_t>& sources);
+
+/// Component label (smallest member id) for every node incident to an
+/// edge; treats the graph as undirected.
+std::unordered_map<value_t, value_t> cc_labels(const Graph& g);
+
+/// Number of connected components among edge-incident nodes.
+std::uint64_t cc_count(const Graph& g);
+
+/// |transitive closure| of the directed edge set (pairs (x, z), x reaches z
+/// in >= 1 step).
+std::uint64_t tc_size(const Graph& g);
+
+/// Undirected triangle count (graph is symmetrized internally).
+std::uint64_t triangles(const Graph& g);
+
+/// Fixed-point PageRank matching queries::run_pagerank bit-for-bit:
+/// `rounds` Jacobi rounds, damping num/den, scale 1e6.  Returns rank per
+/// node id.
+std::vector<value_t> pagerank(const Graph& g, std::size_t rounds, value_t damping_num = 85,
+                              value_t damping_den = 100);
+
+}  // namespace paralagg::queries::reference

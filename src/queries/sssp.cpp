@@ -1,0 +1,57 @@
+#include "queries/sssp.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::queries {
+
+SsspResult run_sssp(vmpi::Comm& comm, const graph::Graph& g, const SsspOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 3,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  auto* spath = program.relation({
+      .name = "spath",
+      .arity = 3,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_min_aggregator(),
+  });
+
+  auto& stratum = program.stratum();
+  stratum.loop_rules.push_back(core::JoinRule{
+      .a = spath,
+      .a_version = core::Version::kDelta,
+      .b = edge,
+      .b_version = core::Version::kFull,
+      // new spath row, stored order (to, from, l + n)
+      .out = {.target = spath,
+              .cols = {Expr::col_b(1), Expr::col_a(1),
+                       Expr::add(Expr::col_a(2), Expr::col_b(2))}},
+  });
+
+  edge->load_facts(edge_slice(comm, g, /*weighted=*/true));
+
+  // Seed Spath(n, n, 0) for each start node; rank 0 contributes them all
+  // (load_facts routes each to its owner).
+  std::vector<Tuple> seeds;
+  if (comm.rank() == 0) {
+    seeds.reserve(opts.sources.size());
+    for (value_t s : opts.sources) seeds.push_back(Tuple{s, s, 0});
+  }
+  spath->load_facts(seeds);
+
+  core::Engine engine(comm, opts.tuning.engine);
+  SsspResult result;
+  result.run = engine.run(program);
+  result.iterations = result.run.total_iterations;
+  result.path_count = spath->global_size(core::Version::kFull);
+  if (opts.collect_distances) result.distances = spath->gather_to_root(0);
+  return result;
+}
+
+}  // namespace paralagg::queries

@@ -1,0 +1,40 @@
+#pragma once
+
+// Single-source (and multi-source) shortest paths via recursive $MIN
+// aggregation — the paper's flagship query (§II-C):
+//
+//   Spath(n, n, 0)                <- Start(n).
+//   Spath(from, to, $MIN(l + n))  <- Spath(from, mid, l), Edge(mid, to, n).
+//
+// Stored orders (join columns first, dependent column last):
+//   edge  = (mid, to, n)           plain, jcc = 1, balanceable
+//   spath = (mid*, from, dist)     $MIN,  jcc = 1; * the "to" of the tuple,
+//                                  which is next iteration's join key
+//
+// The aggregation key is (mid*, from) — both independent columns — so every
+// partial path to the same (from, to) pair lands on one rank and collapses
+// in the fused dedup/aggregation pass with zero extra communication.
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+struct SsspOptions {
+  std::vector<value_t> sources;  // one entry per start node (multi-source OK)
+  QueryTuning tuning;
+  /// Gather all (to, from, dist) rows to rank 0 in the result.
+  bool collect_distances = false;
+};
+
+struct SsspResult {
+  std::uint64_t path_count = 0;  // |Spath| at fixpoint (Table II "Paths")
+  std::size_t iterations = 0;
+  core::RunResult run;
+  /// Stored-order rows (to, from, dist); rank 0 only, when requested.
+  std::vector<Tuple> distances;
+};
+
+/// Collective.
+SsspResult run_sssp(vmpi::Comm& comm, const graph::Graph& g, const SsspOptions& opts);
+
+}  // namespace paralagg::queries

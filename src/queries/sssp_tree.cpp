@@ -1,0 +1,52 @@
+#include "queries/sssp_tree.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::queries {
+
+SsspTreeResult run_sssp_tree(vmpi::Comm& comm, const graph::Graph& g,
+                             const SsspTreeOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 3,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  auto* tree = program.relation({
+      .name = "tree",
+      .arity = 3,
+      .jcc = 1,
+      .dep_arity = 2,  // (dist, parent)
+      .aggregator = core::make_argmin_aggregator(),
+  });
+
+  auto& stratum = program.stratum();
+  // Tree(t, l + w, m) <- Tree(m, l, _), Edge(m, t, w).
+  stratum.loop_rules.push_back(core::JoinRule{
+      .a = tree,
+      .a_version = core::Version::kDelta,
+      .b = edge,
+      .b_version = core::Version::kFull,
+      .out = {.target = tree,
+              .cols = {Expr::col_b(1), Expr::add(Expr::col_a(1), Expr::col_b(2)),
+                       Expr::col_a(0)}},
+  });
+
+  edge->load_facts(edge_slice(comm, g, /*weighted=*/true));
+  std::vector<Tuple> seed;
+  if (comm.rank() == 0) seed.push_back(Tuple{opts.source, 0, opts.source});
+  tree->load_facts(seed);
+
+  core::Engine engine(comm, opts.tuning.engine);
+  SsspTreeResult result;
+  result.run = engine.run(program);
+  result.iterations = result.run.total_iterations;
+  result.reached = tree->global_size(core::Version::kFull);
+  result.tree = tree->gather_to_root(0);
+  return result;
+}
+
+}  // namespace paralagg::queries

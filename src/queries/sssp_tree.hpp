@@ -1,0 +1,38 @@
+#pragma once
+
+// Shortest-path tree: SSSP carrying an argmin *witness* — for every
+// reached node, the distance and the predecessor on a shortest path:
+//
+//   Tree(n, 0, n)                          <- Start(n).
+//   Tree(t, $ARGMIN(l + w, m))            <- Tree(m, l, _), Edge(m, t, w).
+//
+// Stored order: tree = (node, dist, parent), jcc = 1, dep_arity = 2 —
+// the two-column ($MIN value, witness) lattice of
+// core::make_argmin_aggregator(), demonstrating multi-column dependent
+// values flowing through the same fused dedup/aggregation pass.
+// Single-source (witnesses per (source, node) would need the pair key, as
+// in run_sssp).
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+struct SsspTreeOptions {
+  value_t source = 0;
+  QueryTuning tuning;
+};
+
+struct SsspTreeResult {
+  std::uint64_t reached = 0;
+  std::size_t iterations = 0;
+  core::RunResult run;
+  /// (node, dist, parent) rows, gathered to rank 0 and sorted by node.
+  /// parent == node for the source itself.
+  std::vector<Tuple> tree;
+};
+
+/// Collective.
+SsspTreeResult run_sssp_tree(vmpi::Comm& comm, const graph::Graph& g,
+                             const SsspTreeOptions& opts);
+
+}  // namespace paralagg::queries

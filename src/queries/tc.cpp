@@ -1,0 +1,46 @@
+#include "queries/tc.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::queries {
+
+TcResult run_tc(vmpi::Comm& comm, const graph::Graph& g, const TcOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 2,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  auto* path = program.relation({.name = "path", .arity = 2, .jcc = 1});
+
+  auto& stratum = program.stratum();
+  // Path(x, y) <- Edge(x, y): stored path row is (y, x).
+  stratum.init_rules.push_back(core::CopyRule{
+      .src = edge,
+      .version = core::Version::kFull,
+      .out = {.target = path, .cols = {Expr::col_a(1), Expr::col_a(0)}},
+  });
+  // Path(x, z) <- Path(x, y), Edge(y, z): join on y, emit stored (z, x).
+  stratum.loop_rules.push_back(core::JoinRule{
+      .a = path,
+      .a_version = core::Version::kDelta,
+      .b = edge,
+      .b_version = core::Version::kFull,
+      .out = {.target = path, .cols = {Expr::col_b(1), Expr::col_a(1)}},
+  });
+
+  edge->load_facts(edge_slice(comm, g, /*weighted=*/false));
+
+  core::Engine engine(comm, opts.tuning.engine);
+  TcResult result;
+  result.run = engine.run(program);
+  result.iterations = result.run.total_iterations;
+  result.path_count = path->global_size(core::Version::kFull);
+  if (opts.collect_pairs) result.pairs = path->gather_to_root(0);
+  return result;
+}
+
+}  // namespace paralagg::queries

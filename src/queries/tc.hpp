@@ -1,0 +1,36 @@
+#pragma once
+
+// Transitive closure — plain Datalog, no aggregation (paper §II-A):
+//
+//   Path(x, y) <- Edge(x, y).
+//   Path(x, z) <- Path(x, y), Edge(y, z).
+//
+// Stored orders (join column first):
+//   edge = (y, z)   jcc = 1
+//   path = (y, x)   jcc = 1  — indexed on its *second* declared column,
+//                              because that is what the recursion joins on
+//
+// Included as the baseline expressiveness check: PARALAGG strictly extends
+// BPRA, so vanilla Datalog must still run (and its materialization cost
+// motivates recursive aggregation — see the Lsp ablation).
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+struct TcOptions {
+  QueryTuning tuning;
+  bool collect_pairs = false;
+};
+
+struct TcResult {
+  std::uint64_t path_count = 0;
+  std::size_t iterations = 0;
+  core::RunResult run;
+  std::vector<Tuple> pairs;  // stored-order (y, x) = path x -> y; rank 0 only
+};
+
+/// Collective.
+TcResult run_tc(vmpi::Comm& comm, const graph::Graph& g, const TcOptions& opts);
+
+}  // namespace paralagg::queries

@@ -1,0 +1,75 @@
+#include "queries/triangles.hpp"
+
+#include "core/program.hpp"
+
+namespace paralagg::queries {
+
+TrianglesResult run_triangles(vmpi::Comm& comm, const graph::Graph& g,
+                              const TrianglesOptions& opts) {
+  core::Program program(comm);
+
+  auto* edge = program.relation({
+      .name = "edge",
+      .arity = 2,
+      .jcc = 1,
+      .sub_buckets = opts.tuning.edge_sub_buckets,
+      .balanceable = opts.tuning.balance_edges,
+  });
+  auto* edge2 = program.relation({.name = "edge2", .arity = 2, .jcc = 2});
+  auto* wedge = program.relation({.name = "wedge", .arity = 3, .jcc = 2});
+  auto* tri = program.relation({
+      .name = "tri",
+      .arity = 2,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_sum_aggregator(),
+  });
+
+  // Stratum 1: wedges with ordered outer pair.
+  auto& wedges = program.stratum();
+  wedges.init_rules.push_back(core::JoinRule{
+      .a = edge,
+      .a_version = core::Version::kFull,
+      .b = edge,
+      .b_version = core::Version::kFull,
+      .out = {.target = wedge,
+              .cols = {Expr::col_a(1), Expr::col_b(1), Expr::col_a(0)}},
+      .filter = Expr::less(Expr::col_a(1), Expr::col_b(1)),
+  });
+
+  // Stratum 2: close each wedge against edge2 and count.
+  auto& close = program.stratum();
+  close.init_rules.push_back(core::JoinRule{
+      .a = wedge,
+      .a_version = core::Version::kFull,
+      .b = edge2,
+      .b_version = core::Version::kFull,
+      .out = {.target = tri, .cols = {Expr::constant(0), Expr::constant(1)}},
+  });
+
+  {
+    std::vector<Tuple> slice;
+    const auto n = static_cast<std::size_t>(comm.size());
+    const auto me = static_cast<std::size_t>(comm.rank());
+    for (std::size_t i = me; i < g.edges.size(); i += n) {
+      const auto& e = g.edges[i];
+      slice.push_back(Tuple{e.src, e.dst});
+      if (opts.symmetrize) slice.push_back(Tuple{e.dst, e.src});
+    }
+    edge->load_facts(slice);
+    edge2->load_facts(slice);
+  }
+
+  core::Engine engine(comm, opts.tuning.engine);
+  TrianglesResult result;
+  result.run = engine.run(program);
+  result.wedges = wedge->global_size(core::Version::kFull);
+
+  const auto rows = tri->gather_to_root(0);
+  std::uint64_t closed = 0;
+  if (comm.rank() == 0 && !rows.empty()) closed = rows.front()[1];
+  result.triangles = comm.bcast_value<std::uint64_t>(0, closed) / 3;
+  return result;
+}
+
+}  // namespace paralagg::queries

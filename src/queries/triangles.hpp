@@ -1,0 +1,39 @@
+#pragma once
+
+// Triangle counting — stratified (non-recursive) aggregation exercising
+// multi-column joins and filters:
+//
+//   wedge(y, z, x)     <- edge(x, y), edge(x, z), y < z.
+//   tri(0, $SUM(1))    <- wedge(y, z, x), edge2(y, z).
+//   triangles          =  tri / 3.
+//
+// Stored orders:
+//   edge  = (x, y)     jcc = 1 (wedge generation joins on the shared source)
+//   edge2 = (y, z)     jcc = 2 (closure check is an existence join on both
+//                      columns)
+//   wedge = (y, z, x)  jcc = 2, plain
+//
+// Runs on the symmetrized graph; every undirected triangle {a,b,c} yields
+// exactly three wedges with an ordered outer pair, each closed by an edge,
+// so the count divides by 3.
+
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+struct TrianglesOptions {
+  QueryTuning tuning;
+  bool symmetrize = true;
+};
+
+struct TrianglesResult {
+  std::uint64_t triangles = 0;
+  std::uint64_t wedges = 0;
+  core::RunResult run;
+};
+
+/// Collective.
+TrianglesResult run_triangles(vmpi::Comm& comm, const graph::Graph& g,
+                              const TrianglesOptions& opts);
+
+}  // namespace paralagg::queries

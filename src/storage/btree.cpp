@@ -1,0 +1,284 @@
+#include "storage/btree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace paralagg::storage {
+
+struct TupleBTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct TupleBTree::Leaf final : Node {
+  Leaf() : Node(true) { rows.reserve(kLeafCap); }
+  std::vector<Tuple> rows;  // sorted by key columns
+  Leaf* next = nullptr;     // leaf chain for range scans
+};
+
+struct TupleBTree::Inner final : Node {
+  Inner() : Node(false) {}
+  // children.size() == seps.size() + 1; seps[i] is the minimum key of
+  // children[i + 1] (key_arity columns only).
+  std::vector<Tuple> seps;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+TupleBTree::TupleBTree(std::size_t arity, std::size_t key_arity)
+    : arity_(arity), key_arity_(key_arity), root_(std::make_unique<Leaf>()) {
+  assert(key_arity >= 1 && key_arity <= arity);
+}
+
+TupleBTree::~TupleBTree() = default;
+TupleBTree::TupleBTree(TupleBTree&&) noexcept = default;
+TupleBTree& TupleBTree::operator=(TupleBTree&&) noexcept = default;
+
+std::strong_ordering TupleBTree::cmp_key(std::span<const value_t> a,
+                                         std::span<const value_t> b,
+                                         std::size_t ncols) const {
+  ++comparisons_;
+  return compare_prefix(a, b, ncols);
+}
+
+void TupleBTree::clear() {
+  root_ = std::make_unique<Leaf>();
+  size_ = 0;
+}
+
+namespace {
+
+/// First index in [0, n) for which pred(i) is false; pred must be
+/// monotone (true...true false...false).  Plain binary search, kept local
+/// so the comparator-counting hooks stay inside TupleBTree.
+template <typename Pred>
+std::size_t partition_point_idx(std::size_t n, Pred pred) {
+  std::size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+bool TupleBTree::insert(const Tuple& t) {
+  assert(t.size() == arity_);
+  Tuple sep;
+  std::unique_ptr<Node> right;
+  const bool inserted = insert_rec(root_.get(), t, sep, right);
+  if (right) {
+    auto new_root = std::make_unique<Inner>();
+    new_root->seps.push_back(std::move(sep));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+  if (inserted) {
+    ++size_;
+    ++inserts_;
+  }
+  return inserted;
+}
+
+bool TupleBTree::insert_rec(Node* node, const Tuple& t, Tuple& sep_out,
+                            std::unique_ptr<Node>& right_out) {
+  const auto key = t.prefix(key_arity_);
+
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    auto& rows = leaf->rows;
+    // First row whose key is >= t's key.
+    const std::size_t pos = partition_point_idx(rows.size(), [&](std::size_t i) {
+      return cmp_key(rows[i].view(), key, key_arity_) < 0;
+    });
+    if (pos < rows.size() && cmp_key(rows[pos].view(), key, key_arity_) == 0) {
+      return false;  // duplicate key
+    }
+    rows.insert(rows.begin() + static_cast<std::ptrdiff_t>(pos), t);
+    if (rows.size() > kLeafCap) {
+      auto right = std::make_unique<Leaf>();
+      const std::size_t half = rows.size() / 2;
+      right->rows.assign(std::make_move_iterator(rows.begin() + static_cast<std::ptrdiff_t>(half)),
+                         std::make_move_iterator(rows.end()));
+      rows.resize(half);
+      right->next = leaf->next;
+      leaf->next = right.get();
+      sep_out = Tuple(right->rows.front().prefix(key_arity_));
+      right_out = std::move(right);
+    }
+    return true;
+  }
+
+  auto* inner = static_cast<Inner*>(node);
+  // Child index: number of separators <= key (equal keys belong right).
+  const std::size_t ci = partition_point_idx(inner->seps.size(), [&](std::size_t i) {
+    return cmp_key(inner->seps[i].view(), key, key_arity_) <= 0;
+  });
+
+  Tuple child_sep;
+  std::unique_ptr<Node> child_right;
+  const bool inserted = insert_rec(inner->children[ci].get(), t, child_sep, child_right);
+  if (child_right) {
+    inner->seps.insert(inner->seps.begin() + static_cast<std::ptrdiff_t>(ci),
+                       std::move(child_sep));
+    inner->children.insert(inner->children.begin() + static_cast<std::ptrdiff_t>(ci) + 1,
+                           std::move(child_right));
+    if (inner->children.size() > kInnerCap) {
+      auto right = std::make_unique<Inner>();
+      const std::size_t mid = inner->seps.size() / 2;
+      sep_out = std::move(inner->seps[mid]);
+      right->seps.assign(std::make_move_iterator(inner->seps.begin() + static_cast<std::ptrdiff_t>(mid) + 1),
+                         std::make_move_iterator(inner->seps.end()));
+      right->children.assign(
+          std::make_move_iterator(inner->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1),
+          std::make_move_iterator(inner->children.end()));
+      inner->seps.resize(mid);
+      inner->children.resize(mid + 1);
+      right_out = std::move(right);
+    }
+  }
+  return inserted;
+}
+
+const TupleBTree::Leaf* TupleBTree::descend_lower_bound(
+    std::span<const value_t> prefix) const {
+  const std::size_t p = prefix.size();
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const auto* inner = static_cast<const Inner*>(node);
+    // Tuples with keys == prefix (on p columns) may extend left of an equal
+    // separator, so descend at the first separator >= prefix.
+    const std::size_t ci = partition_point_idx(inner->seps.size(), [&](std::size_t i) {
+      return cmp_key(inner->seps[i].view(), prefix, p) < 0;
+    });
+    node = inner->children[ci].get();
+  }
+  return static_cast<const Leaf*>(node);
+}
+
+Tuple* TupleBTree::find_key(std::span<const value_t> key) {
+  return const_cast<Tuple*>(std::as_const(*this).find_key(key));
+}
+
+const Tuple* TupleBTree::find_key(std::span<const value_t> key) const {
+  assert(key.size() == key_arity_);
+  const Leaf* leaf = descend_lower_bound(key);
+  // The match, if present, is in this leaf or (if it sits exactly on a
+  // boundary) the next one.
+  for (; leaf != nullptr; leaf = leaf->next) {
+    const auto& rows = leaf->rows;
+    const std::size_t pos = partition_point_idx(rows.size(), [&](std::size_t i) {
+      return cmp_key(rows[i].view(), key, key_arity_) < 0;
+    });
+    if (pos < rows.size()) {
+      if (cmp_key(rows[pos].view(), key, key_arity_) == 0) {
+        return &rows[pos];
+      }
+      return nullptr;  // first row >= key differs -> absent
+    }
+    // Entire leaf < key; continue into the chain (can happen only once).
+  }
+  return nullptr;
+}
+
+void TupleBTree::scan_prefix(std::span<const value_t> prefix,
+                             const std::function<void(const Tuple&)>& fn) const {
+  assert(prefix.size() <= key_arity_);
+  const std::size_t p = prefix.size();
+  const Leaf* leaf = descend_lower_bound(prefix);
+  for (; leaf != nullptr; leaf = leaf->next) {
+    const auto& rows = leaf->rows;
+    const std::size_t start = partition_point_idx(rows.size(), [&](std::size_t i) {
+      return cmp_key(rows[i].view(), prefix, p) < 0;
+    });
+    for (std::size_t i = start; i < rows.size(); ++i) {
+      if (cmp_key(rows[i].view(), prefix, p) != 0) return;
+      fn(rows[i]);
+    }
+  }
+}
+
+void TupleBTree::for_each(const std::function<void(const Tuple&)>& fn) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = static_cast<const Inner*>(node)->children.front().get();
+  for (const auto* leaf = static_cast<const Leaf*>(node); leaf != nullptr; leaf = leaf->next) {
+    for (const auto& t : leaf->rows) fn(t);
+  }
+}
+
+std::size_t TupleBTree::approx_bytes() const {
+  // Row payload + per-tuple bookkeeping + amortised node overhead.
+  return size_ * (arity_ * sizeof(value_t) + sizeof(Tuple)) + size_ / kLeafCap * 64;
+}
+
+namespace {
+
+struct CheckState {
+  const Tuple* prev = nullptr;
+  std::size_t count = 0;
+  std::vector<const void*> leaves_in_order;
+};
+
+}  // namespace
+
+std::size_t TupleBTree::check_invariants() const {
+  CheckState st;
+  // In-order structural walk.
+  std::function<void(const Node*, const Tuple*, const Tuple*, std::size_t)> walk =
+      [&](const Node* node, const Tuple* lo, const Tuple* hi, std::size_t depth) {
+        if (node->is_leaf) {
+          const auto* leaf = static_cast<const Leaf*>(node);
+          st.leaves_in_order.push_back(leaf);
+          for (const auto& t : leaf->rows) {
+            assert(t.size() == arity_);
+            if (st.prev != nullptr) {
+              assert(compare_prefix(st.prev->view(), t.view(), key_arity_) < 0 &&
+                     "rows must be strictly increasing by key");
+            }
+            if (lo != nullptr) {
+              assert(compare_prefix(lo->view(), t.view(), key_arity_) <= 0);
+            }
+            if (hi != nullptr) {
+              assert(compare_prefix(t.view(), hi->view(), key_arity_) < 0);
+            }
+            st.prev = &t;
+            ++st.count;
+          }
+          return;
+        }
+        const auto* inner = static_cast<const Inner*>(node);
+        assert(inner->children.size() == inner->seps.size() + 1);
+        assert(inner->children.size() <= kInnerCap);
+        for (std::size_t i = 0; i + 1 < inner->seps.size(); ++i) {
+          assert(compare_prefix(inner->seps[i].view(), inner->seps[i + 1].view(), key_arity_) <
+                 0);
+        }
+        for (std::size_t i = 0; i < inner->children.size(); ++i) {
+          const Tuple* clo = i == 0 ? lo : &inner->seps[i - 1];
+          const Tuple* chi = i == inner->seps.size() ? hi : &inner->seps[i];
+          walk(inner->children[i].get(), clo, chi, depth + 1);
+        }
+      };
+  walk(root_.get(), nullptr, nullptr, 0);
+  assert(st.count == size_);
+
+  // Leaf chain must enumerate exactly the in-order leaves.
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = static_cast<const Inner*>(node)->children.front().get();
+  std::size_t idx = 0;
+  for (const auto* leaf = static_cast<const Leaf*>(node); leaf != nullptr; leaf = leaf->next) {
+    assert(idx < st.leaves_in_order.size() && st.leaves_in_order[idx] == leaf);
+    ++idx;
+  }
+  assert(idx == st.leaves_in_order.size());
+  return st.count;
+}
+
+}  // namespace paralagg::storage

@@ -1,0 +1,26 @@
+#include "storage/tuple.hpp"
+
+#include <algorithm>
+
+namespace paralagg::storage {
+
+void Tuple::grow(std::size_t want) {
+  const std::size_t cap = std::max<std::size_t>(want, kInline * 2);
+  auto bigger = std::make_unique<value_t[]>(cap);
+  const value_t* src = data();
+  std::copy(src, src + size_, bigger.get());
+  heap_ = std::move(bigger);
+  heap_cap_ = cap;
+}
+
+std::string Tuple::to_string() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string((*this)[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace paralagg::storage

@@ -1,0 +1,158 @@
+#pragma once
+
+// Tuples and tuple hashing.
+//
+// A tuple is a fixed-arity row of 64-bit values.  Every query in the paper
+// (SSSP, CC, PageRank, TC) has arity <= 3, so tuples store up to four
+// columns inline and only spill to the heap beyond that.  Aggregate values
+// occupy the trailing "dependent" columns; fractional quantities (PageRank)
+// are carried as fixed-point integers.
+//
+// Double hashing (paper §II-D, after Cheiney & de Maindreville) needs two
+// independent hash families: H1 over the join-column prefix selects the
+// bucket, H2 over the remaining independent columns selects the sub-bucket.
+// Both are seeded splitmix64-style mixes folded across the column range.
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace paralagg::storage {
+
+using value_t = std::uint64_t;
+
+/// Fixed-capacity-inline row of value_t.  Cheap to copy at paper arities.
+class Tuple {
+ public:
+  static constexpr std::size_t kInline = 4;
+
+  Tuple() = default;
+
+  explicit Tuple(std::span<const value_t> vs) { assign(vs); }
+  Tuple(std::initializer_list<value_t> vs) {
+    assign(std::span<const value_t>(vs.begin(), vs.size()));
+  }
+
+  Tuple(const Tuple& other) { assign(other.view()); }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other) assign(other.view());
+    return *this;
+  }
+  Tuple(Tuple&& other) noexcept = default;
+  Tuple& operator=(Tuple&& other) noexcept = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] value_t operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] value_t& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  [[nodiscard]] value_t back() const {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  void push_back(value_t v) {
+    if (size_ == capacity()) grow(size_ * 2 + 1);
+    data()[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::span<const value_t> view() const { return {data(), size_}; }
+  [[nodiscard]] std::span<value_t> mutable_view() { return {data(), size_}; }
+  [[nodiscard]] std::span<const value_t> prefix(std::size_t n) const {
+    assert(n <= size_);
+    return {data(), n};
+  }
+  [[nodiscard]] std::span<const value_t> suffix_from(std::size_t start) const {
+    assert(start <= size_);
+    return {data() + start, size_ - start};
+  }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.data()[i] != b.data()[i]) return false;
+    }
+    return true;
+  }
+
+  friend std::strong_ordering operator<=>(const Tuple& a, const Tuple& b) {
+    const std::size_t n = a.size_ < b.size_ ? a.size_ : b.size_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (auto c = a.data()[i] <=> b.data()[i]; c != 0) return c;
+    }
+    return a.size_ <=> b.size_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void assign(std::span<const value_t> vs) {
+    if (vs.size() > capacity()) grow(vs.size());
+    size_ = vs.size();
+    for (std::size_t i = 0; i < size_; ++i) data()[i] = vs[i];
+  }
+
+  void grow(std::size_t want);
+
+  [[nodiscard]] const value_t* data() const { return heap_ ? heap_.get() : inline_; }
+  [[nodiscard]] value_t* data() { return heap_ ? heap_.get() : inline_; }
+  [[nodiscard]] std::size_t capacity() const { return heap_ ? heap_cap_ : kInline; }
+
+  value_t inline_[kInline] = {};
+  std::unique_ptr<value_t[]> heap_;
+  std::size_t heap_cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+// -- hashing -----------------------------------------------------------------
+
+/// splitmix64 finaliser: the standard full-avalanche 64-bit mix.
+constexpr value_t mix64(value_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seeded hash over a column range.  Distinct seeds give (empirically)
+/// independent families; the engine uses kBucketSeed for H1 and
+/// kSubBucketSeed for H2.
+constexpr value_t hash_columns(std::span<const value_t> cols, value_t seed) {
+  value_t h = mix64(seed ^ 0x51afd7ed558ccd25ULL);
+  for (value_t c : cols) h = mix64(h ^ mix64(c));
+  return h;
+}
+
+inline constexpr value_t kBucketSeed = 0x42d1d1ce;     // H1: join columns -> bucket
+inline constexpr value_t kSubBucketSeed = 0x7a9e66f1;  // H2: other independents -> sub-bucket
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    return static_cast<std::size_t>(hash_columns(t.view(), 0));
+  }
+};
+
+/// Lexicographic comparison restricted to the first `ncols` columns.
+inline std::strong_ordering compare_prefix(std::span<const value_t> a,
+                                           std::span<const value_t> b, std::size_t ncols) {
+  assert(a.size() >= ncols && b.size() >= ncols);
+  for (std::size_t i = 0; i < ncols; ++i) {
+    if (auto c = a[i] <=> b[i]; c != 0) return c;
+  }
+  return std::strong_ordering::equal;
+}
+
+}  // namespace paralagg::storage

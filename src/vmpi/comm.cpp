@@ -1,0 +1,281 @@
+#include "vmpi/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paralagg::vmpi {
+
+World::World(int nranks)
+    : nranks_(nranks),
+      barrier_(nranks),
+      slots_(static_cast<std::size_t>(nranks)),
+      matrix_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)),
+      mailboxes_(static_cast<std::size_t>(nranks)),
+      stats_(static_cast<std::size_t>(nranks)) {
+  assert(nranks >= 1);
+}
+
+void World::abort() {
+  barrier_.abort();
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box.m);
+    box.aborted = true;
+    box.cv.notify_all();
+  }
+}
+
+CommStats World::total_stats() const {
+  CommStats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+void Comm::barrier() {
+  if (stats_enabled_) stats().record_call(Op::kBarrier);
+  world_->barrier_.arrive_and_wait();
+}
+
+void Comm::isend(int dst, int tag, std::span<const std::byte> data) {
+  assert(dst >= 0 && dst < size());
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.record_call(Op::kP2P);
+    st.record_send(Op::kP2P, data.size(), dst != rank_);
+    st.messages_sent += 1;
+  }
+
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.m);
+    box.q.push_back(detail::Message{rank_, tag, Bytes(data.begin(), data.end())});
+  }
+  box.cv.notify_all();
+}
+
+namespace {
+
+bool matches(const detail::Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+}
+
+}  // namespace
+
+Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.m);
+  for (;;) {
+    auto it = std::find_if(box.q.begin(), box.q.end(),
+                           [&](const detail::Message& m) { return matches(m, src, tag); });
+    if (it != box.q.end()) {
+      detail::Message m = std::move(*it);
+      box.q.erase(it);
+      if (out_src != nullptr) *out_src = m.src;
+      if (out_tag != nullptr) *out_tag = m.tag;
+      return std::move(m.payload);
+    }
+    if (box.aborted) throw WorldAborted{};
+    box.cv.wait(lock, [&] {
+      return box.aborted ||
+             std::any_of(box.q.begin(), box.q.end(),
+                         [&](const detail::Message& m) { return matches(m, src, tag); });
+    });
+  }
+}
+
+bool Comm::iprobe(int src, int tag) {
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard lock(box.m);
+  return std::any_of(box.q.begin(), box.q.end(),
+                     [&](const detail::Message& m) { return matches(m, src, tag); });
+}
+
+std::vector<Bytes> Comm::exchange_slots(Bytes mine, Op op) {
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.record_call(op);
+    // Logically, this rank's contribution travels to size()-1 peers.
+    st.record_send(op, mine.size() * static_cast<std::size_t>(size() - 1), true);
+    st.record_send(op, mine.size(), false);
+  }
+
+  world_->slots_[static_cast<std::size_t>(rank_)] = std::move(mine);
+  world_->barrier_.arrive_and_wait();
+  std::vector<Bytes> all(world_->slots_.begin(), world_->slots_.end());  // copies
+  world_->barrier_.arrive_and_wait();
+  return all;
+}
+
+std::vector<Bytes> Comm::allgatherv(std::span<const std::byte> mine) {
+  return exchange_slots(Bytes(mine.begin(), mine.end()), Op::kAllgather);
+}
+
+Bytes Comm::bcast(int root, std::span<const std::byte> data) {
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.record_call(Op::kBcast);
+    if (rank_ == root) {
+      st.record_send(Op::kBcast, data.size() * static_cast<std::size_t>(size() - 1), true);
+    }
+  }
+  if (rank_ == root) {
+    world_->slots_[static_cast<std::size_t>(root)] = Bytes(data.begin(), data.end());
+  }
+  world_->barrier_.arrive_and_wait();
+  Bytes out = world_->slots_[static_cast<std::size_t>(root)];
+  world_->barrier_.arrive_and_wait();
+  return out;
+}
+
+std::vector<Bytes> Comm::gatherv(int root, std::span<const std::byte> mine) {
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.record_call(Op::kGather);
+    st.record_send(Op::kGather, mine.size(), rank_ != root);
+  }
+
+  world_->slots_[static_cast<std::size_t>(rank_)] = Bytes(mine.begin(), mine.end());
+  world_->barrier_.arrive_and_wait();
+  std::vector<Bytes> all;
+  if (rank_ == root) all.assign(world_->slots_.begin(), world_->slots_.end());
+  world_->barrier_.arrive_and_wait();
+  return all;
+}
+
+std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> send) {
+  const auto n = static_cast<std::size_t>(size());
+  assert(send.size() == n && "alltoallv send vector must have one buffer per rank");
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.record_call(Op::kAlltoallv);
+    for (std::size_t d = 0; d < n; ++d) {
+      st.record_send(Op::kAlltoallv, send[d].size(), d != static_cast<std::size_t>(rank_));
+    }
+  }
+
+  const auto me = static_cast<std::size_t>(rank_);
+  for (std::size_t d = 0; d < n; ++d) {
+    world_->matrix_[me * n + d] = std::move(send[d]);
+  }
+  world_->barrier_.arrive_and_wait();
+  std::vector<Bytes> got(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    got[s] = std::move(world_->matrix_[s * n + me]);  // each cell read exactly once
+  }
+  world_->barrier_.arrive_and_wait();
+  return got;
+}
+
+std::vector<Bytes> Comm::alltoallv_bruck(std::vector<Bytes> send) {
+  const int n = size();
+  assert(send.size() == static_cast<std::size_t>(n));
+  if (stats_enabled_) stats().record_call(Op::kAlltoallv);
+
+  // Item pool: (final destination, source, payload).  Self-destined data
+  // never leaves the rank.
+  struct Item {
+    int dst;
+    int src;
+    Bytes payload;
+  };
+  std::vector<Item> pool;
+  for (int d = 0; d < n; ++d) {
+    if (!send[static_cast<std::size_t>(d)].empty()) {
+      pool.push_back(Item{d, rank_, std::move(send[static_cast<std::size_t>(d)])});
+    }
+  }
+
+  // log2-ceil rounds; tags carry the round number so interleaved calls on
+  // the same communicator cannot cross-match.
+  for (int k = 0; (1 << k) < n; ++k) {
+    const int hop = 1 << k;
+    const int to = (rank_ + hop) % n;
+    const int from = (rank_ - hop + n) % n;
+
+    BufferWriter w;
+    std::vector<Item> keep;
+    for (auto& item : pool) {
+      const int offset = (item.dst - rank_ + n) % n;
+      if ((offset & hop) != 0) {
+        w.put<std::int32_t>(item.dst);
+        w.put<std::int32_t>(item.src);
+        w.put<std::uint64_t>(item.payload.size());
+        w.put_span(std::span<const std::byte>(item.payload));
+      } else {
+        keep.push_back(std::move(item));
+      }
+    }
+    pool = std::move(keep);
+
+    const auto outgoing = w.take();
+    isend(to, /*tag=*/0x42000000 + k, outgoing);
+    const auto incoming = recv(from, 0x42000000 + k);
+    BufferReader r(incoming);
+    while (!r.done()) {
+      Item item;
+      item.dst = r.get<std::int32_t>();
+      item.src = r.get<std::int32_t>();
+      item.payload.resize(r.get<std::uint64_t>());
+      r.get_into(std::span<std::byte>(item.payload));
+      pool.push_back(std::move(item));
+    }
+  }
+
+  std::vector<Bytes> out(static_cast<std::size_t>(n));
+  for (auto& item : pool) {
+    assert(item.dst == rank_ && "Bruck routing failed to deliver an item");
+    auto& buf = out[static_cast<std::size_t>(item.src)];
+    buf.insert(buf.end(), item.payload.begin(), item.payload.end());
+  }
+  // Fence: prevents tag reuse across back-to-back Bruck calls and keeps
+  // collective symmetry with the dense alltoallv.
+  barrier();
+  return out;
+}
+
+Comm::Split Comm::split(int color, int key) {
+  const auto epoch = split_epoch_++;
+
+  // Gather (color, key) from everyone; membership and ordering are then
+  // known identically on every rank.
+  struct ColorKey {
+    std::int32_t color;
+    std::int32_t key;
+  };
+  const auto all = allgather<ColorKey>(ColorKey{color, key});
+
+  std::vector<std::pair<std::pair<int, int>, int>> members;  // ((key, rank), rank)
+  for (int r = 0; r < size(); ++r) {
+    const auto& ck = all[static_cast<std::size_t>(r)];
+    if (ck.color == color) members.push_back({{ck.key, r}, r});
+  }
+  std::sort(members.begin(), members.end());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].second == rank_) my_new_rank = static_cast<int>(i);
+  }
+  assert(my_new_rank >= 0);
+
+  // The group leader publishes the child world; everyone meets at a parent
+  // barrier before fetching it.
+  if (my_new_rank == 0) {
+    auto child = std::make_shared<World>(static_cast<int>(members.size()));
+    std::lock_guard lock(world_->split_mu_);
+    world_->split_worlds_[{epoch, color}] = std::move(child);
+  }
+  barrier();
+  std::shared_ptr<World> child;
+  {
+    std::lock_guard lock(world_->split_mu_);
+    child = world_->split_worlds_.at({epoch, color});
+  }
+  barrier();
+  // Last fetcher cleans up the rendezvous entry (leader does it after the
+  // second barrier, when all members hold their shared_ptr).
+  if (my_new_rank == 0) {
+    std::lock_guard lock(world_->split_mu_);
+    world_->split_worlds_.erase({epoch, color});
+  }
+  return Split(std::move(child), my_new_rank);
+}
+
+}  // namespace paralagg::vmpi

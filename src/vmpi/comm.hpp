@@ -1,0 +1,325 @@
+#pragma once
+
+// Virtual MPI communicator.
+//
+// PARALAGG as published runs on real MPI (OpenMPI / Cray MPICH on Theta).
+// This substrate reproduces the subset of MPI the engine uses — blocking
+// and nonblocking point-to-point, barrier, allreduce, allgather(v), bcast,
+// gather(v), alltoall(v) — with ranks realised as OS threads inside one
+// process.  Semantics follow MPI: every transfer is a *copy* between
+// logically disjoint per-rank address spaces, collectives are collective
+// (every rank of the communicator must call them, in the same order), and
+// results are deterministic (reductions fold in rank order).
+//
+// Why a substrate and not a mock: the engine's communication pattern (who
+// sends how many bytes to whom, in which phase) *is* the paper's subject.
+// Running the real pattern through a real exchange, with byte-exact
+// accounting, preserves everything the evaluation measures except absolute
+// wall-clock — which a 1-core container could not reproduce anyway.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "vmpi/serialize.hpp"
+#include "vmpi/stats.hpp"
+
+namespace paralagg::vmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Deterministic reduction operators for typed allreduce.
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax, kLand, kLor };
+
+/// Thrown inside blocked ranks when a peer rank failed: without this, one
+/// rank dying with an exception would leave the others waiting forever at
+/// the next barrier.  (Real MPI has the same hazard; mpirun kills the job.)
+struct WorldAborted : std::exception {
+  const char* what() const noexcept override { return "vmpi: a peer rank aborted"; }
+};
+
+namespace detail {
+
+/// Classic generation-counting barrier (condition-variable based; the
+/// container has one physical core, so spinning would be pathological).
+/// Abortable: `abort()` releases all current and future waiters, which
+/// throw WorldAborted.
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(m_);
+    if (aborted_) throw WorldAborted{};
+    const auto my_gen = gen_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return gen_ != my_gen || aborted_; });
+      if (gen_ == my_gen && aborted_) throw WorldAborted{};
+    }
+  }
+
+  void abort() {
+    std::lock_guard lock(m_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  int n_;
+  int arrived_ = 0;
+  bool aborted_ = false;
+  std::uint64_t gen_ = 0;
+};
+
+struct Message {
+  int src;
+  int tag;
+  Bytes payload;
+};
+
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> q;
+  bool aborted = false;
+};
+
+}  // namespace detail
+
+/// Shared state for one group of ranks.  Constructed once, handed to every
+/// rank thread; all members are synchronised internally.
+class World {
+ public:
+  explicit World(int nranks);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const { return nranks_; }
+
+  /// Wake every rank blocked in a barrier or recv; they throw WorldAborted.
+  /// Called by the runtime when a rank exits exceptionally.
+  void abort();
+
+  /// Aggregate of all per-rank stats (call only after the ranks joined).
+  [[nodiscard]] CommStats total_stats() const;
+  [[nodiscard]] const CommStats& stats_of(int rank) const { return stats_[static_cast<std::size_t>(rank)]; }
+
+ private:
+  friend class Comm;
+
+  int nranks_;
+  detail::Barrier barrier_;
+  // Collective exchange area: slot per rank, double-barrier protected.
+  std::vector<Bytes> slots_;
+  // alltoallv exchange matrix: cell (src, dst).
+  std::vector<Bytes> matrix_;
+  std::vector<detail::Mailbox> mailboxes_;
+  std::vector<CommStats> stats_;
+  // Rendezvous for Comm::split: (split epoch, color) -> child world.
+  std::mutex split_mu_;
+  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<World>> split_worlds_;
+};
+
+/// Per-rank communicator handle.  Exactly one per rank thread; not shared
+/// across threads.  All collective calls must be made by every rank of the
+/// world in the same order (MPI semantics).
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return world_->size(); }
+  [[nodiscard]] bool is_root() const { return rank_ == 0; }
+  [[nodiscard]] CommStats& stats() { return world_->stats_[static_cast<std::size_t>(rank_)]; }
+  [[nodiscard]] World& world() { return *world_; }
+
+  /// Toggle byte accounting; returns the previous setting.  Used to keep
+  /// instrumentation exchanges (profile gathering, test oracles) out of the
+  /// measured communication volume.
+  bool set_stats_enabled(bool enabled) {
+    const bool prev = stats_enabled_;
+    stats_enabled_ = enabled;
+    return prev;
+  }
+  [[nodiscard]] bool stats_enabled() const { return stats_enabled_; }
+
+  // -- synchronisation ------------------------------------------------------
+
+  void barrier();
+
+  // -- point-to-point -------------------------------------------------------
+
+  /// Nonblocking-style send: enqueues a copy and returns.  (vmpi buffers
+  /// internally, so MPI_Isend and MPI_Send coincide; the engine treats the
+  /// call as Isend per the paper.)
+  void isend(int dst, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive matching (src, tag); kAnySource / kAnyTag wildcard.
+  /// Returns the payload; out_src / out_tag receive the envelope if non-null.
+  Bytes recv(int src, int tag, int* out_src = nullptr, int* out_tag = nullptr);
+
+  /// Nonblocking probe: true if a matching message is queued.
+  [[nodiscard]] bool iprobe(int src, int tag);
+
+  // -- collectives (byte-level) ---------------------------------------------
+
+  /// Each rank contributes a buffer; every rank gets all buffers, indexed by
+  /// rank.
+  std::vector<Bytes> allgatherv(std::span<const std::byte> mine);
+
+  /// Root's buffer is copied to every rank.
+  Bytes bcast(int root, std::span<const std::byte> data);
+
+  /// Root receives all buffers (indexed by rank); non-roots get empty.
+  std::vector<Bytes> gatherv(int root, std::span<const std::byte> mine);
+
+  /// Personalised exchange: send[d] goes to rank d; returns recv[s] from
+  /// each rank s.  This is MPI_Alltoallv, the engine's tuple-shuffle
+  /// primitive.
+  std::vector<Bytes> alltoallv(std::vector<Bytes> send);
+
+  /// Same contract as alltoallv, routed through ceil(log2 n) point-to-point
+  /// rounds (the Bruck algorithm the PARALAGG authors optimise in their
+  /// HPDC'22 work, cited by the paper): each rank sends at most one message
+  /// per round, relaying items toward their destination by the set bits of
+  /// (dst - rank) mod n.  Trades message count (log n vs n-1) for byte
+  /// volume (each item is relayed once per set bit) — the right trade for
+  /// sparse, latency-bound exchanges.  Received buffers are concatenations
+  /// of everything rank s sent to this rank (possibly out of send order).
+  std::vector<Bytes> alltoallv_bruck(std::vector<Bytes> send);
+
+  // -- collectives (typed helpers) ------------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T allreduce(T local, ReduceOp op) {
+    BufferWriter w(sizeof(T));
+    w.put(local);
+    auto all = exchange_slots(w.take(), Op::kAllreduce);
+    T acc{};
+    bool first = true;
+    for (const auto& b : all) {
+      BufferReader r(b);
+      const T v = r.get<T>();
+      if (first) {
+        acc = v;
+        first = false;
+        continue;
+      }
+      switch (op) {
+        case ReduceOp::kSum: acc = static_cast<T>(acc + v); break;
+        case ReduceOp::kMin: acc = v < acc ? v : acc; break;
+        case ReduceOp::kMax: acc = acc < v ? v : acc; break;
+        case ReduceOp::kLand: acc = static_cast<T>(acc && v); break;
+        case ReduceOp::kLor: acc = static_cast<T>(acc || v); break;
+      }
+    }
+    return acc;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> allgather(T v) {
+    BufferWriter w(sizeof(T));
+    w.put(v);
+    auto all = exchange_slots(w.take(), Op::kAllgather);
+    std::vector<T> out;
+    out.reserve(all.size());
+    for (const auto& b : all) {
+      BufferReader r(b);
+      out.push_back(r.get<T>());
+    }
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T bcast_value(int root, T v) {
+    BufferWriter w(sizeof(T));
+    w.put(v);
+    auto b = bcast(root, w.take());
+    BufferReader r(b);
+    return r.get<T>();
+  }
+
+  /// Typed alltoallv over vectors of trivially copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<std::vector<T>> alltoallv_t(const std::vector<std::vector<T>>& send) {
+    std::vector<Bytes> raw(send.size());
+    for (std::size_t d = 0; d < send.size(); ++d) {
+      BufferWriter w(send[d].size() * sizeof(T));
+      w.put_span(std::span<const T>(send[d]));
+      raw[d] = w.take();
+    }
+    auto got = alltoallv(std::move(raw));
+    std::vector<std::vector<T>> out(got.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      out[s].resize(got[s].size() / sizeof(T));
+      BufferReader r(got[s]);
+      r.get_into(std::span<T>(out[s]));
+    }
+    return out;
+  }
+
+  // -- communicator management ------------------------------------------------
+
+  /// MPI_Comm_split: ranks with the same `color` form a child communicator,
+  /// ordered by (key, parent rank).  Collective on the parent.  The
+  /// returned handle owns the child world; its stats are tracked
+  /// separately from the parent's.
+  class Split;
+  Split split(int color, int key);
+
+ private:
+  /// Write `mine` into this rank's slot, barrier, copy out all slots,
+  /// barrier.  The canonical building block for symmetric collectives.
+  std::vector<Bytes> exchange_slots(Bytes mine, Op op);
+
+  World* world_;
+  int rank_;
+  bool stats_enabled_ = true;
+  std::uint64_t split_epoch_ = 0;
+};
+
+/// Owning handle for a child communicator produced by Comm::split.
+class Comm::Split {
+ public:
+  Split(std::shared_ptr<World> world, int rank)
+      : world_(std::move(world)), comm_(*world_, rank) {}
+
+  [[nodiscard]] Comm& comm() { return comm_; }
+  [[nodiscard]] const Comm& comm() const { return comm_; }
+
+ private:
+  std::shared_ptr<World> world_;
+  Comm comm_;
+};
+
+/// RAII guard suspending byte accounting on a Comm.
+class StatsPause {
+ public:
+  explicit StatsPause(Comm& comm) : comm_(&comm), prev_(comm.set_stats_enabled(false)) {}
+  ~StatsPause() { comm_->set_stats_enabled(prev_); }
+  StatsPause(const StatsPause&) = delete;
+  StatsPause& operator=(const StatsPause&) = delete;
+
+ private:
+  Comm* comm_;
+  bool prev_;
+};
+
+}  // namespace paralagg::vmpi

@@ -1,0 +1,25 @@
+#pragma once
+
+// SPMD launcher for the virtual MPI substrate.
+//
+// `run(nranks, fn)` plays the role of `mpirun -n nranks`: it spawns one
+// thread per rank, hands each a Comm bound to a fresh World, and joins.
+// Exceptions thrown by any rank are captured and the first (by rank order)
+// is rethrown on the caller's thread, so a failing assertion inside a rank
+// surfaces as an ordinary test failure.
+
+#include <functional>
+
+#include "vmpi/comm.hpp"
+
+namespace paralagg::vmpi {
+
+/// Run `fn(comm)` on `nranks` ranks; blocks until all ranks return.
+/// Returns the aggregated communication stats of the whole run.
+CommStats run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// As `run`, but also copies each rank's CommStats into `per_rank`.
+CommStats run_collect(int nranks, const std::function<void(Comm&)>& fn,
+                      std::vector<CommStats>& per_rank);
+
+}  // namespace paralagg::vmpi

@@ -1,0 +1,177 @@
+// RecursiveAggregator implementations: lattice laws and the ascend check
+// that powers the fused dedup/aggregation pass.
+
+#include "core/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace paralagg::core {
+namespace {
+
+using storage::value_t;
+
+value_t agg1(const RecursiveAggregator& a, value_t x, value_t y) {
+  const value_t xs[] = {x};
+  const value_t ys[] = {y};
+  value_t out[1];
+  a.partial_agg(std::span<const value_t>(xs, 1), std::span<const value_t>(ys, 1),
+                std::span<value_t>(out, 1));
+  return out[0];
+}
+
+PartialOrder cmp1(const RecursiveAggregator& a, value_t x, value_t y) {
+  const value_t xs[] = {x};
+  const value_t ys[] = {y};
+  return a.partial_cmp(std::span<const value_t>(xs, 1), std::span<const value_t>(ys, 1));
+}
+
+bool ascends1(const RecursiveAggregator& a, value_t cur, value_t cand) {
+  const value_t xs[] = {cur};
+  const value_t ys[] = {cand};
+  return a.ascends(std::span<const value_t>(xs, 1), std::span<const value_t>(ys, 1));
+}
+
+TEST(MinAggregator, JoinIsMin) {
+  const auto a = make_min_aggregator();
+  EXPECT_EQ(a->name(), "$MIN");
+  EXPECT_EQ(agg1(*a, 3, 7), 3u);
+  EXPECT_EQ(agg1(*a, 7, 3), 3u);
+  EXPECT_EQ(agg1(*a, 5, 5), 5u);
+}
+
+TEST(MinAggregator, SmallerCarriesMoreInformation) {
+  const auto a = make_min_aggregator();
+  EXPECT_EQ(cmp1(*a, 7, 3), PartialOrder::kLess);     // 3 beats 7
+  EXPECT_EQ(cmp1(*a, 3, 7), PartialOrder::kGreater);  // 7 adds nothing
+  EXPECT_EQ(cmp1(*a, 4, 4), PartialOrder::kEqual);
+}
+
+TEST(MinAggregator, AscendsOnlyOnStrictImprovement) {
+  const auto a = make_min_aggregator();
+  EXPECT_TRUE(ascends1(*a, 7, 3));   // Fig. 1: new shorter path
+  EXPECT_FALSE(ascends1(*a, 2, 5));  // Fig. 1: "5 > 2, no insertion"
+  EXPECT_FALSE(ascends1(*a, 2, 2));
+}
+
+TEST(MaxAggregator, MirrorsMin) {
+  const auto a = make_max_aggregator();
+  EXPECT_EQ(a->name(), "$MAX");
+  EXPECT_EQ(agg1(*a, 3, 7), 7u);
+  EXPECT_EQ(cmp1(*a, 3, 7), PartialOrder::kLess);
+  EXPECT_TRUE(ascends1(*a, 3, 7));
+  EXPECT_FALSE(ascends1(*a, 7, 3));
+}
+
+TEST(BitOrAggregator, PowersetLattice) {
+  const auto a = make_bitor_aggregator();
+  EXPECT_EQ(agg1(*a, 0b0011, 0b0101), 0b0111u);
+  EXPECT_EQ(cmp1(*a, 0b0011, 0b0111), PartialOrder::kLess);       // subset
+  EXPECT_EQ(cmp1(*a, 0b0111, 0b0011), PartialOrder::kGreater);    // superset
+  EXPECT_EQ(cmp1(*a, 0b0011, 0b0011), PartialOrder::kEqual);
+  EXPECT_EQ(cmp1(*a, 0b0011, 0b0101), PartialOrder::kIncomparable);
+}
+
+TEST(BitOrAggregator, IncomparableAscends) {
+  // Incomparable values must trigger an update: the join strictly grows.
+  const auto a = make_bitor_aggregator();
+  EXPECT_TRUE(ascends1(*a, 0b0011, 0b0101));
+  EXPECT_FALSE(ascends1(*a, 0b0111, 0b0001));
+}
+
+TEST(SumAggregator, AddsAndChains) {
+  const auto a = make_sum_aggregator();
+  EXPECT_EQ(agg1(*a, 3, 4), 7u);
+  EXPECT_EQ(cmp1(*a, 3, 4), PartialOrder::kLess);
+}
+
+TEST(MCountAggregator, LowerBoundSemantics) {
+  // DatalogFS-style monotonic count: partial counts are lower bounds, the
+  // join keeps the largest bound.
+  const auto a = make_mcount_aggregator();
+  EXPECT_EQ(agg1(*a, 3, 5), 5u);
+  EXPECT_EQ(agg1(*a, 5, 3), 5u);
+  EXPECT_FALSE(ascends1(*a, 5, 3));
+  EXPECT_TRUE(ascends1(*a, 3, 5));
+}
+
+TEST(ArgMinAggregator, CarriesWitness) {
+  const auto a = make_argmin_aggregator();
+  EXPECT_EQ(a->dep_arity(), 2u);
+  const value_t x[] = {10, 4};  // value 10 via witness 4
+  const value_t y[] = {7, 9};   // value 7 via witness 9
+  value_t out[2];
+  a->partial_agg(std::span<const value_t>(x, 2), std::span<const value_t>(y, 2),
+                 std::span<value_t>(out, 2));
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 9u);
+}
+
+TEST(ArgMinAggregator, TieBreaksTowardSmallerWitness) {
+  const auto a = make_argmin_aggregator();
+  const value_t x[] = {7, 9};
+  const value_t y[] = {7, 2};
+  value_t out[2];
+  a->partial_agg(std::span<const value_t>(x, 2), std::span<const value_t>(y, 2),
+                 std::span<value_t>(out, 2));
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(a->partial_cmp(std::span<const value_t>(x, 2), std::span<const value_t>(y, 2)),
+            PartialOrder::kLess);
+}
+
+// Lattice-law property sweep: ⊔ must be idempotent, commutative,
+// associative, and consistent with partial_cmp for every built-in.
+class LatticeLaws : public ::testing::TestWithParam<const char*> {
+ protected:
+  AggregatorPtr make() const {
+    const std::string_view which = GetParam();
+    if (which == "min") return make_min_aggregator();
+    if (which == "max") return make_max_aggregator();
+    if (which == "bitor") return make_bitor_aggregator();
+    if (which == "mcount") return make_mcount_aggregator();
+    return nullptr;
+  }
+};
+
+TEST_P(LatticeLaws, IdempotentCommutativeAssociative) {
+  const auto a = make();
+  ASSERT_NE(a, nullptr);
+  const std::array<value_t, 6> samples = {0, 1, 3, 7, 12, 255};
+  for (value_t x : samples) {
+    EXPECT_EQ(agg1(*a, x, x), x) << "idempotence at " << x;
+    for (value_t y : samples) {
+      EXPECT_EQ(agg1(*a, x, y), agg1(*a, y, x)) << "commutativity " << x << "," << y;
+      for (value_t z : samples) {
+        EXPECT_EQ(agg1(*a, agg1(*a, x, y), z), agg1(*a, x, agg1(*a, y, z)))
+            << "associativity " << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+TEST_P(LatticeLaws, JoinDominatesBothArguments) {
+  const auto a = make();
+  ASSERT_NE(a, nullptr);
+  const std::array<value_t, 6> samples = {0, 1, 3, 7, 12, 255};
+  for (value_t x : samples) {
+    for (value_t y : samples) {
+      const value_t j = agg1(*a, x, y);
+      // x <= x ⊔ y in the information order (kGreater means "x is above").
+      const auto cx = cmp1(*a, x, j);
+      EXPECT_TRUE(cx == PartialOrder::kLess || cx == PartialOrder::kEqual)
+          << x << " vs join " << j;
+      const auto cy = cmp1(*a, y, j);
+      EXPECT_TRUE(cy == PartialOrder::kLess || cy == PartialOrder::kEqual)
+          << y << " vs join " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, LatticeLaws,
+                         ::testing::Values("min", "max", "bitor", "mcount"));
+
+}  // namespace
+}  // namespace paralagg::core

@@ -1,0 +1,171 @@
+// Comparator engines: shuffle/master correctness and the communication
+// overhead PARALAGG's fused design removes; stratified-Datalog blowup.
+
+#include <gtest/gtest.h>
+
+#include "baseline/shuffle_engine.hpp"
+#include "baseline/stratified_engine.hpp"
+#include "queries/cc.hpp"
+#include "queries/reference.hpp"
+#include "queries/sssp.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::baseline {
+namespace {
+
+using queries::QueryTuning;
+
+TEST(ShuffleEngine, SsspCorrectAgainstOracle) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 5, .seed = 3});
+  const auto sources = g.pick_sources(3);
+  const auto oracle = queries::reference::sssp(g, sources);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto result = run_sssp_shuffle(comm, g, sources);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.result_count, oracle.size());
+  });
+}
+
+TEST(ShuffleEngine, MasterModeMatchesShuffleMode) {
+  const auto g = graph::make_grid(7, 7, 10, 4);
+  const auto oracle = queries::reference::sssp(g, {0});
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    ShuffleOptions master;
+    master.mode = ShuffleMode::kMaster;
+    const auto a = run_sssp_shuffle(comm, g, {0});
+    const auto b = run_sssp_shuffle(comm, g, {0}, master);
+    EXPECT_EQ(a.result_count, oracle.size());
+    EXPECT_EQ(b.result_count, oracle.size());
+  });
+}
+
+TEST(ShuffleEngine, CcCorrectAgainstOracle) {
+  const auto g = graph::make_components(4, 15, 10, 5);
+  const auto labelled = queries::reference::cc_labels(g).size();
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto result = run_cc_shuffle(comm, g);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.result_count, labelled);
+  });
+}
+
+TEST(ShuffleEngine, PaysMoreCommunicationThanParalagg) {
+  // The point of Table I: same algorithm, same substrate, but the shuffle
+  // strategy moves strictly more bytes than the fused local aggregation.
+  const auto g = graph::make_rmat({.scale = 9, .edge_factor = 6, .seed = 6});
+  const auto sources = g.pick_sources(3);
+  std::uint64_t shuffle_bytes = 0, paralagg_bytes = 0;
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto sh = run_sssp_shuffle(comm, g, sources);
+    if (comm.rank() == 0) shuffle_bytes = sh.remote_bytes;
+  });
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = sources;
+    opts.tuning.balance_edges = false;
+    const auto pa = queries::run_sssp(comm, g, opts);
+    if (comm.rank() == 0) {
+      paralagg_bytes = pa.run.comm_total.total_remote_bytes();
+    }
+  });
+  EXPECT_GT(shuffle_bytes, paralagg_bytes);
+}
+
+TEST(ShuffleEngine, MasterModeIsTheWorst) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 5, .seed = 7});
+  const auto sources = g.pick_sources(2);
+  std::uint64_t shuffle_bytes = 0, master_bytes = 0;
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    ShuffleOptions master;
+    master.mode = ShuffleMode::kMaster;
+    const auto a = run_sssp_shuffle(comm, g, sources);
+    const auto b = run_sssp_shuffle(comm, g, sources, master);
+    if (comm.rank() == 0) {
+      shuffle_bytes = a.remote_bytes;
+      master_bytes = b.remote_bytes;
+    }
+  });
+  EXPECT_GT(master_bytes, shuffle_bytes);
+}
+
+TEST(StratifiedEngine, SsspCorrectOnDag) {
+  // On a DAG the all-paths relation is finite: the stratified plan works,
+  // just expensively.
+  const auto g = graph::make_random_tree(80, 10, 8);
+  StratifiedOptions opts;
+  opts.sources = {0};
+  const auto oracle = queries::reference::sssp(g, {0});
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto result = run_sssp_stratified(comm, g, opts);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.answer_count, oracle.size());
+    // Tree: exactly one path per pair, so no materialization overhead.
+    EXPECT_EQ(result.materialized, oracle.size());
+  });
+}
+
+TEST(StratifiedEngine, MaterializationOverheadOnDagWithDetours) {
+  // Layered DAG with parallel paths: many distinct lengths per pair.
+  graph::Graph g;
+  g.name = "layers";
+  g.num_nodes = 12;
+  for (value_t layer = 0; layer + 2 < 12; layer += 2) {
+    for (value_t a = 0; a < 2; ++a) {
+      for (value_t b = 0; b < 2; ++b) {
+        g.edges.push_back({layer + a, layer + 2 + b, 1 + a + 2 * b});
+      }
+    }
+  }
+  StratifiedOptions opts;
+  opts.sources = {0};
+  const auto oracle = queries::reference::sssp(g, {0});
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_sssp_stratified(comm, g, opts);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.answer_count, oracle.size());
+    // The overhead the paper's §II-B complains about.
+    EXPECT_GT(result.materialized, 2 * result.answer_count);
+  });
+}
+
+TEST(StratifiedEngine, WeightedCycleBlowsTupleBudget) {
+  // With cycles, distinct path lengths are unbounded: vanilla Datalog
+  // "runs out of memory" — here, out of tuple budget.
+  const auto g = graph::make_complete(8, 20, 9);  // dense, cyclic, weighted
+  StratifiedOptions opts;
+  opts.sources = {0};
+  opts.tuple_limit = 20'000;
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_sssp_stratified(comm, g, opts);
+    EXPECT_FALSE(result.completed);
+  });
+}
+
+TEST(StratifiedEngine, CcMaterializesNodeProduct) {
+  // §V-A: Datalog CC materializes all (node, reachable) pairs — quadratic
+  // in component size — while recursive aggregation stays linear.
+  const auto g = graph::make_components(1, 40, 30, 11);
+  StratifiedOptions opts;
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto stratified = run_cc_stratified(comm, g, opts);
+    EXPECT_TRUE(stratified.completed);
+    EXPECT_EQ(stratified.materialized, 40u * 40u);  // the node product
+
+    const auto fused = queries::run_cc(comm, g, queries::CcOptions{});
+    EXPECT_EQ(fused.labelled_nodes, 40u);  // linear
+    EXPECT_EQ(fused.component_count, 1u);
+  });
+}
+
+TEST(StratifiedEngine, CcBudgetAbortsOnLargeComponent) {
+  const auto g = graph::make_components(1, 400, 300, 12);
+  StratifiedOptions opts;
+  opts.tuple_limit = 10'000;  // << 400^2
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_cc_stratified(comm, g, opts);
+    EXPECT_FALSE(result.completed);
+  });
+}
+
+}  // namespace
+}  // namespace paralagg::baseline

@@ -1,0 +1,143 @@
+// Determinism: every collective folds in rank order and every query result
+// is bit-identical across runs and rank counts.  Nondeterminism in a
+// distributed engine is a debugging catastrophe; PARALAGG's design (no
+// wall-clock-dependent decisions, deterministic reductions) makes this
+// testable.
+
+#include <gtest/gtest.h>
+
+#include "queries/cc.hpp"
+#include "queries/pagerank.hpp"
+#include "queries/sssp.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg {
+namespace {
+
+using queries::Tuple;
+
+TEST(Determinism, RepeatedSsspRunsAreBitIdentical) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 5, .seed = 21});
+  const auto sources = g.pick_sources(3);
+  std::vector<Tuple> first;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      queries::SsspOptions opts;
+      opts.sources = sources;
+      opts.collect_distances = true;
+      const auto result = run_sssp(comm, g, opts);
+      if (comm.rank() == 0) {
+        if (repeat == 0) {
+          first = result.distances;
+        } else {
+          EXPECT_EQ(result.distances, first) << "repeat " << repeat;
+        }
+      }
+    });
+  }
+}
+
+TEST(Determinism, IterationCountIndependentOfRankCount) {
+  const auto g = graph::make_grid(9, 9, 10, 22);
+  std::vector<std::size_t> iters;
+  for (const int ranks : {1, 2, 4, 8}) {
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      queries::SsspOptions opts;
+      opts.sources = {0};
+      const auto result = run_sssp(comm, g, opts);
+      if (comm.rank() == 0) iters.push_back(result.iterations);
+    });
+  }
+  for (const auto it : iters) EXPECT_EQ(it, iters[0]);
+}
+
+TEST(Determinism, CcIdenticalUnderBalancingKnobs) {
+  // Balancing moves tuples between ranks but must never change answers.
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 4, .seed = 23});
+  std::vector<Tuple> reference_labels;
+  struct Knobs {
+    int sub_buckets;
+    bool balance;
+  };
+  const Knobs variants[] = {{1, false}, {1, true}, {4, false}, {8, true}};
+  bool have_reference = false;
+  for (const auto& [sub_buckets, balance] : variants) {
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      queries::CcOptions opts;
+      opts.tuning.edge_sub_buckets = sub_buckets;
+      opts.tuning.balance_edges = balance;
+      opts.collect_labels = true;
+      const auto result = run_cc(comm, g, opts);
+      if (comm.rank() == 0) {
+        if (!have_reference) {
+          reference_labels = result.labels;
+        } else {
+          EXPECT_EQ(result.labels, reference_labels)
+              << "sub=" << sub_buckets << " balance=" << balance;
+        }
+      }
+    });
+    have_reference = true;
+  }
+}
+
+TEST(Determinism, PagerankStableAcrossRankCounts) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 4, .seed = 24});
+  std::vector<Tuple> at1;
+  for (const int ranks : {1, 4}) {
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      queries::PagerankOptions opts;
+      opts.rounds = 8;
+      opts.collect_ranks = true;
+      const auto result = run_pagerank(comm, g, opts);
+      if (comm.rank() == 0) {
+        if (ranks == 1) {
+          at1 = result.ranks;
+        } else {
+          EXPECT_EQ(result.ranks, at1);
+        }
+      }
+    });
+  }
+}
+
+TEST(Determinism, DynamicJoinOrderDoesNotAffectResults) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 5, .seed = 25});
+  const auto sources = g.pick_sources(2);
+  std::vector<Tuple> dynamic_rows, fixed_rows;
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = sources;
+    opts.collect_distances = true;
+    const auto dyn = run_sssp(comm, g, opts);
+    opts.tuning.engine.dynamic_join_order = false;
+    const auto fixed = run_sssp(comm, g, opts);
+    if (comm.rank() == 0) {
+      dynamic_rows = dyn.distances;
+      fixed_rows = fixed.distances;
+    }
+  });
+  EXPECT_EQ(dynamic_rows, fixed_rows);
+}
+
+TEST(Determinism, ProfileSummaryIdenticalOnAllRanks) {
+  const auto g = graph::make_grid(6, 6, 5, 26);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = {0};
+    const auto result = run_sssp(comm, g, opts);
+    // Every rank computed the same summary: compare a few scalar digests.
+    const auto iters = comm.allgather<std::uint64_t>(result.run.profile.iterations);
+    const auto bytes = comm.allgather<std::uint64_t>(result.run.profile.bytes_total());
+    const auto comm_bytes =
+        comm.allgather<std::uint64_t>(result.run.comm_total.total_remote_bytes());
+    for (std::size_t r = 1; r < iters.size(); ++r) {
+      EXPECT_EQ(iters[r], iters[0]);
+      EXPECT_EQ(bytes[r], bytes[0]);
+      EXPECT_EQ(comm_bytes[r], comm_bytes[0]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace paralagg

@@ -1,0 +1,81 @@
+// Expr: rule-head and filter expression evaluation.
+
+#include "core/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paralagg::core {
+namespace {
+
+const Tuple kA{10, 20, 30};
+const Tuple kB{1, 2, 3};
+
+value_t ev(const Expr& e) { return e.eval(kA.view(), kB.view()); }
+
+TEST(Expr, ColumnReferences) {
+  EXPECT_EQ(ev(Expr::col_a(0)), 10u);
+  EXPECT_EQ(ev(Expr::col_a(2)), 30u);
+  EXPECT_EQ(ev(Expr::col_b(1)), 2u);
+}
+
+TEST(Expr, Constant) { EXPECT_EQ(ev(Expr::constant(99)), 99u); }
+
+TEST(Expr, Arithmetic) {
+  EXPECT_EQ(ev(Expr::add(Expr::col_a(0), Expr::col_b(2))), 13u);
+  EXPECT_EQ(ev(Expr::sub(Expr::col_a(1), Expr::col_b(1))), 18u);
+  EXPECT_EQ(ev(Expr::sub(Expr::col_b(0), Expr::col_a(0))), 0u);  // saturates
+  EXPECT_EQ(ev(Expr::min(Expr::col_a(0), Expr::col_b(0))), 1u);
+  EXPECT_EQ(ev(Expr::max(Expr::col_a(0), Expr::col_b(0))), 10u);
+}
+
+TEST(Expr, DivisionGuardsZero) {
+  EXPECT_EQ(ev(Expr::div(Expr::col_a(1), Expr::col_b(1))), 10u);
+  EXPECT_EQ(ev(Expr::div(Expr::col_a(1), Expr::constant(0))), 0u);
+}
+
+TEST(Expr, MulDivFixedPoint) {
+  // 30 * 85 / 100 = 25 (integer).
+  EXPECT_EQ(ev(Expr::mul_div(Expr::col_a(2), 85, 100)), 25u);
+  // 128-bit intermediate: no overflow at large scales.
+  const Tuple big{1'000'000'000'000ULL};
+  const Expr e = Expr::mul_div(Expr::col_a(0), 1'000'000'000ULL, 1'000ULL);
+  EXPECT_EQ(e.eval(big.view(), kB.view()), 1'000'000'000'000'000'000ULL);
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_EQ(ev(Expr::less(Expr::col_b(0), Expr::col_a(0))), 1u);
+  EXPECT_EQ(ev(Expr::less(Expr::col_a(0), Expr::col_b(0))), 0u);
+  EXPECT_EQ(ev(Expr::less_eq(Expr::constant(10), Expr::col_a(0))), 1u);
+  EXPECT_EQ(ev(Expr::eq(Expr::col_a(0), Expr::constant(10))), 1u);
+  EXPECT_EQ(ev(Expr::neq(Expr::col_a(0), Expr::constant(10))), 0u);
+}
+
+TEST(Expr, LogicalAnd) {
+  EXPECT_EQ(ev(Expr::logical_and(Expr::constant(1), Expr::constant(2))), 1u);
+  EXPECT_EQ(ev(Expr::logical_and(Expr::constant(1), Expr::constant(0))), 0u);
+}
+
+TEST(Expr, NestedComposition) {
+  // SSSP head column: l + n  ->  a[2] + b[2].
+  EXPECT_EQ(ev(Expr::add(Expr::col_a(2), Expr::col_b(2))), 33u);
+  // PageRank share: (a[1] / b[1]) * 85 / 100.
+  EXPECT_EQ(ev(Expr::mul_div(Expr::div(Expr::col_a(1), Expr::col_b(1)), 85, 100)), 8u);
+}
+
+TEST(Expr, MaxColTracksDeepReferences) {
+  const Expr e = Expr::add(Expr::col_a(4), Expr::mul_div(Expr::col_b(7), 1, 2));
+  EXPECT_EQ(e.max_col_a(), 4);
+  EXPECT_EQ(e.max_col_b(), 7);
+  EXPECT_EQ(Expr::constant(1).max_col_a(), -1);
+  EXPECT_EQ(Expr::constant(1).max_col_b(), -1);
+}
+
+TEST(Expr, CopyableAndReusable) {
+  const Expr e = Expr::add(Expr::col_a(0), Expr::constant(5));
+  const Expr copy = e;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(ev(copy), 15u);
+  EXPECT_EQ(ev(e), 15u);
+}
+
+}  // namespace
+}  // namespace paralagg::core

@@ -1,0 +1,790 @@
+// Datalog frontend: lexing/parsing, semantic analysis, stratification,
+// index selection, and end-to-end equivalence with the hand-written
+// queries and sequential oracles.
+
+#include "frontend/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "queries/reference.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::frontend {
+namespace {
+
+using core::Tuple;
+using core::value_t;
+
+// ---- parser ---------------------------------------------------------------------
+
+TEST(Parser, DeclWithMarkersAndAggregate) {
+  const auto ast = parse_program(R"(
+    .decl edge(x, y, w) input
+    .decl spath(f, t, d min) output
+  )");
+  ASSERT_EQ(ast.decls.size(), 2u);
+  EXPECT_EQ(ast.decls[0].name, "edge");
+  EXPECT_TRUE(ast.decls[0].is_input);
+  EXPECT_FALSE(ast.decls[0].is_output);
+  EXPECT_EQ(ast.decls[0].columns.size(), 3u);
+  EXPECT_EQ(ast.decls[1].agg, AggKind::kMin);
+  EXPECT_EQ(ast.decls[1].agg_column, 2u);
+  EXPECT_TRUE(ast.decls[1].is_output);
+}
+
+TEST(Parser, RulesFactsAndComments) {
+  const auto ast = parse_program(R"(
+    // transitive closure
+    .decl edge(x, y) input
+    .decl path(x, y) output
+    path(x, y) :- edge(x, y).   # copy
+    path(x, z) :- path(x, y), edge(y, z).
+    edge(1, 2).
+    edge(2, 3).
+  )");
+  ASSERT_EQ(ast.rules.size(), 2u);
+  EXPECT_EQ(ast.rules[1].body.size(), 2u);
+  ASSERT_EQ(ast.facts.size(), 2u);
+  EXPECT_EQ(ast.facts[1].args[1].constant, 3u);
+}
+
+TEST(Parser, HeadArithmeticAndConstraints) {
+  const auto ast = parse_program(R"(
+    .decl e(x, y, w) input
+    .decl d(t, v min)
+    d(t, a + w) :- d(m, a), e(m, t, w), a < 100, t != m.
+  )");
+  ASSERT_EQ(ast.rules.size(), 1u);
+  const auto& rule = ast.rules[0];
+  EXPECT_EQ(rule.body.size(), 2u);
+  EXPECT_EQ(rule.constraints.size(), 2u);
+  EXPECT_EQ(rule.head.args[1].kind, Term::Kind::kAdd);
+  EXPECT_EQ(rule.constraints[0].kind, Constraint::Kind::kLt);
+  EXPECT_EQ(rule.constraints[1].kind, Constraint::Kind::kNe);
+}
+
+TEST(Parser, MinMaxCallsInHeads) {
+  const auto ast = parse_program(R"(
+    .decl e(x, y, c) input
+    .decl wide(t, c max)
+    wide(t, min(a, c)) :- wide(m, a), e(m, t, c).
+  )");
+  EXPECT_EQ(ast.rules[0].head.args[1].kind, Term::Kind::kMin);
+}
+
+TEST(Parser, SyntaxErrorsCarryLines) {
+  try {
+    parse_program(".decl edge(x, y)\n.decl bad(\n");
+    FAIL() << "expected FrontendError";
+  } catch (const FrontendError& e) {
+    EXPECT_GE(e.line(), 2);  // the open paren's line, or EOF just after
+    EXPECT_LE(e.line(), 3);
+  }
+  EXPECT_THROW(parse_program("path(x) :- edge(x y)."), FrontendError);
+  EXPECT_THROW(parse_program(".nonsense foo"), FrontendError);
+  EXPECT_THROW(parse_program("edge(1, x)."), FrontendError);  // non-ground fact
+}
+
+// ---- analysis errors ---------------------------------------------------------------
+
+TEST(Compile, RejectsSemanticErrors) {
+  // Undeclared relation.
+  EXPECT_THROW(CompiledProgram::compile("p(x) :- q(x)."), FrontendError);
+  // Arity mismatch.
+  EXPECT_THROW(CompiledProgram::compile(".decl q(x)\n.decl p(x)\np(x) :- q(x, y)."),
+               FrontendError);
+  // Wildcard in head.
+  EXPECT_THROW(CompiledProgram::compile(".decl q(x) input\n.decl p(x)\np(_) :- q(x)."),
+               FrontendError);
+  // Unsafe head variable.
+  EXPECT_THROW(CompiledProgram::compile(".decl q(x) input\n.decl p(x)\np(z) :- q(x)."),
+               FrontendError);
+  // Three body atoms.
+  EXPECT_THROW(CompiledProgram::compile(
+                   ".decl q(x) input\n.decl p(x)\np(x) :- q(x), q(x), q(x)."),
+               FrontendError);
+  // Cartesian product.
+  EXPECT_THROW(
+      CompiledProgram::compile(".decl q(x) input\n.decl r(y) input\n.decl p(x, y)\n"
+                               "p(x, y) :- q(x), r(y)."),
+      FrontendError);
+  // Facts for a derived relation.
+  EXPECT_THROW(CompiledProgram::compile(".decl q(x) input\n.decl p(x)\np(x) :- q(x).\np(3)."),
+               FrontendError);
+  // Input in a head.
+  EXPECT_THROW(CompiledProgram::compile(".decl q(x) input\nq(x) :- q(x)."), FrontendError);
+  // Join on an aggregated column.
+  EXPECT_THROW(CompiledProgram::compile(R"(
+      .decl e(x, d) input
+      .decl p(x, d min)
+      .decl out(d)
+      out(d) :- p(x, d), e(y, d).
+      p(x, d) :- e(x, d).
+    )"),
+               FrontendError);
+  // $SUM inside recursion.
+  EXPECT_THROW(CompiledProgram::compile(R"(
+      .decl e(x, y) input
+      .decl s(x, v sum)
+      s(y, v + 1) :- s(x, v), e(x, y).
+    )"),
+               FrontendError);
+}
+
+// ---- stratification & index selection ---------------------------------------------
+
+TEST(Compile, StratifiesByScc) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl tc(x, y)
+    .decl big(x)
+    tc(x, y) :- edge(x, y).
+    tc(x, z) :- tc(x, y), edge(y, z).
+    big(x) :- tc(x, y), y < 5.
+  )");
+  // tc's recursive stratum precedes big's non-recursive one.
+  ASSERT_GE(prog.strata().size(), 2u);
+  bool saw_recursive = false;
+  for (const auto& s : prog.strata()) {
+    if (!s.loop.empty()) saw_recursive = true;
+    if (!s.init.empty() && saw_recursive) SUCCEED();
+  }
+  EXPECT_TRUE(saw_recursive);
+}
+
+TEST(Compile, CreatesSecondaryIndexWhenJoinPatternsDiffer) {
+  // `link` is joined on x in one rule and on y in another: one of the two
+  // patterns becomes a secondary index relation with a maintenance rule.
+  const auto prog = CompiledProgram::compile(R"(
+    .decl link(x, y) input
+    .decl fan(a, b)
+    .decl fin(a, b)
+    fan(a, b) :- link(c, a), link(c, b), a < b.
+    fin(a, b) :- link(a, c), link(b, c), a < b.
+  )");
+  std::size_t secondaries = 0;
+  for (const auto& rp : prog.relations()) {
+    if (rp.base >= 0) ++secondaries;
+  }
+  EXPECT_EQ(secondaries, 1u);
+}
+
+TEST(Compile, NoIndexWhenPatternsAgree) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl p(x, y)
+    p(y, x) :- edge(x, y).
+    p(z, x) :- p(y, x), edge(y, z).
+  )");
+  for (const auto& rp : prog.relations()) EXPECT_LT(rp.base, 0) << rp.name;
+}
+
+// ---- end-to-end -----------------------------------------------------------------------
+
+constexpr std::string_view kSsspDl = R"(
+  .decl edge(x, y, w) input
+  .decl spath(f, t, d min) output
+  spath(n, n, 0)      :- source(n).
+  spath(f, t2, d + w) :- spath(f, t, d), edge(t, t2, w).
+  .decl source(n) input
+)";
+
+std::vector<Tuple> edge_rows(const graph::Graph& g, bool weighted, int rank, int size) {
+  std::vector<Tuple> out;
+  for (std::size_t i = static_cast<std::size_t>(rank); i < g.edges.size();
+       i += static_cast<std::size_t>(size)) {
+    const auto& e = g.edges[i];
+    if (weighted) {
+      out.push_back(Tuple{e.src, e.dst, e.weight});
+    } else {
+      out.push_back(Tuple{e.src, e.dst});
+    }
+  }
+  return out;
+}
+
+TEST(EndToEnd, SsspMatchesDijkstra) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 5, .seed = 61});
+  const auto sources = g.pick_sources(2, 6);
+  const auto oracle = queries::reference::sssp(g, sources);
+  const auto prog = CompiledProgram::compile(kSsspDl);
+
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    inst.load("edge", edge_rows(g, true, comm.rank(), comm.size()));
+    std::vector<Tuple> seeds;
+    if (comm.rank() == 0) {
+      for (const auto s : sources) seeds.push_back(Tuple{s});
+    }
+    inst.load("source", seeds);
+    inst.run();
+    EXPECT_EQ(inst.size("spath"), oracle.size());
+    const auto rows = inst.gather("spath");
+    if (comm.rank() == 0) {
+      for (const auto& row : rows) {  // declared order (f, t, d)
+        const auto it = oracle.find({row[0], row[1]});
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(row[2], it->second);
+      }
+    }
+  });
+}
+
+TEST(EndToEnd, CcMatchesUnionFind) {
+  const auto g = graph::make_components(4, 12, 10, 62);
+  const auto oracle = queries::reference::cc_labels(g);
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl cc(n, rep min) output
+    cc(n, n)   :- edge(n, _).
+    cc(y, r)   :- cc(x, r), edge(x, y).
+  )");
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    // Symmetrize at load time, as the hand-written query does.
+    std::vector<Tuple> rows;
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < g.edges.size();
+         i += static_cast<std::size_t>(comm.size())) {
+      rows.push_back(Tuple{g.edges[i].src, g.edges[i].dst});
+      rows.push_back(Tuple{g.edges[i].dst, g.edges[i].src});
+    }
+    inst.load("edge", rows);
+    inst.run();
+    const auto labels = inst.gather("cc");
+    if (comm.rank() == 0) {
+      ASSERT_EQ(labels.size(), oracle.size());
+      for (const auto& row : labels) {
+        EXPECT_EQ(row[1], oracle.at(row[0])) << "node " << row[0];
+      }
+    }
+  });
+}
+
+TEST(EndToEnd, InlineFactsAndTransitiveClosure) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl path(x, y) output
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), edge(y, z).
+    edge(1, 2).  edge(2, 3).  edge(3, 4).  edge(4, 2).
+  )");
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    inst.run();
+    // 1 reaches {2,3,4}; {2,3,4} is a cycle, each reaching all of {2,3,4}.
+    EXPECT_EQ(inst.size("path"), 3u + 9u);
+  });
+}
+
+TEST(EndToEnd, NonLinearClosureMatchesLinear) {
+  const auto g = graph::make_random_tree(60, 1, 63);
+  const auto oracle = queries::reference::tc_size(g);
+  const auto nonlinear = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl path(x, y) output
+    path(x, y) :- edge(x, y).
+    path(x, z) :- path(x, y), path(y, z).
+  )");
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = nonlinear.instantiate(comm);
+    inst.load("edge", edge_rows(g, false, comm.rank(), comm.size()));
+    const auto result = inst.run();
+    EXPECT_EQ(inst.size("path"), oracle);
+    (void)result;
+  });
+}
+
+TEST(EndToEnd, MutualRecursion) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl start(n) input
+    .decl even(n) output
+    .decl odd(n) output
+    even(n) :- start(n).
+    odd(y)  :- even(x), edge(x, y).
+    even(y) :- odd(x), edge(x, y).
+  )");
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> edges, start;
+    if (comm.rank() == 0) {
+      for (value_t v = 0; v < 6; ++v) edges.push_back(Tuple{v, (v + 1) % 6});
+      start.push_back(Tuple{0});
+    }
+    inst.load("edge", edges);
+    inst.load("start", start);
+    inst.run();
+    const auto evens = inst.gather("even");
+    const auto odds = inst.gather("odd");
+    if (comm.rank() == 0) {
+      ASSERT_EQ(evens.size(), 3u);
+      ASSERT_EQ(odds.size(), 3u);
+      for (const auto& r : evens) EXPECT_EQ(r[0] % 2, 0u);
+      for (const auto& r : odds) EXPECT_EQ(r[0] % 2, 1u);
+    }
+  });
+}
+
+TEST(EndToEnd, SecondaryIndexJoinsAreCorrect) {
+  // Wedge counting needs link joined on both x and y; the compiler builds
+  // the secondary index and maintenance rules automatically.
+  const auto prog = CompiledProgram::compile(R"(
+    .decl link(x, y) input
+    .decl fan(a, b) output
+    .decl fin(a, b) output
+    fan(a, b) :- link(c, a), link(c, b), a < b.
+    fin(a, b) :- link(a, c), link(b, c), a < b.
+  )");
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> rows;
+    if (comm.rank() == 0) {
+      rows = {Tuple{0, 1}, Tuple{0, 2}, Tuple{0, 3}, Tuple{5, 3}, Tuple{6, 3}};
+    }
+    inst.load("link", rows);
+    inst.run();
+    // fan: pairs sharing a source: from 0 -> {1,2},{1,3},{2,3}.
+    EXPECT_EQ(inst.size("fan"), 3u);
+    // fin: pairs sharing a target: into 3 -> {0,5},{0,6},{5,6}.
+    EXPECT_EQ(inst.size("fin"), 3u);
+    const auto fin = inst.gather("fin");
+    if (comm.rank() == 0) {
+      ASSERT_EQ(fin.size(), 3u);
+      EXPECT_EQ(fin[0], (Tuple{0, 5}));
+      EXPECT_EQ(fin[1], (Tuple{0, 6}));
+      EXPECT_EQ(fin[2], (Tuple{5, 6}));
+    }
+  });
+}
+
+TEST(EndToEnd, RecursiveRelationWithSecondaryIndex) {
+  // tc is joined on its second column inside the recursion (pattern [y])
+  // and on its first column by `rooted` (pattern [x]): the compiler must
+  // maintain a secondary index of the *recursive* relation via an
+  // in-fixpoint delta copy, and the post-fixpoint join must see all of it.
+  const auto g = graph::make_chain(12, 1, 64);
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl roots(x) input
+    .decl tc(x, y) output
+    .decl rooted(x, y) output
+    tc(x, y) :- edge(x, y).
+    tc(x, z) :- tc(x, y), edge(y, z).
+    rooted(x, y) :- tc(x, y), roots(x).
+  )");
+  std::size_t secondaries = 0;
+  for (const auto& rp : prog.relations()) {
+    if (rp.base >= 0) ++secondaries;
+  }
+  EXPECT_EQ(secondaries, 1u);  // tc@x
+
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    inst.load("edge", edge_rows(g, false, comm.rank(), comm.size()));
+    std::vector<Tuple> roots;
+    if (comm.rank() == 0) roots = {Tuple{0}, Tuple{3}};
+    inst.load("roots", roots);
+    inst.run();
+    // Chain 0..11: tc = all i<j pairs (66); rooted: 11 pairs from 0, 8
+    // from 3.
+    EXPECT_EQ(inst.size("tc"), 66u);
+    EXPECT_EQ(inst.size("rooted"), 19u);
+  });
+}
+
+TEST(EndToEnd, RepeatedVariablesAndConstants) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl e(x, y) input
+    .decl selfloop(x) output
+    .decl from7(y) output
+    selfloop(x) :- e(x, x).
+    from7(y) :- e(7, y).
+    e(1, 1).  e(1, 2).  e(7, 3).  e(7, 7).
+  )");
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    inst.run();
+    const auto loops = inst.gather("selfloop");
+    const auto sevens = inst.gather("from7");
+    if (comm.rank() == 0) {
+      ASSERT_EQ(loops.size(), 2u);  // 1 and 7
+      EXPECT_EQ(loops[0][0], 1u);
+      EXPECT_EQ(loops[1][0], 7u);
+      ASSERT_EQ(sevens.size(), 2u);  // 3 and 7
+      EXPECT_EQ(sevens[0][0], 3u);
+    }
+  });
+}
+
+TEST(EndToEnd, MaxAggregateLongestPathOnDag) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y, w) input
+    .decl long(t, d max) output
+    long(n, 0)      :- source(n).
+    long(t, d + w)  :- long(m, d), edge(m, t, w).
+    .decl source(n) input
+  )");
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> edges, src;
+    if (comm.rank() == 0) {
+      // Diamond DAG: 0->1 (1), 0->2 (5), 1->3 (1), 2->3 (1).
+      edges = {Tuple{0, 1, 1}, Tuple{0, 2, 5}, Tuple{1, 3, 1}, Tuple{2, 3, 1}};
+      src = {Tuple{0}};
+    }
+    inst.load("edge", edges);
+    inst.load("source", src);
+    inst.run();
+    const auto rows = inst.gather("long");
+    if (comm.rank() == 0) {
+      std::map<value_t, value_t> d;
+      for (const auto& r : rows) d[r[0]] = r[1];
+      EXPECT_EQ(d.at(3), 6u);  // longest 0->2->3
+    }
+  });
+}
+
+// ---- stratified negation -----------------------------------------------------------
+
+TEST(Negation, RejectsUnstratifiedAndUnsafe) {
+  // Win-move: the classic non-stratified program.
+  EXPECT_THROW(CompiledProgram::compile(R"(
+      .decl move(x, y) input
+      .decl win(x)
+      win(x) :- move(x, y), !win(y).
+    )"),
+               FrontendError);
+  // Negation alone is unsafe.
+  EXPECT_THROW(CompiledProgram::compile(R"(
+      .decl q(x) input
+      .decl p(x)
+      p(x) :- !q(x).
+    )"),
+               FrontendError);
+  // Variable appearing only under negation.
+  EXPECT_THROW(CompiledProgram::compile(R"(
+      .decl q(x) input
+      .decl r(x, y) input
+      .decl p(x)
+      p(x) :- q(x), !r(x, z).
+    )"),
+               FrontendError);
+}
+
+TEST(Negation, SetDifference) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl all(x) input
+    .decl banned(x) input
+    .decl ok(x) output
+    ok(x) :- all(x), !banned(x).
+  )");
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> universe, banned;
+    if (comm.rank() == 0) {
+      for (value_t v = 0; v < 30; ++v) universe.push_back(Tuple{v});
+      for (value_t v = 0; v < 30; v += 5) banned.push_back(Tuple{v});
+    }
+    inst.load("all", universe);
+    inst.load("banned", banned);
+    inst.run();
+    EXPECT_EQ(inst.size("ok"), 24u);
+    const auto rows = inst.gather("ok");
+    if (comm.rank() == 0) {
+      for (const auto& r : rows) EXPECT_NE(r[0] % 5, 0u);
+    }
+  });
+}
+
+TEST(Negation, UnreachableNodes) {
+  // Negation over a recursively computed relation in a lower stratum.
+  const auto g = graph::make_components(2, 10, 6, 66);
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl node(n) input
+    .decl start(n) input
+    .decl reach(n)
+    .decl unreachable(n) output
+    reach(n) :- start(n).
+    reach(y) :- reach(x), edge(x, y).
+    unreachable(n) :- node(n), !reach(n).
+  )");
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    inst.load("edge", edge_rows(g, false, comm.rank(), comm.size()));
+    std::vector<Tuple> nodes, start;
+    if (comm.rank() == 0) {
+      for (value_t v = 0; v < 20; ++v) nodes.push_back(Tuple{v});
+      start = {Tuple{0}};
+    }
+    inst.load("node", nodes);
+    inst.load("start", start);
+    inst.run();
+    // Component 0 = nodes 0..9 (chain + extras); component 1 unreachable.
+    EXPECT_EQ(inst.size("unreachable"), 10u);
+    const auto rows = inst.gather("unreachable");
+    if (comm.rank() == 0) {
+      for (const auto& r : rows) EXPECT_GE(r[0], 10u);
+    }
+  });
+}
+
+TEST(Negation, PositiveSideConstraintsGateTheRule) {
+  // x < 3 must restrict which rows are even considered — not merely which
+  // matches block (the pre_filter split).
+  const auto prog = CompiledProgram::compile(R"(
+    .decl all(x) input
+    .decl banned(x) input
+    .decl ok(x) output
+    ok(x) :- all(x), !banned(x), x < 3.
+  )");
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> universe;
+    if (comm.rank() == 0) {
+      for (value_t v = 0; v < 10; ++v) universe.push_back(Tuple{v});
+    }
+    inst.load("all", universe);
+    inst.load("banned", std::vector<Tuple>{});  // nothing banned
+    inst.run();
+    EXPECT_EQ(inst.size("ok"), 3u);  // 0, 1, 2 — not all 10
+  });
+}
+
+TEST(Negation, NegatedAtomMayLeadTheBody) {
+  const auto prog = CompiledProgram::compile(R"(
+    .decl all(x) input
+    .decl banned(x) input
+    .decl ok(x) output
+    ok(x) :- !banned(x), all(x).
+  )");
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> universe, banned;
+    if (comm.rank() == 0) {
+      universe = {Tuple{1}, Tuple{2}, Tuple{3}};
+      banned = {Tuple{2}};
+    }
+    inst.load("all", universe);
+    inst.load("banned", banned);
+    inst.run();
+    EXPECT_EQ(inst.size("ok"), 2u);
+  });
+}
+
+TEST(EndToEnd, MCountLowerBoundsHopDistanceClass) {
+  // $MCOUNT keeps the largest lower bound seen: here, the longest hop
+  // count at which a node was reached during BFS-style expansion over a
+  // DAG — a small demonstration of the fourth builtin aggregate through
+  // the frontend.
+  const auto prog = CompiledProgram::compile(R"(
+    .decl edge(x, y) input
+    .decl start(n) input
+    .decl hops(t, h mcount) output
+    hops(n, 0)     :- start(n).
+    hops(y, h + 1) :- hops(x, h), edge(x, y).
+  )");
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> edges, start;
+    if (comm.rank() == 0) {
+      // Diamond with a long arm: 0->1->3, 0->2->3, 3->4.
+      edges = {Tuple{0, 1}, Tuple{0, 2}, Tuple{1, 3}, Tuple{2, 3}, Tuple{3, 4}};
+      start = {Tuple{0}};
+    }
+    inst.load("edge", edges);
+    inst.load("start", start);
+    inst.run();
+    const auto rows = inst.gather("hops");
+    if (comm.rank() == 0) {
+      std::map<value_t, value_t> h;
+      for (const auto& r : rows) h[r[0]] = r[1];
+      EXPECT_EQ(h.at(0), 0u);
+      EXPECT_EQ(h.at(3), 2u);  // max lower bound over both arms
+      EXPECT_EQ(h.at(4), 3u);
+    }
+  });
+}
+
+TEST(EndToEnd, AndersenPointsToAnalysis) {
+  // The paper's program-analysis motivation: inclusion-based points-to,
+  // validated against a hand-rolled sequential fixpoint.
+  constexpr std::string_view kAndersen = R"(
+    .decl addr_of(v, o) input
+    .decl assign(v, w) input
+    .decl load(v, p) input
+    .decl store(p, w) input
+    .decl pts(v, o) output
+    .decl ld(v, a)
+    .decl st(a, w)
+    pts(v, o) :- addr_of(v, o).
+    pts(v, o) :- assign(v, w), pts(w, o).
+    ld(v, a)  :- load(v, p), pts(p, a).
+    pts(v, o) :- ld(v, a), pts(a, o).
+    st(a, w)  :- store(p, w), pts(p, a).
+    pts(a, o) :- st(a, w), pts(w, o).
+  )";
+
+  // Random small instance.
+  graph::Rng rng(77);
+  const value_t vars = 40;
+  std::vector<std::pair<value_t, value_t>> addr, assign, load, store;
+  for (int i = 0; i < 120; ++i) {
+    const value_t a = rng.below(vars), b = rng.below(vars);
+    switch (rng.below(8)) {
+      case 0: case 1: addr.emplace_back(a, b); break;
+      case 2: case 3: case 4: assign.emplace_back(a, b); break;
+      case 5: case 6: load.emplace_back(a, b); break;
+      default: store.emplace_back(a, b); break;
+    }
+  }
+
+  // Sequential oracle: naive fixpoint over pair sets.
+  std::set<std::pair<value_t, value_t>> pts(addr.begin(), addr.end());
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::set<std::pair<value_t, value_t>> next = pts;
+    const auto add = [&](value_t v, value_t o) {
+      changed |= next.emplace(v, o).second;
+    };
+    for (const auto& [v, w] : assign) {
+      for (const auto& [x, o] : pts) {
+        if (x == w) add(v, o);
+      }
+    }
+    for (const auto& [v, p] : load) {
+      for (const auto& [x, a] : pts) {
+        if (x != p) continue;
+        for (const auto& [y, o] : pts) {
+          if (y == a) add(v, o);
+        }
+      }
+    }
+    for (const auto& [p, w] : store) {
+      for (const auto& [x, a] : pts) {
+        if (x != p) continue;
+        for (const auto& [y, o] : pts) {
+          if (y == w) add(a, o);
+        }
+      }
+    }
+    pts = std::move(next);
+  }
+
+  const auto prog = CompiledProgram::compile(kAndersen);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    const auto to_rows = [&](const std::vector<std::pair<value_t, value_t>>& pairs) {
+      std::vector<Tuple> rows;
+      if (comm.rank() == 0) {
+        for (const auto& [a, b] : pairs) rows.push_back(Tuple{a, b});
+      }
+      return rows;
+    };
+    inst.load("addr_of", to_rows(addr));
+    inst.load("assign", to_rows(assign));
+    inst.load("load", to_rows(load));
+    inst.load("store", to_rows(store));
+    inst.run();
+    EXPECT_EQ(inst.size("pts"), pts.size());
+    const auto rows = inst.gather("pts");
+    if (comm.rank() == 0) {
+      for (const auto& row : rows) {
+        EXPECT_TRUE(pts.contains({row[0], row[1]}))
+            << "spurious pts(" << row[0] << ", " << row[1] << ")";
+      }
+    }
+  });
+}
+
+TEST(EndToEnd, SameGenerationMatchesNaiveFixpoint) {
+  // The classic same-generation program, factored into binary joins; the
+  // recursion forces secondary indexes on both sg and parent.
+  const auto prog = CompiledProgram::compile(R"(
+    .decl parent(c, p) input
+    .decl sg(x, y) output
+    .decl t(py, x)
+    sg(x, y) :- parent(x, p), parent(y, p), x != y.
+    t(py, x) :- sg(px, py), parent(x, px).
+    sg(x, y) :- t(py, x), parent(y, py), x != y.
+  )");
+
+  // A random forest: node c's parent is some p < c.
+  graph::Rng rng(88);
+  std::vector<std::pair<value_t, value_t>> parents;
+  for (value_t c = 1; c < 60; ++c) {
+    parents.emplace_back(c, rng.below(c));
+    if (rng.below(4) == 0) parents.emplace_back(c, rng.below(c));  // some dual parents
+  }
+
+  // Naive oracle.
+  std::set<std::pair<value_t, value_t>> sg;
+  for (const auto& [x, px] : parents) {
+    for (const auto& [y, py] : parents) {
+      if (px == py && x != y) sg.emplace(x, y);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    auto next = sg;
+    for (const auto& [x, px] : parents) {
+      for (const auto& [y, py] : parents) {
+        if (x != y && sg.contains({px, py})) {
+          changed |= next.emplace(x, y).second;
+        }
+      }
+    }
+    sg = std::move(next);
+  }
+
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    auto inst = prog.instantiate(comm);
+    std::vector<Tuple> rows;
+    if (comm.rank() == 0) {
+      for (const auto& [c, p] : parents) rows.push_back(Tuple{c, p});
+    }
+    inst.load("parent", rows);
+    inst.run();
+    EXPECT_EQ(inst.size("sg"), sg.size());
+    const auto got = inst.gather("sg");
+    if (comm.rank() == 0) {
+      for (const auto& row : got) {
+        EXPECT_TRUE(sg.contains({row[0], row[1]}))
+            << "spurious sg(" << row[0] << ", " << row[1] << ")";
+      }
+    }
+  });
+}
+
+TEST(EndToEnd, DeterministicAcrossRankCounts) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 4, .seed = 65});
+  const auto sources = g.pick_sources(2, 9);
+  const auto prog = CompiledProgram::compile(kSsspDl);
+  std::vector<Tuple> at1;
+  for (const int ranks : {1, 5}) {
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      auto inst = prog.instantiate(comm);
+      inst.load("edge", edge_rows(g, true, comm.rank(), comm.size()));
+      std::vector<Tuple> seeds;
+      if (comm.rank() == 0) {
+        for (const auto s : sources) seeds.push_back(Tuple{s});
+      }
+      inst.load("source", seeds);
+      inst.run();
+      const auto rows = inst.gather("spath");
+      if (comm.rank() == 0) {
+        if (ranks == 1) {
+          at1 = rows;
+        } else {
+          EXPECT_EQ(rows, at1);
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace paralagg::frontend

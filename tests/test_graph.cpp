@@ -1,0 +1,217 @@
+// Graph generators, IO, and the dataset zoo.
+
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "graph/io.hpp"
+#include "graph/zoo.hpp"
+
+namespace paralagg::graph {
+namespace {
+
+TEST(Rng, DeterministicAndSpread) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(Rng(42).next(), c.next());
+  std::set<std::uint64_t> seen;
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(1'000'000));
+  EXPECT_GT(seen.size(), 990u);
+  for (int i = 0; i < 100; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rmat, ShapeAndDeterminism) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const Graph g = make_rmat(p);
+  EXPECT_EQ(g.num_nodes, 1024u);
+  EXPECT_EQ(g.num_edges(), 8192u);
+  for (const auto& e : g.edges) {
+    EXPECT_LT(e.src, g.num_nodes);
+    EXPECT_LT(e.dst, g.num_nodes);
+    EXPECT_NE(e.src, e.dst);  // self loops dropped
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, p.max_weight);
+  }
+  EXPECT_EQ(make_rmat(p).edges, g.edges);  // same seed, same graph
+  p.seed = 99;
+  EXPECT_NE(make_rmat(p).edges, g.edges);
+}
+
+TEST(Rmat, PowerLawSkewExceedsUniform) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const Graph rmat = make_rmat(p);
+  const Graph er = make_erdos_renyi(1 << 12, rmat.num_edges());
+  // The whole reason RMAT stands in for Twitter: hub skew.
+  EXPECT_GT(rmat.degree_skew(), 4.0 * er.degree_skew());
+}
+
+TEST(ErdosRenyi, ShapeAndNoSelfLoops) {
+  const Graph g = make_erdos_renyi(100, 500, 10, 3);
+  EXPECT_EQ(g.num_nodes, 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+  for (const auto& e : g.edges) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(Grid, MeshStructure) {
+  const Graph g = make_grid(5, 4);
+  EXPECT_EQ(g.num_nodes, 20u);
+  // 2 * (horizontal (w-1)*h + vertical w*(h-1)) = 2 * (16 + 15) = 62.
+  EXPECT_EQ(g.num_edges(), 62u);
+  // Meshes are balanced: low skew.
+  EXPECT_LT(g.degree_skew(), 2.0);
+}
+
+TEST(Chain, PathGraph) {
+  const Graph g = make_chain(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(g.edges[i].src, i);
+    EXPECT_EQ(g.edges[i].dst, i + 1);
+  }
+}
+
+TEST(Star, HubHoldsEverything) {
+  const Graph g = make_star(100);
+  EXPECT_EQ(g.num_edges(), 100u);
+  for (const auto& e : g.edges) EXPECT_EQ(e.src, 0u);
+  // degree_skew averages over *source* nodes, of which a star has exactly
+  // one — the skew a star exposes is in the bucket distribution, not here.
+  EXPECT_EQ(g.source_nodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.degree_skew(), 1.0);
+}
+
+TEST(Complete, AllPairs) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+}
+
+TEST(RandomTree, ParentsPrecedeChildren) {
+  const Graph g = make_random_tree(50);
+  EXPECT_EQ(g.num_edges(), 49u);
+  for (const auto& e : g.edges) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(Components, DisjointByConstruction) {
+  const Graph g = make_components(4, 10, 5);
+  EXPECT_EQ(g.num_nodes, 40u);
+  for (const auto& e : g.edges) {
+    EXPECT_EQ(e.src / 10, e.dst / 10);  // never cross component boundaries
+  }
+}
+
+TEST(Graph, SymmetrizedDoublesEdges) {
+  const Graph g = make_chain(5);
+  const Graph s = g.symmetrized();
+  EXPECT_EQ(s.num_edges(), 2 * g.num_edges());
+  EXPECT_EQ(s.edges[1], (Edge{1, 0, s.edges[0].weight}));
+}
+
+TEST(Graph, SourceNodesSortedUnique) {
+  const Graph g = make_star(10);
+  const auto srcs = g.source_nodes();
+  ASSERT_EQ(srcs.size(), 1u);
+  EXPECT_EQ(srcs[0], 0u);
+}
+
+TEST(Graph, PickSourcesHaveOutEdges) {
+  const Graph g = make_rmat({.scale = 8, .edge_factor = 4});
+  const auto sources = g.pick_sources(10);
+  EXPECT_FALSE(sources.empty());
+  const auto srcs = g.source_nodes();
+  for (const auto s : sources) {
+    EXPECT_TRUE(std::binary_search(srcs.begin(), srcs.end(), s));
+  }
+}
+
+TEST(Io, RoundTripsEdgeList) {
+  const Graph g = make_erdos_renyi(50, 200, 10, 5);
+  const std::string path = testing::TempDir() + "/paralagg_io_test.el";
+  write_edge_list(g, path);
+  const Graph back = read_edge_list(path, "roundtrip");
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  auto a = g.edges;
+  auto b = back.edges;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(Io, ParsesCommentsAndDefaultWeight) {
+  const std::string path = testing::TempDir() + "/paralagg_io_test2.el";
+  {
+    std::ofstream out(path);
+    out << "# comment\n% matrix-market comment\n1 2\n3 4 9\n";
+  }
+  const Graph g = read_edge_list(path);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges[0], (Edge{1, 2, 1}));
+  EXPECT_EQ(g.edges[1], (Edge{3, 4, 9}));
+  EXPECT_EQ(g.num_nodes, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Io, ThrowsOnMissingAndMalformed) {
+  EXPECT_THROW(read_edge_list("/nonexistent/nope.el"), std::runtime_error);
+  const std::string path = testing::TempDir() + "/paralagg_io_bad.el";
+  {
+    std::ofstream out(path);
+    out << "not an edge\n";
+  }
+  EXPECT_THROW(read_edge_list(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Zoo, Table2HasEightPaperRows) {
+  const auto& zoo = table2_zoo();
+  ASSERT_EQ(zoo.size(), 8u);
+  EXPECT_EQ(zoo[0].paper_graph, "flickr");
+  EXPECT_EQ(zoo[7].paper_graph, "stokes");
+  // Paper edge counts must ascend roughly as in Table II (flickr smallest).
+  EXPECT_LT(zoo[0].paper_edges, zoo[6].paper_edges);
+}
+
+TEST(Zoo, StandInsGenerateAndKeepRelativeOrder) {
+  const auto& zoo = table2_zoo();
+  std::vector<std::size_t> sizes;
+  for (const auto& entry : zoo) {
+    const Graph g = entry.make();
+    EXPECT_GT(g.num_edges(), 10'000u) << entry.name;
+    EXPECT_EQ(g.name, entry.name);
+    sizes.push_back(g.num_edges());
+  }
+  // Largest stand-in is the arabic one, as in the paper.
+  EXPECT_EQ(*std::max_element(sizes.begin(), sizes.end()), sizes[6]);
+}
+
+TEST(Zoo, SocialStandInsAreSkewedMeshesAreNot) {
+  const auto& zoo = table2_zoo();
+  const Graph flickr = zoo[0].make();   // social
+  const Graph mesh = zoo[4].make();     // ml-geer (grid)
+  EXPECT_GT(flickr.degree_skew(), 5.0);
+  EXPECT_LT(mesh.degree_skew(), 2.0);
+}
+
+TEST(Zoo, TwitterLikeIsTheMostSkewed) {
+  const Graph tw = make_twitter_like(12, 8);
+  const Graph lj = make_livejournal_like();
+  EXPECT_GT(tw.degree_skew(), lj.degree_skew());
+}
+
+}  // namespace
+}  // namespace paralagg::graph

@@ -1,0 +1,101 @@
+// Dynamic join planning: Algorithm 1's vote and its fixed-policy bypasses.
+
+#include "core/join_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::core {
+namespace {
+
+TEST(JoinPlanner, FixedPoliciesSkipTheVote) {
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto a = plan_join_order(comm, JoinOrderPolicy::kFixedAOuter, 1000, 1);
+    EXPECT_TRUE(a.a_outer);
+    EXPECT_FALSE(a.voted);
+    const auto b = plan_join_order(comm, JoinOrderPolicy::kFixedBOuter, 1, 1000);
+    EXPECT_FALSE(b.a_outer);
+    EXPECT_FALSE(b.voted);
+  });
+}
+
+TEST(JoinPlanner, UnanimousVotePicksSmallerSide) {
+  vmpi::run(8, [&](vmpi::Comm& comm) {
+    // A is smaller everywhere -> A becomes the outer (shipped) relation.
+    const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic, 10, 1000);
+    EXPECT_TRUE(d.a_outer);
+    EXPECT_TRUE(d.voted);
+    EXPECT_EQ(d.votes_for_a, 8);
+
+    const auto e = plan_join_order(comm, JoinOrderPolicy::kDynamic, 1000, 10);
+    EXPECT_FALSE(e.a_outer);
+    EXPECT_EQ(e.votes_for_a, 0);
+  });
+}
+
+TEST(JoinPlanner, MajorityDecidesUnderDisagreement) {
+  vmpi::run(5, [&](vmpi::Comm& comm) {
+    // Ranks 0-2 see A smaller (vote A), ranks 3-4 see B smaller.
+    const bool a_smaller_here = comm.rank() <= 2;
+    const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic,
+                                   a_smaller_here ? 1 : 100, a_smaller_here ? 100 : 1);
+    EXPECT_TRUE(d.a_outer);  // 3 of 5 votes
+    EXPECT_EQ(d.votes_for_a, 3);
+  });
+}
+
+TEST(JoinPlanner, MinorityLoses) {
+  vmpi::run(5, [&](vmpi::Comm& comm) {
+    const bool a_smaller_here = comm.rank() <= 1;  // only 2 of 5
+    const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic,
+                                   a_smaller_here ? 1 : 100, a_smaller_here ? 100 : 1);
+    EXPECT_FALSE(d.a_outer);
+    EXPECT_EQ(d.votes_for_a, 2);
+  });
+}
+
+TEST(JoinPlanner, TiesPreferA) {
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const bool a_smaller_here = comm.rank() < 2;  // 2 vs 2
+    const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic,
+                                   a_smaller_here ? 1 : 100, a_smaller_here ? 100 : 1);
+    EXPECT_TRUE(d.a_outer);  // votes (2) >= ceil(4/2)
+  });
+}
+
+TEST(JoinPlanner, EqualSizesVoteForA) {
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic, 50, 50);
+    EXPECT_TRUE(d.a_outer);
+    EXPECT_EQ(d.votes_for_a, 3);
+  });
+}
+
+TEST(JoinPlanner, AllRanksAgreeOnTheDecision) {
+  // The whole point of the Allreduce: every rank must reach the same
+  // conclusion even with wildly different local views.
+  vmpi::run(8, [&](vmpi::Comm& comm) {
+    const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic,
+                                   static_cast<std::size_t>(comm.rank() * 100),
+                                   static_cast<std::size_t>((7 - comm.rank()) * 100));
+    const auto all = comm.allgather<std::uint8_t>(d.a_outer ? 1 : 0);
+    for (auto v : all) EXPECT_EQ(v, all[0]);
+  });
+}
+
+TEST(JoinPlanner, VoteCostsOneIntegerPerRank) {
+  std::vector<vmpi::CommStats> per_rank;
+  vmpi::run_collect(
+      8,
+      [&](vmpi::Comm& comm) {
+        (void)plan_join_order(comm, JoinOrderPolicy::kDynamic, 3, 4);
+      },
+      per_rank);
+  for (const auto& st : per_rank) {
+    EXPECT_EQ(st.remote_bytes(vmpi::Op::kAllreduce), sizeof(std::uint32_t) * 7);
+  }
+}
+
+}  // namespace
+}  // namespace paralagg::core

@@ -1,0 +1,195 @@
+// Profiling machinery: RankProfile accumulation, phase timers, byte
+// attribution, and the cross-rank summary (the measurement layer every
+// figure depends on).
+
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/phase_scope.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::core {
+namespace {
+
+TEST(RankProfile, AccumulatesIntoCurrentIteration) {
+  RankProfile p;
+  p.add_seconds(Phase::kLocalJoin, 0.5);
+  p.add_seconds(Phase::kLocalJoin, 0.25);
+  p.add_work(Phase::kDedupAgg, 10);
+  p.add_bytes(Phase::kAllToAll, 100);
+  const auto& cur = p.current();
+  EXPECT_DOUBLE_EQ(cur.cpu_seconds[static_cast<std::size_t>(Phase::kLocalJoin)], 0.75);
+  EXPECT_EQ(cur.work[static_cast<std::size_t>(Phase::kDedupAgg)], 10u);
+  EXPECT_EQ(cur.bytes[static_cast<std::size_t>(Phase::kAllToAll)], 100u);
+  EXPECT_TRUE(p.history().empty());
+}
+
+TEST(RankProfile, EndIterationSnapshotsAndResets) {
+  RankProfile p;
+  p.add_work(Phase::kLocalJoin, 5);
+  p.end_iteration();
+  p.add_work(Phase::kLocalJoin, 7);
+  p.end_iteration();
+  ASSERT_EQ(p.history().size(), 2u);
+  EXPECT_EQ(p.history()[0].work[static_cast<std::size_t>(Phase::kLocalJoin)], 5u);
+  EXPECT_EQ(p.history()[1].work[static_cast<std::size_t>(Phase::kLocalJoin)], 7u);
+  EXPECT_EQ(p.current().work[static_cast<std::size_t>(Phase::kLocalJoin)], 0u);
+}
+
+TEST(ScopedPhaseTimer, MeasuresThreadCpuTime) {
+  RankProfile p;
+  {
+    ScopedPhaseTimer timer(p, Phase::kLocalJoin);
+    // Busy work: CPU time must register; sleeping would not.
+    volatile std::uint64_t x = 1;
+    for (int i = 0; i < 2'000'000; ++i) x = x * 31 + 7;
+  }
+  EXPECT_GT(p.current().cpu_seconds[static_cast<std::size_t>(Phase::kLocalJoin)], 0.0);
+}
+
+TEST(ScopedPhaseTimer, BlockedTimeDoesNotCount) {
+  RankProfile p;
+  {
+    ScopedPhaseTimer timer(p, Phase::kOther);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  // Sleeping burns no thread CPU: far below the wall duration.
+  EXPECT_LT(p.current().cpu_seconds[static_cast<std::size_t>(Phase::kOther)], 0.010);
+}
+
+TEST(PhaseScope, AttributesRemoteBytes) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    RankProfile p;
+    {
+      PhaseScope scope(comm, p, Phase::kAllToAll);
+      (void)comm.allgather<std::uint64_t>(42);  // 8 bytes to 1 peer
+    }
+    EXPECT_EQ(p.current().bytes[static_cast<std::size_t>(Phase::kAllToAll)], 8u);
+  });
+}
+
+TEST(PhaseScope, PausedStatsAttributeNothing) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    RankProfile p;
+    {
+      PhaseScope scope(comm, p, Phase::kAllToAll);
+      vmpi::StatsPause pause(comm);
+      (void)comm.allgather<std::uint64_t>(42);
+    }
+    EXPECT_EQ(p.current().bytes[static_cast<std::size_t>(Phase::kAllToAll)], 0u);
+  });
+}
+
+TEST(Summarize, CriticalPathIsMaxPerIteration) {
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    RankProfile mine;
+    // Iteration 0: rank r contributes r+1 synthetic seconds.
+    mine.add_seconds(Phase::kLocalJoin, static_cast<double>(comm.rank() + 1));
+    mine.add_bytes(Phase::kLocalJoin, 10);
+    mine.end_iteration();
+    // Iteration 1: rank 0 is the straggler.
+    mine.add_seconds(Phase::kLocalJoin, comm.rank() == 0 ? 5.0 : 0.5);
+    mine.end_iteration();
+
+    const auto summary = summarize_profiles(comm, mine);
+    EXPECT_EQ(summary.iterations, 2u);
+    EXPECT_EQ(summary.ranks, 3);
+    const auto lj = static_cast<std::size_t>(Phase::kLocalJoin);
+    // max(1,2,3) + max(5,0.5,0.5) = 8.
+    EXPECT_DOUBLE_EQ(summary.modelled_seconds[lj], 8.0);
+    // Σ over ranks and iterations = (1+2+3) + (5+0.5+0.5) = 12.
+    EXPECT_DOUBLE_EQ(summary.total_cpu_seconds[lj], 12.0);
+    EXPECT_EQ(summary.total_bytes[lj], 30u);
+    ASSERT_EQ(summary.per_iteration_max.size(), 2u);
+    EXPECT_DOUBLE_EQ(summary.per_iteration_max[0][lj], 3.0);
+    EXPECT_DOUBLE_EQ(summary.per_iteration_max[1][lj], 5.0);
+  });
+}
+
+TEST(Summarize, IdenticalOnEveryRank) {
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    RankProfile mine;
+    mine.add_seconds(Phase::kDedupAgg, 1.0 + comm.rank());
+    mine.end_iteration();
+    const auto summary = summarize_profiles(comm, mine);
+    const auto digests = comm.allgather<double>(summary.modelled_total());
+    for (const auto d : digests) EXPECT_DOUBLE_EQ(d, digests[0]);
+  });
+}
+
+TEST(Summarize, InstrumentationTrafficNotCounted) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    RankProfile mine;
+    mine.end_iteration();
+    const auto before = comm.stats().total_remote_bytes();
+    (void)summarize_profiles(comm, mine);
+    EXPECT_EQ(comm.stats().total_remote_bytes(), before);
+  });
+}
+
+TEST(Summarize, EmptyHistory) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    RankProfile mine;
+    const auto summary = summarize_profiles(comm, mine);
+    EXPECT_EQ(summary.iterations, 0u);
+    EXPECT_DOUBLE_EQ(summary.modelled_total(), 0.0);
+  });
+}
+
+TEST(Summarize, PerIterationMaxBytesTracksStraggler) {
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    RankProfile mine;
+    mine.add_bytes(Phase::kAllToAll, static_cast<std::uint64_t>(comm.rank()) * 100);
+    mine.end_iteration();
+    const auto summary = summarize_profiles(comm, mine);
+    ASSERT_EQ(summary.per_iteration_max_bytes.size(), 1u);
+    EXPECT_EQ(summary.per_iteration_max_bytes[0], 200u);  // rank 2's bytes
+  });
+}
+
+TEST(CostModel, ChargesComputeCommAndSync) {
+  ProfileSummary p;
+  p.iterations = 2;
+  p.ranks = 4;
+  p.per_iteration_max.resize(2);
+  p.per_iteration_max[0].fill(0.0);
+  p.per_iteration_max[1].fill(0.0);
+  p.per_iteration_max[0][static_cast<std::size_t>(Phase::kLocalJoin)] = 1.0;
+  p.per_iteration_max[1][static_cast<std::size_t>(Phase::kDedupAgg)] = 2.0;
+  p.per_iteration_max_bytes = {1'000'000'000, 0};  // 1 GB in iteration 0
+
+  CostModel m;
+  m.bytes_per_second = 1.0e9;
+  m.collective_latency = 0.001;
+  m.collectives_per_iteration = 10;
+  // cpu (3) + comm (1) + sync (0.001 * 10 * log2(4) * 2 = 0.04).
+  EXPECT_NEAR(m.project(p, 4), 4.04, 1e-9);
+}
+
+TEST(CostModel, SyncTermGrowsWithRanks) {
+  ProfileSummary p;
+  p.iterations = 100;
+  p.per_iteration_max.resize(100);
+  for (auto& row : p.per_iteration_max) row.fill(0.0);
+  p.per_iteration_max_bytes.assign(100, 0);
+  CostModel m;
+  EXPECT_GT(m.project(p, 1024), m.project(p, 4));
+  EXPECT_GT(m.project(p, 2), 0.0);  // never free
+}
+
+TEST(PhaseNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    names.insert(phase_name(static_cast<Phase>(p)));
+  }
+  EXPECT_EQ(names.size(), kPhaseCount);
+}
+
+}  // namespace
+}  // namespace paralagg::core

@@ -1,0 +1,167 @@
+// Property-based sweeps: engine-level invariants that must hold across a
+// grid of (graph family, size, rank count, tuning) combinations.
+//
+// Each property is one TEST_P over the cartesian sweep:
+//   * SSSP distances equal Dijkstra's (total correctness)
+//   * triangle inequality: dist(s, v) <= dist(s, u) + w(u, v) for every edge
+//   * CC labels are component-minimal fixpoints
+//   * |cc| is linear in nodes (the collapse property)
+//   * communication accounting is internally consistent
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "queries/cc.hpp"
+#include "queries/reference.hpp"
+#include "queries/sssp.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::queries {
+namespace {
+
+struct SweepParam {
+  const char* family;
+  std::uint64_t size;
+  int ranks;
+  int sub_buckets;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::string(info.param.family) + "_n" + std::to_string(info.param.size) + "_r" +
+         std::to_string(info.param.ranks) + "_s" + std::to_string(info.param.sub_buckets);
+}
+
+graph::Graph make_family(const SweepParam& p) {
+  const std::string f = p.family;
+  if (f == "rmat") {
+    int scale = 1;
+    while ((1ULL << scale) < p.size) ++scale;
+    return graph::make_rmat({.scale = scale, .edge_factor = 5, .seed = p.seed});
+  }
+  if (f == "grid") {
+    const auto side = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(p.size)));
+    return graph::make_grid(side, side, 10, p.seed);
+  }
+  if (f == "chain") return graph::make_chain(p.size, 10, p.seed);
+  if (f == "er") return graph::make_erdos_renyi(p.size, p.size * 5, 20, p.seed);
+  if (f == "star") return graph::make_star(p.size, 10, p.seed);
+  return graph::make_random_tree(p.size, 10, p.seed);
+}
+
+class QuerySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(QuerySweep, SsspMatchesDijkstra) {
+  const auto p = GetParam();
+  const auto g = make_family(p);
+  const auto sources = g.pick_sources(2, p.seed);
+  const auto oracle = reference::sssp(g, sources);
+  vmpi::run(p.ranks, [&](vmpi::Comm& comm) {
+    SsspOptions opts;
+    opts.sources = sources;
+    opts.tuning.edge_sub_buckets = p.sub_buckets;
+    opts.collect_distances = true;
+    const auto result = run_sssp(comm, g, opts);
+    EXPECT_EQ(result.path_count, oracle.size());
+    if (comm.rank() == 0) {
+      for (const auto& row : result.distances) {
+        const auto it = oracle.find({row[1], row[0]});
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(row[2], it->second);
+      }
+    }
+  });
+}
+
+TEST_P(QuerySweep, SsspSatisfiesTriangleInequality) {
+  const auto p = GetParam();
+  const auto g = make_family(p);
+  const auto sources = g.pick_sources(1, p.seed);
+  vmpi::run(p.ranks, [&](vmpi::Comm& comm) {
+    SsspOptions opts;
+    opts.sources = sources;
+    opts.tuning.edge_sub_buckets = p.sub_buckets;
+    opts.collect_distances = true;
+    const auto result = run_sssp(comm, g, opts);
+    if (comm.rank() == 0) {
+      // dist[(from, to)] from the collected stored-order rows.
+      std::map<std::pair<value_t, value_t>, value_t> dist;
+      for (const auto& row : result.distances) dist[{row[1], row[0]}] = row[2];
+      for (const value_t s : sources) {
+        for (const auto& e : g.edges) {
+          const auto du = dist.find({s, e.src});
+          if (du == dist.end()) continue;
+          const auto dv = dist.find({s, e.dst});
+          // Edge relaxed at fixpoint: dv exists and is tight.
+          ASSERT_NE(dv, dist.end());
+          EXPECT_LE(dv->second, du->second + e.weight);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(QuerySweep, CcLabelsAreMinimalFixpoints) {
+  const auto p = GetParam();
+  const auto g = make_family(p);
+  const auto oracle = reference::cc_labels(g);
+  vmpi::run(p.ranks, [&](vmpi::Comm& comm) {
+    CcOptions opts;
+    opts.tuning.edge_sub_buckets = p.sub_buckets;
+    opts.collect_labels = true;
+    const auto result = run_cc(comm, g, opts);
+    // Collapse property: one row per edge-incident node, never a product.
+    EXPECT_EQ(result.labelled_nodes, oracle.size());
+    if (comm.rank() == 0) {
+      std::map<value_t, value_t> got;
+      for (const auto& row : result.labels) got[row[0]] = row[1];
+      for (const auto& [node, label] : got) {
+        const auto it = oracle.find(node);
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(label, it->second) << "node " << node;
+        EXPECT_LE(label, node);  // labels are component minima
+      }
+      // Fixpoint: both endpoints of every edge share a label.
+      for (const auto& e : g.edges) {
+        EXPECT_EQ(got.at(e.src), got.at(e.dst));
+      }
+    }
+  });
+}
+
+TEST_P(QuerySweep, CommunicationAccountingConsistent) {
+  const auto p = GetParam();
+  const auto g = make_family(p);
+  const auto sources = g.pick_sources(1, p.seed);
+  vmpi::run(p.ranks, [&](vmpi::Comm& comm) {
+    SsspOptions opts;
+    opts.sources = sources;
+    opts.tuning.edge_sub_buckets = p.sub_buckets;
+    const auto result = run_sssp(comm, g, opts);
+    // Phase-attributed bytes can never exceed the comm layer's total (the
+    // engine-side attribution only sees engine phases).
+    EXPECT_LE(result.run.profile.bytes_total(),
+              result.run.comm_total.total_remote_bytes());
+    // Single rank: nothing is remote.
+    if (comm.size() == 1) {
+      EXPECT_EQ(result.run.comm_total.total_remote_bytes(), 0u);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuerySweep,
+    ::testing::Values(SweepParam{"rmat", 256, 4, 1, 31}, SweepParam{"rmat", 512, 7, 4, 32},
+                      SweepParam{"grid", 64, 4, 1, 33}, SweepParam{"grid", 100, 3, 2, 34},
+                      SweepParam{"chain", 50, 2, 1, 35}, SweepParam{"er", 120, 5, 1, 36},
+                      SweepParam{"er", 200, 4, 8, 37}, SweepParam{"star", 300, 6, 4, 38},
+                      SweepParam{"tree", 150, 4, 1, 39}, SweepParam{"rmat", 256, 1, 1, 40},
+                      SweepParam{"rmat", 1024, 16, 8, 41}, SweepParam{"grid", 144, 9, 1, 42},
+                      SweepParam{"chain", 120, 12, 1, 43}, SweepParam{"er", 64, 16, 2, 44},
+                      SweepParam{"tree", 400, 6, 4, 45}, SweepParam{"star", 100, 3, 8, 46}),
+    param_name);
+
+}  // namespace
+}  // namespace paralagg::queries

@@ -1,0 +1,131 @@
+// Connected components end to end vs. the union-find oracle.
+
+#include "queries/cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queries/reference.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::queries {
+namespace {
+
+void expect_matches_oracle(const graph::Graph& g, int ranks, QueryTuning tuning = {}) {
+  const auto oracle = reference::cc_labels(g);
+  const auto oracle_count = reference::cc_count(g);
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    CcOptions opts;
+    opts.tuning = tuning;
+    opts.collect_labels = true;
+    const auto result = run_cc(comm, g, opts);
+    EXPECT_EQ(result.component_count, oracle_count);
+    EXPECT_EQ(result.labelled_nodes, oracle.size());
+    if (comm.rank() == 0) {
+      ASSERT_EQ(result.labels.size(), oracle.size());
+      for (const auto& row : result.labels) {
+        const auto it = oracle.find(row[0]);
+        ASSERT_NE(it, oracle.end()) << "node " << row[0];
+        EXPECT_EQ(row[1], it->second) << "node " << row[0];
+      }
+    }
+  });
+}
+
+TEST(Cc, SingleChainIsOneComponent) {
+  expect_matches_oracle(graph::make_chain(30), 2);
+}
+
+TEST(Cc, DisjointComponentsKeepSeparateLabels) {
+  expect_matches_oracle(graph::make_components(5, 12, 8, 3), 4);
+}
+
+TEST(Cc, GridIsOneComponent) {
+  const auto g = graph::make_grid(10, 10);
+  const auto oracle_count = reference::cc_count(g);
+  ASSERT_EQ(oracle_count, 1u);
+  expect_matches_oracle(g, 4);
+}
+
+TEST(Cc, RmatComponents) {
+  expect_matches_oracle(graph::make_rmat({.scale = 9, .edge_factor = 3, .seed = 4}), 4);
+}
+
+TEST(Cc, DirectednessIgnoredViaSymmetrization) {
+  // A directed chain has one undirected component even though node 0 is
+  // unreachable from the others in the directed sense.
+  graph::Graph g;
+  g.name = "directed-v";
+  g.num_nodes = 3;
+  g.edges = {{1, 0, 1}, {1, 2, 1}};  // 1 -> 0, 1 -> 2
+  expect_matches_oracle(g, 2);
+}
+
+TEST(Cc, LabelIsComponentMinimum) {
+  // Representative canonicalization: every label is the smallest node id
+  // of its component (paper: "$MIN canonicalizes a component
+  // representative").
+  const auto g = graph::make_components(3, 10, 4, 6);
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    CcOptions opts;
+    opts.collect_labels = true;
+    const auto result = run_cc(comm, g, opts);
+    if (comm.rank() == 0) {
+      for (const auto& row : result.labels) {
+        EXPECT_EQ(row[1], (row[0] / 10) * 10);  // min id of each block
+      }
+    }
+  });
+}
+
+TEST(Cc, BaselineTuningMatches) {
+  expect_matches_oracle(graph::make_rmat({.scale = 8, .edge_factor = 4, .seed = 8}), 4,
+                        QueryTuning::baseline());
+}
+
+TEST(Cc, SubBucketingMatches) {
+  QueryTuning tuning;
+  tuning.edge_sub_buckets = 8;
+  expect_matches_oracle(graph::make_rmat({.scale = 8, .edge_factor = 4, .seed = 9}), 8,
+                        tuning);
+}
+
+TEST(Cc, CollapsedStateStaysLinear) {
+  // §V-A: the $MIN aggregate keeps |cc| = #nodes — no node-product blowup.
+  const auto g = graph::make_components(2, 100, 300, 10);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto result = run_cc(comm, g, CcOptions{});
+    EXPECT_EQ(result.labelled_nodes, 200u);  // exactly one row per node
+    EXPECT_EQ(result.component_count, 2u);
+  });
+}
+
+TEST(Cc, IterationsTrackComponentDiameter) {
+  const auto chain = graph::make_chain(40);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_cc(comm, chain, CcOptions{});
+    // Label 0 must walk the whole chain.
+    EXPECT_GE(result.iterations, 39u);
+  });
+}
+
+TEST(Cc, ResultIdenticalAcrossRankCounts) {
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 3, .seed = 12});
+  std::vector<Tuple> at1;
+  for (const int ranks : {1, 3, 6}) {
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      CcOptions opts;
+      opts.collect_labels = true;
+      const auto result = run_cc(comm, g, opts);
+      if (comm.rank() == 0) {
+        if (ranks == 1) {
+          at1 = result.labels;
+        } else {
+          EXPECT_EQ(result.labels, at1) << "ranks=" << ranks;
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace paralagg::queries

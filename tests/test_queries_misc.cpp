@@ -1,0 +1,305 @@
+// TC, PageRank, Lsp (leak ablation), and triangle counting vs. oracles.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "queries/lsp.hpp"
+#include "queries/pagerank.hpp"
+#include "queries/reference.hpp"
+#include "queries/sssp_tree.hpp"
+#include "queries/tc.hpp"
+#include "queries/triangles.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::queries {
+namespace {
+
+// ---- transitive closure ------------------------------------------------------
+
+TEST(Tc, ChainClosureCount) {
+  const auto g = graph::make_chain(12);
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    const auto result = run_tc(comm, g, TcOptions{});
+    EXPECT_EQ(result.path_count, 66u);  // 11+10+...+1
+  });
+}
+
+TEST(Tc, MatchesBfsOracle) {
+  const auto g = graph::make_rmat({.scale = 6, .edge_factor = 2, .seed = 3});
+  const auto oracle = reference::tc_size(g);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto result = run_tc(comm, g, TcOptions{});
+    EXPECT_EQ(result.path_count, oracle);
+  });
+}
+
+TEST(Tc, CycleClosureIsComplete) {
+  graph::Graph g;
+  g.name = "cycle";
+  g.num_nodes = 5;
+  for (value_t v = 0; v < 5; ++v) g.edges.push_back({v, (v + 1) % 5, 1});
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_tc(comm, g, TcOptions{});
+    EXPECT_EQ(result.path_count, 25u);
+  });
+}
+
+TEST(Tc, CollectedPairsMatchOracleSpotCheck) {
+  const auto g = graph::make_random_tree(40, 1, 5);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    TcOptions opts;
+    opts.collect_pairs = true;
+    const auto result = run_tc(comm, g, opts);
+    if (comm.rank() == 0) {
+      // Root 0 reaches every other node in a tree rooted at 0.
+      std::size_t from0 = 0;
+      for (const auto& row : result.pairs) {
+        if (row[1] == 0) ++from0;  // stored (dst, src)
+      }
+      EXPECT_EQ(from0, 39u);
+    }
+  });
+}
+
+// ---- PageRank -----------------------------------------------------------------
+
+TEST(Pagerank, MatchesIntegerOracleExactly) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 4, .seed = 5});
+  const auto oracle = reference::pagerank(g, 10);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    PagerankOptions opts;
+    opts.rounds = 10;
+    opts.collect_ranks = true;
+    const auto result = run_pagerank(comm, g, opts);
+    EXPECT_EQ(result.rounds, 10u);
+    EXPECT_EQ(result.ranked_nodes, g.num_nodes);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(result.ranks.size(), g.num_nodes);
+      for (const auto& row : result.ranks) {
+        EXPECT_EQ(row[1], oracle[row[0]]) << "node " << row[0];
+      }
+    }
+  });
+}
+
+TEST(Pagerank, UniformOnACycle) {
+  // Symmetric structure: every node must converge to the same rank.
+  graph::Graph g;
+  g.name = "cycle";
+  g.num_nodes = 8;
+  for (value_t v = 0; v < 8; ++v) g.edges.push_back({v, (v + 1) % 8, 1});
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    PagerankOptions opts;
+    opts.rounds = 60;  // 0.85^60 ~ 6e-5: geometric tail below the tolerance
+    opts.collect_ranks = true;
+    const auto result = run_pagerank(comm, g, opts);
+    if (comm.rank() == 0) {
+      ASSERT_FALSE(result.ranks.empty());
+      const value_t first = result.ranks.front()[1];
+      for (const auto& row : result.ranks) {
+        EXPECT_EQ(row[1], first);  // symmetric graph -> exactly uniform
+        EXPECT_NEAR(static_cast<double>(row[1]), static_cast<double>(kRankScale), 2000.0);
+      }
+    }
+  });
+}
+
+TEST(Pagerank, HubReceivesMoreRankThanSpokes) {
+  // Spokes all point at the hub.
+  graph::Graph g;
+  g.name = "in-star";
+  g.num_nodes = 11;
+  for (value_t v = 1; v <= 10; ++v) g.edges.push_back({v, 0, 1});
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    PagerankOptions opts;
+    opts.rounds = 15;
+    opts.collect_ranks = true;
+    const auto result = run_pagerank(comm, g, opts);
+    if (comm.rank() == 0) {
+      value_t hub = 0, spoke = 0;
+      for (const auto& row : result.ranks) {
+        if (row[0] == 0) {
+          hub = row[1];
+        } else {
+          spoke = row[1];
+        }
+      }
+      EXPECT_GT(hub, 5 * spoke);
+    }
+  });
+}
+
+TEST(Pagerank, MassStaysBounded) {
+  const auto g = graph::make_erdos_renyi(200, 1000, 1, 6);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    PagerankOptions opts;
+    opts.rounds = 20;
+    const auto result = run_pagerank(comm, g, opts);
+    EXPECT_GT(result.total_mass, 0.3);
+    EXPECT_LT(result.total_mass, 1.05);
+  });
+}
+
+// ---- Lsp: the §III-A leak ablation --------------------------------------------
+
+TEST(Lsp, StratifiedMatchesEccentricityOracle) {
+  const auto g = graph::make_grid(6, 6, 10, 7);
+  const auto oracle = reference::eccentricity(g, {0});
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    LspOptions opts;
+    opts.sources = {0};
+    const auto result = run_lsp(comm, g, opts);
+    EXPECT_EQ(result.longest, oracle);
+    // Stratified SpNorm holds exactly the final shortest paths.
+    EXPECT_EQ(result.spnorm_count, result.spath_count);
+  });
+}
+
+TEST(Lsp, LeakyPlanMaterializesTransients) {
+  // Weighted graph with detours: transient (longer) path lengths exist
+  // before $MIN collapses them.  The leaky plan materializes them all.
+  const auto g = graph::make_erdos_renyi(60, 360, 50, 8);
+  const auto oracle = reference::eccentricity(g, {0, 1});
+  std::uint64_t clean_norm = 0, leaky_norm = 0;
+  value_t leaky_longest = 0;
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    LspOptions clean;
+    clean.sources = {0, 1};
+    const auto r1 = run_lsp(comm, g, clean);
+    LspOptions leaky = clean;
+    leaky.plan = LspPlan::kLeaky;
+    const auto r2 = run_lsp(comm, g, leaky);
+    if (comm.rank() == 0) {
+      clean_norm = r1.spnorm_count;
+      leaky_norm = r2.spnorm_count;
+      leaky_longest = r2.longest;
+    }
+    EXPECT_EQ(r1.longest, oracle);
+  });
+  // The leak: strictly more tuples materialized, and the observed "longest"
+  // is contaminated by transient lengths (>= the true eccentricity).
+  EXPECT_GT(leaky_norm, clean_norm);
+  EXPECT_GE(leaky_longest, oracle);
+}
+
+// ---- shortest-path tree ($ARGMIN, two dependent columns) ----------------------
+
+TEST(SsspTree, DistancesMatchDijkstraAndParentsAreValid) {
+  const auto g = graph::make_erdos_renyi(120, 700, 20, 13);
+  const auto oracle = reference::sssp(g, {0});
+  // Edge weights keyed for parent validation.
+  std::map<std::pair<value_t, value_t>, value_t> wmin;
+  for (const auto& e : g.edges) {
+    const auto it = wmin.find({e.src, e.dst});
+    if (it == wmin.end() || e.weight < it->second) wmin[{e.src, e.dst}] = e.weight;
+  }
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    SsspTreeOptions opts;
+    opts.source = 0;
+    const auto result = run_sssp_tree(comm, g, opts);
+    EXPECT_EQ(result.reached, oracle.size());
+    if (comm.rank() == 0) {
+      std::map<value_t, std::pair<value_t, value_t>> rows;  // node -> (dist, parent)
+      for (const auto& row : result.tree) rows[row[0]] = {row[1], row[2]};
+      for (const auto& [node, dp] : rows) {
+        const auto [dist, parent] = dp;
+        const auto it = oracle.find({0, node});
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(dist, it->second) << "node " << node;
+        if (node == 0) {
+          EXPECT_EQ(parent, 0u);  // the source witnesses itself
+          continue;
+        }
+        // Tree property: parent reached, and some (parent -> node) edge
+        // closes the distance exactly.
+        ASSERT_TRUE(rows.contains(parent)) << "node " << node;
+        const auto we = wmin.find({parent, node});
+        ASSERT_NE(we, wmin.end()) << parent << "->" << node;
+        EXPECT_EQ(rows.at(parent).first + we->second, dist)
+            << "edge " << parent << "->" << node << " does not close the path";
+      }
+    }
+  });
+}
+
+TEST(SsspTree, ChainParentsAreSequential) {
+  const auto g = graph::make_chain(15, 5, 3);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    SsspTreeOptions opts;
+    opts.source = 0;
+    const auto result = run_sssp_tree(comm, g, opts);
+    EXPECT_EQ(result.reached, 15u);
+    if (comm.rank() == 0) {
+      for (const auto& row : result.tree) {
+        if (row[0] == 0) continue;
+        EXPECT_EQ(row[2], row[0] - 1);  // parent of k is k-1 on a chain
+      }
+    }
+  });
+}
+
+TEST(SsspTree, DeterministicTieBreaking) {
+  // Two equal-cost parents: the smaller witness must win on every run and
+  // rank count (argmin ties break toward the smaller parent id).
+  graph::Graph g;
+  g.name = "tie";
+  g.num_nodes = 4;
+  g.edges = {{0, 1, 5}, {0, 2, 5}, {1, 3, 5}, {2, 3, 5}};
+  for (const int ranks : {1, 3}) {
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      SsspTreeOptions opts;
+      opts.source = 0;
+      const auto result = run_sssp_tree(comm, g, opts);
+      if (comm.rank() == 0) {
+        for (const auto& row : result.tree) {
+          if (row[0] == 3) {
+            EXPECT_EQ(row[1], 10u);
+            EXPECT_EQ(row[2], 1u);  // parent 1, not 2
+          }
+        }
+      }
+    });
+  }
+}
+
+// ---- triangles ----------------------------------------------------------------
+
+TEST(Triangles, TriangleGraph) {
+  graph::Graph g;
+  g.name = "tri";
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}};
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_triangles(comm, g, TrianglesOptions{});
+    EXPECT_EQ(result.triangles, 1u);
+  });
+}
+
+TEST(Triangles, CompleteGraphCountsChoose3) {
+  const auto g = graph::make_complete(7);
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    const auto result = run_triangles(comm, g, TrianglesOptions{});
+    EXPECT_EQ(result.triangles, 35u);  // C(7,3)
+  });
+}
+
+TEST(Triangles, TreeHasNone) {
+  const auto g = graph::make_random_tree(50, 1, 9);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    const auto result = run_triangles(comm, g, TrianglesOptions{});
+    EXPECT_EQ(result.triangles, 0u);
+  });
+}
+
+TEST(Triangles, MatchesOracleOnRandomGraph) {
+  const auto g = graph::make_erdos_renyi(60, 500, 1, 10);
+  const auto oracle = reference::triangles(g);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    const auto result = run_triangles(comm, g, TrianglesOptions{});
+    EXPECT_EQ(result.triangles, oracle);
+  });
+}
+
+}  // namespace
+}  // namespace paralagg::queries

@@ -1,0 +1,205 @@
+// Stress and endurance: high rank counts, long fixpoints, wide tuples,
+// many-relation programs, repeated in-process runs, failure injection.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "queries/cc.hpp"
+#include "queries/reference.hpp"
+#include "queries/sssp.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg {
+namespace {
+
+using core::Expr;
+using core::JoinRule;
+using core::Program;
+using core::Relation;
+using core::Tuple;
+using core::value_t;
+using core::Version;
+
+TEST(Stress, NinetySixRanksSmallGraph) {
+  // More ranks than useful work: every collective still has to hold up.
+  const auto g = graph::make_erdos_renyi(300, 1500, 10, 51);
+  const auto oracle = queries::reference::cc_count(g);
+  vmpi::run(96, [&](vmpi::Comm& comm) {
+    const auto result = queries::run_cc(comm, g, queries::CcOptions{});
+    EXPECT_EQ(result.component_count, oracle);
+  });
+}
+
+TEST(Stress, ThousandIterationFixpoint) {
+  // A 1,001-node chain: the fixpoint needs 1,000 iterations, each with its
+  // full complement of collectives (plan, exchanges, termination).
+  const auto g = graph::make_chain(1001, 1, 52);
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = {0};
+    const auto result = run_sssp(comm, g, opts);
+    EXPECT_EQ(result.path_count, 1001u);
+    EXPECT_GE(result.iterations, 1000u);
+  });
+}
+
+TEST(Stress, WideTuplesThroughTheFullPipeline) {
+  // Arity-10 tuples spill Tuple's inline storage; the whole
+  // serialize/route/stage/materialize path must handle heap tuples.
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    Program program(comm);
+    auto* wide = program.relation({.name = "wide", .arity = 10, .jcc = 2});
+    auto* out = program.relation({.name = "out", .arity = 10, .jcc = 2});
+    auto& s = program.stratum();
+    core::OutputSpec spec{.target = out, .cols = {}};
+    for (std::size_t c = 0; c < 10; ++c) spec.cols.push_back(Expr::col_a(9 - c));
+    s.init_rules.push_back(core::CopyRule{
+        .src = wide, .version = Version::kFull, .out = std::move(spec)});
+
+    std::vector<Tuple> facts;
+    if (comm.rank() == 0) {
+      for (value_t i = 0; i < 500; ++i) {
+        Tuple t;
+        for (value_t c = 0; c < 10; ++c) t.push_back(i * 100 + c);
+        facts.push_back(std::move(t));
+      }
+    }
+    wide->load_facts(facts);
+    core::Engine engine(comm);
+    engine.run(program);
+    EXPECT_EQ(out->global_size(Version::kFull), 500u);
+    const auto rows = out->gather_to_root(0);
+    if (comm.rank() == 0) {
+      for (const auto& row : rows) {
+        ASSERT_EQ(row.size(), 10u);
+        for (std::size_t c = 1; c < 10; ++c) EXPECT_EQ(row[c - 1], row[c] + 1);
+      }
+    }
+  });
+}
+
+TEST(Stress, ManyRelationManyRuleProgram) {
+  // A pipeline of 8 relations chained by 7 loop rules plus inits; exercises
+  // rule ordering, multi-target materialization, and termination over a
+  // compound delta.
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    Program program(comm);
+    auto* edge = program.relation({.name = "edge", .arity = 2, .jcc = 1});
+    std::vector<Relation*> layers;
+    for (int i = 0; i < 7; ++i) {
+      layers.push_back(program.relation(
+          {.name = "layer" + std::to_string(i), .arity = 2, .jcc = 1}));
+    }
+    auto& s = program.stratum();
+    s.init_rules.push_back(core::CopyRule{
+        .src = edge,
+        .version = Version::kFull,
+        .out = {.target = layers[0], .cols = {Expr::col_a(0), Expr::col_a(1)}}});
+    // layer[i+1](x, z) <- layer[i](x, y)... chained one-hop extensions, all
+    // live in the same stratum.
+    for (int i = 0; i + 1 < 7; ++i) {
+      s.loop_rules.push_back(JoinRule{
+          .a = layers[static_cast<std::size_t>(i)],
+          .a_version = Version::kDelta,
+          .b = edge,
+          .b_version = Version::kFull,
+          .out = {.target = layers[static_cast<std::size_t>(i) + 1],
+                  .cols = {Expr::col_b(1), Expr::col_a(1)}}});
+    }
+
+    // Cycle of 12: layer[i] ends up holding all pairs at hop distance i+1
+    // (rotated); every layer has exactly 12 tuples.
+    std::vector<Tuple> facts;
+    if (comm.rank() == 0) {
+      for (value_t v = 0; v < 12; ++v) facts.push_back(Tuple{v, (v + 1) % 12});
+    }
+    edge->load_facts(facts);
+    core::Engine engine(comm);
+    const auto result = engine.run(program);
+    EXPECT_TRUE(result.strata[0].reached_fixpoint);
+    for (auto* layer : layers) {
+      EXPECT_EQ(layer->global_size(Version::kFull), 12u) << layer->name();
+    }
+  });
+}
+
+TEST(Stress, RepeatedRunsInOneProcess) {
+  // Back-to-back worlds: no state may leak between vmpi::run invocations.
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 4, .seed = 53});
+  std::uint64_t first = 0;
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    vmpi::run(3, [&](vmpi::Comm& comm) {
+      const auto result = queries::run_cc(comm, g, queries::CcOptions{});
+      if (comm.rank() == 0) {
+        if (repeat == 0) {
+          first = result.component_count;
+        } else {
+          EXPECT_EQ(result.component_count, first);
+        }
+      }
+    });
+  }
+}
+
+TEST(Stress, HeavySkewManySubBuckets) {
+  // Star graph (everything in one bucket), fan-out beyond rank count.
+  const auto g = graph::make_star(2000, 10, 54);
+  const auto oracle = queries::reference::sssp(g, {0});
+  vmpi::run(8, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = {0};
+    opts.tuning.edge_sub_buckets = 16;  // > ranks
+    const auto result = run_sssp(comm, g, opts);
+    EXPECT_EQ(result.path_count, oracle.size());
+  });
+}
+
+TEST(FailureInjection, ExceptionInsideQueryPropagatesWithoutHanging) {
+  const auto g = graph::make_chain(50, 5, 55);
+  EXPECT_THROW(
+      vmpi::run(4,
+                [&](vmpi::Comm& comm) {
+                  queries::SsspOptions opts;
+                  opts.sources = {0};
+                  if (comm.rank() == 2) {
+                    throw std::runtime_error("rank 2 lost its node");
+                  }
+                  (void)run_sssp(comm, g, opts);  // blocks in collectives
+                }),
+      std::runtime_error);
+}
+
+TEST(FailureInjection, LateExceptionAfterCollectiveWork) {
+  const auto g = graph::make_chain(30, 5, 56);
+  EXPECT_THROW(
+      vmpi::run(4,
+                [&](vmpi::Comm& comm) {
+                  queries::SsspOptions opts;
+                  opts.sources = {0};
+                  const auto result = run_sssp(comm, g, opts);
+                  if (comm.rank() == 1) {
+                    throw std::runtime_error("post-run failure");
+                  }
+                  // Other ranks continue into another collective.
+                  (void)comm.allreduce<std::uint64_t>(result.path_count,
+                                                      vmpi::ReduceOp::kSum);
+                }),
+      std::runtime_error);
+}
+
+TEST(FailureInjection, WorldUsableAfterFailedRun) {
+  // A failed run must not poison subsequent runs (fresh World each time).
+  EXPECT_THROW(vmpi::run(3,
+                         [&](vmpi::Comm& comm) {
+                           if (comm.rank() == 0) throw std::runtime_error("boom");
+                           comm.barrier();
+                         }),
+               std::runtime_error);
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    EXPECT_EQ(comm.allreduce<int>(1, vmpi::ReduceOp::kSum), 3);
+  });
+}
+
+}  // namespace
+}  // namespace paralagg

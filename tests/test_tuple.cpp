@@ -1,0 +1,149 @@
+// Tuple: inline/heap storage, ordering, hashing.
+
+#include "storage/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace paralagg::storage {
+namespace {
+
+TEST(Tuple, DefaultIsEmpty) {
+  Tuple t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tuple, InitializerListConstruction) {
+  Tuple t{1, 2, 3};
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 1u);
+  EXPECT_EQ(t[1], 2u);
+  EXPECT_EQ(t[2], 3u);
+  EXPECT_EQ(t.back(), 3u);
+}
+
+TEST(Tuple, SpanConstruction) {
+  const value_t raw[] = {9, 8, 7, 6};
+  Tuple t(std::span<const value_t>(raw, 4));
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[3], 6u);
+}
+
+TEST(Tuple, PushBackWithinInlineCapacity) {
+  Tuple t;
+  for (value_t v = 0; v < Tuple::kInline; ++v) t.push_back(v * 10);
+  ASSERT_EQ(t.size(), Tuple::kInline);
+  for (std::size_t i = 0; i < Tuple::kInline; ++i) EXPECT_EQ(t[i], i * 10);
+}
+
+TEST(Tuple, GrowsPastInlineCapacity) {
+  Tuple t;
+  for (value_t v = 0; v < 100; ++v) t.push_back(v);
+  ASSERT_EQ(t.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(t[i], i);
+}
+
+TEST(Tuple, CopyPreservesHeapContents) {
+  Tuple big;
+  for (value_t v = 0; v < 20; ++v) big.push_back(v);
+  Tuple copy = big;        // NOLINT(performance-unnecessary-copy-initialization)
+  big[0] = 999;            // must not affect the copy
+  EXPECT_EQ(copy[0], 0u);
+  EXPECT_EQ(copy.size(), 20u);
+}
+
+TEST(Tuple, CopyAssignSelfIsSafe) {
+  Tuple t{1, 2};
+  const Tuple* alias = &t;
+  t = *alias;
+  EXPECT_EQ(t, (Tuple{1, 2}));
+}
+
+TEST(Tuple, MoveLeavesContentsInTarget) {
+  Tuple t{5, 6, 7};
+  Tuple moved = std::move(t);
+  EXPECT_EQ(moved, (Tuple{5, 6, 7}));
+}
+
+TEST(Tuple, EqualityIsElementwise) {
+  EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{1, 2, 0}));
+}
+
+TEST(Tuple, LexicographicOrdering) {
+  EXPECT_LT((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_LT((Tuple{1, 2}), (Tuple{2, 0}));
+  EXPECT_LT((Tuple{1}), (Tuple{1, 0}));  // prefix sorts first
+  EXPECT_GT((Tuple{3}), (Tuple{2, 9, 9}));
+}
+
+TEST(Tuple, PrefixAndSuffixViews) {
+  Tuple t{10, 20, 30, 40};
+  const auto p = t.prefix(2);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1], 20u);
+  const auto s = t.suffix_from(2);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 30u);
+}
+
+TEST(Tuple, ClearResetsSizeNotCapacity) {
+  Tuple t{1, 2, 3};
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  t.push_back(42);
+  EXPECT_EQ(t, (Tuple{42}));
+}
+
+TEST(Tuple, ToStringFormatsParenthesized) {
+  EXPECT_EQ((Tuple{1, 2, 3}).to_string(), "(1, 2, 3)");
+  EXPECT_EQ(Tuple{}.to_string(), "()");
+}
+
+TEST(TupleHash, EqualTuplesHashEqual) {
+  TupleHash h;
+  EXPECT_EQ(h(Tuple{1, 2, 3}), h(Tuple{1, 2, 3}));
+}
+
+TEST(TupleHash, SpreadsDistinctTuples) {
+  TupleHash h;
+  std::set<std::size_t> hashes;
+  for (value_t v = 0; v < 1000; ++v) hashes.insert(h(Tuple{v, v + 1}));
+  // Collisions in 1000 draws from 64 bits would indicate a broken mix.
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(HashColumns, SeedsGiveIndependentFamilies) {
+  // H1 and H2 must not be correlated: tuples colliding under H1 should
+  // spread under H2.
+  int same = 0;
+  for (value_t v = 0; v < 256; ++v) {
+    const value_t cols[] = {v};
+    const auto h1 = hash_columns(cols, kBucketSeed) % 16;
+    const auto h2 = hash_columns(cols, kSubBucketSeed) % 16;
+    if (h1 == h2) ++same;
+  }
+  EXPECT_LT(same, 64);  // ~16 expected by chance
+}
+
+TEST(ComparePrefix, RestrictsToRequestedColumns) {
+  const Tuple a{1, 2, 99};
+  const Tuple b{1, 2, 0};
+  EXPECT_EQ(compare_prefix(a.view(), b.view(), 2), std::strong_ordering::equal);
+  EXPECT_EQ(compare_prefix(a.view(), b.view(), 3), std::strong_ordering::greater);
+}
+
+TEST(Mix64, IsBijectivelyScrambling) {
+  // Distinct inputs must give distinct outputs (mix64 is invertible).
+  std::set<value_t> outs;
+  for (value_t v = 0; v < 4096; ++v) outs.insert(mix64(v));
+  EXPECT_EQ(outs.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace paralagg::storage
