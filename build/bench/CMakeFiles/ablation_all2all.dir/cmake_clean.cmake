@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_all2all.dir/ablation_all2all.cpp.o"
+  "CMakeFiles/ablation_all2all.dir/ablation_all2all.cpp.o.d"
+  "ablation_all2all"
+  "ablation_all2all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_all2all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_join_planning.dir/ablation_join_planning.cpp.o"
+  "CMakeFiles/ablation_join_planning.dir/ablation_join_planning.cpp.o.d"
+  "ablation_join_planning"
+  "ablation_join_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

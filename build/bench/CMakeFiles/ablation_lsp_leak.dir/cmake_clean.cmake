@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lsp_leak.dir/ablation_lsp_leak.cpp.o"
+  "CMakeFiles/ablation_lsp_leak.dir/ablation_lsp_leak.cpp.o.d"
+  "ablation_lsp_leak"
+  "ablation_lsp_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lsp_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

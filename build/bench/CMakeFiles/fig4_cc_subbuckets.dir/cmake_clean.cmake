@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cc_subbuckets.dir/fig4_cc_subbuckets.cpp.o"
+  "CMakeFiles/fig4_cc_subbuckets.dir/fig4_cc_subbuckets.cpp.o.d"
+  "fig4_cc_subbuckets"
+  "fig4_cc_subbuckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cc_subbuckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_iteration_profile.dir/fig7_iteration_profile.cpp.o"
+  "CMakeFiles/fig7_iteration_profile.dir/fig7_iteration_profile.cpp.o.d"
+  "fig7_iteration_profile"
+  "fig7_iteration_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_iteration_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

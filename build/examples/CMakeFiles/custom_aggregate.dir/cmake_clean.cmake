@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_aggregate.dir/custom_aggregate.cpp.o"
+  "CMakeFiles/custom_aggregate.dir/custom_aggregate.cpp.o.d"
+  "custom_aggregate"
+  "custom_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

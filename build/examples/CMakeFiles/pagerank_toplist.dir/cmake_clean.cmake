@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_toplist.dir/pagerank_toplist.cpp.o"
+  "CMakeFiles/pagerank_toplist.dir/pagerank_toplist.cpp.o.d"
+  "pagerank_toplist"
+  "pagerank_toplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_toplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

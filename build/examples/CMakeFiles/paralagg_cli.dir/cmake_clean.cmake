@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paralagg_cli.dir/paralagg_cli.cpp.o"
+  "CMakeFiles/paralagg_cli.dir/paralagg_cli.cpp.o.d"
+  "paralagg_cli"
+  "paralagg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paralagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

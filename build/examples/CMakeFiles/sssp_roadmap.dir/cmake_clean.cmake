@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_roadmap.dir/sssp_roadmap.cpp.o"
+  "CMakeFiles/sssp_roadmap.dir/sssp_roadmap.cpp.o.d"
+  "sssp_roadmap"
+  "sssp_roadmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/shuffle_engine.cpp" "src/CMakeFiles/paralagg.dir/baseline/shuffle_engine.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/baseline/shuffle_engine.cpp.o.d"
+  "/root/repo/src/baseline/stratified_engine.cpp" "src/CMakeFiles/paralagg.dir/baseline/stratified_engine.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/baseline/stratified_engine.cpp.o.d"
+  "/root/repo/src/core/aggregator.cpp" "src/CMakeFiles/paralagg.dir/core/aggregator.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/aggregator.cpp.o.d"
+  "/root/repo/src/core/balancer.cpp" "src/CMakeFiles/paralagg.dir/core/balancer.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/balancer.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/paralagg.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/join_planner.cpp" "src/CMakeFiles/paralagg.dir/core/join_planner.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/join_planner.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/CMakeFiles/paralagg.dir/core/profile.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/profile.cpp.o.d"
+  "/root/repo/src/core/ra_op.cpp" "src/CMakeFiles/paralagg.dir/core/ra_op.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/ra_op.cpp.o.d"
+  "/root/repo/src/core/relation.cpp" "src/CMakeFiles/paralagg.dir/core/relation.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/core/relation.cpp.o.d"
+  "/root/repo/src/frontend/compiler.cpp" "src/CMakeFiles/paralagg.dir/frontend/compiler.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/frontend/compiler.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/paralagg.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/paralagg.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/paralagg.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/zoo.cpp" "src/CMakeFiles/paralagg.dir/graph/zoo.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/graph/zoo.cpp.o.d"
+  "/root/repo/src/queries/cc.cpp" "src/CMakeFiles/paralagg.dir/queries/cc.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/cc.cpp.o.d"
+  "/root/repo/src/queries/lsp.cpp" "src/CMakeFiles/paralagg.dir/queries/lsp.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/lsp.cpp.o.d"
+  "/root/repo/src/queries/pagerank.cpp" "src/CMakeFiles/paralagg.dir/queries/pagerank.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/pagerank.cpp.o.d"
+  "/root/repo/src/queries/reference.cpp" "src/CMakeFiles/paralagg.dir/queries/reference.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/reference.cpp.o.d"
+  "/root/repo/src/queries/sssp.cpp" "src/CMakeFiles/paralagg.dir/queries/sssp.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/sssp.cpp.o.d"
+  "/root/repo/src/queries/sssp_tree.cpp" "src/CMakeFiles/paralagg.dir/queries/sssp_tree.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/sssp_tree.cpp.o.d"
+  "/root/repo/src/queries/tc.cpp" "src/CMakeFiles/paralagg.dir/queries/tc.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/tc.cpp.o.d"
+  "/root/repo/src/queries/triangles.cpp" "src/CMakeFiles/paralagg.dir/queries/triangles.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/queries/triangles.cpp.o.d"
+  "/root/repo/src/storage/btree.cpp" "src/CMakeFiles/paralagg.dir/storage/btree.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/storage/btree.cpp.o.d"
+  "/root/repo/src/storage/tuple.cpp" "src/CMakeFiles/paralagg.dir/storage/tuple.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/storage/tuple.cpp.o.d"
+  "/root/repo/src/vmpi/comm.cpp" "src/CMakeFiles/paralagg.dir/vmpi/comm.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/vmpi/comm.cpp.o.d"
+  "/root/repo/src/vmpi/runtime.cpp" "src/CMakeFiles/paralagg.dir/vmpi/runtime.cpp.o" "gcc" "src/CMakeFiles/paralagg.dir/vmpi/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join_planner.dir/test_join_planner.cpp.o"
+  "CMakeFiles/test_join_planner.dir/test_join_planner.cpp.o.d"
+  "test_join_planner"
+  "test_join_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naive_oracle.dir/test_naive_oracle.cpp.o"
+  "CMakeFiles/test_naive_oracle.dir/test_naive_oracle.cpp.o.d"
+  "test_naive_oracle"
+  "test_naive_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naive_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_cc.dir/test_queries_cc.cpp.o"
+  "CMakeFiles/test_queries_cc.dir/test_queries_cc.cpp.o.d"
+  "test_queries_cc"
+  "test_queries_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries_sssp.dir/test_queries_sssp.cpp.o"
+  "CMakeFiles/test_queries_sssp.dir/test_queries_sssp.cpp.o.d"
+  "test_queries_sssp"
+  "test_queries_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ra_op.dir/test_ra_op.cpp.o"
+  "CMakeFiles/test_ra_op.dir/test_ra_op.cpp.o.d"
+  "test_ra_op"
+  "test_ra_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ra_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

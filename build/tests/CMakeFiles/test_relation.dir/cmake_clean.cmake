@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relation.dir/test_relation.cpp.o"
+  "CMakeFiles/test_relation.dir/test_relation.cpp.o.d"
+  "test_relation"
+  "test_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

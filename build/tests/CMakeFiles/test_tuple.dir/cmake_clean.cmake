@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuple.dir/test_tuple.cpp.o"
+  "CMakeFiles/test_tuple.dir/test_tuple.cpp.o.d"
+  "test_tuple"
+  "test_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
