@@ -36,21 +36,33 @@ std::vector<Relation*> Engine::sources_of(const std::vector<Rule>& rules) {
   return out;
 }
 
-RuleExecStats Engine::execute_rule(const Rule& rule) {
+RuleExecStats Engine::execute_rule(const Rule& rule, ExchangeRouter& router) {
+  RuleExecStats stats;
   if (const auto* j = std::get_if<JoinRule>(&rule)) {
     const std::optional<JoinOrderPolicy> forced =
         cfg_.dynamic_join_order ? std::nullopt : std::optional(cfg_.fixed_order);
-    return execute_join(*comm_, profile_, *j, forced, cfg_.exchange);
+    stats = execute_join(*comm_, profile_, *j, router, forced, cfg_.exchange);
+  } else {
+    stats = execute_copy(profile_, std::get<CopyRule>(rule), router);
   }
-  return execute_copy(*comm_, profile_, std::get<CopyRule>(rule), cfg_.exchange);
+  // Legacy schedule: every rule pays its own collective exchange.
+  if (!cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
+  return stats;
 }
 
 StratumResult Engine::run_stratum(const Stratum& stratum) {
   StratumResult result;
 
+  // One router per stratum: rules emit into it, and it is flushed either
+  // once per iteration (fused) or after every rule (legacy) — see
+  // execute_rule.  Rules register their targets lazily in rule order,
+  // which is SPMD-deterministic, so route ids agree across ranks.
+  ExchangeRouter router(*comm_, cfg_.router_preagg);
+
   // ---- init rules: run once, seed the deltas --------------------------------
   if (!stratum.init_rules.empty()) {
-    for (const auto& rule : stratum.init_rules) execute_rule(rule);
+    for (const auto& rule : stratum.init_rules) execute_rule(rule, router);
+    if (cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
     PhaseScope scope(*comm_, profile_, Phase::kDedupAgg);
     for (Relation* t : targets_of(stratum.init_rules)) {
       const auto m = t->materialize();
@@ -81,7 +93,10 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
     }
 
     // ---- rules ----------------------------------------------------------------
-    for (const auto& rule : stratum.loop_rules) execute_rule(rule);
+    for (const auto& rule : stratum.loop_rules) execute_rule(rule, router);
+
+    // ---- fused exchange: one flush carries every rule's outputs ---------------
+    if (cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
 
     // ---- fused dedup / local aggregation ---------------------------------------
     std::uint64_t local_delta = 0;

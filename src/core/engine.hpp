@@ -2,17 +2,21 @@
 
 // The semi-naive fixpoint executor.
 //
-// Per iteration (paper Fig. 1, left to right):
+// Per iteration (paper Fig. 1, left to right), fused-exchange mode:
 //   1. spatial load balancing           (Phase::kBalance)
 //   2. per rule: dynamic join planning  (Phase::kPlan)
 //      intra-bucket exchange            (Phase::kIntraBucket)
-//      local join                       (Phase::kLocalJoin)
-//      all-to-all of generated tuples   (Phase::kAllToAll)
-//   3. fused dedup/local aggregation    (Phase::kDedupAgg)
-//   4. global termination check         (Phase::kOther)
+//      local join → emit into router    (Phase::kLocalJoin)
+//   3. ONE router flush for all rules   (Phase::kAllToAll)
+//   4. fused dedup/local aggregation    (Phase::kDedupAgg)
+//   5. global termination check         (Phase::kOther)
+//
+// With `fuse_exchanges` off the router is flushed after every rule,
+// reproducing the legacy one-exchange-per-rule schedule (2R collective
+// rounds per iteration for R join rules, vs R+1 fused).
 //
 // The engine is configurable into the paper's *baseline* mode (no
-// balancing, fixed join order) for the RQ1 comparison.
+// balancing, fixed join order, unfused exchanges) for the RQ1 comparison.
 
 #include <limits>
 #include <optional>
@@ -36,6 +40,16 @@ struct EngineConfig {
   /// authors' HPDC'22 all-to-all work makes for latency-bound iterations.
   ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense;
 
+  /// Collapse the per-rule all-to-all of generated tuples into a single
+  /// router flush per iteration (R+1 collective rounds instead of 2R for
+  /// R join rules).  Off = flush after every rule, the legacy schedule.
+  bool fuse_exchanges = true;
+
+  /// Sender-side pre-aggregation in the router: collapse buffered rows
+  /// with equal independent columns through the target's lattice join
+  /// before they hit the wire.
+  bool router_preagg = true;
+
   /// Safety net for runaway fixpoints (and the bound for refresh strata
   /// that forgot to set max_rounds).
   std::size_t max_iterations = 1'000'000;
@@ -53,6 +67,8 @@ inline EngineConfig baseline_config() {
   cfg.dynamic_join_order = false;
   cfg.fixed_order = JoinOrderPolicy::kFixedBOuter;
   cfg.balance.enabled = false;
+  cfg.fuse_exchanges = false;
+  cfg.router_preagg = false;
   return cfg;
 }
 
@@ -86,9 +102,11 @@ class Engine {
   RunResult run(Program& program);
 
  private:
-  /// Execute one rule (join or copy), honouring the engine's join-order
-  /// override, and return its stats.
-  RuleExecStats execute_rule(const Rule& rule);
+  /// Execute one rule (join or copy) into `router`, honouring the engine's
+  /// join-order override.  In legacy (unfused) mode the router is flushed
+  /// right here, after the rule; in fused mode the caller flushes once per
+  /// iteration.
+  RuleExecStats execute_rule(const Rule& rule, ExchangeRouter& router);
 
   /// Distinct relations targeted by a rule list, in first-use order.
   static std::vector<Relation*> targets_of(const std::vector<Rule>& rules);

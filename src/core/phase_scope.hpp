@@ -1,9 +1,10 @@
 #pragma once
 
 // RAII scope measuring one engine phase: thread CPU seconds plus the remote
-// bytes this rank sent while inside the scope.  The byte delta attributes
-// communication volume to phases, reproducing the paper's per-phase
-// breakdowns (Fig. 2) without touching the communication code itself.
+// bytes this rank sent and the collective exchange rounds it issued while
+// inside the scope.  The deltas attribute communication volume and round
+// counts to phases, reproducing the paper's per-phase breakdowns (Fig. 2)
+// without touching the communication code itself.
 
 #include "core/profile.hpp"
 #include "vmpi/comm.hpp"
@@ -17,10 +18,12 @@ class PhaseScope {
         comm_(&comm),
         profile_(&profile),
         phase_(phase),
-        start_bytes_(comm.stats().total_remote_bytes()) {}
+        start_bytes_(comm.stats().total_remote_bytes()),
+        start_exchanges_(comm.stats().exchange_rounds()) {}
 
   ~PhaseScope() {
     profile_->add_bytes(phase_, comm_->stats().total_remote_bytes() - start_bytes_);
+    profile_->add_exchanges(phase_, comm_->stats().exchange_rounds() - start_exchanges_);
   }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -32,6 +35,7 @@ class PhaseScope {
   RankProfile* profile_;
   Phase phase_;
   std::uint64_t start_bytes_;
+  std::uint64_t start_exchanges_;
 };
 
 }  // namespace paralagg::core

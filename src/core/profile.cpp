@@ -23,6 +23,7 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
     for (double s : rec.cpu_seconds) w.put(s);
     for (std::uint64_t v : rec.work) w.put(v);
     for (std::uint64_t b : rec.bytes) w.put(b);
+    for (std::uint64_t e : rec.exchanges) w.put(e);
   }
   const auto mine_bytes = w.take();
   auto all = comm.allgatherv(mine_bytes);
@@ -42,6 +43,7 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
       for (auto& s : rec.cpu_seconds) s = rd.get<double>();
       for (auto& v : rec.work) v = rd.get<std::uint64_t>();
       for (auto& b : rec.bytes) b = rd.get<std::uint64_t>();
+      for (auto& e : rec.exchanges) e = rd.get<std::uint64_t>();
     }
     max_iters = recs.size() > max_iters ? recs.size() : max_iters;
   }
@@ -51,25 +53,36 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
   out.ranks = nranks;
   out.per_iteration_max.resize(max_iters);
   out.per_iteration_max_bytes.assign(max_iters, 0);
+  out.per_iteration_exchanges.assign(max_iters, 0);
   for (std::size_t it = 0; it < max_iters; ++it) {
     auto& row = out.per_iteration_max[it];
     row.fill(0.0);
+    std::array<std::uint64_t, kPhaseCount> xch_max{};
     for (int r = 0; r < nranks; ++r) {
       const auto& recs = per_rank[static_cast<std::size_t>(r)];
       if (it >= recs.size()) continue;
       const auto& rec = recs[it];
       std::uint64_t rank_bytes = 0;
+      std::uint64_t rank_exchanges = 0;
       for (std::size_t p = 0; p < kPhaseCount; ++p) {
         if (rec.cpu_seconds[p] > row[p]) row[p] = rec.cpu_seconds[p];
         out.total_cpu_seconds[p] += rec.cpu_seconds[p];
         out.total_bytes[p] += rec.bytes[p];
+        if (rec.exchanges[p] > xch_max[p]) xch_max[p] = rec.exchanges[p];
         rank_bytes += rec.bytes[p];
+        rank_exchanges += rec.exchanges[p];
       }
       if (rank_bytes > out.per_iteration_max_bytes[it]) {
         out.per_iteration_max_bytes[it] = rank_bytes;
       }
+      if (rank_exchanges > out.per_iteration_exchanges[it]) {
+        out.per_iteration_exchanges[it] = rank_exchanges;
+      }
     }
-    for (std::size_t p = 0; p < kPhaseCount; ++p) out.modelled_seconds[p] += row[p];
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      out.modelled_seconds[p] += row[p];
+      out.total_exchanges[p] += xch_max[p];
+    }
   }
   return out;
 }

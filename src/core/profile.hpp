@@ -63,13 +63,15 @@ constexpr std::string_view phase_name(Phase p) {
 struct IterationRecord {
   std::array<double, kPhaseCount> cpu_seconds{};
   std::array<std::uint64_t, kPhaseCount> work{};
-  std::array<std::uint64_t, kPhaseCount> bytes{};  // remote bytes sent in phase
+  std::array<std::uint64_t, kPhaseCount> bytes{};      // remote bytes sent in phase
+  std::array<std::uint64_t, kPhaseCount> exchanges{};  // collective exchange rounds in phase
 
   IterationRecord& operator+=(const IterationRecord& o) {
     for (std::size_t i = 0; i < kPhaseCount; ++i) {
       cpu_seconds[i] += o.cpu_seconds[i];
       work[i] += o.work[i];
       bytes[i] += o.bytes[i];
+      exchanges[i] += o.exchanges[i];
     }
     return *this;
   }
@@ -81,6 +83,7 @@ class RankProfile {
   void add_seconds(Phase p, double s) { current_.cpu_seconds[idx(p)] += s; }
   void add_work(Phase p, std::uint64_t w) { current_.work[idx(p)] += w; }
   void add_bytes(Phase p, std::uint64_t b) { current_.bytes[idx(p)] += b; }
+  void add_exchanges(Phase p, std::uint64_t n) { current_.exchanges[idx(p)] += n; }
 
   /// Close the current iteration and append it to the history.
   void end_iteration() {
@@ -126,10 +129,18 @@ struct ProfileSummary {
   std::array<double, kPhaseCount> total_cpu_seconds{};
   /// Σ over ranks and iterations of remote bytes per phase.
   std::array<std::uint64_t, kPhaseCount> total_bytes{};
+  /// Σ over iterations of max-over-ranks collective exchange rounds per
+  /// phase.  Every rank participates in every collective, so ranks agree
+  /// on the count; the max guards against divergence bugs.  This is how
+  /// the fused router's R+1-vs-2R reduction is *observed* rather than
+  /// asserted.
+  std::array<std::uint64_t, kPhaseCount> total_exchanges{};
   /// Per-iteration critical-path seconds per phase (Fig. 7 series).
   std::vector<std::array<double, kPhaseCount>> per_iteration_max;
   /// Per-iteration max-over-ranks remote bytes sent (feeds CostModel).
   std::vector<std::uint64_t> per_iteration_max_bytes;
+  /// Per-iteration max-over-ranks exchange rounds, all phases combined.
+  std::vector<std::uint64_t> per_iteration_exchanges;
 
   [[nodiscard]] double modelled_total() const {
     double s = 0;
@@ -139,6 +150,11 @@ struct ProfileSummary {
   [[nodiscard]] std::uint64_t bytes_total() const {
     std::uint64_t s = 0;
     for (auto v : total_bytes) s += v;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t exchanges_total() const {
+    std::uint64_t s = 0;
+    for (auto v : total_exchanges) s += v;
     return s;
   }
 };

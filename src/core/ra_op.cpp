@@ -35,45 +35,23 @@ std::vector<vmpi::Bytes> take_all(std::vector<vmpi::BufferWriter>& outgoing) {
   return send;
 }
 
-std::vector<vmpi::Bytes> exchange(vmpi::Comm& comm, std::vector<vmpi::Bytes> send,
-                                  ExchangeAlgorithm algo) {
-  return algo == ExchangeAlgorithm::kBruck ? comm.alltoallv_bruck(std::move(send))
-                                           : comm.alltoallv(std::move(send));
-}
-
-/// Evaluate the head and route the output tuple toward its owner.
+/// Evaluate the head and hand the output tuple to the router (shipping is
+/// deferred to the router flush).
 void emit_output(const OutputSpec& out, std::span<const value_t> a,
-                 std::span<const value_t> b, Tuple& scratch,
-                 std::vector<vmpi::BufferWriter>& outgoing) {
+                 std::span<const value_t> b, Tuple& scratch, ExchangeRouter& router,
+                 std::uint32_t route) {
   scratch.clear();
   for (const auto& e : out.cols) scratch.push_back(e.eval(a, b));
-  const int dst = out.target->owner_rank(scratch.view());
-  outgoing[static_cast<std::size_t>(dst)].put_span(scratch.view());
-}
-
-/// Stage every tuple of the received buffers into the target.
-std::uint64_t stage_received(Relation& target, const std::vector<vmpi::Bytes>& got) {
-  std::uint64_t staged = 0;
-  Tuple row;
-  const std::size_t arity = target.arity();
-  for (const auto& buf : got) {
-    vmpi::BufferReader r(buf);
-    while (!r.done()) {
-      row.clear();
-      for (std::size_t c = 0; c < arity; ++c) row.push_back(r.get<value_t>());
-      target.stage(row.view());
-      ++staged;
-    }
-  }
-  return staged;
+  router.emit(route, scratch.view());
 }
 
 }  // namespace
 
 RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
-                           std::optional<JoinOrderPolicy> forced,
+                           ExchangeRouter& router, std::optional<JoinOrderPolicy> forced,
                            ExchangeAlgorithm exchange_algo) {
   RuleExecStats stats;
+  const std::uint32_t route = router.add_target(rule.out.target);
   const std::size_t jcc = rule.a->jcc();
   assert(jcc == rule.b->jcc() && "join sides must agree on join-column count");
 
@@ -107,11 +85,10 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
     stats.outer_tuples_shipped =
         serialize_outer(outer.tree(outer_version), outer, inner, outgoing);
     profile.add_work(Phase::kIntraBucket, stats.outer_tuples_shipped);
-    received_outer = exchange(comm, take_all(outgoing), exchange_algo);
+    received_outer = exchange_alltoallv(comm, take_all(outgoing), exchange_algo);
   }
 
-  // ---- Phase: local join ----------------------------------------------------
-  std::vector<vmpi::BufferWriter> result_out(static_cast<std::size_t>(comm.size()));
+  // ---- Phase: local join (outputs emitted into the router) ------------------
   {
     PhaseScope scope(comm, profile, Phase::kLocalJoin);
     const auto& inner_tree = inner.tree(inner_version);
@@ -137,7 +114,7 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
           });
           if (!exists) {
             ++stats.matches;
-            emit_output(rule.out, otup.view(), kNoMatch.view(), scratch, result_out);
+            emit_output(rule.out, otup.view(), kNoMatch.view(), scratch, router, route);
           }
           continue;
         }
@@ -146,59 +123,49 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
           const auto b = plan.a_outer ? itup.view() : otup.view();
           if (rule.filter && rule.filter->eval(a, b) == 0) return;
           ++stats.matches;
-          emit_output(rule.out, a, b, scratch, result_out);
+          emit_output(rule.out, a, b, scratch, router, route);
         });
       }
     }
     stats.outputs = stats.matches;
     profile.add_work(Phase::kLocalJoin, stats.probes + stats.matches);
   }
+  return stats;
+}
 
-  // ---- Phase: all-to-all distribution of generated tuples -------------------
-  std::vector<vmpi::Bytes> received_new;
-  {
-    PhaseScope scope(comm, profile, Phase::kAllToAll);
-    received_new = exchange(comm, take_all(result_out), exchange_algo);
-  }
+RuleExecStats execute_copy(RankProfile& profile, const CopyRule& rule,
+                           ExchangeRouter& router) {
+  RuleExecStats stats;
+  const std::uint32_t route = router.add_target(rule.out.target);
 
-  // ---- Staging (first half of fused dedup/aggregation) ----------------------
-  {
-    PhaseScope scope(comm, profile, Phase::kDedupAgg);
-    const auto staged = stage_received(*rule.out.target, received_new);
-    profile.add_work(Phase::kDedupAgg, staged);
-  }
+  PhaseScope scope(router.comm(), profile, Phase::kLocalJoin);
+  static const Tuple kEmpty;
+  Tuple scratch;
+  rule.src->tree(rule.version).for_each([&](const Tuple& t) {
+    ++stats.probes;
+    if (rule.filter && rule.filter->eval(t.view(), kEmpty.view()) == 0) return;
+    ++stats.matches;
+    emit_output(rule.out, t.view(), kEmpty.view(), scratch, router, route);
+  });
+  stats.outputs = stats.matches;
+  profile.add_work(Phase::kLocalJoin, stats.probes);
+  return stats;
+}
+
+RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
+                           std::optional<JoinOrderPolicy> forced,
+                           ExchangeAlgorithm exchange_algo) {
+  ExchangeRouter router(comm);
+  const auto stats = execute_join(comm, profile, rule, router, forced, exchange_algo);
+  router.flush(profile, exchange_algo);
   return stats;
 }
 
 RuleExecStats execute_copy(vmpi::Comm& comm, RankProfile& profile, const CopyRule& rule,
                            ExchangeAlgorithm exchange_algo) {
-  RuleExecStats stats;
-
-  std::vector<vmpi::BufferWriter> result_out(static_cast<std::size_t>(comm.size()));
-  {
-    PhaseScope scope(comm, profile, Phase::kLocalJoin);
-    static const Tuple kEmpty;
-    Tuple scratch;
-    rule.src->tree(rule.version).for_each([&](const Tuple& t) {
-      ++stats.probes;
-      if (rule.filter && rule.filter->eval(t.view(), kEmpty.view()) == 0) return;
-      ++stats.matches;
-      emit_output(rule.out, t.view(), kEmpty.view(), scratch, result_out);
-    });
-    stats.outputs = stats.matches;
-    profile.add_work(Phase::kLocalJoin, stats.probes);
-  }
-
-  std::vector<vmpi::Bytes> received;
-  {
-    PhaseScope scope(comm, profile, Phase::kAllToAll);
-    received = exchange(comm, take_all(result_out), exchange_algo);
-  }
-  {
-    PhaseScope scope(comm, profile, Phase::kDedupAgg);
-    const auto staged = stage_received(*rule.out.target, received);
-    profile.add_work(Phase::kDedupAgg, staged);
-  }
+  ExchangeRouter router(comm);
+  const auto stats = execute_copy(profile, rule, router);
+  router.flush(profile, exchange_algo);
   return stats;
 }
 

@@ -5,15 +5,18 @@
 // One call to `execute_join` is one pass of the pipeline in the paper's
 // Fig. 1: dynamic join planning → outer-relation serialization →
 // intra-bucket exchange (MPI_Alltoallv) → highly parallel local join
-// (B-tree probes) → all-to-all distribution of generated tuples → staging
-// into the target's fused dedup/aggregation area.  Materialization itself
-// (Relation::materialize) is driven by the engine at iteration end, after
-// all rules have run.
+// (B-tree probes) → generated tuples *emitted into an ExchangeRouter*.
+// Shipping is decoupled from emission: the engine flushes the router once
+// per iteration (fused mode) or after each rule (legacy mode), and the
+// flush stages arrivals into the target's fused dedup/aggregation area.
+// Materialization itself (Relation::materialize) is driven by the engine
+// at iteration end, after all rules have run.
 
 #include <optional>
 #include <variant>
 #include <vector>
 
+#include "core/exchange_router.hpp"
 #include "core/expr.hpp"
 #include "core/join_planner.hpp"
 #include "core/profile.hpp"
@@ -77,19 +80,26 @@ struct RuleExecStats {
   std::uint64_t outputs = 0;               // tuples sent to the target
 };
 
-/// How the tuple exchanges are routed.
-enum class ExchangeAlgorithm : std::uint8_t {
-  kDense,  // matrix alltoallv (bandwidth-optimal)
-  kBruck,  // log-round relay (message-count-optimal; see vmpi::Comm)
-};
-
-/// Run one join pass.  Collective.  `forced` overrides the rule's own
-/// order policy when set (engine baseline mode).
+/// Run one join pass, emitting generated tuples into `router` (they ship
+/// at the next router flush).  Collective (the intra-bucket exchange).
+/// `forced` overrides the rule's own order policy when set (engine
+/// baseline mode); `exchange` selects the intra-bucket algorithm.
 RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
+                           ExchangeRouter& router,
                            std::optional<JoinOrderPolicy> forced = std::nullopt,
                            ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
 
-/// Run one copy/project pass.  Collective.
+/// Run one copy/project pass into `router`.  Local (copies only emit).
+RuleExecStats execute_copy(RankProfile& profile, const CopyRule& rule,
+                           ExchangeRouter& router);
+
+/// Standalone variants: run the rule through a throwaway router and flush
+/// it before returning — one exchange per rule, the legacy shape.  Used by
+/// kernel tests and one-shot passes; the engine routes through a shared
+/// router instead.
+RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
+                           std::optional<JoinOrderPolicy> forced = std::nullopt,
+                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
 RuleExecStats execute_copy(vmpi::Comm& comm, RankProfile& profile, const CopyRule& rule,
                            ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
 

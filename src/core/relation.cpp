@@ -98,6 +98,22 @@ void Relation::stage(std::span<const value_t> tuple) {
   }
 }
 
+void Relation::reserve_staging(std::size_t extra) {
+  if (aggregated()) {
+    staged_agg_.reserve(staged_agg_.size() + extra);
+  } else {
+    staged_set_.reserve(staged_set_.size() + extra);
+  }
+}
+
+void Relation::stage_rows(std::span<const value_t> rows) {
+  assert(rows.size() % cfg_.arity == 0 && "ragged bulk staging batch");
+  reserve_staging(rows.size() / cfg_.arity);
+  for (std::size_t i = 0; i < rows.size(); i += cfg_.arity) {
+    stage(rows.subspan(i, cfg_.arity));
+  }
+}
+
 MaterializeResult Relation::materialize() {
   MaterializeResult res;
   delta_.clear();
@@ -178,14 +194,9 @@ void Relation::load_facts(std::span<const Tuple> slice) {
   for (std::size_t d = 0; d < n; ++d) send[d] = outgoing[d].take();
   auto got = comm_->alltoallv(std::move(send));
 
-  Tuple row;
   for (const auto& buf : got) {
-    vmpi::BufferReader r(buf);
-    while (!r.done()) {
-      row.clear();
-      for (std::size_t c = 0; c < cfg_.arity; ++c) row.push_back(r.get<value_t>());
-      stage(row.view());
-    }
+    vmpi::TypedReader<value_t> r(buf);
+    stage_rows(r.take_span(r.remaining()));
   }
   materialize();
 }

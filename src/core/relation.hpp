@@ -109,6 +109,16 @@ class Relation {
   /// duplicates of a key are collapsed before they ever touch the B-tree.
   void stage(std::span<const value_t> tuple);
 
+  /// Bulk staging: `rows` is a flat concatenation of stored-order tuples
+  /// (size a multiple of arity), all owned by this rank.  Pre-reserves the
+  /// staging container from the row count — the fused exchange decode path
+  /// lands here, and without the reserve large deltas trigger rehash
+  /// storms (visible in CC on RMAT inputs).
+  void stage_rows(std::span<const value_t> rows);
+
+  /// Grow the staging container for `extra` incoming keys ahead of a batch.
+  void reserve_staging(std::size_t extra);
+
   /// Fused deduplication / aggregation (paper §IV-A): fold the staging
   /// area into full, computing the next delta.  Local; no communication.
   MaterializeResult materialize();

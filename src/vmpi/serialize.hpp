@@ -84,4 +84,75 @@ class BufferReader {
   std::size_t pos_ = 0;
 };
 
+/// Append-only writer of a homogeneous element stream, backed by the same
+/// byte vector the exchange primitives move.  The element-typed cousin of
+/// BufferWriter: the ExchangeRouter frames its tuple traffic through this
+/// so take() hands the buffer to alltoallv with no repacking.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class TypedWriter {
+ public:
+  TypedWriter() = default;
+  explicit TypedWriter(std::size_t reserve_elements) {
+    buf_.reserve(reserve_elements * sizeof(T));
+  }
+
+  void put(const T& v) {
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
+  }
+
+  void put_span(std::span<const T> vs) {
+    const auto old = buf_.size();
+    buf_.resize(old + vs.size_bytes());
+    if (!vs.empty()) std::memcpy(buf_.data() + old, vs.data(), vs.size_bytes());
+  }
+
+  [[nodiscard]] std::size_t elements() const { return buf_.size() / sizeof(T); }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+  /// Relinquish the underlying byte buffer (ready for the wire).
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Zero-copy reader over a byte buffer holding a homogeneous element
+/// stream.  Unlike BufferReader, `take_span` returns a *view* into the
+/// buffer — the decode path of a tuple exchange never materializes
+/// per-tuple copies.  The buffer must outlive every span taken from it,
+/// and its size must be an exact multiple of sizeof(T).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class TypedReader {
+ public:
+  explicit TypedReader(std::span<const std::byte> data)
+      : data_(reinterpret_cast<const T*>(data.data()), data.size() / sizeof(T)) {
+    assert(data.size() % sizeof(T) == 0 && "buffer is not a whole element stream");
+    assert(reinterpret_cast<std::uintptr_t>(data.data()) % alignof(T) == 0 &&
+           "buffer misaligned for element type");
+  }
+
+  T get() {
+    assert(pos_ < data_.size() && "element stream underrun");
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::span<const T> take_span(std::size_t n) {
+    assert(pos_ + n <= data_.size() && "element stream underrun");
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const T> data_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace paralagg::vmpi

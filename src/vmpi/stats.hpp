@@ -76,6 +76,16 @@ struct CommStats {
   [[nodiscard]] std::uint64_t remote_bytes(Op op) const {
     return bytes_sent[static_cast<std::size_t>(op)];
   }
+  [[nodiscard]] std::uint64_t calls_of(Op op) const {
+    return calls[static_cast<std::size_t>(op)];
+  }
+  /// Collective tuple-exchange rounds issued so far.  Both the dense and
+  /// the Bruck alltoallv count one round per logical exchange, so this is
+  /// the "exchanges per iteration" metric of the fused router: R+1 rounds
+  /// per iteration for a fused R-join stratum vs 2R unfused.
+  [[nodiscard]] std::uint64_t exchange_rounds() const {
+    return calls_of(Op::kAlltoall) + calls_of(Op::kAlltoallv);
+  }
 
   CommStats& operator+=(const CommStats& other) {
     for (std::size_t i = 0; i < kOpCount; ++i) {

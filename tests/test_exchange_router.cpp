@@ -1,0 +1,315 @@
+// Exchange fusion: the router's R+1 collective rounds per iteration vs the
+// legacy 2R schedule, sender-side pre-aggregation and the loopback fast
+// path, observability through CommStats/ProfileSummary, and bit-identical
+// query results across fuse × exchange-algorithm modes.
+
+#include "core/exchange_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "core/engine.hpp"
+#include "queries/cc.hpp"
+#include "queries/pagerank.hpp"
+#include "queries/reference.hpp"
+#include "queries/sssp.hpp"
+#include "queries/tc.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Router unit behaviour
+// ---------------------------------------------------------------------------
+
+/// Smallest key >= 0 whose unary-prefix tuple `rel` assigns to `rank`.
+value_t key_owned_by(const Relation& rel, int rank) {
+  for (value_t k = 0;; ++k) {
+    const Tuple probe{k, 0, 0};
+    if (rel.owner_rank(probe.view()) == rank) return k;
+  }
+}
+
+TEST(ExchangeRouter, LoopbackAndSenderSidePreaggregation) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    Relation rel(comm, {.name = "m",
+                        .arity = 3,
+                        .jcc = 1,
+                        .dep_arity = 1,
+                        .aggregator = make_min_aggregator()});
+    RankProfile profile;
+    ExchangeRouter router(comm, /*preaggregate=*/true);
+    const auto id = router.add_target(&rel);
+    EXPECT_EQ(router.add_target(&rel), id);  // idempotent registration
+
+    const value_t mine = key_owned_by(rel, comm.rank());
+    const value_t theirs = key_owned_by(rel, 1 - comm.rank());
+
+    // Self-owned row: staged immediately, never buffered.
+    router.emit(id, Tuple{mine, 7, 50}.view());
+    EXPECT_EQ(router.pending_rows(), 0u);
+
+    // Two remote rows with the same aggregation key (theirs, 7): the
+    // sender-side combine must fold them to MIN before the wire.
+    router.emit(id, Tuple{theirs, 7, 50}.view());
+    router.emit(id, Tuple{theirs, 7, 30}.view());
+    EXPECT_EQ(router.pending_rows(), 2u);
+
+    const auto st = router.flush(profile, ExchangeAlgorithm::kDense);
+    EXPECT_EQ(st.rows_loopback, 1u);
+    EXPECT_EQ(st.rows_combined, 1u);
+    EXPECT_EQ(st.rows_sent, 1u);
+    EXPECT_EQ(st.rows_staged, 1u);  // the peer's pre-combined row
+    EXPECT_EQ(router.pending_rows(), 0u);
+
+    rel.materialize();
+    // Each rank owns one key, carrying min(50, 30) from the peer merged
+    // with its own loopback 50.
+    const auto rows = rel.gather_to_root(0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(rows.size(), 2u);
+      for (const auto& row : rows) {
+        EXPECT_EQ(row[1], 7u);
+        EXPECT_EQ(row[2], 30u);
+      }
+    }
+  });
+}
+
+TEST(ExchangeRouter, PlainTargetsDeduplicateBeforeTheWire) {
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    Relation rel(comm, {.name = "p", .arity = 3, .jcc = 1});
+    RankProfile profile;
+    ExchangeRouter router(comm, /*preaggregate=*/true);
+    const auto id = router.add_target(&rel);
+
+    const value_t theirs = key_owned_by(rel, 1 - comm.rank());
+    router.emit(id, Tuple{theirs, 1, 2}.view());
+    router.emit(id, Tuple{theirs, 1, 2}.view());  // exact duplicate
+    router.emit(id, Tuple{theirs, 1, 3}.view());  // distinct third column
+
+    const auto st = router.flush(profile, ExchangeAlgorithm::kDense);
+    EXPECT_EQ(st.rows_combined, 1u);
+    EXPECT_EQ(st.rows_sent, 2u);
+    EXPECT_EQ(st.rows_staged, 2u);
+
+    rel.materialize();
+    EXPECT_EQ(rel.global_size(Version::kFull), 4u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Collective-round counting: R+1 fused vs 2R legacy
+// ---------------------------------------------------------------------------
+
+/// Transitive closure over a chain whose edges are split round-robin into
+/// three edge relations: a 3-rule recursive stratum (R = 3).
+struct ThreeRuleTc {
+  Program program;
+  Relation* path;
+  std::array<Relation*, 3> edges{};
+
+  ThreeRuleTc(vmpi::Comm& comm, value_t n) : program(comm) {
+    for (int k = 0; k < 3; ++k) {
+      edges[static_cast<std::size_t>(k)] = program.relation(
+          {.name = "edge" + std::to_string(k), .arity = 2, .jcc = 1});
+    }
+    path = program.relation({.name = "path", .arity = 2, .jcc = 1});
+    auto& s = program.stratum();
+    for (auto* e : edges) {
+      s.init_rules.push_back(CopyRule{
+          .src = e,
+          .version = Version::kFull,
+          .out = {.target = path, .cols = {Expr::col_a(1), Expr::col_a(0)}},
+      });
+      s.loop_rules.push_back(JoinRule{
+          .a = path,
+          .a_version = Version::kDelta,
+          .b = e,
+          .b_version = Version::kFull,
+          .out = {.target = path, .cols = {Expr::col_b(1), Expr::col_a(1)}},
+      });
+    }
+    for (int k = 0; k < 3; ++k) {
+      std::vector<Tuple> facts;
+      if (comm.rank() == 0) {
+        for (value_t v = static_cast<value_t>(k); v + 1 < n; v += 3) {
+          facts.push_back(Tuple{v, v + 1});
+        }
+      }
+      edges[static_cast<std::size_t>(k)]->load_facts(facts);
+    }
+  }
+};
+
+void expect_rounds_per_iteration(bool fused, ExchangeAlgorithm algo) {
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    ThreeRuleTc f(comm, 10);
+    EngineConfig cfg;
+    cfg.balance.enabled = false;  // reshuffles would add extra alltoallv calls
+    cfg.fuse_exchanges = fused;
+    cfg.router_preagg = fused;
+    cfg.exchange = algo;
+    Engine engine(comm, cfg);
+
+    const auto before = comm.stats().exchange_rounds();
+    const auto sr = engine.run_stratum(*f.program.strata()[0]);
+    const auto rounds = comm.stats().exchange_rounds() - before;
+
+    ASSERT_TRUE(sr.reached_fixpoint);
+    ASSERT_EQ(sr.iterations, 9u);  // chain of 10: longest path is 9 hops
+    EXPECT_EQ(f.path->global_size(Version::kFull), 45u);
+
+    // Loop iterations: R intra-bucket exchanges stay per join; generated
+    // tuples cost one fused flush vs one flush per rule.  The init round
+    // (3 copy rules, no intra-bucket exchange) shows the same collapse.
+    const std::uint64_t per_iter = fused ? 3 + 1 : 3 + 3;  // R+1 vs 2R
+    const std::uint64_t init_rounds = fused ? 1 : 3;
+    EXPECT_EQ(rounds, init_rounds + per_iter * sr.iterations);
+
+    // The same reduction must be visible in the cross-rank profile.
+    const auto summary = summarize_profiles(comm, engine.rank_profile());
+    EXPECT_EQ(summary.exchanges_total(), rounds);
+    ASSERT_EQ(summary.per_iteration_exchanges.size(), 1 + sr.iterations);
+    EXPECT_EQ(summary.per_iteration_exchanges.front(), init_rounds);
+    for (std::size_t i = 1; i < summary.per_iteration_exchanges.size(); ++i) {
+      EXPECT_EQ(summary.per_iteration_exchanges[i], per_iter) << "iteration " << i;
+    }
+  });
+}
+
+TEST(ExchangeFusion, FusedStratumPaysRPlusOneRoundsDense) {
+  expect_rounds_per_iteration(/*fused=*/true, ExchangeAlgorithm::kDense);
+}
+
+TEST(ExchangeFusion, LegacyStratumPaysTwoRRoundsDense) {
+  expect_rounds_per_iteration(/*fused=*/false, ExchangeAlgorithm::kDense);
+}
+
+TEST(ExchangeFusion, RoundCountsHoldUnderBruck) {
+  expect_rounds_per_iteration(/*fused=*/true, ExchangeAlgorithm::kBruck);
+  expect_rounds_per_iteration(/*fused=*/false, ExchangeAlgorithm::kBruck);
+}
+
+// ---------------------------------------------------------------------------
+// Result identity across fuse × algorithm on the prebuilt queries
+// ---------------------------------------------------------------------------
+
+using queries::QueryTuning;
+
+QueryTuning tuned(bool fuse, ExchangeAlgorithm algo) {
+  QueryTuning t;
+  t.engine.fuse_exchanges = fuse;
+  t.engine.router_preagg = fuse;
+  t.engine.exchange = algo;
+  return t;
+}
+
+/// Run `run_one(tuning)` (which returns rank-0 gathered rows) under all
+/// four fuse × algorithm combinations and require byte-identical output.
+template <typename RunOne>
+void expect_identical_across_modes(RunOne run_one) {
+  std::vector<Tuple> ref;
+  bool have_ref = false;
+  for (const bool fuse : {true, false}) {
+    for (const auto algo : {ExchangeAlgorithm::kDense, ExchangeAlgorithm::kBruck}) {
+      const auto rows = run_one(tuned(fuse, algo));
+      if (!have_ref) {
+        ref = rows;
+        have_ref = true;
+        continue;
+      }
+      EXPECT_EQ(rows, ref) << "fuse=" << fuse
+                           << " algo=" << (algo == ExchangeAlgorithm::kBruck ? "bruck" : "dense");
+    }
+  }
+}
+
+TEST(ExchangeFusion, SsspIdenticalAcrossModesAndMatchesOracle) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 4, .seed = 11});
+  const auto oracle = queries::reference::sssp(g, {0});
+  expect_identical_across_modes([&](QueryTuning tuning) {
+    std::vector<Tuple> rows;
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      queries::SsspOptions opts;
+      opts.sources = {0};
+      opts.collect_distances = true;
+      opts.tuning = tuning;
+      auto res = queries::run_sssp(comm, g, opts);
+      EXPECT_EQ(res.path_count, oracle.size());
+      if (comm.rank() == 0) {
+        for (const auto& row : res.distances) {
+          // Stored order (to, from, dist); the oracle keys on (from, to).
+          const auto it = oracle.find({row[1], row[0]});
+          ASSERT_NE(it, oracle.end());
+          EXPECT_EQ(row[2], it->second);
+        }
+        rows = std::move(res.distances);
+      }
+    });
+    return rows;
+  });
+}
+
+TEST(ExchangeFusion, CcIdenticalAcrossModesAndMatchesOracle) {
+  const auto g = graph::make_rmat({.scale = 7, .edge_factor = 3, .seed = 5});
+  const auto oracle_count = queries::reference::cc_count(g);
+  expect_identical_across_modes([&](QueryTuning tuning) {
+    std::vector<Tuple> rows;
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      queries::CcOptions opts;
+      opts.collect_labels = true;
+      opts.tuning = tuning;
+      auto res = queries::run_cc(comm, g, opts);
+      EXPECT_EQ(res.component_count, oracle_count);
+      if (comm.rank() == 0) rows = std::move(res.labels);
+    });
+    return rows;
+  });
+}
+
+TEST(ExchangeFusion, TcIdenticalAcrossModesAndMatchesOracle) {
+  const auto g = graph::make_rmat({.scale = 5, .edge_factor = 3, .seed = 3});
+  const auto oracle_size = queries::reference::tc_size(g);
+  expect_identical_across_modes([&](QueryTuning tuning) {
+    std::vector<Tuple> rows;
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      queries::TcOptions opts;
+      opts.collect_pairs = true;
+      opts.tuning = tuning;
+      auto res = queries::run_tc(comm, g, opts);
+      EXPECT_EQ(res.path_count, oracle_size);
+      if (comm.rank() == 0) rows = std::move(res.pairs);
+    });
+    return rows;
+  });
+}
+
+TEST(ExchangeFusion, PagerankIdenticalAcrossModesAndMatchesOracle) {
+  const auto g = graph::make_grid(8, 8);
+  const auto oracle = queries::reference::pagerank(g, 10);
+  expect_identical_across_modes([&](QueryTuning tuning) {
+    std::vector<Tuple> rows;
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      queries::PagerankOptions opts;
+      opts.rounds = 10;
+      opts.collect_ranks = true;
+      opts.tuning = tuning;
+      auto res = queries::run_pagerank(comm, g, opts);
+      if (comm.rank() == 0) {
+        for (const auto& row : res.ranks) {
+          ASSERT_LT(row[0], oracle.size());
+          EXPECT_EQ(row[1], oracle[row[0]]) << "node " << row[0];
+        }
+        rows = std::move(res.ranks);
+      }
+    });
+    return rows;
+  });
+}
+
+}  // namespace
+}  // namespace paralagg::core
