@@ -18,6 +18,12 @@
 //     --sources a,b,c     start nodes (default: 3 hubs)
 //     --rounds N          pagerank rounds (default 20)
 //     --sub-buckets N     edge relation fan-out (default 1)
+//     --engine MODE       bsp (default) | async — async runs the recursive
+//                         loop with nonblocking delta propagation + Safra
+//                         termination (lattice queries only; pagerank's
+//                         $SUM is rejected)
+//     --async-batch N     async mode: rows buffered per destination before
+//                         an eager send (default 128)
 //     --baseline          disable dynamic join order + balancing
 //     --out FILE          write result tuples as text
 //
@@ -29,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "paralagg/paralagg.hpp"
 
@@ -47,6 +54,8 @@ struct Args {
   std::vector<core::value_t> sources;
   std::size_t rounds = 20;
   int sub_buckets = 1;
+  bool use_async = false;
+  std::size_t async_batch = 128;
   bool baseline = false;
   std::string out_file;
 };
@@ -55,7 +64,8 @@ struct Args {
   if (msg != nullptr) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: paralagg_cli <sssp|cc|tc|pagerank|triangles|lsp|sssp-tree> "
                "[--graph FILE | --synthetic NAME] [--scale N] [--ranks N]\n"
-               "       [--sources a,b,c] [--rounds N] [--sub-buckets N] [--baseline] "
+               "       [--sources a,b,c] [--rounds N] [--sub-buckets N]\n"
+               "       [--engine bsp|async] [--async-batch N] [--baseline] "
                "[--out FILE]\n";
   std::exit(2);
 }
@@ -93,6 +103,15 @@ Args parse(int argc, char** argv) {
       args.rounds = std::stoull(next());
     } else if (flag == "--sub-buckets") {
       args.sub_buckets = std::stoi(next());
+    } else if (flag == "--engine") {
+      const std::string mode = next();
+      if (mode == "async") {
+        args.use_async = true;
+      } else if (mode != "bsp") {
+        usage(("unknown engine " + mode + " (expected bsp or async)").c_str());
+      }
+    } else if (flag == "--async-batch") {
+      args.async_batch = std::stoull(next());
     } else if (flag == "--baseline") {
       args.baseline = true;
     } else if (flag == "--out") {
@@ -235,20 +254,10 @@ int run_datalog(const Args& args) {
   return 0;
 }
 
-int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
-  if (args.query == "datalog") return run_datalog(args);
-  const auto g = load_graph(args);
-  std::cout << "graph '" << g.name << "': " << g.num_nodes << " nodes, " << g.num_edges()
-            << " edges; " << args.ranks << " ranks\n";
+namespace {
 
-  queries::QueryTuning tuning;
-  if (args.baseline) tuning = queries::QueryTuning::baseline();
-  tuning.edge_sub_buckets = args.sub_buckets;
-
-  auto sources = args.sources;
-  if (sources.empty()) sources = g.pick_hubs(3);
-
+void run_query(const Args& args, const graph::Graph& g, const queries::QueryTuning& tuning,
+               const std::vector<core::value_t>& sources) {
   vmpi::run(args.ranks, [&](vmpi::Comm& comm) {
     const bool root = comm.is_root();
     if (args.query == "sssp") {
@@ -328,5 +337,32 @@ int main(int argc, char** argv) {
       std::cerr << "unknown query '" << args.query << "'\n";
     }
   });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.query == "datalog") return run_datalog(args);
+  const auto g = load_graph(args);
+  std::cout << "graph '" << g.name << "': " << g.num_nodes << " nodes, " << g.num_edges()
+            << " edges; " << args.ranks << " ranks\n";
+
+  queries::QueryTuning tuning;
+  if (args.baseline) tuning = queries::QueryTuning::baseline();
+  tuning.edge_sub_buckets = args.sub_buckets;
+  tuning.use_async = args.use_async;
+  tuning.async.batch_rows = args.async_batch;
+
+  auto sources = args.sources;
+  if (sources.empty()) sources = g.pick_hubs(3);
+
+  try {
+    run_query(args, g, tuning, sources);
+  } catch (const std::invalid_argument& e) {
+    // check_supported rejection (e.g. `pagerank --engine async`).
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   return 0;
 }

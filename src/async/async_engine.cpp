@@ -1,0 +1,608 @@
+#include "async/async_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "async/termination.hpp"
+#include "core/exchange_router.hpp"
+#include "core/phase_scope.hpp"
+#include "core/ra_op.hpp"
+#include "core/relation.hpp"
+#include "vmpi/serialize.hpp"
+
+namespace paralagg::async {
+
+namespace {
+
+using core::Phase;
+using core::PhaseScope;
+using core::Relation;
+using core::Tuple;
+using core::value_t;
+using core::Version;
+
+// Application-message tags of the async loop.  Disjoint from the Bruck
+// relay block (0x42000000+k, unused here — no collectives in the loop) and
+// from the TerminationDetector's control block.
+constexpr int kTagStage = 0x51A50000;  // generated rows -> owner rank
+constexpr int kTagProbe = 0x51A50001;  // delta rows -> static side's bucket ranks
+
+void push_unique(std::vector<Relation*>& v, Relation* r) {
+  if (r != nullptr && std::find(v.begin(), v.end(), r) == v.end()) v.push_back(r);
+}
+
+std::vector<Relation*> targets_of(const std::vector<core::Rule>& rules) {
+  std::vector<Relation*> out;
+  for (const auto& rule : rules) {
+    std::visit([&](const auto& r) { push_unique(out, r.out.target); }, rule);
+  }
+  return out;
+}
+
+std::uint64_t collective_calls(const vmpi::CommStats& s) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < vmpi::kOpCount; ++i) {
+    if (static_cast<vmpi::Op>(i) == vmpi::Op::kP2P) continue;
+    total += s.calls[i];
+  }
+  return total;
+}
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One stratum's nonblocking loop on one rank.  Owns the per-destination
+/// outbound buffers and the termination detector; lives on the stack of
+/// AsyncEngine::run_stratum.
+class StratumLoop {
+ public:
+  StratumLoop(vmpi::Comm& comm, const AsyncConfig& cfg, core::RankProfile& profile,
+              AsyncLoopStats& ls, const core::Stratum& stratum, int detector_tag_base)
+      : comm_(comm),
+        cfg_(cfg),
+        profile_(profile),
+        ls_(ls),
+        detector_(comm, detector_tag_base),
+        targets_(targets_of(stratum.loop_rules)),
+        nranks_(static_cast<std::size_t>(comm.size())) {
+    fresh_.assign(targets_.size(), false);
+    stage_out_.resize(targets_.size() * nranks_);
+    for (const auto& rule : stratum.loop_rules) {
+      if (const auto* j = std::get_if<core::JoinRule>(&rule)) {
+        joins_.push_back(JoinTask{j, target_index(j->a), target_index(j->out.target)});
+      } else {
+        const auto& c = std::get<core::CopyRule>(rule);
+        copies_.push_back(CopyTask{&c, target_index(c.src), target_index(c.out.target)});
+      }
+    }
+    probe_out_.resize(joins_.size() * nranks_);
+  }
+
+  /// Loop until the detector announces global quiescence.  No collectives.
+  void run() {
+    // Round 0's frontier pre-exists: init rules and load_facts leave their
+    // seeds in the delta trees, and materialize() would clear them — so
+    // consume what is already there instead of materializing first.
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      fresh_[i] = targets_[i]->local_size(Version::kDelta) > 0;
+    }
+
+    while (!detector_.terminated()) {
+      drain_app();
+      if (local_round()) continue;
+
+      // Nothing to compute: push every buffered row out, then re-check the
+      // mailbox — a message may have raced in while we were flushing.
+      flush_all();
+      if (drain_app() > 0) continue;
+
+      // Passive: all work done, all sends flushed.  Move the termination
+      // protocol along, then park in a blocking receive — the next app
+      // message reactivates us, a token gets forwarded on the next pass,
+      // and the terminate announcement breaks the loop.
+      {
+        PhaseScope scope(comm_, profile_, Phase::kOther);
+        detector_.poll();
+        detector_.try_terminate();
+      }
+      if (detector_.terminated()) break;
+      blocking_wait();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t staged_total() const { return staged_total_; }
+  [[nodiscard]] const TerminationDetector::Stats& detector_stats() const {
+    return detector_.stats();
+  }
+
+ private:
+  struct JoinTask {
+    const core::JoinRule* rule;
+    std::size_t src_idx;  // index of rule->a in targets_
+    std::size_t out_idx;  // index of rule->out.target in targets_
+  };
+  struct CopyTask {
+    const core::CopyRule* rule;
+    std::size_t src_idx;
+    std::size_t out_idx;
+  };
+
+  std::size_t target_index(Relation* r) const {
+    const auto it = std::find(targets_.begin(), targets_.end(), r);
+    assert(it != targets_.end() && "check_supported admitted a foreign relation");
+    return static_cast<std::size_t>(it - targets_.begin());
+  }
+
+  /// One pass over the loop targets: fold staged arrivals, join each fresh
+  /// delta frontier, batch the outputs.  Returns whether anything happened.
+  bool local_round() {
+    bool any = false;
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      Relation* t = targets_[i];
+      if (fresh_[i]) {
+        process_delta(i);
+        fresh_[i] = false;
+        any = true;
+      }
+      if (t->staged_count() > 0) {
+        {
+          PhaseScope scope(comm_, profile_, Phase::kDedupAgg);
+          const auto m = t->materialize();
+          profile_.add_work(Phase::kDedupAgg, m.staged);
+          staged_total_ += m.staged;
+          fresh_[i] = m.delta_size > 0;
+        }
+        if (fresh_[i]) {
+          process_delta(i);
+          fresh_[i] = false;
+        }
+        any = true;
+      }
+    }
+    if (any) {
+      ++rounds_;
+      ++ls_.rounds;
+      if (rounds_ > cfg_.max_rounds) {
+        throw std::runtime_error("async engine: stratum exceeded max_rounds (" +
+                                 std::to_string(cfg_.max_rounds) + ") local rounds");
+      }
+      maybe_flush();
+      profile_.end_iteration();
+    }
+    return any;
+  }
+
+  /// Run every loop rule whose recursive side is targets_[target_idx] over
+  /// that relation's current delta tree.
+  void process_delta(std::size_t target_idx) {
+    PhaseScope scope(comm_, profile_, Phase::kLocalJoin);
+    std::uint64_t work = 0;
+
+    for (std::size_t j = 0; j < joins_.size(); ++j) {
+      const JoinTask& task = joins_[j];
+      if (task.src_idx != target_idx) continue;
+      const Relation& a = *task.rule->a;
+      const Relation& b = *task.rule->b;
+      const std::size_t arity = a.arity();
+      // Replicate each fresh delta row to every rank holding a sub-bucket
+      // of the static side's bucket — the point-to-point double of the BSP
+      // intra-bucket exchange, paid per row instead of per iteration.
+      a.tree(Version::kDelta).for_each([&](const Tuple& row) {
+        const auto bucket = a.bucket_of(row.view());
+        b.ranks_of_bucket(bucket, dest_scratch_);
+        for (int d : dest_scratch_) {
+          ++work;
+          if (d == comm_.rank()) {
+            probe_row(task, row.view());
+          } else {
+            append_probe(j, static_cast<std::size_t>(d), row.view(), arity);
+          }
+        }
+      });
+    }
+
+    static const Tuple kEmpty;
+    for (const CopyTask& task : copies_) {
+      if (task.src_idx != target_idx) continue;
+      const core::CopyRule& rule = *task.rule;
+      rule.src->tree(Version::kDelta).for_each([&](const Tuple& row) {
+        ++work;
+        if (rule.filter && rule.filter->eval(row.view(), kEmpty.view()) == 0) return;
+        out_scratch_.clear();
+        for (const auto& e : rule.out.cols) {
+          out_scratch_.push_back(e.eval(row.view(), kEmpty.view()));
+        }
+        route_output(task.out_idx, out_scratch_.view());
+      });
+    }
+    profile_.add_work(Phase::kLocalJoin, work);
+  }
+
+  /// Join one delta row of the recursive side against the local partition
+  /// of the static side; outputs go to their owners.
+  void probe_row(const JoinTask& task, std::span<const value_t> outer_row) {
+    const core::JoinRule& rule = *task.rule;
+    const std::size_t jcc = rule.a->jcc();
+    rule.b->tree(Version::kFull).scan_prefix(outer_row.first(jcc), [&](const Tuple& itup) {
+      if (rule.filter && rule.filter->eval(outer_row, itup.view()) == 0) return;
+      out_scratch_.clear();
+      for (const auto& e : rule.out.cols) out_scratch_.push_back(e.eval(outer_row, itup.view()));
+      route_output(task.out_idx, out_scratch_.view());
+    });
+  }
+
+  void route_output(std::size_t out_idx, std::span<const value_t> row) {
+    Relation* t = targets_[out_idx];
+    const int dst = t->owner_rank(row);
+    if (dst == comm_.rank()) {
+      // Loopback: self-owned rows join the staging area directly and are
+      // folded by the next materialize on this rank — zero communication.
+      t->stage(row);
+      ++ls_.rows_loopback;
+      return;
+    }
+    auto& buf = stage_out_[out_idx * nranks_ + static_cast<std::size_t>(dst)];
+    buf.insert(buf.end(), row.begin(), row.end());
+    if (cfg_.routing == AsyncRouting::kOwnerDirect &&
+        buf.size() >= cfg_.batch_rows * t->arity()) {
+      send_stage_bucket(out_idx, static_cast<std::size_t>(dst));
+    }
+  }
+
+  void append_probe(std::size_t join_idx, std::size_t dest, std::span<const value_t> row,
+                    std::size_t arity) {
+    auto& buf = probe_out_[join_idx * nranks_ + dest];
+    buf.insert(buf.end(), row.begin(), row.end());
+    if (cfg_.routing == AsyncRouting::kOwnerDirect && buf.size() >= cfg_.batch_rows * arity) {
+      send_probe_bucket(join_idx, dest);
+    }
+  }
+
+  // -- outbound ---------------------------------------------------------------
+
+  void send_app(int dst, int tag, vmpi::Bytes bytes) {
+    comm_.isend(dst, tag, bytes);
+    detector_.on_app_send();
+    ++ls_.messages_sent;
+  }
+
+  void send_stage_bucket(std::size_t out_idx, std::size_t dest) {
+    auto& buf = stage_out_[out_idx * nranks_ + dest];
+    if (buf.empty()) return;
+    PhaseScope scope(comm_, profile_, Phase::kAllToAll);
+    const auto count = buf.size() / targets_[out_idx]->arity();
+    vmpi::TypedWriter<value_t> w(buf.size() + 2);
+    w.put(static_cast<value_t>(out_idx));
+    w.put(static_cast<value_t>(count));
+    w.put_span(std::span<const value_t>(buf));
+    send_app(static_cast<int>(dest), kTagStage, w.take());
+    ls_.stage_rows_sent += count;
+    profile_.add_work(Phase::kAllToAll, count);
+    buf.clear();
+  }
+
+  void send_probe_bucket(std::size_t join_idx, std::size_t dest) {
+    auto& buf = probe_out_[join_idx * nranks_ + dest];
+    if (buf.empty()) return;
+    PhaseScope scope(comm_, profile_, Phase::kAllToAll);
+    const auto count = buf.size() / joins_[join_idx].rule->a->arity();
+    vmpi::TypedWriter<value_t> w(buf.size() + 2);
+    w.put(static_cast<value_t>(join_idx));
+    w.put(static_cast<value_t>(count));
+    w.put_span(std::span<const value_t>(buf));
+    send_app(static_cast<int>(dest), kTagProbe, w.take());
+    ls_.probe_rows_sent += count;
+    profile_.add_work(Phase::kAllToAll, count);
+    buf.clear();
+  }
+
+  void maybe_flush() {
+    ++stale_rounds_;
+    if (cfg_.routing == AsyncRouting::kDense ||
+        stale_rounds_ >= std::max<std::size_t>(cfg_.max_staleness, 1)) {
+      flush_all();
+    }
+  }
+
+  /// Ship everything buffered: one message per (kind, destination), frames
+  /// for all routes concatenated — the same framing a router flush uses,
+  /// minus the collective.
+  void flush_all() {
+    stale_rounds_ = 0;
+    const auto me = static_cast<std::size_t>(comm_.rank());
+    for (std::size_t d = 0; d < nranks_; ++d) {
+      if (d == me) continue;
+      {
+        vmpi::TypedWriter<value_t> w;
+        std::uint64_t rows = 0;
+        for (std::size_t i = 0; i < targets_.size(); ++i) {
+          auto& buf = stage_out_[i * nranks_ + d];
+          if (buf.empty()) continue;
+          const auto count = buf.size() / targets_[i]->arity();
+          w.put(static_cast<value_t>(i));
+          w.put(static_cast<value_t>(count));
+          w.put_span(std::span<const value_t>(buf));
+          rows += count;
+          buf.clear();
+        }
+        if (!w.empty()) {
+          PhaseScope scope(comm_, profile_, Phase::kAllToAll);
+          send_app(static_cast<int>(d), kTagStage, w.take());
+          ls_.stage_rows_sent += rows;
+          profile_.add_work(Phase::kAllToAll, rows);
+        }
+      }
+      {
+        vmpi::TypedWriter<value_t> w;
+        std::uint64_t rows = 0;
+        for (std::size_t j = 0; j < joins_.size(); ++j) {
+          auto& buf = probe_out_[j * nranks_ + d];
+          if (buf.empty()) continue;
+          const auto count = buf.size() / joins_[j].rule->a->arity();
+          w.put(static_cast<value_t>(j));
+          w.put(static_cast<value_t>(count));
+          w.put_span(std::span<const value_t>(buf));
+          rows += count;
+          buf.clear();
+        }
+        if (!w.empty()) {
+          PhaseScope scope(comm_, profile_, Phase::kAllToAll);
+          send_app(static_cast<int>(d), kTagProbe, w.take());
+          ls_.probe_rows_sent += rows;
+          profile_.add_work(Phase::kAllToAll, rows);
+        }
+      }
+    }
+  }
+
+  // -- inbound ----------------------------------------------------------------
+
+  std::size_t drain_app() {
+    std::size_t n = 0;
+    n += comm_.drain(kTagStage, [&](int /*src*/, vmpi::Bytes b) {
+      detector_.on_app_receive();
+      ++ls_.messages_received;
+      on_stage(b);
+    });
+    n += comm_.drain(kTagProbe, [&](int /*src*/, vmpi::Bytes b) {
+      detector_.on_app_receive();
+      ++ls_.messages_received;
+      on_probe(b);
+    });
+    return n;
+  }
+
+  void on_stage(const vmpi::Bytes& bytes) {
+    PhaseScope scope(comm_, profile_, Phase::kDedupAgg);
+    vmpi::TypedReader<value_t> r(bytes);
+    std::uint64_t rows = 0;
+    while (!r.done()) {
+      const auto idx = static_cast<std::size_t>(r.get());
+      assert(idx < targets_.size() && "stage frame names an unknown route");
+      Relation& rel = *targets_[idx];
+      const auto count = static_cast<std::size_t>(r.get());
+      rel.stage_rows(r.take_span(count * rel.arity()));
+      rows += count;
+    }
+    profile_.add_work(Phase::kDedupAgg, rows);
+  }
+
+  void on_probe(const vmpi::Bytes& bytes) {
+    PhaseScope scope(comm_, profile_, Phase::kLocalJoin);
+    vmpi::TypedReader<value_t> r(bytes);
+    std::uint64_t rows = 0;
+    while (!r.done()) {
+      const auto j = static_cast<std::size_t>(r.get());
+      assert(j < joins_.size() && "probe frame names an unknown join rule");
+      const JoinTask& task = joins_[j];
+      const std::size_t arity = task.rule->a->arity();
+      const auto count = static_cast<std::size_t>(r.get());
+      const auto flat = r.take_span(count * arity);
+      for (std::size_t off = 0; off < flat.size(); off += arity) {
+        probe_row(task, flat.subspan(off, arity));
+      }
+      rows += count;
+    }
+    profile_.add_work(Phase::kLocalJoin, rows);
+  }
+
+  /// Park until *any* message arrives and dispatch it by tag.
+  void blocking_wait() {
+    const double t0 = wall_now();
+    int src = 0;
+    int tag = 0;
+    const vmpi::Bytes bytes = comm_.recv(vmpi::kAnySource, vmpi::kAnyTag, &src, &tag);
+    ls_.blocked_seconds += wall_now() - t0;
+    if (detector_.owns_tag(tag)) {
+      detector_.on_control(src, tag, bytes);
+      return;
+    }
+    detector_.on_app_receive();
+    ++ls_.messages_received;
+    if (tag == kTagStage) {
+      on_stage(bytes);
+    } else {
+      assert(tag == kTagProbe && "foreign tag in the async loop");
+      on_probe(bytes);
+    }
+  }
+
+  vmpi::Comm& comm_;
+  const AsyncConfig& cfg_;
+  core::RankProfile& profile_;
+  AsyncLoopStats& ls_;
+  TerminationDetector detector_;
+
+  std::vector<Relation*> targets_;
+  std::vector<JoinTask> joins_;
+  std::vector<CopyTask> copies_;
+  std::vector<bool> fresh_;  // targets with an unconsumed delta frontier
+
+  std::size_t nranks_;
+  // Flat row buffers, route-major: [idx * nranks + dest], like the router.
+  std::vector<std::vector<value_t>> stage_out_;
+  std::vector<std::vector<value_t>> probe_out_;
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t staged_total_ = 0;
+  std::size_t stale_rounds_ = 0;
+  std::vector<int> dest_scratch_;
+  Tuple out_scratch_;
+};
+
+}  // namespace
+
+void AsyncEngine::check_supported(const core::Program& program) {
+  std::size_t si = 0;
+  for (const auto& sptr : program.strata()) {
+    const core::Stratum& s = *sptr;
+    const std::string where = "async engine: stratum " + std::to_string(si++);
+    if (s.loop_rules.empty()) continue;
+    if (!s.fixpoint) {
+      throw std::invalid_argument(
+          where + " runs a fixed number of rounds (fixpoint = false, Jacobi-style "
+                  "refresh recomputation, e.g. PageRank); its semantics depend on "
+                  "synchronized rounds — run it on the BSP core::Engine");
+    }
+    const auto targets = targets_of(s.loop_rules);
+    for (const Relation* t : targets) {
+      if (t->config().agg_mode == core::AggMode::kRefresh) {
+        throw std::invalid_argument(
+            where + ": relation '" + t->name() +
+            "' uses AggMode::kRefresh (per-round replacement), which is not "
+            "order-insensitive — run it on the BSP core::Engine");
+      }
+      if (t->aggregated() && !t->config().aggregator->idempotent()) {
+        throw std::invalid_argument(
+            where + ": relation '" + t->name() + "' aggregates with " +
+            std::string(t->config().aggregator->name()) +
+            ", which is not idempotent — asynchronous delivery may fold a stale "
+            "delta more than once, so only idempotent lattice joins ($MIN, $MAX, "
+            "set-union, ...) are safe; run it on the BSP core::Engine");
+      }
+    }
+    for (const auto& rule : s.loop_rules) {
+      if (const auto* j = std::get_if<core::JoinRule>(&rule)) {
+        if (j->anti) {
+          throw std::invalid_argument(
+              where + ": antijoin against '" + j->b->name() +
+              "' — deciding absence needs a globally synchronized view; run it on "
+              "the BSP core::Engine");
+        }
+        if (std::find(targets.begin(), targets.end(), j->a) == targets.end() ||
+            j->a_version != Version::kDelta) {
+          throw std::invalid_argument(
+              where + ": loop join must drive from the recursive relation's delta "
+                      "(side a must be a loop target read at kDelta), but reads '" +
+              j->a->name() + "'");
+        }
+        if (std::find(targets.begin(), targets.end(), j->b) != targets.end()) {
+          throw std::invalid_argument(
+              where + ": join side '" + j->b->name() +
+              "' is itself a loop target; the asynchronous schedule requires a "
+              "static probe side");
+        }
+        if (j->b_version != Version::kFull) {
+          throw std::invalid_argument(where + ": the static join side '" + j->b->name() +
+                                      "' must be probed at kFull");
+        }
+      } else {
+        const auto& c = std::get<core::CopyRule>(rule);
+        if (std::find(targets.begin(), targets.end(), c.src) == targets.end() ||
+            c.version != Version::kDelta) {
+          throw std::invalid_argument(
+              where + ": loop copy must read a loop target's delta, but reads '" +
+              c.src->name() + "'");
+        }
+      }
+    }
+  }
+}
+
+core::StratumResult AsyncEngine::run_stratum(const core::Stratum& stratum) {
+  core::StratumResult result;
+  const int detector_base =
+      TerminationDetector::kDefaultTagBase + static_cast<int>(2 * stratum_seq_++);
+
+  // ---- init rules: the collective path, as in the BSP engine ----------------
+  // Collectives are only banned *inside* the loop; init runs once and the
+  // stratum boundary is a synchronization point anyway.
+  if (!stratum.init_rules.empty()) {
+    core::ExchangeRouter router(*comm_, /*preaggregate=*/true);
+    for (const auto& rule : stratum.init_rules) {
+      if (const auto* j = std::get_if<core::JoinRule>(&rule)) {
+        core::execute_join(*comm_, profile_, *j, router);
+      } else {
+        core::execute_copy(profile_, std::get<core::CopyRule>(rule), router);
+      }
+    }
+    router.flush(profile_, core::ExchangeAlgorithm::kDense);
+    {
+      PhaseScope scope(*comm_, profile_, Phase::kDedupAgg);
+      for (Relation* t : targets_of(stratum.init_rules)) {
+        const auto m = t->materialize();
+        profile_.add_work(Phase::kDedupAgg, m.staged);
+      }
+    }
+    profile_.end_iteration();
+  }
+
+  if (stratum.loop_rules.empty()) {
+    result.reached_fixpoint = true;
+    return result;
+  }
+
+  // ---- the nonblocking loop --------------------------------------------------
+  const auto collectives_before = collective_calls(comm_->stats());
+  StratumLoop loop(*comm_, cfg_, profile_, loop_stats_, stratum, detector_base);
+  loop.run();
+  loop_stats_.collective_calls_in_loop +=
+      collective_calls(comm_->stats()) - collectives_before;
+  loop_stats_.token_probes += loop.detector_stats().probes_started;
+  loop_stats_.tokens_forwarded += loop.detector_stats().tokens_forwarded;
+
+  // ---- stratum summary (collective; doubles as the inter-stratum sync) -------
+  {
+    PhaseScope scope(*comm_, profile_, Phase::kOther);
+    result.iterations = static_cast<std::size_t>(
+        comm_->allreduce<std::uint64_t>(loop.rounds(), vmpi::ReduceOp::kMax));
+    result.tuples_generated =
+        comm_->allreduce<std::uint64_t>(loop.staged_total(), vmpi::ReduceOp::kSum);
+  }
+  profile_.end_iteration();
+  result.reached_fixpoint = true;
+  return result;
+}
+
+core::RunResult AsyncEngine::run(core::Program& program) {
+  program.validate();
+  check_supported(program);
+
+  core::RunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& stratum : program.strata()) {
+    auto sr = run_stratum(*stratum);
+    result.total_iterations += sr.iterations;
+    result.strata.push_back(sr);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  result.profile = core::summarize_profiles(*comm_, profile_);
+  {
+    vmpi::StatsPause pause(*comm_);
+    const auto all = comm_->allgather<vmpi::CommStats>(comm_->stats());
+    for (const auto& s : all) result.comm_total += s;
+  }
+  return result;
+}
+
+}  // namespace paralagg::async

@@ -1,0 +1,124 @@
+#pragma once
+
+// Asynchronous fixpoint executor: nonblocking delta propagation.
+//
+// Runs the same Program/Stratum IR as core::Engine, but the recursive loop
+// has no collectives at all.  Where the BSP engine's iteration is
+//
+//   plan vote → intra-bucket alltoallv → local join → router flush
+//   (alltoallv) → materialize → termination allreduce,
+//
+// each rank here loops independently:
+//
+//   drain inbound messages → materialize staged rows → join the fresh
+//   delta frontier locally → isend generated rows point-to-point,
+//
+// and quiescence is decided by a Safra token ring (async::TerminationDetector)
+// instead of an allreduce.  Two message kinds circulate, both framed like
+// the ExchangeRouter wire format ([id | row_count | rows] in value_t units,
+// via TypedWriter/TypedReader):
+//
+//   * PROBE (per join rule): a fresh delta row of the recursive side,
+//     replicated from its owner to every rank holding a sub-bucket of the
+//     static side's bucket — the asynchronous double of the BSP
+//     intra-bucket exchange.  Receivers join it against their local static
+//     partition.
+//   * STAGE (per target relation): a generated row, sent to the rank owning
+//     its independent columns, where the fused dedup/lattice-aggregation
+//     decides whether it is a strict ascent (→ new delta row) or noise.
+//
+// Safety: this schedule delivers deltas stale and out of order, so it is
+// only sound when every recursive aggregate is a *genuine* semilattice
+// join — commutative, associative, and idempotent (RecursiveAggregator::
+// idempotent()).  Then the fixpoint is the join over all generated values,
+// independent of delivery order, and bit-identical to the BSP engine's.
+// check_supported() rejects everything else (PageRank's kRefresh $SUM,
+// antijoins, non-delta-driven loop rules) with a diagnostic.
+//
+// Init rules and inter-stratum boundaries still use the collective path:
+// the prohibition is on per-iteration collectives inside the loop, which
+// is where the barrier-wait cost of skew lives.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/program.hpp"
+#include "core/profile.hpp"
+
+namespace paralagg::async {
+
+/// When buffered outbound rows are put on the wire.
+enum class AsyncRouting : std::uint8_t {
+  /// Flush every destination once per local round (densest messages, most
+  /// staleness) — the point-to-point analogue of the BSP router flush.
+  kDense,
+  /// Send to a destination as soon as its buffer reaches batch_rows rows
+  /// (eager, latency-oriented); stragglers go out with the round flush.
+  kOwnerDirect,
+};
+
+struct AsyncConfig {
+  AsyncRouting routing = AsyncRouting::kOwnerDirect;
+  /// Rows buffered per (relation, destination) before an eager send
+  /// (kOwnerDirect only).
+  std::size_t batch_rows = 128;
+  /// Local rounds an outbound row may linger before a forced full flush.
+  /// 1 = flush every round; larger values trade message count for
+  /// staleness (still sound: the lattice join is order-insensitive).
+  std::size_t max_staleness = 1;
+  /// Safety net against runaway local loops (mirrors EngineConfig's
+  /// max_iterations; exceeding it aborts the world).
+  std::size_t max_rounds = 1'000'000;
+};
+
+/// Per-rank counters for one engine's async loops (cumulative over strata).
+struct AsyncLoopStats {
+  std::uint64_t rounds = 0;            // local rounds with actual work
+  std::uint64_t messages_sent = 0;     // app messages (stage + probe)
+  std::uint64_t messages_received = 0;
+  std::uint64_t stage_rows_sent = 0;   // generated rows shipped to owners
+  std::uint64_t probe_rows_sent = 0;   // delta rows replicated for joining
+  std::uint64_t rows_loopback = 0;     // self-owned rows staged directly
+  /// Collective calls observed during the loop (excludes init rules and the
+  /// post-loop stratum summary).  The whole point is that this stays 0.
+  std::uint64_t collective_calls_in_loop = 0;
+  /// Wall seconds parked in blocking recv while passive (the async
+  /// counterpart of BSP barrier-wait time).
+  double blocked_seconds = 0;
+  std::uint64_t token_probes = 0;      // Safra probes rank 0 launched
+  std::uint64_t tokens_forwarded = 0;
+};
+
+class AsyncEngine {
+ public:
+  explicit AsyncEngine(vmpi::Comm& comm, AsyncConfig cfg = {})
+      : comm_(&comm), cfg_(cfg) {}
+
+  [[nodiscard]] core::RankProfile& rank_profile() { return profile_; }
+  [[nodiscard]] const AsyncConfig& config() const { return cfg_; }
+  [[nodiscard]] const AsyncLoopStats& loop_stats() const { return loop_stats_; }
+
+  /// Throws std::invalid_argument naming the first construct the
+  /// asynchronous schedule cannot run soundly (non-fixpoint strata,
+  /// kRefresh or non-idempotent aggregates, antijoins, loop rules not
+  /// driven by a recursive delta).
+  static void check_supported(const core::Program& program);
+
+  /// Execute one stratum: init rules on the collective path, then the
+  /// nonblocking loop to quiescence.  Collective at entry and exit only.
+  core::StratumResult run_stratum(const core::Stratum& stratum);
+
+  /// Validate, check_supported, execute all strata, assemble the cross-rank
+  /// summary.  Collective; the RunResult is identical on every rank.
+  core::RunResult run(core::Program& program);
+
+ private:
+  vmpi::Comm* comm_;
+  AsyncConfig cfg_;
+  core::RankProfile profile_;
+  AsyncLoopStats loop_stats_;
+  std::uint64_t stratum_seq_ = 0;  // offsets detector tags per stratum
+};
+
+}  // namespace paralagg::async

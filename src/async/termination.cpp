@@ -1,0 +1,103 @@
+#include "async/termination.hpp"
+
+#include <cassert>
+
+#include "vmpi/serialize.hpp"
+
+namespace paralagg::async {
+
+namespace {
+
+struct TokenWire {
+  std::int64_t q;
+  std::uint8_t black;
+};
+
+}  // namespace
+
+void TerminationDetector::on_control(int src, int tag, const vmpi::Bytes& payload) {
+  (void)src;
+  if (tag == terminate_tag()) {
+    terminated_ = true;
+    return;
+  }
+  assert(tag == token_tag() && "control message with a foreign tag");
+  assert(!has_token_ && "two tokens on one ring");
+  vmpi::BufferReader r(payload);
+  const auto wire = r.get<TokenWire>();
+  token_q_ = wire.q;
+  token_black_ = wire.black != 0;
+  has_token_ = true;
+}
+
+std::size_t TerminationDetector::poll() {
+  std::size_t handled = 0;
+  handled += comm_->drain(token_tag(),
+                          [&](int src, vmpi::Bytes b) { on_control(src, token_tag(), b); });
+  handled += comm_->drain(terminate_tag(), [&](int src, vmpi::Bytes b) {
+    on_control(src, terminate_tag(), b);
+  });
+  return handled;
+}
+
+void TerminationDetector::try_terminate() {
+  if (terminated_) return;
+
+  // Degenerate ring: with one rank there is nobody to hear from, so
+  // passivity plus a balanced counter *is* global quiescence.
+  if (comm_->size() == 1) {
+    if (counter_ == 0) terminated_ = true;
+    return;
+  }
+
+  if (has_token_) {
+    has_token_ = false;
+    if (comm_->rank() == 0) {
+      evaluate_token();
+    } else {
+      forward_token();
+    }
+  }
+  if (!terminated_ && comm_->rank() == 0 && !probe_outstanding_) start_probe();
+}
+
+void TerminationDetector::start_probe() {
+  // Rank 0 whitens itself and launches a white, empty token.  (Any app
+  // receive before the token returns re-blackens rank 0 and voids the
+  // probe, which is the point.)
+  black_ = false;
+  vmpi::BufferWriter w(sizeof(TokenWire));
+  w.put(TokenWire{0, 0});
+  const auto b = w.take();
+  comm_->isend(1 % comm_->size(), token_tag(), b);
+  probe_outstanding_ = true;
+  ++stats_.probes_started;
+}
+
+void TerminationDetector::forward_token() {
+  vmpi::BufferWriter w(sizeof(TokenWire));
+  w.put(TokenWire{token_q_ + counter_,
+                  static_cast<std::uint8_t>((token_black_ || black_) ? 1 : 0)});
+  const auto b = w.take();
+  comm_->isend((comm_->rank() + 1) % comm_->size(), token_tag(), b);
+  black_ = false;  // this rank's activity is now folded into the token
+  ++stats_.tokens_forwarded;
+}
+
+void TerminationDetector::evaluate_token() {
+  probe_outstanding_ = false;
+  if (!token_black_ && !black_ && token_q_ + counter_ == 0) {
+    announce();
+  }
+  // Failed probe: try_terminate() launches the next one immediately —
+  // rank 0 only reaches here while passive, so no spin, the next token
+  // round is message-driven like the last.
+}
+
+void TerminationDetector::announce() {
+  const vmpi::Bytes empty;
+  for (int r = 1; r < comm_->size(); ++r) comm_->isend(r, terminate_tag(), empty);
+  terminated_ = true;
+}
+
+}  // namespace paralagg::async

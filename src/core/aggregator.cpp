@@ -55,6 +55,7 @@ class BitOrAggregator : public RecursiveAggregator {
 class SumAggregator : public RecursiveAggregator {
  public:
   [[nodiscard]] std::string_view name() const override { return "$SUM"; }
+  [[nodiscard]] bool idempotent() const override { return false; }  // a + a != a
 
   [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
                                          std::span<const value_t> b) const override {

@@ -45,6 +45,13 @@ class RecursiveAggregator {
   virtual void partial_agg(std::span<const value_t> a, std::span<const value_t> b,
                            std::span<value_t> out) const = 0;
 
+  /// True when partial_agg is a genuine semilattice join (commutative,
+  /// associative, AND idempotent: a ⊔ a = a).  Idempotence is what makes a
+  /// fixpoint insensitive to duplicated or re-ordered delta delivery, so
+  /// only idempotent aggregates may run under the asynchronous engine.
+  /// $SUM is the counterexample: re-applying a stale delta double-counts.
+  [[nodiscard]] virtual bool idempotent() const { return true; }
+
   /// True when `candidate` strictly ascends past `current` — i.e. the fused
   /// pass must update the accumulator and emit a delta row.
   [[nodiscard]] bool ascends(std::span<const value_t> current,

@@ -14,10 +14,13 @@
 //   vmpi      — message-passing substrate (ranks, collectives, stats)
 //   storage   — tuples and B-tree partitions
 //   core      — relations, aggregators, RA kernels, fixpoint engine
+//   async     — nonblocking evaluation mode (delta propagation + Safra)
 //   graph     — generators, IO, dataset zoo
 //   queries   — prebuilt declarative queries (SSSP, CC, PageRank, TC, ...)
 //   baseline  — comparator engines (shuffle-style, stratified Datalog)
 
+#include "async/async_engine.hpp"
+#include "async/termination.hpp"
 #include "baseline/shuffle_engine.hpp"
 #include "baseline/stratified_engine.hpp"
 #include "core/aggregator.hpp"

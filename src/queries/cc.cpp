@@ -61,9 +61,8 @@ CcResult run_cc(vmpi::Comm& comm, const graph::Graph& g, const CcOptions& opts) 
     edge->load_facts(slice);
   }
 
-  core::Engine engine(comm, opts.tuning.engine);
   CcResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
   result.component_count = comp->global_size(core::Version::kFull);
   result.labelled_nodes = cc->global_size(core::Version::kFull);

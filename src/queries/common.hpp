@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "async/async_engine.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 
@@ -56,6 +57,13 @@ struct QueryTuning {
   /// its fan-out when it detects skew.
   bool balance_edges = true;
 
+  /// Run the recursive strata on async::AsyncEngine (nonblocking delta
+  /// propagation, Safra termination) instead of the BSP core::Engine.
+  /// Throws std::invalid_argument for programs the asynchronous schedule
+  /// cannot run soundly (e.g. PageRank's non-idempotent $SUM).
+  bool use_async = false;
+  async::AsyncConfig async;
+
   /// The paper's RQ1 baseline: no balancing, fixed join order.
   static QueryTuning baseline() {
     QueryTuning t;
@@ -64,5 +72,16 @@ struct QueryTuning {
     return t;
   }
 };
+
+/// Execute `program` on the engine the tuning selects.  Collective.
+inline core::RunResult run_engine(vmpi::Comm& comm, core::Program& program,
+                                  const QueryTuning& tuning) {
+  if (tuning.use_async) {
+    async::AsyncEngine engine(comm, tuning.async);
+    return engine.run(program);
+  }
+  core::Engine engine(comm, tuning.engine);
+  return engine.run(program);
+}
 
 }  // namespace paralagg::queries

@@ -82,9 +82,8 @@ LspResult run_lsp(vmpi::Comm& comm, const graph::Graph& g, const LspOptions& opt
   }
   spath->load_facts(seeds);
 
-  core::Engine engine(comm, opts.tuning.engine);
   LspResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
   result.spath_count = spath->global_size(core::Version::kFull);
   result.spnorm_count = spnorm->global_size(core::Version::kFull);

@@ -76,9 +76,8 @@ PagerankResult run_pagerank(vmpi::Comm& comm, const graph::Graph& g,
   edge->load_facts(edge_slice(comm, g, /*weighted=*/false));
   nodes->load_facts(node_slice(comm, g.num_nodes));
 
-  core::Engine engine(comm, opts.tuning.engine);
   PagerankResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.rounds = result.run.total_iterations;
   result.ranked_nodes = rank->global_size(core::Version::kFull);
 

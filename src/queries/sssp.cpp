@@ -45,9 +45,8 @@ SsspResult run_sssp(vmpi::Comm& comm, const graph::Graph& g, const SsspOptions& 
   }
   spath->load_facts(seeds);
 
-  core::Engine engine(comm, opts.tuning.engine);
   SsspResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
   result.path_count = spath->global_size(core::Version::kFull);
   if (opts.collect_distances) result.distances = spath->gather_to_root(0);

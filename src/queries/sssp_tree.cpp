@@ -40,9 +40,8 @@ SsspTreeResult run_sssp_tree(vmpi::Comm& comm, const graph::Graph& g,
   if (comm.rank() == 0) seed.push_back(Tuple{opts.source, 0, opts.source});
   tree->load_facts(seed);
 
-  core::Engine engine(comm, opts.tuning.engine);
   SsspTreeResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
   result.reached = tree->global_size(core::Version::kFull);
   result.tree = tree->gather_to_root(0);

@@ -34,9 +34,8 @@ TcResult run_tc(vmpi::Comm& comm, const graph::Graph& g, const TcOptions& opts) 
 
   edge->load_facts(edge_slice(comm, g, /*weighted=*/false));
 
-  core::Engine engine(comm, opts.tuning.engine);
   TcResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
   result.path_count = path->global_size(core::Version::kFull);
   if (opts.collect_pairs) result.pairs = path->gather_to_root(0);

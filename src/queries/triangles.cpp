@@ -60,9 +60,8 @@ TrianglesResult run_triangles(vmpi::Comm& comm, const graph::Graph& g,
     edge2->load_facts(slice);
   }
 
-  core::Engine engine(comm, opts.tuning.engine);
   TrianglesResult result;
-  result.run = engine.run(program);
+  result.run = run_engine(comm, program, opts.tuning);
   result.wedges = wedge->global_size(core::Version::kFull);
 
   const auto rows = tri->gather_to_root(0);

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace paralagg::vmpi {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 World::World(int nranks)
     : nranks_(nranks),
@@ -30,9 +41,20 @@ CommStats World::total_stats() const {
   return total;
 }
 
+void Comm::timed_barrier_wait() {
+  const double t0 = wall_now();
+  try {
+    world_->barrier_.arrive_and_wait();
+  } catch (...) {
+    if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+    throw;
+  }
+  if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+}
+
 void Comm::barrier() {
   if (stats_enabled_) stats().record_call(Op::kBarrier);
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
 }
 
 void Comm::isend(int dst, int tag, std::span<const std::byte> data) {
@@ -62,6 +84,7 @@ bool matches(const detail::Message& m, int src, int tag) {
 
 Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
   auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  const double t0 = wall_now();
   std::unique_lock lock(box.m);
   for (;;) {
     auto it = std::find_if(box.q.begin(), box.q.end(),
@@ -71,6 +94,12 @@ Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
       box.q.erase(it);
       if (out_src != nullptr) *out_src = m.src;
       if (out_tag != nullptr) *out_tag = m.tag;
+      if (stats_enabled_) {
+        auto& st = stats();
+        st.messages_received += 1;
+        st.p2p_bytes_received += m.payload.size();
+        st.wait_seconds += wall_now() - t0;
+      }
       return std::move(m.payload);
     }
     if (box.aborted) throw WorldAborted{};
@@ -99,9 +128,9 @@ std::vector<Bytes> Comm::exchange_slots(Bytes mine, Op op) {
   }
 
   world_->slots_[static_cast<std::size_t>(rank_)] = std::move(mine);
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   std::vector<Bytes> all(world_->slots_.begin(), world_->slots_.end());  // copies
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   return all;
 }
 
@@ -120,9 +149,9 @@ Bytes Comm::bcast(int root, std::span<const std::byte> data) {
   if (rank_ == root) {
     world_->slots_[static_cast<std::size_t>(root)] = Bytes(data.begin(), data.end());
   }
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   Bytes out = world_->slots_[static_cast<std::size_t>(root)];
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   return out;
 }
 
@@ -134,10 +163,10 @@ std::vector<Bytes> Comm::gatherv(int root, std::span<const std::byte> mine) {
   }
 
   world_->slots_[static_cast<std::size_t>(rank_)] = Bytes(mine.begin(), mine.end());
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   std::vector<Bytes> all;
   if (rank_ == root) all.assign(world_->slots_.begin(), world_->slots_.end());
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   return all;
 }
 
@@ -156,12 +185,12 @@ std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> send) {
   for (std::size_t d = 0; d < n; ++d) {
     world_->matrix_[me * n + d] = std::move(send[d]);
   }
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   std::vector<Bytes> got(n);
   for (std::size_t s = 0; s < n; ++s) {
     got[s] = std::move(world_->matrix_[s * n + me]);  // each cell read exactly once
   }
-  world_->barrier_.arrive_and_wait();
+  timed_barrier_wait();
   return got;
 }
 

@@ -169,10 +169,29 @@ class Comm {
 
   /// Blocking receive matching (src, tag); kAnySource / kAnyTag wildcard.
   /// Returns the payload; out_src / out_tag receive the envelope if non-null.
+  /// Matching is FIFO over this rank's mailbox: among queued messages that
+  /// match the pattern, the earliest-enqueued one is delivered first.
   Bytes recv(int src, int tag, int* out_src = nullptr, int* out_tag = nullptr);
 
   /// Nonblocking probe: true if a matching message is queued.
   [[nodiscard]] bool iprobe(int src, int tag);
+
+  /// Drain every currently queued message matching `tag` (any source)
+  /// without blocking: `on_msg(src, payload)` is invoked per message in
+  /// arrival order.  Returns the number of messages delivered.  This is the
+  /// iprobe/recv loop every nonblocking consumer would otherwise hand-roll
+  /// (the async engine's inbound delta pump).
+  template <typename F>
+  std::size_t drain(int tag, F&& on_msg) {
+    std::size_t delivered = 0;
+    int src = 0;
+    while (iprobe(kAnySource, tag)) {
+      Bytes payload = recv(kAnySource, tag, &src);
+      on_msg(src, std::move(payload));
+      ++delivered;
+    }
+    return delivered;
+  }
 
   // -- collectives (byte-level) ---------------------------------------------
 
@@ -288,6 +307,9 @@ class Comm {
   /// Write `mine` into this rank's slot, barrier, copy out all slots,
   /// barrier.  The canonical building block for symmetric collectives.
   std::vector<Bytes> exchange_slots(Bytes mine, Op op);
+
+  /// arrive_and_wait with the parked wall time charged to wait_seconds.
+  void timed_barrier_wait();
 
   World* world_;
   int rank_;

@@ -55,7 +55,13 @@ struct CommStats {
   std::array<std::uint64_t, kOpCount> bytes_sent{};   // remote only
   std::array<std::uint64_t, kOpCount> bytes_local{};  // self-destined
   std::array<std::uint64_t, kOpCount> calls{};
-  std::uint64_t messages_sent = 0;  // p2p message count
+  std::uint64_t messages_sent = 0;      // p2p messages enqueued by isend
+  std::uint64_t messages_received = 0;  // p2p messages delivered by recv
+  std::uint64_t p2p_bytes_received = 0; // payload bytes delivered by recv
+  /// Wall seconds this rank spent parked inside blocking primitives
+  /// (barriers, collective rendezvous, recv).  For BSP runs this is the
+  /// barrier-wait cost skew inflicts; for async runs it is idle drain time.
+  double wait_seconds = 0;
 
   void record_send(Op op, std::uint64_t bytes, bool remote) {
     const auto i = static_cast<std::size_t>(op);
@@ -94,6 +100,9 @@ struct CommStats {
       calls[i] += other.calls[i];
     }
     messages_sent += other.messages_sent;
+    messages_received += other.messages_received;
+    p2p_bytes_received += other.p2p_bytes_received;
+    wait_seconds += other.wait_seconds;
     return *this;
   }
 };

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
@@ -218,6 +219,139 @@ TEST(PointToPoint, IprobeSeesPendingMessage) {
       EXPECT_FALSE(comm.iprobe(0, 5));
     }
   });
+}
+
+TEST(PointToPoint, WildcardMatchingIsFifoPerPattern) {
+  // Among queued messages matching a wildcard pattern, the earliest
+  // enqueued must be delivered first — the async engine's drain loop
+  // depends on arrival order being preserved per tag.
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        BufferWriter w;
+        w.put(i);
+        // Alternate tags; wildcard receives must still see 0,1,2,3.
+        comm.isend(1, /*tag=*/static_cast<int>(10 + i % 2), w.take());
+      }
+      comm.barrier();
+    } else {
+      comm.barrier();  // all four messages are queued now
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        int tag = -2;
+        auto data = comm.recv(kAnySource, kAnyTag, nullptr, &tag);
+        EXPECT_EQ(BufferReader(data).get<std::uint64_t>(), i);
+        EXPECT_EQ(tag, static_cast<int>(10 + i % 2));
+      }
+    }
+    comm.barrier();
+    // Second wave: tag-filtered wildcard-source receive skips non-matching
+    // messages but stays FIFO within the tag.
+    if (comm.rank() == 0) {
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        BufferWriter w;
+        w.put(i);
+        comm.isend(1, static_cast<int>(20 + i % 2), w.take());
+      }
+      comm.barrier();
+    } else {
+      comm.barrier();
+      int src = -2;
+      auto a = comm.recv(kAnySource, 21, &src);  // second-enqueued message
+      EXPECT_EQ(BufferReader(a).get<std::uint64_t>(), 1u);
+      EXPECT_EQ(src, 0);
+      auto b = comm.recv(kAnySource, 21);
+      EXPECT_EQ(BufferReader(b).get<std::uint64_t>(), 3u);
+      auto c = comm.recv(kAnySource, 20);
+      EXPECT_EQ(BufferReader(c).get<std::uint64_t>(), 0u);
+      auto d = comm.recv(kAnySource, 20);
+      EXPECT_EQ(BufferReader(d).get<std::uint64_t>(), 2u);
+    }
+  });
+}
+
+TEST(PointToPoint, DrainDeliversAllQueuedForTag) {
+  run(3, [&](Comm& comm) {
+    if (comm.rank() != 0) {
+      for (int i = 0; i < 3; ++i) {
+        BufferWriter w;
+        w.put<std::uint64_t>(static_cast<std::uint64_t>(comm.rank() * 10 + i));
+        comm.isend(0, /*tag=*/5, w.take());
+      }
+      BufferWriter other;
+      other.put<std::uint64_t>(999);
+      comm.isend(0, /*tag=*/6, other.take());
+      comm.barrier();
+    } else {
+      comm.barrier();  // 6 tag-5 messages and 2 tag-6 messages queued
+      std::vector<std::uint64_t> got;
+      std::vector<int> sources;
+      const auto n = comm.drain(5, [&](int src, Bytes payload) {
+        sources.push_back(src);
+        got.push_back(BufferReader(payload).get<std::uint64_t>());
+      });
+      EXPECT_EQ(n, 6u);
+      EXPECT_EQ(got.size(), 6u);
+      // Per-source arrival order is preserved.
+      std::uint64_t prev1 = 0, prev2 = 0;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        auto& prev = sources[i] == 1 ? prev1 : prev2;
+        EXPECT_GE(got[i], prev);
+        prev = got[i];
+      }
+      // The tag-6 messages are untouched.
+      EXPECT_EQ(comm.drain(5, [](int, Bytes) {}), 0u);
+      std::size_t sixes = comm.drain(6, [](int, Bytes) {});
+      EXPECT_EQ(sixes, 2u);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Stats, P2PMessageAndByteCountersMatchTraffic) {
+  std::vector<CommStats> per_rank;
+  run_collect(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() == 0) {
+          BufferWriter w;
+          for (int i = 0; i < 4; ++i) w.put<std::uint64_t>(1);
+          comm.isend(1, 3, w.take());  // 32 bytes
+          BufferWriter w2;
+          w2.put<std::uint64_t>(2);
+          comm.isend(1, 3, w2.take());  // 8 bytes
+          comm.barrier();
+        } else {
+          (void)comm.recv(0, 3);
+          (void)comm.recv(0, 3);
+          comm.barrier();
+        }
+      },
+      per_rank);
+  EXPECT_EQ(per_rank[0].messages_sent, 2u);
+  EXPECT_EQ(per_rank[0].messages_received, 0u);
+  EXPECT_EQ(per_rank[1].messages_received, 2u);
+  EXPECT_EQ(per_rank[1].p2p_bytes_received, 40u);
+}
+
+TEST(Stats, WaitSecondsAccumulatesOnBlockedRecv) {
+  std::vector<CommStats> per_rank;
+  run_collect(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() == 0) {
+          // Make rank 1 block in recv for a measurable moment.
+          const auto t0 = std::chrono::steady_clock::now();
+          while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(20)) {
+          }
+          BufferWriter w;
+          w.put<std::uint64_t>(7);
+          comm.isend(1, 2, w.take());
+        } else {
+          (void)comm.recv(0, 2);
+        }
+      },
+      per_rank);
+  EXPECT_GT(per_rank[1].wait_seconds, 0.0);
 }
 
 TEST(Stats, AlltoallvCountsRemoteVsLocalBytes) {
