@@ -164,6 +164,10 @@ void report(const core::RunResult& run) {
   std::cout << "iterations " << run.total_iterations << ", wall " << run.wall_seconds
             << " s, remote " << run.comm_total.total_remote_bytes() / 1024 << " KiB, "
             << "modelled parallel " << run.profile.modelled_total() << " s\n";
+  if (run.aborted_tuple_limit) {
+    std::cerr << "WARNING: tuple limit hit — the run was truncated and did NOT reach "
+                 "its fixpoint; results below are partial\n";
+  }
 }
 
 }  // namespace

@@ -32,21 +32,27 @@ BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relatio
   BalanceDecision d;
   d.sub_buckets_after = rel.sub_buckets();
 
+  // A relation that can never rebalance must not pay the measurement
+  // allgather either: the early-out is computed from purely local state, so
+  // skipping the collective is symmetric across ranks.
+  if (!cfg.enabled || !rel.config().balanceable || rel.sub_buckets() >= cfg.target_sub_buckets) {
+    return d;
+  }
+
   PhaseScope scope(comm, profile, Phase::kBalance);
   const auto sizes = comm.allgather<std::uint64_t>(rel.local_size(Version::kFull));
   d.imbalance = imbalance_of(sizes);
 
-  const bool want = rel.config().balanceable && cfg.enabled &&
-                    d.imbalance > cfg.imbalance_threshold &&
-                    rel.sub_buckets() < cfg.target_sub_buckets;
   // Every rank computed the same sizes vector, hence the same decision — no
   // extra coordination round needed.
-  if (!want) return d;
+  if (d.imbalance <= cfg.imbalance_threshold) return d;
 
   d.bytes_moved = rel.reshuffle_to_sub_buckets(cfg.target_sub_buckets);
   d.rebalanced = true;
   d.sub_buckets_after = rel.sub_buckets();
-  profile.add_work(Phase::kBalance, rel.local_size(Version::kFull));
+  // Charge the phase with what the reshuffle actually did — tuples moved —
+  // not with however much of the relation happened to live here afterwards.
+  profile.add_work(Phase::kBalance, d.bytes_moved / sizeof(value_t));
   return d;
 }
 

@@ -45,9 +45,31 @@ RuleExecStats Engine::execute_rule(const Rule& rule, ExchangeRouter& router) {
   } else {
     stats = execute_copy(profile_, std::get<CopyRule>(rule), router);
   }
-  // Legacy schedule: every rule pays its own collective exchange.
-  if (!cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
   return stats;
+}
+
+void Engine::run_rules(const std::vector<Rule>& rules, ExchangeRouter& router) {
+  if (cfg_.overlap_flush) {
+    // Split-phase pipeline: rule k's exchange is in flight while rule k+1
+    // runs its plan vote, intra-bucket shuffle, and local join.  Completing
+    // lazily — right before the next post — maximizes the window; the join
+    // is safe to run under an in-flight exchange because it only reads
+    // materialized indices, and staging areas absorb frames in any order.
+    for (const auto& rule : rules) {
+      execute_rule(rule, router);
+      if (router.in_flight()) router.complete(profile_);
+      router.post(profile_, cfg_.exchange);
+    }
+    if (router.in_flight()) router.complete(profile_);
+    return;
+  }
+  for (const auto& rule : rules) {
+    execute_rule(rule, router);
+    // Legacy schedule: every rule pays its own collective exchange.
+    if (!cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
+  }
+  // Fused schedule: one flush carries every rule's outputs.
+  if (cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
 }
 
 StratumResult Engine::run_stratum(const Stratum& stratum) {
@@ -61,8 +83,7 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
 
   // ---- init rules: run once, seed the deltas --------------------------------
   if (!stratum.init_rules.empty()) {
-    for (const auto& rule : stratum.init_rules) execute_rule(rule, router);
-    if (cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
+    run_rules(stratum.init_rules, router);
     PhaseScope scope(*comm_, profile_, Phase::kDedupAgg);
     for (Relation* t : targets_of(stratum.init_rules)) {
       const auto m = t->materialize();
@@ -92,11 +113,8 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
       }
     }
 
-    // ---- rules ----------------------------------------------------------------
-    for (const auto& rule : stratum.loop_rules) execute_rule(rule, router);
-
-    // ---- fused exchange: one flush carries every rule's outputs ---------------
-    if (cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
+    // ---- rules + exchanges under the configured schedule ----------------------
+    run_rules(stratum.loop_rules, router);
 
     // ---- fused dedup / local aggregation ---------------------------------------
     std::uint64_t local_delta = 0;
@@ -129,7 +147,10 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
       break;
     }
   }
-  if (!stratum.fixpoint) result.reached_fixpoint = true;  // ran its budget by design
+  // A bounded stratum that ran its whole budget finished by design — but
+  // only if nothing cut it short.  Reporting a tuple-limit abort as
+  // "reached fixpoint" hid every truncated bounded run from callers.
+  if (!stratum.fixpoint && !result.aborted_tuple_limit) result.reached_fixpoint = true;
   return result;
 }
 
@@ -141,6 +162,7 @@ RunResult Engine::run(Program& program) {
   for (const auto& stratum : program.strata()) {
     auto sr = run_stratum(*stratum);
     result.total_iterations += sr.iterations;
+    result.aborted_tuple_limit = result.aborted_tuple_limit || sr.aborted_tuple_limit;
     result.strata.push_back(sr);
   }
 

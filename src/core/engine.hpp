@@ -15,6 +15,13 @@
 // reproducing the legacy one-exchange-per-rule schedule (2R collective
 // rounds per iteration for R join rules, vs R+1 fused).
 //
+// With `overlap_flush` on the per-rule exchange comes back — but split
+// into a nonblocking post and a deferred complete, so rule k's exchange
+// is in flight while rule k+1 runs its join locally.  Same round count
+// as the legacy schedule, but the tuple-exchange latency is hidden
+// behind the next rule's compute (Phase::kOverlapWait records whatever
+// the pipeline failed to hide).
+//
 // The engine is configurable into the paper's *baseline* mode (no
 // balancing, fixed join order, unfused exchanges) for the RQ1 comparison.
 
@@ -44,6 +51,16 @@ struct EngineConfig {
   /// router flush per iteration (R+1 collective rounds instead of 2R for
   /// R join rules).  Off = flush after every rule, the legacy schedule.
   bool fuse_exchanges = true;
+
+  /// Split-phase per-rule exchanges: each rule posts its output exchange
+  /// nonblocking and the next rule's local join runs while it is in
+  /// flight; the post is completed lazily before that rule's own post
+  /// (and the last one before the fused dedup/aggregation pass).  Takes
+  /// precedence over `fuse_exchanges`: the schedule pays 2R collective
+  /// rounds like the legacy one, but hides the exchange latency instead
+  /// of avoiding the rounds.  Under kBruck the relay rounds cannot be
+  /// split, so the posts degrade to eager (blocking) exchanges.
+  bool overlap_flush = false;
 
   /// Sender-side pre-aggregation in the router: collapse buffered rows
   /// with equal independent columns through the target's lattice join
@@ -82,6 +99,9 @@ struct StratumResult {
 struct RunResult {
   std::size_t total_iterations = 0;
   std::vector<StratumResult> strata;
+  /// True iff any stratum hit EngineConfig::tuple_limit — the run's
+  /// results are truncated, whatever the per-stratum flags say.
+  bool aborted_tuple_limit = false;
   ProfileSummary profile;      // identical on every rank
   vmpi::CommStats comm_total;  // identical on every rank
   double wall_seconds = 0;     // this rank's view
@@ -103,10 +123,15 @@ class Engine {
 
  private:
   /// Execute one rule (join or copy) into `router`, honouring the engine's
-  /// join-order override.  In legacy (unfused) mode the router is flushed
-  /// right here, after the rule; in fused mode the caller flushes once per
-  /// iteration.
+  /// join-order override.  Pure local-emit: the exchange schedule (fused /
+  /// per-rule / split-phase) is run_rules' business.
   RuleExecStats execute_rule(const Rule& rule, ExchangeRouter& router);
+
+  /// Execute a rule list under the configured exchange schedule: one fused
+  /// flush after all rules, one blocking flush per rule (legacy), or the
+  /// split-phase pipeline (post after each rule, complete lazily).  On
+  /// return every emitted row is staged and no exchange is in flight.
+  void run_rules(const std::vector<Rule>& rules, ExchangeRouter& router);
 
   /// Distinct relations targeted by a rule list, in first-use order.
   static std::vector<Relation*> targets_of(const std::vector<Rule>& rules);

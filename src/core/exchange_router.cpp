@@ -23,7 +23,9 @@ std::uint32_t ExchangeRouter::add_target(Relation* rel) {
     if (targets_[i] == rel) return static_cast<std::uint32_t>(i);
   }
   targets_.push_back(rel);
-  outgoing_.resize(targets_.size() * static_cast<std::size_t>(comm_->size()));
+  for (auto& gen : outgoing_) {
+    gen.resize(targets_.size() * static_cast<std::size_t>(comm_->size()));
+  }
   return static_cast<std::uint32_t>(targets_.size() - 1);
 }
 
@@ -94,57 +96,122 @@ void ExchangeRouter::combine(const Relation& rel, std::vector<value_t>& rows,
   rows.resize(w);
 }
 
+std::vector<vmpi::Bytes> ExchangeRouter::pack(RouterFlushStats& st) {
+  const auto n = static_cast<std::size_t>(comm_->size());
+#ifndef NDEBUG
+  const auto me = static_cast<std::size_t>(comm_->rank());
+#endif
+  std::vector<vmpi::Bytes> send(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    vmpi::TypedWriter<value_t> w;
+    for (std::size_t id = 0; id < targets_.size(); ++id) {
+      auto& rows = bucket(id, d);
+      if (rows.empty()) continue;
+      assert(d != me && "self-owned rows take the loopback path");
+      const Relation& rel = *targets_[id];
+      if (preaggregate_) combine(rel, rows, st);
+      const auto count = rows.size() / rel.arity();
+      w.put(static_cast<value_t>(id));
+      w.put(static_cast<value_t>(count));
+      w.put_span(std::span<const value_t>(rows));
+      st.rows_sent += count;
+    }
+    send[d] = w.take();
+  }
+  pending_rows_ = 0;
+  return send;
+}
+
+void ExchangeRouter::recycle(std::size_t gen) {
+  for (auto& rows : outgoing_[gen]) {
+    const std::size_t used = rows.size();
+    rows.clear();
+    // Capacity is retained across flushes: a per-flush shrink_to_fit forced
+    // a full reallocation cycle every iteration of every stratum.  Memory
+    // goes back only when the bucket is grossly over-provisioned for what
+    // it just carried (e.g. the burst of a fixpoint's first iterations).
+    if (rows.capacity() > kShrinkFloorValues && used < rows.capacity() / 8) {
+      rows.shrink_to_fit();
+    }
+  }
+}
+
+void ExchangeRouter::decode(const std::vector<vmpi::Bytes>& received, RouterFlushStats& st,
+                            RankProfile& profile) {
+  PhaseScope scope(*comm_, profile, Phase::kDedupAgg);
+  for (const auto& buf : received) {
+    vmpi::TypedReader<value_t> r(buf);
+    while (!r.done()) {
+      const auto id = static_cast<std::size_t>(r.get());
+      assert(id < targets_.size() && "frame names an unregistered route");
+      Relation& rel = *targets_[id];
+      const auto count = static_cast<std::size_t>(r.get());
+      // Zero-copy decode: the frame body is staged straight from the
+      // receive buffer, no per-tuple materialization.
+      rel.stage_rows(r.take_span(count * rel.arity()));
+      st.rows_staged += count;
+    }
+  }
+  profile.add_work(Phase::kDedupAgg, st.rows_staged);
+}
+
 RouterFlushStats ExchangeRouter::flush(RankProfile& profile, ExchangeAlgorithm algo) {
+  assert(!inflight_.active && "flush while a split-phase exchange is in flight");
   RouterFlushStats st;
   st.rows_loopback = loopback_rows_;
   loopback_rows_ = 0;
 
-  const auto n = static_cast<std::size_t>(comm_->size());
-  const auto me = static_cast<std::size_t>(comm_->rank());
   std::vector<vmpi::Bytes> received;
   {
     PhaseScope scope(*comm_, profile, Phase::kAllToAll);
-    std::vector<vmpi::Bytes> send(n);
-    for (std::size_t d = 0; d < n; ++d) {
-      vmpi::TypedWriter<value_t> w;
-      for (std::size_t id = 0; id < targets_.size(); ++id) {
-        auto& rows = bucket(id, d);
-        if (rows.empty()) continue;
-        assert(d != me && "self-owned rows take the loopback path");
-        const Relation& rel = *targets_[id];
-        if (preaggregate_) combine(rel, rows, st);
-        const auto count = rows.size() / rel.arity();
-        w.put(static_cast<value_t>(id));
-        w.put(static_cast<value_t>(count));
-        w.put_span(std::span<const value_t>(rows));
-        st.rows_sent += count;
-        rows.clear();
-        rows.shrink_to_fit();
-      }
-      send[d] = w.take();
-    }
-    pending_rows_ = 0;
+    auto send = pack(st);
     profile.add_work(Phase::kAllToAll, st.rows_sent);
     received = exchange_alltoallv(*comm_, std::move(send), algo);
   }
+  recycle(cur_gen_);  // the blocking exchange copied everything out already
+  decode(received, st, profile);
+  return st;
+}
 
+void ExchangeRouter::post(RankProfile& profile, ExchangeAlgorithm algo) {
+  assert(!inflight_.active && "at most one exchange in flight per router");
+  inflight_.stats = RouterFlushStats{};
+  inflight_.stats.rows_loopback = loopback_rows_;
+  loopback_rows_ = 0;
   {
-    PhaseScope scope(*comm_, profile, Phase::kDedupAgg);
-    for (const auto& buf : received) {
-      vmpi::TypedReader<value_t> r(buf);
-      while (!r.done()) {
-        const auto id = static_cast<std::size_t>(r.get());
-        assert(id < targets_.size() && "frame names an unregistered route");
-        Relation& rel = *targets_[id];
-        const auto count = static_cast<std::size_t>(r.get());
-        // Zero-copy decode: the frame body is staged straight from the
-        // receive buffer, no per-tuple materialization.
-        rel.stage_rows(r.take_span(count * rel.arity()));
-        st.rows_staged += count;
-      }
+    PhaseScope scope(*comm_, profile, Phase::kAllToAll);
+    auto send = pack(inflight_.stats);
+    profile.add_work(Phase::kAllToAll, inflight_.stats.rows_sent);
+    if (algo == ExchangeAlgorithm::kBruck) {
+      // The relay rounds block; split-phase degrades to an eager exchange.
+      inflight_.received = comm_->alltoallv_bruck(std::move(send));
+      inflight_.eager = true;
+    } else {
+      inflight_.ticket = comm_->ialltoallv(std::move(send));
+      inflight_.eager = false;
     }
-    profile.add_work(Phase::kDedupAgg, st.rows_staged);
   }
+  inflight_.gen = cur_gen_;  // frozen until complete() (send-buffer stability)
+  cur_gen_ ^= 1;             // emits now fill the other generation
+  inflight_.active = true;
+}
+
+RouterFlushStats ExchangeRouter::complete(RankProfile& profile) {
+  assert(inflight_.active && "complete without a posted exchange");
+  std::vector<vmpi::Bytes> received;
+  if (inflight_.eager) {
+    received = std::move(inflight_.received);
+  } else {
+    // Whatever latency the pipelined schedule failed to hide is exposed
+    // here — kOverlapWait, not kAllToAll, so the figures can separate
+    // hidden from exposed exchange time.
+    PhaseScope scope(*comm_, profile, Phase::kOverlapWait);
+    received = comm_->wait(inflight_.ticket);
+  }
+  recycle(inflight_.gen);
+  inflight_.active = false;
+  RouterFlushStats st = inflight_.stats;
+  decode(received, st, profile);
   return st;
 }
 

@@ -29,12 +29,14 @@
 // Route ids are per-router registration indices; every rank must register
 // the same relations in the same order (SPMD, like everything else here).
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/profile.hpp"
 #include "core/relation.hpp"
+#include "vmpi/comm.hpp"
 
 namespace paralagg::core {
 
@@ -86,20 +88,75 @@ class ExchangeRouter {
   /// with nothing buffered.
   RouterFlushStats flush(RankProfile& profile, ExchangeAlgorithm algo);
 
+  // -- split-phase flush ------------------------------------------------------
+  //
+  // post() serializes the rows buffered so far and launches the exchange
+  // nonblocking (vmpi::Comm::ialltoallv); complete() blocks for whatever
+  // latency the caller failed to hide (Phase::kOverlapWait) and stages the
+  // received frames.  Between the two, emit() keeps working: rows land in
+  // the *other* generation of per-destination buckets (double-buffered
+  // staging, mirroring MPI's send-buffer-stability rule), so the frozen
+  // in-flight buffers are never touched.  At most one exchange may be in
+  // flight per router; both calls are collective in SPMD order.
+  //
+  // Under kBruck the log-n relay rounds are inherently blocking, so post()
+  // degrades to an eager exchange and complete() only decodes — the same
+  // state machine with no latency hidden.
+
+  /// Launch the exchange for everything buffered; nonblocking under kDense.
+  void post(RankProfile& profile, ExchangeAlgorithm algo);
+
+  /// Absorb the in-flight exchange posted last: waits (if needed), stages
+  /// every received frame, and recycles the frozen buffers.
+  RouterFlushStats complete(RankProfile& profile);
+
+  /// True between a post() and the matching complete().
+  [[nodiscard]] bool in_flight() const { return inflight_.active; }
+
  private:
+  /// recycle() returns a bucket's memory only above this capacity (in
+  /// value_t) — smaller buffers are cheap to keep warm across flushes.
+  static constexpr std::size_t kShrinkFloorValues = std::size_t{1} << 15;
+
   [[nodiscard]] std::vector<value_t>& bucket(std::size_t route_id, std::size_t dest) {
-    return outgoing_[route_id * static_cast<std::size_t>(comm_->size()) + dest];
+    return outgoing_[cur_gen_][route_id * static_cast<std::size_t>(comm_->size()) + dest];
   }
   /// In-place sender-side combine of one (relation, destination) buffer:
   /// plain targets deduplicate whole rows, aggregated targets fold rows
   /// with equal independent columns through the lattice join.
   void combine(const Relation& rel, std::vector<value_t>& rows, RouterFlushStats& st);
+  /// Serialize the current generation into per-destination send buffers
+  /// (combining when enabled).  Buckets are left intact — frozen — for the
+  /// caller to recycle() once the exchange no longer needs them.
+  std::vector<vmpi::Bytes> pack(RouterFlushStats& st);
+  /// Clear one generation's buckets, retaining capacity across flushes;
+  /// shrink only a bucket whose capacity dwarfs what it just carried.
+  void recycle(std::size_t gen);
+  /// Stage every frame of a finished exchange (Phase::kDedupAgg).
+  void decode(const std::vector<vmpi::Bytes>& received, RouterFlushStats& st,
+              RankProfile& profile);
+
+  /// One split-phase exchange in flight: the ticket (or, under kBruck, the
+  /// eagerly exchanged buffers), the generation it froze, and the send-side
+  /// stats carried from post() to complete().
+  struct InFlight {
+    bool active = false;
+    bool eager = false;
+    std::size_t gen = 0;
+    vmpi::Comm::Ticket ticket;
+    std::vector<vmpi::Bytes> received;
+    RouterFlushStats stats;
+  };
 
   vmpi::Comm* comm_;
   bool preaggregate_;
   std::vector<Relation*> targets_;
-  // Flat row buffers, target-major: outgoing_[route_id * nranks + dest].
-  std::vector<std::vector<value_t>> outgoing_;
+  // Flat row buffers, target-major: outgoing_[gen][route_id * nranks + dest].
+  // Two generations: emits fill cur_gen_ while the other may be frozen
+  // under an in-flight exchange.
+  std::array<std::vector<std::vector<value_t>>, 2> outgoing_;
+  std::size_t cur_gen_ = 0;
+  InFlight inflight_;
   std::uint64_t pending_rows_ = 0;
   std::uint64_t loopback_rows_ = 0;
 };

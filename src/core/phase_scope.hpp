@@ -1,10 +1,11 @@
 #pragma once
 
 // RAII scope measuring one engine phase: thread CPU seconds plus the remote
-// bytes this rank sent and the collective exchange rounds it issued while
-// inside the scope.  The deltas attribute communication volume and round
-// counts to phases, reproducing the paper's per-phase breakdowns (Fig. 2)
-// without touching the communication code itself.
+// bytes this rank sent, the collective exchange rounds it issued, and the
+// wall seconds it spent parked in blocking communication while inside the
+// scope.  The deltas attribute communication volume, round counts, and
+// exposed exchange latency to phases, reproducing the paper's per-phase
+// breakdowns (Fig. 2) without touching the communication code itself.
 
 #include "core/profile.hpp"
 #include "vmpi/comm.hpp"
@@ -19,11 +20,13 @@ class PhaseScope {
         profile_(&profile),
         phase_(phase),
         start_bytes_(comm.stats().total_remote_bytes()),
-        start_exchanges_(comm.stats().exchange_rounds()) {}
+        start_exchanges_(comm.stats().exchange_rounds()),
+        start_wait_(comm.stats().wait_seconds) {}
 
   ~PhaseScope() {
     profile_->add_bytes(phase_, comm_->stats().total_remote_bytes() - start_bytes_);
     profile_->add_exchanges(phase_, comm_->stats().exchange_rounds() - start_exchanges_);
+    profile_->add_wait(phase_, comm_->stats().wait_seconds - start_wait_);
   }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -36,6 +39,7 @@ class PhaseScope {
   Phase phase_;
   std::uint64_t start_bytes_;
   std::uint64_t start_exchanges_;
+  double start_wait_;
 };
 
 }  // namespace paralagg::core

@@ -15,7 +15,7 @@ double ScopedPhaseTimer::thread_cpu_seconds() {
 ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
   vmpi::StatsPause pause(comm);  // instrumentation traffic is not "communication"
 
-  // Serialize my history: [iterations, then per iteration the three arrays].
+  // Serialize my history: [iterations, then per iteration the five arrays].
   const auto& hist = mine.history();
   vmpi::BufferWriter w;
   w.put<std::uint64_t>(hist.size());
@@ -24,6 +24,7 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
     for (std::uint64_t v : rec.work) w.put(v);
     for (std::uint64_t b : rec.bytes) w.put(b);
     for (std::uint64_t e : rec.exchanges) w.put(e);
+    for (double s : rec.wait_seconds) w.put(s);
   }
   const auto mine_bytes = w.take();
   auto all = comm.allgatherv(mine_bytes);
@@ -44,6 +45,7 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
       for (auto& v : rec.work) v = rd.get<std::uint64_t>();
       for (auto& b : rec.bytes) b = rd.get<std::uint64_t>();
       for (auto& e : rec.exchanges) e = rd.get<std::uint64_t>();
+      for (auto& s : rec.wait_seconds) s = rd.get<double>();
     }
     max_iters = recs.size() > max_iters ? recs.size() : max_iters;
   }
@@ -68,6 +70,7 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
         if (rec.cpu_seconds[p] > row[p]) row[p] = rec.cpu_seconds[p];
         out.total_cpu_seconds[p] += rec.cpu_seconds[p];
         out.total_bytes[p] += rec.bytes[p];
+        out.total_wait_seconds[p] += rec.wait_seconds[p];
         if (rec.exchanges[p] > xch_max[p]) xch_max[p] = rec.exchanges[p];
         rank_bytes += rec.bytes[p];
         rank_exchanges += rec.exchanges[p];

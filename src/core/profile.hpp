@@ -39,6 +39,7 @@ enum class Phase : std::uint8_t {
   kLocalJoin,      // B-tree probing and output construction
   kAllToAll,       // distributing newly generated tuples ("comm" in Fig. 2)
   kDedupAgg,       // fused deduplication / local aggregation
+  kOverlapWait,    // completing an in-flight split-phase exchange (exposed time)
   kOther,          // termination detection, bookkeeping
   kCount,
 };
@@ -53,6 +54,7 @@ constexpr std::string_view phase_name(Phase p) {
     case Phase::kLocalJoin: return "local-join";
     case Phase::kAllToAll: return "all-to-all";
     case Phase::kDedupAgg: return "dedup/agg";
+    case Phase::kOverlapWait: return "overlap-wait";
     case Phase::kOther: return "other";
     case Phase::kCount: break;
   }
@@ -65,6 +67,11 @@ struct IterationRecord {
   std::array<std::uint64_t, kPhaseCount> work{};
   std::array<std::uint64_t, kPhaseCount> bytes{};      // remote bytes sent in phase
   std::array<std::uint64_t, kPhaseCount> exchanges{};  // collective exchange rounds in phase
+  /// Wall seconds parked in blocking communication during the phase
+  /// (CommStats::wait_seconds deltas).  The thread-CPU clock cannot see
+  /// blocked time, so this is the only per-phase window into *exposed*
+  /// exchange latency — what the split-phase flush exists to hide.
+  std::array<double, kPhaseCount> wait_seconds{};
 
   IterationRecord& operator+=(const IterationRecord& o) {
     for (std::size_t i = 0; i < kPhaseCount; ++i) {
@@ -72,6 +79,7 @@ struct IterationRecord {
       work[i] += o.work[i];
       bytes[i] += o.bytes[i];
       exchanges[i] += o.exchanges[i];
+      wait_seconds[i] += o.wait_seconds[i];
     }
     return *this;
   }
@@ -84,6 +92,7 @@ class RankProfile {
   void add_work(Phase p, std::uint64_t w) { current_.work[idx(p)] += w; }
   void add_bytes(Phase p, std::uint64_t b) { current_.bytes[idx(p)] += b; }
   void add_exchanges(Phase p, std::uint64_t n) { current_.exchanges[idx(p)] += n; }
+  void add_wait(Phase p, double s) { current_.wait_seconds[idx(p)] += s; }
 
   /// Close the current iteration and append it to the history.
   void end_iteration() {
@@ -135,6 +144,11 @@ struct ProfileSummary {
   /// the fused router's R+1-vs-2R reduction is *observed* rather than
   /// asserted.
   std::array<std::uint64_t, kPhaseCount> total_exchanges{};
+  /// Σ over ranks and iterations of wall seconds parked in blocking
+  /// communication per phase.  The "exposed exchange" metric of
+  /// bench/overlap_flush: with the split-phase schedule, the shares of
+  /// kAllToAll and kOverlapWait together must undercut the blocking flush.
+  std::array<double, kPhaseCount> total_wait_seconds{};
   /// Per-iteration critical-path seconds per phase (Fig. 7 series).
   std::vector<std::array<double, kPhaseCount>> per_iteration_max;
   /// Per-iteration max-over-ranks remote bytes sent (feeds CostModel).

@@ -194,6 +194,77 @@ std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> send) {
   return got;
 }
 
+Comm::Ticket Comm::ialltoallv(std::vector<Bytes> send) {
+  const auto n = static_cast<std::size_t>(size());
+  const auto me = static_cast<std::size_t>(rank_);
+  assert(send.size() == n && "ialltoallv send vector must have one buffer per rank");
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.record_call(Op::kAlltoallv);
+    for (std::size_t d = 0; d < n; ++d) {
+      st.record_send(Op::kAlltoallv, send[d].size(), d != me);
+    }
+    st.tickets_posted += 1;
+  }
+
+  Ticket t;
+  t.active_ = true;
+  t.tag_ = kIalltoallvTagBase + static_cast<int>(ialltoallv_seq_++ % kIalltoallvTagWindow);
+  t.received_.resize(n);
+  t.arrived_.assign(n, 0);
+  t.received_[me] = std::move(send[me]);
+  t.arrived_[me] = 1;
+  t.remaining_ = n - 1;
+
+  // The frames ride the mailboxes; their bytes are already accounted under
+  // Op::kAlltoallv above, so the internal p2p must not double-count.
+  StatsPause pause(*this);
+  for (std::size_t d = 0; d < n; ++d) {
+    if (d == me) continue;
+    isend(static_cast<int>(d), t.tag_, send[d]);
+  }
+  return t;
+}
+
+void Comm::ticket_deliver(Ticket& ticket, int src, Bytes payload) {
+  auto& slot = ticket.arrived_[static_cast<std::size_t>(src)];
+  assert(slot == 0 && "duplicate ialltoallv frame from one source");
+  slot = 1;
+  ticket.received_[static_cast<std::size_t>(src)] = std::move(payload);
+  --ticket.remaining_;
+}
+
+std::vector<Bytes> Comm::wait(Ticket& ticket) {
+  assert(ticket.active_ && "wait on an inactive ticket");
+  const double t0 = wall_now();
+  {
+    StatsPause pause(*this);
+    while (ticket.remaining_ > 0) {
+      int src = 0;
+      Bytes payload = recv(kAnySource, ticket.tag_, &src);
+      ticket_deliver(ticket, src, std::move(payload));
+    }
+  }
+  if (stats_enabled_) {
+    auto& st = stats();
+    st.wait_seconds += wall_now() - t0;
+    st.tickets_completed += 1;
+  }
+  ticket.active_ = false;
+  return std::move(ticket.received_);
+}
+
+bool Comm::test(Ticket& ticket) {
+  assert(ticket.active_ && "test on an inactive ticket");
+  StatsPause pause(*this);
+  while (ticket.remaining_ > 0 && iprobe(kAnySource, ticket.tag_)) {
+    int src = 0;
+    Bytes payload = recv(kAnySource, ticket.tag_, &src);
+    ticket_deliver(ticket, src, std::move(payload));
+  }
+  return ticket.remaining_ == 0;
+}
+
 std::vector<Bytes> Comm::alltoallv_bruck(std::vector<Bytes> send) {
   const int n = size();
   assert(send.size() == static_cast<std::size_t>(n));

@@ -210,6 +210,51 @@ class Comm {
   /// primitive.
   std::vector<Bytes> alltoallv(std::vector<Bytes> send);
 
+  /// In-flight handle for a nonblocking personalised exchange posted by
+  /// ialltoallv.  Move-only; complete it exactly once via wait() (test()
+  /// may be polled first to make progress without blocking).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&&) = default;
+    Ticket& operator=(Ticket&&) = default;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    /// True between the posting ialltoallv() and the wait() that consumed it.
+    [[nodiscard]] bool active() const { return active_; }
+
+   private:
+    friend class Comm;
+    bool active_ = false;
+    int tag_ = 0;
+    std::size_t remaining_ = 0;            // peers whose buffer has not arrived
+    std::vector<Bytes> received_;          // indexed by source rank
+    std::vector<std::uint8_t> arrived_;    // per-source arrival flag
+  };
+
+  /// Nonblocking personalised exchange (MPI_Ialltoallv): posts send[d]
+  /// toward rank d and returns immediately.  Collective in posting order —
+  /// every rank's k-th post pairs with every other rank's k-th post — but
+  /// there is no rendezvous: a rank completes its ticket as soon as all
+  /// peers have *posted*, never waiting for them to complete.  This is the
+  /// primitive behind the router's split-phase flush: the caller overlaps
+  /// local work between the post and the wait.  Bytes are accounted under
+  /// Op::kAlltoallv at post time (one exchange round), exactly like the
+  /// blocking variants.
+  Ticket ialltoallv(std::vector<Bytes> send);
+
+  /// Block until every peer's buffer arrived; returns recv[s] indexed by
+  /// source rank (the self-destined buffer included).  Time parked here is
+  /// charged to CommStats::wait_seconds — the *exposed* (un-overlapped)
+  /// share of the exchange.  The ticket becomes inactive.
+  std::vector<Bytes> wait(Ticket& ticket);
+
+  /// Nonblocking progress: absorbs whatever already arrived and returns
+  /// true once the exchange is complete (a subsequent wait() will not
+  /// block).
+  bool test(Ticket& ticket);
+
   /// Same contract as alltoallv, routed through ceil(log2 n) point-to-point
   /// rounds (the Bruck algorithm the PARALAGG authors optimise in their
   /// HPDC'22 work, cited by the paper): each rank sends at most one message
@@ -311,10 +356,21 @@ class Comm {
   /// arrive_and_wait with the parked wall time charged to wait_seconds.
   void timed_barrier_wait();
 
+  /// Move one arrived ialltoallv message into its ticket slot.
+  static void ticket_deliver(Ticket& ticket, int src, Bytes payload);
+
+  // Dedicated tag space for ialltoallv frames, disjoint from the Bruck
+  // relay (0x42......) and the async engine's tags.  The per-Comm sequence
+  // counter advances in SPMD order, so concurrent in-flight exchanges
+  // cannot cross-match as long as fewer than the window are outstanding.
+  static constexpr int kIalltoallvTagBase = 0x41A20000;
+  static constexpr std::uint64_t kIalltoallvTagWindow = 4096;
+
   World* world_;
   int rank_;
   bool stats_enabled_ = true;
   std::uint64_t split_epoch_ = 0;
+  std::uint64_t ialltoallv_seq_ = 0;
 };
 
 /// Owning handle for a child communicator produced by Comm::split.

@@ -58,6 +58,11 @@ struct CommStats {
   std::uint64_t messages_sent = 0;      // p2p messages enqueued by isend
   std::uint64_t messages_received = 0;  // p2p messages delivered by recv
   std::uint64_t p2p_bytes_received = 0; // payload bytes delivered by recv
+  /// Split-phase collective bookkeeping: nonblocking exchanges posted via
+  /// ialltoallv and completed via wait/test.  A run must end balanced
+  /// (posted == completed), or an in-flight exchange was leaked.
+  std::uint64_t tickets_posted = 0;
+  std::uint64_t tickets_completed = 0;
   /// Wall seconds this rank spent parked inside blocking primitives
   /// (barriers, collective rendezvous, recv).  For BSP runs this is the
   /// barrier-wait cost skew inflicts; for async runs it is idle drain time.
@@ -102,6 +107,8 @@ struct CommStats {
     messages_sent += other.messages_sent;
     messages_received += other.messages_received;
     p2p_bytes_received += other.p2p_bytes_received;
+    tickets_posted += other.tickets_posted;
+    tickets_completed += other.tickets_completed;
     wait_seconds += other.wait_seconds;
     return *this;
   }

@@ -121,6 +121,48 @@ TEST(Balancer, IdempotentAtTargetFanout) {
   });
 }
 
+TEST(Balancer, SkipPaysNoMeasurementCollective) {
+  // A relation that can never rebalance (not balanceable, balancing off,
+  // or already at the target fan-out) must not pay the sizing allgather.
+  vmpi::run(4, [&](vmpi::Comm& comm) {
+    Relation fixed(comm, {.name = "fixed", .arity = 2, .jcc = 1, .balanceable = false});
+    load_hot(comm, fixed, 7, 400);
+    RankProfile profile;
+    auto before = comm.stats().calls_of(vmpi::Op::kAllgather);
+    balance_relation(comm, profile, fixed, BalanceConfig{});
+    EXPECT_EQ(comm.stats().calls_of(vmpi::Op::kAllgather), before);
+
+    Relation hot(comm, {.name = "hot", .arity = 2, .jcc = 1, .balanceable = true});
+    load_hot(comm, hot, 7, 400);
+    BalanceConfig off;
+    off.enabled = false;
+    before = comm.stats().calls_of(vmpi::Op::kAllgather);
+    balance_relation(comm, profile, hot, off);
+    EXPECT_EQ(comm.stats().calls_of(vmpi::Op::kAllgather), before);
+
+    const auto first = balance_relation(comm, profile, hot, BalanceConfig{});
+    EXPECT_TRUE(first.rebalanced);
+    before = comm.stats().calls_of(vmpi::Op::kAllgather);
+    balance_relation(comm, profile, hot, BalanceConfig{});  // at target fan-out
+    EXPECT_EQ(comm.stats().calls_of(vmpi::Op::kAllgather), before);
+  });
+}
+
+TEST(Balancer, ChargesMovedTuplesNotResidentSize) {
+  // Regression: the phase used to be charged with the post-reshuffle local
+  // size — a rank could be billed for tuples it never touched.
+  vmpi::run(8, [&](vmpi::Comm& comm) {
+    Relation r(comm, {.name = "r", .arity = 2, .jcc = 1, .balanceable = true});
+    load_hot(comm, r, 7, 800);
+    RankProfile profile;
+    const auto d = balance_relation(comm, profile, r, BalanceConfig{});
+    ASSERT_TRUE(d.rebalanced);
+    const auto charged =
+        profile.current().work[static_cast<std::size_t>(Phase::kBalance)];
+    EXPECT_EQ(charged, d.bytes_moved / sizeof(value_t));
+  });
+}
+
 TEST(Balancer, PreservesJoinability) {
   // After rebalancing the inner side, joins must still find every match
   // (intra-bucket replication reaches all sub-bucket holders).

@@ -194,6 +194,45 @@ TEST(Engine, TupleLimitAbortsRunaway) {
     const auto result = engine.run(program);
     EXPECT_TRUE(result.strata[0].aborted_tuple_limit);
     EXPECT_FALSE(result.strata[0].reached_fixpoint);
+    EXPECT_TRUE(result.aborted_tuple_limit);  // surfaced at run level too
+  });
+}
+
+TEST(Engine, TupleLimitAbortOfBoundedStratumIsNotAFixpoint) {
+  // Regression: a bounded (non-fixpoint) stratum cut short by the tuple
+  // limit used to be blanket-reported as reached_fixpoint = true, so
+  // truncated bounded runs looked complete to callers.
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    Program program(comm);
+    auto* edge = program.relation({.name = "edge", .arity = 3, .jcc = 1});
+    auto* lens = program.relation({.name = "lens", .arity = 2, .jcc = 1});  // plain!
+    auto& s = program.stratum();
+    s.fixpoint = false;
+    s.max_rounds = 50;  // the budget is NOT what stops this run
+    s.loop_rules.push_back(JoinRule{
+        .a = lens,
+        .a_version = Version::kDelta,
+        .b = edge,
+        .b_version = Version::kFull,
+        .out = {.target = lens,
+                .cols = {Expr::col_b(1), Expr::add(Expr::col_a(1), Expr::col_b(2))}},
+    });
+    std::vector<Tuple> edges, seed;
+    if (comm.rank() == 0) {
+      edges = {Tuple{0, 1, 1}, Tuple{1, 0, 1}};  // 2-cycle, plain lengths diverge
+      seed = {Tuple{0, 0}};
+    }
+    edge->load_facts(edges);
+    lens->load_facts(seed);
+    EngineConfig cfg;
+    cfg.tuple_limit = 10;  // one new length per round: limit hits before round 50
+    Engine engine(comm, cfg);
+    const auto result = engine.run(program);
+    ASSERT_EQ(result.strata.size(), 1u);
+    EXPECT_TRUE(result.strata[0].aborted_tuple_limit);
+    EXPECT_FALSE(result.strata[0].reached_fixpoint);
+    EXPECT_TRUE(result.aborted_tuple_limit);
+    EXPECT_LT(result.total_iterations, 50u);  // it really was cut short
   });
 }
 

@@ -84,6 +84,69 @@ TEST(JoinPlanner, AllRanksAgreeOnTheDecision) {
   });
 }
 
+TEST(JoinPlanner, ExactlySplitVotesAgreeOnAForEveryEvenWorld) {
+  // Regression guard on the tie-break: with an even world and votes split
+  // exactly in half, votes == n/2 == ceil(n/2), so A must win — and, more
+  // importantly, every rank must compute the SAME winner regardless of
+  // which half it sits in.
+  for (const int n : {2, 4, 6, 8}) {
+    vmpi::run(n, [&](vmpi::Comm& comm) {
+      const bool a_smaller_here = comm.rank() < comm.size() / 2;
+      const auto d = plan_join_order(comm, JoinOrderPolicy::kDynamic,
+                                     a_smaller_here ? 1 : 100, a_smaller_here ? 100 : 1);
+      EXPECT_TRUE(d.a_outer) << "world=" << n << " rank=" << comm.rank();
+      EXPECT_EQ(d.votes_for_a, comm.size() / 2);
+      const auto all = comm.allgather<std::uint8_t>(d.a_outer ? 1 : 0);
+      for (auto v : all) EXPECT_EQ(v, all[0]) << "world=" << n;
+    });
+  }
+}
+
+TEST(JoinPlanner, AdversarialSizeVectorsAgreeUnderAllPolicies) {
+  // Per-rank size vectors crafted to disagree maximally: huge-vs-zero
+  // flips, equal sizes (which vote A), and a lone dissenter.  Under every
+  // policy all ranks must land on one decision, and the fixed policies
+  // must ignore the sizes entirely.
+  struct Case {
+    std::size_t a, b;
+  };
+  const auto sizes_for = [](int rank) -> Case {
+    switch (rank % 5) {
+      case 0: return {0, 1'000'000};            // strongly A
+      case 1: return {1'000'000, 0};            // strongly B
+      case 2: return {42, 42};                  // equal -> votes A
+      case 3: return {std::size_t{1} << 40, 1}; // strongly B, huge values
+      default: return {1, std::size_t{1} << 40}; // strongly A, huge values
+    }
+  };
+  for (const auto policy : {JoinOrderPolicy::kDynamic, JoinOrderPolicy::kFixedAOuter,
+                            JoinOrderPolicy::kFixedBOuter}) {
+    vmpi::run(7, [&](vmpi::Comm& comm) {
+      const auto c = sizes_for(comm.rank());
+      const auto d = plan_join_order(comm, policy, c.a, c.b);
+      const auto all = comm.allgather<std::uint8_t>(d.a_outer ? 1 : 0);
+      for (auto v : all) EXPECT_EQ(v, all[0]);
+      switch (policy) {
+        case JoinOrderPolicy::kFixedAOuter:
+          EXPECT_TRUE(d.a_outer);
+          EXPECT_FALSE(d.voted);
+          break;
+        case JoinOrderPolicy::kFixedBOuter:
+          EXPECT_FALSE(d.a_outer);
+          EXPECT_FALSE(d.voted);
+          break;
+        case JoinOrderPolicy::kDynamic:
+          // Ranks 0, 2, 4, 5, 6 prefer A (rank%5 in {0,2,4} plus 5->0, 6->1
+          // wraps: 5%5=0 votes A, 6%5=1 votes B) => votes 0,2,4,5 = 4 of 7.
+          EXPECT_TRUE(d.voted);
+          EXPECT_EQ(d.votes_for_a, 4);
+          EXPECT_TRUE(d.a_outer);
+          break;
+      }
+    });
+  }
+}
+
 TEST(JoinPlanner, VoteCostsOneIntegerPerRank) {
   std::vector<vmpi::CommStats> per_rank;
   vmpi::run_collect(

@@ -486,6 +486,109 @@ TEST(Bruck, BackToBackCallsDoNotCrossMatch) {
   });
 }
 
+TEST(Ialltoallv, MatchesDenseAlltoallv) {
+  for (const int ranks : {1, 2, 3, 5, 8, 13}) {
+    run(ranks, [&](Comm& comm) {
+      const int n = comm.size();
+      std::vector<Bytes> send(static_cast<std::size_t>(n));
+      std::vector<Bytes> send2(static_cast<std::size_t>(n));
+      for (int d = 0; d < n; ++d) {
+        BufferWriter w;
+        // Variable-size payloads, some empty.
+        const int count = (comm.rank() + d) % 4;
+        for (int i = 0; i < count; ++i) {
+          w.put<std::uint64_t>(static_cast<std::uint64_t>(comm.rank() * 1000 + d * 10 + i));
+        }
+        send[static_cast<std::size_t>(d)] = w.take();
+        send2[static_cast<std::size_t>(d)] = send[static_cast<std::size_t>(d)];
+      }
+      const auto dense = comm.alltoallv(std::move(send));
+      auto ticket = comm.ialltoallv(std::move(send2));
+      EXPECT_TRUE(ticket.active());
+      const auto split = comm.wait(ticket);
+      EXPECT_FALSE(ticket.active());
+      ASSERT_EQ(split.size(), dense.size());
+      for (int s = 0; s < n; ++s) {
+        EXPECT_EQ(split[static_cast<std::size_t>(s)], dense[static_cast<std::size_t>(s)])
+            << "ranks=" << ranks << " from=" << s;
+      }
+    });
+  }
+}
+
+TEST(Ialltoallv, TestMakesProgressWithoutBlocking) {
+  run(2, [&](Comm& comm) {
+    std::vector<Bytes> send(2);
+    BufferWriter w;
+    w.put<std::uint64_t>(static_cast<std::uint64_t>(comm.rank() + 1));
+    send[static_cast<std::size_t>(1 - comm.rank())] = w.take();
+    auto ticket = comm.ialltoallv(std::move(send));
+    // Both posts have happened once the barrier releases, so test() must
+    // drain the exchange to completion in finitely many polls.
+    comm.barrier();
+    while (!comm.test(ticket)) {
+    }
+    const auto got = comm.wait(ticket);
+    BufferReader r(got[static_cast<std::size_t>(1 - comm.rank())]);
+    EXPECT_EQ(r.get<std::uint64_t>(), static_cast<std::uint64_t>(2 - comm.rank()));
+  });
+}
+
+TEST(Ialltoallv, TwoOutstandingTicketsDoNotCrossMatch) {
+  run(3, [&](Comm& comm) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    auto make_send = [&](std::uint64_t wave) {
+      std::vector<Bytes> send(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        BufferWriter w;
+        w.put<std::uint64_t>(wave * 1000 + static_cast<std::uint64_t>(comm.rank()));
+        send[d] = w.take();
+      }
+      return send;
+    };
+    // Post wave 1 then wave 2, complete them in reverse order: the per-post
+    // tag sequence must keep the frames apart.
+    auto first = comm.ialltoallv(make_send(1));
+    auto second = comm.ialltoallv(make_send(2));
+    const auto got2 = comm.wait(second);
+    const auto got1 = comm.wait(first);
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ(BufferReader(got1[s]).get<std::uint64_t>(), 1000u + s);
+      EXPECT_EQ(BufferReader(got2[s]).get<std::uint64_t>(), 2000u + s);
+    }
+  });
+}
+
+TEST(Ialltoallv, StatsAttributeToAlltoallvNotP2P) {
+  std::vector<CommStats> per_rank;
+  run_collect(
+      4,
+      [&](Comm& comm) {
+        std::vector<Bytes> send(4);
+        for (int d = 0; d < 4; ++d) {
+          BufferWriter w;
+          w.put<std::uint64_t>(1);
+          w.put<std::uint64_t>(2);
+          send[static_cast<std::size_t>(d)] = w.take();
+        }
+        auto ticket = comm.ialltoallv(std::move(send));
+        (void)comm.wait(ticket);
+      },
+      per_rank);
+  for (const auto& st : per_rank) {
+    // Same attribution as the blocking collective: 16 bytes to each of 3
+    // remote ranks, 16 to self — and none of it double-counted as p2p.
+    EXPECT_EQ(st.remote_bytes(Op::kAlltoallv), 3u * 16u);
+    EXPECT_EQ(st.bytes_local[static_cast<std::size_t>(Op::kAlltoallv)], 16u);
+    EXPECT_EQ(st.calls_of(Op::kAlltoallv), 1u);
+    EXPECT_EQ(st.remote_bytes(Op::kP2P), 0u);
+    EXPECT_EQ(st.messages_sent, 0u);
+    EXPECT_EQ(st.messages_received, 0u);
+    EXPECT_EQ(st.tickets_posted, 1u);
+    EXPECT_EQ(st.tickets_completed, 1u);
+  }
+}
+
 TEST(Split, GroupsByColorOrderedByKey) {
   run(8, [&](Comm& comm) {
     // Even ranks -> color 0, odd -> color 1; key reverses the rank order.
