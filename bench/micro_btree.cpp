@@ -60,12 +60,35 @@ void BM_PrefixScan(benchmark::State& state) {
     std::uint64_t sum = 0;
     const value_t prefix[] = {probe++ % 1000};
     t.scan_prefix(std::span<const value_t>(prefix, 1),
-                  [&](const Tuple& row) { sum += row[1]; });
+                  [&](std::span<const value_t> row) { sum += row[1]; });
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(group_size));
 }
 BENCHMARK(BM_PrefixScan)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_CursorSortedProbes(benchmark::State& state) {
+  // The sorted-batch join access pattern: one monotone cursor driven
+  // through ascending join-key prefixes.  Compare against BM_PrefixScan
+  // (fresh descent per probe) at the same group size.
+  const auto group_size = static_cast<value_t>(state.range(0));
+  TupleBTree t(2, 2);
+  for (value_t g = 0; g < 1000; ++g) {
+    for (value_t i = 0; i < group_size; ++i) t.insert(Tuple{g, i});
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    auto c = t.cursor();
+    for (value_t g = 0; g < 1000; ++g) {
+      const value_t prefix[] = {g};
+      const auto pre = std::span<const value_t>(prefix, 1);
+      for (c.seek(pre); c.valid() && c.matches(pre); c.next()) sum += c.row()[1];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(1000 * group_size));
+}
+BENCHMARK(BM_CursorSortedProbes)->Arg(4)->Arg(32)->Arg(256);
 
 void BM_PayloadUpdateInPlace(benchmark::State& state) {
   // The fused-aggregation hot path: find key, rewrite the payload column.
@@ -75,9 +98,9 @@ void BM_PayloadUpdateInPlace(benchmark::State& state) {
   value_t probe = 0;
   for (auto _ : state) {
     const value_t key[] = {mix64(probe++ % n)};
-    Tuple* row = t.find_key(std::span<const value_t>(key, 1));
-    (*row)[1] = probe;
-    benchmark::DoNotOptimize(row);
+    const std::span<value_t> row = t.find_key(std::span<const value_t>(key, 1));
+    row[1] = probe;
+    benchmark::DoNotOptimize(row.data());
   }
   state.SetItemsProcessed(state.iterations());
 }

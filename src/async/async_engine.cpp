@@ -192,18 +192,23 @@ class StratumLoop {
       const Relation& a = *task.rule->a;
       const Relation& b = *task.rule->b;
       const std::size_t arity = a.arity();
+      // The delta tree iterates in key order, so the local probes below
+      // are already sorted by join prefix — one monotone cursor walks b's
+      // full tree alongside the delta scan.  b is static for the whole
+      // stratum (check_supported), so the cursor stays valid.
+      auto cur = b.tree(Version::kFull).cursor();
       // Replicate each fresh delta row to every rank holding a sub-bucket
       // of the static side's bucket — the point-to-point double of the BSP
       // intra-bucket exchange, paid per row instead of per iteration.
-      a.tree(Version::kDelta).for_each([&](const Tuple& row) {
-        const auto bucket = a.bucket_of(row.view());
+      a.tree(Version::kDelta).for_each([&](std::span<const value_t> row) {
+        const auto bucket = a.bucket_of(row);
         b.ranks_of_bucket(bucket, dest_scratch_);
         for (int d : dest_scratch_) {
           ++work;
           if (d == comm_.rank()) {
-            probe_row(task, row.view());
+            probe_row(task, row, cur);
           } else {
-            append_probe(j, static_cast<std::size_t>(d), row.view(), arity);
+            append_probe(j, static_cast<std::size_t>(d), row, arity);
           }
         }
       });
@@ -213,12 +218,12 @@ class StratumLoop {
     for (const CopyTask& task : copies_) {
       if (task.src_idx != target_idx) continue;
       const core::CopyRule& rule = *task.rule;
-      rule.src->tree(Version::kDelta).for_each([&](const Tuple& row) {
+      rule.src->tree(Version::kDelta).for_each([&](std::span<const value_t> row) {
         ++work;
-        if (rule.filter && rule.filter->eval(row.view(), kEmpty.view()) == 0) return;
+        if (rule.filter && rule.filter->eval(row, kEmpty.view()) == 0) return;
         out_scratch_.clear();
         for (const auto& e : rule.out.cols) {
-          out_scratch_.push_back(e.eval(row.view(), kEmpty.view()));
+          out_scratch_.push_back(e.eval(row, kEmpty.view()));
         }
         route_output(task.out_idx, out_scratch_.view());
       });
@@ -227,16 +232,22 @@ class StratumLoop {
   }
 
   /// Join one delta row of the recursive side against the local partition
-  /// of the static side; outputs go to their owners.
-  void probe_row(const JoinTask& task, std::span<const value_t> outer_row) {
+  /// of the static side; outputs go to their owners.  `cur` must belong to
+  /// b's full tree; callers reuse it across rows so sorted probe streams
+  /// resume from the current leaf instead of re-descending.
+  void probe_row(const JoinTask& task, std::span<const value_t> outer_row,
+                 storage::TupleBTree::Cursor& cur) {
     const core::JoinRule& rule = *task.rule;
     const std::size_t jcc = rule.a->jcc();
-    rule.b->tree(Version::kFull).scan_prefix(outer_row.first(jcc), [&](const Tuple& itup) {
-      if (rule.filter && rule.filter->eval(outer_row, itup.view()) == 0) return;
+    const auto prefix = outer_row.first(jcc);
+    for (cur.seek(prefix); cur.valid() && cur.matches(prefix); cur.next()) {
+      const auto irow = cur.row();
+      if (rule.filter && rule.filter->eval(outer_row, irow) == 0) continue;
       out_scratch_.clear();
-      for (const auto& e : rule.out.cols) out_scratch_.push_back(e.eval(outer_row, itup.view()));
+      out_scratch_.reserve(rule.out.cols.size());
+      for (const auto& e : rule.out.cols) out_scratch_.push_back(e.eval(outer_row, irow));
       route_output(task.out_idx, out_scratch_.view());
-    });
+    }
   }
 
   void route_output(std::size_t out_idx, std::span<const value_t> row) {
@@ -406,8 +417,11 @@ class StratumLoop {
       const std::size_t arity = task.rule->a->arity();
       const auto count = static_cast<std::size_t>(r.get());
       const auto flat = r.take_span(count * arity);
+      // Frames are concatenations of delta scans, so rows arrive in sorted
+      // runs; one cursor rides the runs and re-descends only at run seams.
+      auto cur = task.rule->b->tree(Version::kFull).cursor();
       for (std::size_t off = 0; off < flat.size(); off += arity) {
-        probe_row(task, flat.subspan(off, arity));
+        probe_row(task, flat.subspan(off, arity), cur);
       }
       rows += count;
     }

@@ -41,10 +41,15 @@ RuleExecStats Engine::execute_rule(const Rule& rule, ExchangeRouter& router) {
   if (const auto* j = std::get_if<JoinRule>(&rule)) {
     const std::optional<JoinOrderPolicy> forced =
         cfg_.dynamic_join_order ? std::nullopt : std::optional(cfg_.fixed_order);
-    stats = execute_join(*comm_, profile_, *j, router, forced, cfg_.exchange);
+    stats = execute_join(*comm_, profile_, *j, router, forced, cfg_.exchange,
+                         cfg_.probe_kernel);
   } else {
     stats = execute_copy(profile_, std::get<CopyRule>(rule), router);
   }
+  local_kernel_.outer_tuples_shipped += stats.outer_tuples_shipped;
+  local_kernel_.probes += stats.probes;
+  local_kernel_.probe_seeks += stats.probe_seeks;
+  local_kernel_.matches += stats.matches;
   return stats;
 }
 
@@ -176,6 +181,14 @@ RunResult Engine::run(Program& program) {
     vmpi::StatsPause pause(*comm_);
     const auto all = comm_->allgather<vmpi::CommStats>(comm_->stats());
     for (const auto& s : all) result.comm_total += s;
+    result.kernel.outer_tuples_shipped = comm_->allreduce<std::uint64_t>(
+        local_kernel_.outer_tuples_shipped, vmpi::ReduceOp::kSum);
+    result.kernel.probes =
+        comm_->allreduce<std::uint64_t>(local_kernel_.probes, vmpi::ReduceOp::kSum);
+    result.kernel.probe_seeks =
+        comm_->allreduce<std::uint64_t>(local_kernel_.probe_seeks, vmpi::ReduceOp::kSum);
+    result.kernel.matches =
+        comm_->allreduce<std::uint64_t>(local_kernel_.matches, vmpi::ReduceOp::kSum);
   }
   return result;
 }

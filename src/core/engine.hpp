@@ -67,6 +67,13 @@ struct EngineConfig {
   /// before they hit the wire.
   bool router_preagg = true;
 
+  /// Probe-side strategy for the local join: sorted-batch with monotone
+  /// B-tree cursors (default), or the arrival-order baseline.  Output
+  /// fixpoints are bit-identical either way (router staging is
+  /// order-insensitive, DESIGN.md §6.1); this is a pure speed knob kept
+  /// switchable for A/B measurement.
+  ProbeKernel probe_kernel = ProbeKernel::kSorted;
+
   /// Safety net for runaway fixpoints (and the bound for refresh strata
   /// that forgot to set max_rounds).
   std::size_t max_iterations = 1'000'000;
@@ -96,6 +103,16 @@ struct StratumResult {
   bool aborted_tuple_limit = false;    // stopped by EngineConfig::tuple_limit
 };
 
+/// Whole-run local-join kernel counters, summed over ranks and rules.
+/// probe_seeks / probes is the descent-dedup ratio of the sorted kernel;
+/// bench/probe_kernel pairs these with the B-tree comparison counters.
+struct JoinKernelTotals {
+  std::uint64_t outer_tuples_shipped = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_seeks = 0;
+  std::uint64_t matches = 0;
+};
+
 struct RunResult {
   std::size_t total_iterations = 0;
   std::vector<StratumResult> strata;
@@ -104,6 +121,7 @@ struct RunResult {
   bool aborted_tuple_limit = false;
   ProfileSummary profile;      // identical on every rank
   vmpi::CommStats comm_total;  // identical on every rank
+  JoinKernelTotals kernel;     // identical on every rank
   double wall_seconds = 0;     // this rank's view
 };
 
@@ -142,6 +160,7 @@ class Engine {
   EngineConfig cfg_;
   RankProfile profile_;
   std::uint64_t cumulative_materialized_ = 0;
+  JoinKernelTotals local_kernel_;  // this rank's share; summed in run()
 };
 
 }  // namespace paralagg::core

@@ -1,9 +1,12 @@
 #include "core/ra_op.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/phase_scope.hpp"
+#include "vmpi/serialize.hpp"
 
 namespace paralagg::core {
 
@@ -18,11 +21,11 @@ std::uint64_t serialize_outer(const storage::TupleBTree& tree, const Relation& o
                               std::vector<vmpi::BufferWriter>& outgoing) {
   std::uint64_t shipped = 0;
   std::vector<int> dests;
-  tree.for_each([&](const Tuple& t) {
-    const auto bucket = outer.bucket_of(t.view());
+  tree.for_each([&](std::span<const value_t> t) {
+    const auto bucket = outer.bucket_of(t);
     inner.ranks_of_bucket(bucket, dests);
     for (int d : dests) {
-      outgoing[static_cast<std::size_t>(d)].put_span(t.view());
+      outgoing[static_cast<std::size_t>(d)].put_span(t);
       ++shipped;
     }
   });
@@ -41,15 +44,32 @@ void emit_output(const OutputSpec& out, std::span<const value_t> a,
                  std::span<const value_t> b, Tuple& scratch, ExchangeRouter& router,
                  std::uint32_t route) {
   scratch.clear();
+  scratch.reserve(out.cols.size());
   for (const auto& e : out.cols) scratch.push_back(e.eval(a, b));
   router.emit(route, scratch.view());
+}
+
+/// Decode the received outer buffers into one flat row-major batch.  The
+/// wire format is already flat value_t rows, so this is a single typed
+/// copy per buffer, no per-tuple materialization.
+std::vector<value_t> decode_probe_batch(const std::vector<vmpi::Bytes>& received) {
+  std::size_t total = 0;
+  for (const auto& buf : received) total += buf.size() / sizeof(value_t);
+  std::vector<value_t> batch;
+  batch.reserve(total);
+  for (const auto& buf : received) {
+    vmpi::TypedReader<value_t> r(buf);
+    const auto vals = r.take_span(r.remaining());
+    batch.insert(batch.end(), vals.begin(), vals.end());
+  }
+  return batch;
 }
 
 }  // namespace
 
 RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
                            ExchangeRouter& router, std::optional<JoinOrderPolicy> forced,
-                           ExchangeAlgorithm exchange_algo) {
+                           ExchangeAlgorithm exchange_algo, ProbeKernel kernel) {
   RuleExecStats stats;
   const std::uint32_t route = router.add_target(rule.out.target);
   const std::size_t jcc = rule.a->jcc();
@@ -93,38 +113,120 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
     PhaseScope scope(comm, profile, Phase::kLocalJoin);
     const auto& inner_tree = inner.tree(inner_version);
     const std::size_t outer_arity = outer.arity();
-    Tuple otup;
     Tuple scratch;
     static const Tuple kNoMatch;
-    for (const auto& buf : received_outer) {
-      vmpi::BufferReader r(buf);
-      while (!r.done()) {
-        otup.clear();
-        for (std::size_t c = 0; c < outer_arity; ++c) otup.push_back(r.get<value_t>());
+
+    const std::vector<value_t> batch = decode_probe_batch(received_outer);
+    assert(outer_arity > 0 && batch.size() % outer_arity == 0);
+    const std::size_t nrows = batch.size() / outer_arity;
+    const auto row_of = [&](std::size_t i) {
+      return std::span<const value_t>(batch.data() + i * outer_arity, outer_arity);
+    };
+
+    const auto emit_pair = [&](std::span<const value_t> orow,
+                               std::span<const value_t> irow) {
+      const auto a = plan.a_outer ? orow : irow;
+      const auto b = plan.a_outer ? irow : orow;
+      if (rule.filter && rule.filter->eval(a, b) == 0) return;
+      ++stats.matches;
+      emit_output(rule.out, a, b, scratch, router, route);
+    };
+
+    if (kernel == ProbeKernel::kUnsorted) {
+      // Baseline: probe in arrival order, one full descent per outer row.
+      for (std::size_t i = 0; i < nrows; ++i) {
+        const auto orow = row_of(i);
         ++stats.probes;
         if (rule.anti) {
-          if (rule.pre_filter &&
-              rule.pre_filter->eval(otup.view(), kNoMatch.view()) == 0) {
+          if (rule.pre_filter && rule.pre_filter->eval(orow, kNoMatch.view()) == 0) {
             continue;  // the rule never considers this A row
           }
+          ++stats.probe_seeks;
           bool exists = false;
-          inner_tree.scan_prefix(otup.prefix(jcc), [&](const Tuple& itup) {
-            if (rule.filter && rule.filter->eval(otup.view(), itup.view()) == 0) return;
+          inner_tree.scan_prefix(orow.first(jcc), [&](std::span<const value_t> irow) {
+            if (rule.filter && rule.filter->eval(orow, irow) == 0) return;
             exists = true;
           });
           if (!exists) {
             ++stats.matches;
-            emit_output(rule.out, otup.view(), kNoMatch.view(), scratch, router, route);
+            emit_output(rule.out, orow, kNoMatch.view(), scratch, router, route);
           }
           continue;
         }
-        inner_tree.scan_prefix(otup.prefix(jcc), [&](const Tuple& itup) {
-          const auto a = plan.a_outer ? otup.view() : itup.view();
-          const auto b = plan.a_outer ? itup.view() : otup.view();
-          if (rule.filter && rule.filter->eval(a, b) == 0) return;
-          ++stats.matches;
-          emit_output(rule.out, a, b, scratch, router, route);
-        });
+        ++stats.probe_seeks;
+        inner_tree.scan_prefix(orow.first(jcc),
+                               [&](std::span<const value_t> irow) { emit_pair(orow, irow); });
+      }
+    } else {
+      // Sorted-batch kernel: order probes by join-key prefix so the
+      // monotone cursor advances through the inner tree once, and share
+      // one seek across a run of equal keys (the match range is recorded
+      // on the first probe and replayed for the rest — filters still run
+      // per pair, so semantics are unchanged).  Output *content* is
+      // unaffected by the reordering: router staging is order-insensitive
+      // (DESIGN.md §6.1).
+      std::vector<std::uint32_t> order(nrows);
+      std::iota(order.begin(), order.end(), 0);
+      // stable_sort keeps arrival order within equal keys; comparisons
+      // here are plain (not counted against the B-tree).
+      std::stable_sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+        return storage::compare_prefix(row_of(x), row_of(y), jcc) < 0;
+      });
+
+      auto cursor = inner_tree.cursor();
+      std::size_t g = 0;
+      while (g < nrows) {
+        const auto gkey = row_of(order[g]).first(jcc);
+        std::size_t ge = g + 1;
+        while (ge < nrows && storage::compare_prefix(row_of(order[ge]), gkey, jcc) == 0) {
+          ++ge;
+        }
+
+        // Lazy: antijoin pre-filters may reject the whole group without
+        // ever touching the tree.
+        bool sought = false;
+        storage::TupleBTree::Cursor::Position begin{};
+        std::size_t nmatch = 0;
+        const auto ensure_range = [&]() {
+          if (sought) return;
+          cursor.seek(gkey);
+          ++stats.probe_seeks;
+          begin = cursor.position();
+          while (cursor.valid() && cursor.matches(gkey)) {
+            ++nmatch;
+            cursor.next();
+          }
+          sought = true;
+        };
+
+        for (std::size_t k = g; k < ge; ++k) {
+          const auto orow = row_of(order[k]);
+          ++stats.probes;
+          if (rule.anti) {
+            if (rule.pre_filter && rule.pre_filter->eval(orow, kNoMatch.view()) == 0) {
+              continue;
+            }
+            ensure_range();
+            bool exists = false;
+            cursor.restore(begin);
+            for (std::size_t m = 0; m < nmatch; ++m, cursor.next()) {
+              if (rule.filter && rule.filter->eval(orow, cursor.row()) == 0) continue;
+              exists = true;
+              break;
+            }
+            if (!exists) {
+              ++stats.matches;
+              emit_output(rule.out, orow, kNoMatch.view(), scratch, router, route);
+            }
+            continue;
+          }
+          ensure_range();
+          cursor.restore(begin);
+          for (std::size_t m = 0; m < nmatch; ++m, cursor.next()) {
+            emit_pair(orow, cursor.row());
+          }
+        }
+        g = ge;
       }
     }
     stats.outputs = stats.matches;
@@ -141,22 +243,25 @@ RuleExecStats execute_copy(RankProfile& profile, const CopyRule& rule,
   PhaseScope scope(router.comm(), profile, Phase::kLocalJoin);
   static const Tuple kEmpty;
   Tuple scratch;
-  rule.src->tree(rule.version).for_each([&](const Tuple& t) {
+  rule.src->tree(rule.version).for_each([&](std::span<const value_t> t) {
     ++stats.probes;
-    if (rule.filter && rule.filter->eval(t.view(), kEmpty.view()) == 0) return;
+    if (rule.filter && rule.filter->eval(t, kEmpty.view()) == 0) return;
     ++stats.matches;
-    emit_output(rule.out, t.view(), kEmpty.view(), scratch, router, route);
+    emit_output(rule.out, t, kEmpty.view(), scratch, router, route);
   });
   stats.outputs = stats.matches;
-  profile.add_work(Phase::kLocalJoin, stats.probes);
+  // Same convention as execute_join: a kLocalJoin work unit is one row
+  // visited plus one row produced, so copy and join workloads are
+  // comparable in the balancer's eyes.
+  profile.add_work(Phase::kLocalJoin, stats.probes + stats.matches);
   return stats;
 }
 
 RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
                            std::optional<JoinOrderPolicy> forced,
-                           ExchangeAlgorithm exchange_algo) {
+                           ExchangeAlgorithm exchange_algo, ProbeKernel kernel) {
   ExchangeRouter router(comm);
-  const auto stats = execute_join(comm, profile, rule, router, forced, exchange_algo);
+  const auto stats = execute_join(comm, profile, rule, router, forced, exchange_algo, kernel);
   router.flush(profile, exchange_algo);
   return stats;
 }

@@ -71,11 +71,26 @@ struct CopyRule {
 
 using Rule = std::variant<JoinRule, CopyRule>;
 
+/// Probe-side strategy for the local join kernel.
+enum class ProbeKernel {
+  /// Sorted-batch (default): decode the received outer buffers into one
+  /// flat probe batch, sort it by join-key prefix, share a single B-tree
+  /// seek across equal keys (replaying the recorded match range), and
+  /// drive everything through a monotone TupleBTree::Cursor so
+  /// consecutive seeks resume from the current leaf.
+  kSorted,
+  /// Arrival-order probing with a fresh root descent per outer row — the
+  /// pre-cursor baseline, kept for A/B measurement (bench/probe_kernel).
+  kUnsorted,
+};
+
 struct RuleExecStats {
   bool a_was_outer = false;
   bool planned_dynamically = false;
   std::uint64_t outer_tuples_shipped = 0;  // intra-bucket serialization volume
   std::uint64_t probes = 0;                // outer tuples probed into the inner tree
+  std::uint64_t probe_seeks = 0;           // B-tree seeks issued (< probes when
+                                           // sorted batching dedups equal keys)
   std::uint64_t matches = 0;               // joined pairs surviving the filter
   std::uint64_t outputs = 0;               // tuples sent to the target
 };
@@ -87,7 +102,8 @@ struct RuleExecStats {
 RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
                            ExchangeRouter& router,
                            std::optional<JoinOrderPolicy> forced = std::nullopt,
-                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
+                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense,
+                           ProbeKernel kernel = ProbeKernel::kSorted);
 
 /// Run one copy/project pass into `router`.  Local (copies only emit).
 RuleExecStats execute_copy(RankProfile& profile, const CopyRule& rule,
@@ -99,7 +115,8 @@ RuleExecStats execute_copy(RankProfile& profile, const CopyRule& rule,
 /// router instead.
 RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRule& rule,
                            std::optional<JoinOrderPolicy> forced = std::nullopt,
-                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
+                           ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense,
+                           ProbeKernel kernel = ProbeKernel::kSorted);
 RuleExecStats execute_copy(vmpi::Comm& comm, RankProfile& profile, const CopyRule& rule,
                            ExchangeAlgorithm exchange = ExchangeAlgorithm::kDense);
 

@@ -152,16 +152,16 @@ MaterializeResult Relation::materialize() {
   // Lattice mode: fused dedup/aggregation (paper §IV-A).
   Tuple merged;
   for (const auto& [key, dep] : staged_agg_) {
-    Tuple* cur = full_.find_key(key.view());
-    if (cur == nullptr) {
+    const std::span<value_t> cur = full_.find_key(key.view());
+    if (cur.empty()) {
       Tuple row = key;
       for (std::size_t i = 0; i < cfg_.dep_arity; ++i) row.push_back(dep[i]);
       delta_.insert(row);
-      full_.insert(std::move(row));
+      full_.insert(row);
       ++res.inserted;
       continue;
     }
-    const auto cur_dep = cur->suffix_from(indep_arity());
+    const std::span<const value_t> cur_dep = cur.subspan(indep_arity(), cfg_.dep_arity);
     merged.clear();
     for (std::size_t i = 0; i < cfg_.dep_arity; ++i) merged.push_back(cur_dep[i]);
     cfg_.aggregator->partial_agg(cur_dep, dep.view(), merged.mutable_view());
@@ -173,9 +173,11 @@ MaterializeResult Relation::materialize() {
     // Lattice law: cur ⊔ x must sit above cur.  A violating aggregator
     // would break termination, so catch it in debug builds.
     assert(cfg_.aggregator->partial_cmp(cur_dep, merged.view()) == PartialOrder::kLess);
-    auto payload = cur->mutable_view().subspan(indep_arity(), cfg_.dep_arity);
-    std::copy(merged.view().begin(), merged.view().end(), payload.begin());
-    delta_.insert(*cur);
+    // In-place payload rewrite through the mutable find_key span; the key
+    // columns stay untouched so the tree stays ordered.
+    std::copy(merged.view().begin(), merged.view().end(),
+              cur.subspan(indep_arity(), cfg_.dep_arity).begin());
+    delta_.insert(std::span<const value_t>(cur));
     ++res.updated;
   }
   staged_agg_.clear();
@@ -213,14 +215,12 @@ std::vector<Tuple> Relation::gather_to_root(int root) {
 
   std::vector<Tuple> out;
   if (comm_->rank() != root) return out;
-  Tuple row;
+  std::size_t total = 0;
+  for (const auto& buf : all) total += buf.size() / (cfg_.arity * sizeof(value_t));
+  out.reserve(total);
   for (const auto& buf : all) {
-    vmpi::BufferReader r(buf);
-    while (!r.done()) {
-      row.clear();
-      for (std::size_t c = 0; c < cfg_.arity; ++c) row.push_back(r.get<value_t>());
-      out.push_back(row);
-    }
+    vmpi::TypedReader<value_t> r(buf);
+    while (!r.done()) out.emplace_back(r.take_span(cfg_.arity));
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -241,8 +241,8 @@ std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
   // mid-fixpoint rebalance, so it travels tagged separately from full.
   for (const Version v : {Version::kFull, Version::kDelta}) {
     std::vector<vmpi::BufferWriter> outgoing(n);
-    tree(v).for_each([&](const Tuple& t) {
-      outgoing[static_cast<std::size_t>(owner_rank(t.view()))].put_span(t.view());
+    tree(v).for_each([&](std::span<const value_t> t) {
+      outgoing[static_cast<std::size_t>(owner_rank(t))].put_span(t);
     });
     std::vector<vmpi::Bytes> send(n);
     for (std::size_t d = 0; d < n; ++d) {
@@ -252,14 +252,9 @@ std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
     auto got = comm_->alltoallv(std::move(send));
 
     storage::TupleBTree rebuilt(cfg_.arity, indep_arity());
-    Tuple row;
     for (const auto& buf : got) {
-      vmpi::BufferReader r(buf);
-      while (!r.done()) {
-        row.clear();
-        for (std::size_t c = 0; c < cfg_.arity; ++c) row.push_back(r.get<value_t>());
-        rebuilt.insert(row);
-      }
+      vmpi::TypedReader<value_t> r(buf);
+      while (!r.done()) rebuilt.insert(r.take_span(cfg_.arity));
     }
     tree(v) = std::move(rebuilt);
   }
@@ -339,7 +334,7 @@ void Relation::load_checkpoint(const std::string& path) {
 }
 
 void Relation::serialize_all(Version v, vmpi::BufferWriter& w) const {
-  tree(v).for_each([&](const Tuple& t) { w.put_span(t.view()); });
+  tree(v).for_each([&](std::span<const value_t> t) { w.put_span(t); });
 }
 
 }  // namespace paralagg::core

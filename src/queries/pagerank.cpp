@@ -83,7 +83,8 @@ PagerankResult run_pagerank(vmpi::Comm& comm, const graph::Graph& g,
 
   // Mass check: Σ rank / (N * scale).
   std::uint64_t local_mass = 0;
-  rank->tree(core::Version::kFull).for_each([&](const Tuple& t) { local_mass += t[1]; });
+  rank->tree(core::Version::kFull)
+      .for_each([&](std::span<const core::value_t> t) { local_mass += t[1]; });
   const auto mass = comm.allreduce<std::uint64_t>(local_mass, vmpi::ReduceOp::kSum);
   result.total_mass = static_cast<double>(mass) /
                       (static_cast<double>(g.num_nodes) * static_cast<double>(kRankScale));

@@ -2,32 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <utility>
 
 namespace paralagg::storage {
 
-struct TupleBTree::Node {
-  bool is_leaf;
-  explicit Node(bool leaf) : is_leaf(leaf) {}
-  virtual ~Node() = default;
-};
-
-struct TupleBTree::Leaf final : Node {
-  Leaf() : Node(true) { rows.reserve(kLeafCap); }
-  std::vector<Tuple> rows;  // sorted by key columns
-  Leaf* next = nullptr;     // leaf chain for range scans
-};
-
-struct TupleBTree::Inner final : Node {
-  Inner() : Node(false) {}
-  // children.size() == seps.size() + 1; seps[i] is the minimum key of
-  // children[i + 1] (key_arity columns only).
-  std::vector<Tuple> seps;
-  std::vector<std::unique_ptr<Node>> children;
-};
-
 TupleBTree::TupleBTree(std::size_t arity, std::size_t key_arity)
-    : arity_(arity), key_arity_(key_arity), root_(std::make_unique<Leaf>()) {
+    : arity_(arity), key_arity_(key_arity), root_(make_leaf()) {
   assert(key_arity >= 1 && key_arity <= arity);
 }
 
@@ -42,8 +23,16 @@ std::strong_ordering TupleBTree::cmp_key(std::span<const value_t> a,
   return compare_prefix(a, b, ncols);
 }
 
+std::unique_ptr<TupleBTree::Leaf> TupleBTree::make_leaf() const {
+  auto leaf = std::make_unique<Leaf>();
+  // One past capacity: a leaf briefly holds kLeafCap + 1 rows before a
+  // split, and reserving for it keeps leaf storage from ever reallocating.
+  leaf->vals.reserve((kLeafCap + 1) * arity_);
+  return leaf;
+}
+
 void TupleBTree::clear() {
-  root_ = std::make_unique<Leaf>();
+  root_ = make_leaf();
   size_ = 0;
 }
 
@@ -68,11 +57,11 @@ std::size_t partition_point_idx(std::size_t n, Pred pred) {
 
 }  // namespace
 
-bool TupleBTree::insert(const Tuple& t) {
-  assert(t.size() == arity_);
+bool TupleBTree::insert(std::span<const value_t> row) {
+  assert(row.size() == arity_);
   Tuple sep;
   std::unique_ptr<Node> right;
-  const bool inserted = insert_rec(root_.get(), t, sep, right);
+  const bool inserted = insert_rec(root_.get(), row, sep, right);
   if (right) {
     auto new_root = std::make_unique<Inner>();
     new_root->seps.push_back(std::move(sep));
@@ -87,30 +76,31 @@ bool TupleBTree::insert(const Tuple& t) {
   return inserted;
 }
 
-bool TupleBTree::insert_rec(Node* node, const Tuple& t, Tuple& sep_out,
+bool TupleBTree::insert_rec(Node* node, std::span<const value_t> row, Tuple& sep_out,
                             std::unique_ptr<Node>& right_out) {
-  const auto key = t.prefix(key_arity_);
+  const auto key = row.first(key_arity_);
 
   if (node->is_leaf) {
     auto* leaf = static_cast<Leaf*>(node);
-    auto& rows = leaf->rows;
-    // First row whose key is >= t's key.
-    const std::size_t pos = partition_point_idx(rows.size(), [&](std::size_t i) {
-      return cmp_key(rows[i].view(), key, key_arity_) < 0;
+    const std::size_t n = leaf_rows(*leaf);
+    // First row whose key is >= the new row's key.
+    const std::size_t pos = partition_point_idx(n, [&](std::size_t i) {
+      return cmp_key(leaf_row(*leaf, i), key, key_arity_) < 0;
     });
-    if (pos < rows.size() && cmp_key(rows[pos].view(), key, key_arity_) == 0) {
+    if (pos < n && cmp_key(leaf_row(*leaf, pos), key, key_arity_) == 0) {
       return false;  // duplicate key
     }
-    rows.insert(rows.begin() + static_cast<std::ptrdiff_t>(pos), t);
-    if (rows.size() > kLeafCap) {
-      auto right = std::make_unique<Leaf>();
-      const std::size_t half = rows.size() / 2;
-      right->rows.assign(std::make_move_iterator(rows.begin() + static_cast<std::ptrdiff_t>(half)),
-                         std::make_move_iterator(rows.end()));
-      rows.resize(half);
+    leaf->vals.insert(leaf->vals.begin() + static_cast<std::ptrdiff_t>(pos * arity_),
+                      row.begin(), row.end());
+    if (leaf_rows(*leaf) > kLeafCap) {
+      auto right = make_leaf();
+      const std::size_t half = leaf_rows(*leaf) / 2;
+      right->vals.assign(leaf->vals.begin() + static_cast<std::ptrdiff_t>(half * arity_),
+                         leaf->vals.end());
+      leaf->vals.resize(half * arity_);
       right->next = leaf->next;
       leaf->next = right.get();
-      sep_out = Tuple(right->rows.front().prefix(key_arity_));
+      sep_out = Tuple(leaf_row(*right, 0).first(key_arity_));
       right_out = std::move(right);
     }
     return true;
@@ -124,7 +114,7 @@ bool TupleBTree::insert_rec(Node* node, const Tuple& t, Tuple& sep_out,
 
   Tuple child_sep;
   std::unique_ptr<Node> child_right;
-  const bool inserted = insert_rec(inner->children[ci].get(), t, child_sep, child_right);
+  const bool inserted = insert_rec(inner->children[ci].get(), row, child_sep, child_right);
   if (child_right) {
     inner->seps.insert(inner->seps.begin() + static_cast<std::ptrdiff_t>(ci),
                        std::move(child_sep));
@@ -163,93 +153,144 @@ const TupleBTree::Leaf* TupleBTree::descend_lower_bound(
   return static_cast<const Leaf*>(node);
 }
 
-Tuple* TupleBTree::find_key(std::span<const value_t> key) {
-  return const_cast<Tuple*>(std::as_const(*this).find_key(key));
+const TupleBTree::Leaf* TupleBTree::leftmost_leaf() const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = static_cast<const Inner*>(node)->children.front().get();
+  return static_cast<const Leaf*>(node);
 }
 
-const Tuple* TupleBTree::find_key(std::span<const value_t> key) const {
+std::span<value_t> TupleBTree::find_key(std::span<const value_t> key) {
+  const auto view = std::as_const(*this).find_key(key);
+  // Leaf storage is not const; the const overload exists so read-only
+  // callers get a read-only span.
+  return {const_cast<value_t*>(view.data()), view.size()};
+}
+
+std::span<const value_t> TupleBTree::find_key(std::span<const value_t> key) const {
   assert(key.size() == key_arity_);
   const Leaf* leaf = descend_lower_bound(key);
   // The match, if present, is in this leaf or (if it sits exactly on a
   // boundary) the next one.
   for (; leaf != nullptr; leaf = leaf->next) {
-    const auto& rows = leaf->rows;
-    const std::size_t pos = partition_point_idx(rows.size(), [&](std::size_t i) {
-      return cmp_key(rows[i].view(), key, key_arity_) < 0;
+    const std::size_t n = leaf_rows(*leaf);
+    const std::size_t pos = partition_point_idx(n, [&](std::size_t i) {
+      return cmp_key(leaf_row(*leaf, i), key, key_arity_) < 0;
     });
-    if (pos < rows.size()) {
-      if (cmp_key(rows[pos].view(), key, key_arity_) == 0) {
-        return &rows[pos];
+    if (pos < n) {
+      if (cmp_key(leaf_row(*leaf, pos), key, key_arity_) == 0) {
+        return leaf_row(*leaf, pos);
       }
-      return nullptr;  // first row >= key differs -> absent
+      return {};  // first row >= key differs -> absent
     }
     // Entire leaf < key; continue into the chain (can happen only once).
   }
-  return nullptr;
+  return {};
 }
 
-void TupleBTree::scan_prefix(std::span<const value_t> prefix,
-                             const std::function<void(const Tuple&)>& fn) const {
-  assert(prefix.size() <= key_arity_);
+// -- cursor -------------------------------------------------------------------
+
+void TupleBTree::Cursor::seek_first() {
+  const Leaf* l = tree_->leftmost_leaf();
+  tail_ = nullptr;
+  if (tree_->leaf_rows(*l) == 0) {
+    leaf_ = nullptr;  // empty tree
+  } else {
+    leaf_ = l;
+    idx_ = 0;
+  }
+}
+
+bool TupleBTree::Cursor::land(const Leaf* l, std::size_t start,
+                              std::span<const value_t> prefix, std::size_t max_leaves) {
   const std::size_t p = prefix.size();
-  const Leaf* leaf = descend_lower_bound(prefix);
-  for (; leaf != nullptr; leaf = leaf->next) {
-    const auto& rows = leaf->rows;
-    const std::size_t start = partition_point_idx(rows.size(), [&](std::size_t i) {
-      return cmp_key(rows[i].view(), prefix, p) < 0;
-    });
-    for (std::size_t i = start; i < rows.size(); ++i) {
-      if (cmp_key(rows[i].view(), prefix, p) != 0) return;
-      fn(rows[i]);
+  for (; l != nullptr; l = l->next, start = 0) {
+    const std::size_t n = tree_->leaf_rows(*l);
+    if (start >= n) {
+      if (n > 0) tail_ = l;
+      continue;  // nothing left in this leaf (also skips an empty root)
+    }
+    if (tree_->cmp_key(tree_->leaf_row(*l, n - 1), prefix, p) < 0) {
+      // Whole leaf below the target: one comparison, hop on.
+      tail_ = l;
+      if (max_leaves-- == 0) return false;
+      continue;
+    }
+    // Lower bound is inside [start, n) of this leaf.
+    const std::size_t pos =
+        start + partition_point_idx(n - start, [&](std::size_t i) {
+          return tree_->cmp_key(tree_->leaf_row(*l, start + i), prefix, p) < 0;
+        });
+    leaf_ = l;
+    idx_ = pos;
+    return true;
+  }
+  leaf_ = nullptr;  // past the last row
+  return true;
+}
+
+void TupleBTree::Cursor::descend(std::span<const value_t> prefix) {
+  tail_ = nullptr;
+  // descend_lower_bound may stop one leaf early when the target sits
+  // exactly on a boundary; land() absorbs the extra hop.
+  land(tree_->descend_lower_bound(prefix), 0, prefix, SIZE_MAX);
+}
+
+void TupleBTree::Cursor::seek(std::span<const value_t> prefix) {
+  assert(prefix.size() <= tree_->key_arity_);
+  if (leaf_ != nullptr) {
+    const auto c = tree_->cmp_key(row(), prefix, prefix.size());
+    if (c == 0) return;  // already at a matching row: lower bound from here
+    if (c < 0) {
+      // Monotone fast path: the target is ahead; resume from this leaf.
+      if (land(leaf_, idx_ + 1, prefix, kMaxChainHops)) return;
+    }
+    // Target behind the cursor, or too far ahead for the chain budget.
+    descend(prefix);
+    return;
+  }
+  if (tail_ != nullptr) {
+    const std::size_t n = tree_->leaf_rows(*tail_);
+    if (tree_->cmp_key(tree_->leaf_row(*tail_, n - 1), prefix, prefix.size()) < 0) {
+      return;  // already past the end and the target is beyond the last row
     }
   }
+  descend(prefix);
 }
 
-void TupleBTree::for_each(const std::function<void(const Tuple&)>& fn) const {
-  const Node* node = root_.get();
-  while (!node->is_leaf) node = static_cast<const Inner*>(node)->children.front().get();
-  for (const auto* leaf = static_cast<const Leaf*>(node); leaf != nullptr; leaf = leaf->next) {
-    for (const auto& t : leaf->rows) fn(t);
-  }
-}
+// -- instrumentation ----------------------------------------------------------
 
 std::size_t TupleBTree::approx_bytes() const {
-  // Row payload + per-tuple bookkeeping + amortised node overhead.
-  return size_ * (arity_ * sizeof(value_t) + sizeof(Tuple)) + size_ / kLeafCap * 64;
+  // Flat row payload + amortised node overhead (headers, separators).
+  return size_ * arity_ * sizeof(value_t) + size_ / kLeafCap * 96;
 }
 
-namespace {
-
-struct CheckState {
-  const Tuple* prev = nullptr;
-  std::size_t count = 0;
-  std::vector<const void*> leaves_in_order;
-};
-
-}  // namespace
-
 std::size_t TupleBTree::check_invariants() const {
-  CheckState st;
-  // In-order structural walk.
-  std::function<void(const Node*, const Tuple*, const Tuple*, std::size_t)> walk =
-      [&](const Node* node, const Tuple* lo, const Tuple* hi, std::size_t depth) {
+  std::size_t count = 0;
+  std::vector<value_t> prev;
+  std::vector<const void*> leaves_in_order;
+
+  // In-order structural walk (std::function is fine here: cold test hook).
+  std::function<void(const Node*, const Tuple*, const Tuple*)> walk =
+      [&](const Node* node, const Tuple* lo, const Tuple* hi) {
         if (node->is_leaf) {
           const auto* leaf = static_cast<const Leaf*>(node);
-          st.leaves_in_order.push_back(leaf);
-          for (const auto& t : leaf->rows) {
-            assert(t.size() == arity_);
-            if (st.prev != nullptr) {
-              assert(compare_prefix(st.prev->view(), t.view(), key_arity_) < 0 &&
+          leaves_in_order.push_back(leaf);
+          assert(leaf->vals.size() % arity_ == 0);
+          assert(leaf_rows(*leaf) <= kLeafCap);
+          for (std::size_t i = 0; i < leaf_rows(*leaf); ++i) {
+            const auto t = leaf_row(*leaf, i);
+            if (!prev.empty()) {
+              assert(compare_prefix(prev, t, key_arity_) < 0 &&
                      "rows must be strictly increasing by key");
             }
             if (lo != nullptr) {
-              assert(compare_prefix(lo->view(), t.view(), key_arity_) <= 0);
+              assert(compare_prefix(lo->view(), t, key_arity_) <= 0);
             }
             if (hi != nullptr) {
-              assert(compare_prefix(t.view(), hi->view(), key_arity_) < 0);
+              assert(compare_prefix(t, hi->view(), key_arity_) < 0);
             }
-            st.prev = &t;
-            ++st.count;
+            prev.assign(t.begin(), t.end());
+            ++count;
           }
           return;
         }
@@ -263,22 +304,21 @@ std::size_t TupleBTree::check_invariants() const {
         for (std::size_t i = 0; i < inner->children.size(); ++i) {
           const Tuple* clo = i == 0 ? lo : &inner->seps[i - 1];
           const Tuple* chi = i == inner->seps.size() ? hi : &inner->seps[i];
-          walk(inner->children[i].get(), clo, chi, depth + 1);
+          walk(inner->children[i].get(), clo, chi);
         }
       };
-  walk(root_.get(), nullptr, nullptr, 0);
-  assert(st.count == size_);
+  walk(root_.get(), nullptr, nullptr);
+  assert(count == size_);
 
   // Leaf chain must enumerate exactly the in-order leaves.
-  const Node* node = root_.get();
-  while (!node->is_leaf) node = static_cast<const Inner*>(node)->children.front().get();
   std::size_t idx = 0;
-  for (const auto* leaf = static_cast<const Leaf*>(node); leaf != nullptr; leaf = leaf->next) {
-    assert(idx < st.leaves_in_order.size() && st.leaves_in_order[idx] == leaf);
+  for (const auto* leaf = leftmost_leaf(); leaf != nullptr; leaf = leaf->next) {
+    assert(idx < leaves_in_order.size() && leaves_in_order[idx] == leaf);
     ++idx;
   }
-  assert(idx == st.leaves_in_order.size());
-  return st.count;
+  assert(idx == leaves_in_order.size());
+  (void)idx;
+  return count;
 }
 
 }  // namespace paralagg::storage

@@ -10,13 +10,28 @@
 // distinct key, and range scans over a shorter prefix enumerate all tuples
 // matching a join key.
 //
+// Storage layout: each leaf holds its rows as one flat, row-major
+// value_t array (no per-row Tuple objects, no per-row heap spill), so a
+// range scan is a contiguous sweep.  Rows are exposed as spans into the
+// leaf; any mutation of the tree (insert/clear/move) invalidates them.
+//
+// Probing goes through `Cursor`, an allocation-free iterator with a
+// *monotone* seek: a seek to a key at or beyond the current position
+// resumes from the current leaf via the leaf chain and only re-descends
+// from the root when the target lies further ahead (or behind — a
+// non-monotone seek is legal, it just pays the descent).  The sorted-batch
+// join kernel in core/ra_op.cpp exploits this: probes arrive sorted by
+// join key, so most seeks touch only the current leaf.  `scan_prefix` and
+// `for_each` are thin templated wrappers over the cursor — no
+// `std::function` (and no virtual dispatch) anywhere in the scan loop.
+//
 // The tree also keeps operation counters (comparisons, node visits) which
 // the benchmark harness uses for modelled scaling: the paper's Fig. 5
-// analysis attributes low-core-count cost to B-tree insertion, and these
-// counters make that attribution reproducible.
+// analysis attributes low-core-count cost to B-tree operations, and these
+// counters make that attribution reproducible (`bench/probe_kernel`
+// reports comparisons-per-probe from them).
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -44,36 +59,162 @@ class TupleBTree {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  /// Insert `t` if its key is absent.  Returns true if inserted, false if a
-  /// tuple with the same key already exists (the stored tuple is untouched).
-  bool insert(const Tuple& t);
+  /// Insert `row` (exactly `arity` values, stored order) if its key is
+  /// absent.  Returns true if inserted, false if a tuple with the same key
+  /// already exists (the stored tuple is untouched).
+  bool insert(std::span<const value_t> row);
+  bool insert(const Tuple& t) { return insert(t.view()); }
 
-  /// Mutable access to the stored tuple for `key` (exactly key_arity
-  /// columns), or nullptr.  Callers may rewrite payload columns in place —
-  /// this is how fused aggregation collapses a stored accumulator — but
-  /// must never modify key columns.
-  [[nodiscard]] Tuple* find_key(std::span<const value_t> key);
-  [[nodiscard]] const Tuple* find_key(std::span<const value_t> key) const;
+  /// View of the stored row for `key` (exactly key_arity columns), or an
+  /// empty span.  Callers may rewrite payload columns in place through the
+  /// mutable overload — this is how fused aggregation collapses a stored
+  /// accumulator — but must never modify key columns.  The span points
+  /// into leaf storage: any insert/clear invalidates it.
+  [[nodiscard]] std::span<value_t> find_key(std::span<const value_t> key);
+  [[nodiscard]] std::span<const value_t> find_key(std::span<const value_t> key) const;
 
   [[nodiscard]] bool contains_key(std::span<const value_t> key) const {
-    return find_key(key) != nullptr;
+    return !find_key(key).empty();
   }
 
-  /// Visit every stored tuple whose first prefix.size() columns equal
-  /// `prefix`, in key order.  prefix.size() must be <= key_arity.
-  void scan_prefix(std::span<const value_t> prefix,
-                   const std::function<void(const Tuple&)>& fn) const;
-
-  /// Visit all tuples in key order.
-  void for_each(const std::function<void(const Tuple&)>& fn) const;
-
   void clear();
+
+ private:
+  struct Node {
+    bool is_leaf;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    virtual ~Node() = default;
+  };
+
+  struct Leaf final : Node {
+    Leaf() : Node(true) {}
+    std::vector<value_t> vals;  // nrows * arity values, row-major, key-sorted
+    Leaf* next = nullptr;       // leaf chain for range scans
+  };
+
+  struct Inner final : Node {
+    Inner() : Node(false) {}
+    // children.size() == seps.size() + 1; seps[i] is the minimum key of
+    // children[i + 1] (key_arity columns only).
+    std::vector<Tuple> seps;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  [[nodiscard]] std::size_t leaf_rows(const Leaf& l) const {
+    return l.vals.size() / arity_;
+  }
+  [[nodiscard]] std::span<const value_t> leaf_row(const Leaf& l, std::size_t i) const {
+    return {l.vals.data() + i * arity_, arity_};
+  }
+
+ public:
+  // -- cursor -----------------------------------------------------------------
+
+  /// Allocation-free iterator over the stored rows in key order.  A cursor
+  /// is bound to a fixed tree state: any mutation of the tree invalidates
+  /// it (and every Position taken from it).
+  ///
+  /// `seek(prefix)` positions the cursor at the lower bound of `prefix`
+  /// (the first row whose leading prefix.size() key columns compare >=
+  /// prefix), and is *monotone*: when the target is at or beyond the
+  /// current row, the cursor resumes from the current leaf and walks the
+  /// leaf chain, re-descending from the root only when the target lies
+  /// more than a few leaves ahead.  Seeking below the current position is
+  /// detected (one comparison) and falls back to a fresh descent, so any
+  /// seek order is correct — monotone order is just cheaper.
+  ///
+  /// Note the resumed lower bound is relative to the current position: if
+  /// next() already advanced past rows equal to `prefix`, a re-seek of the
+  /// same prefix stays put rather than rewinding.  Batch kernels that
+  /// replay a match range use position()/restore() instead.
+  class Cursor {
+   public:
+    explicit Cursor(const TupleBTree& tree) : tree_(&tree) {}
+
+    /// Opaque bookmark of a valid row; restore() rewinds to it.  Only
+    /// meaningful against the same unmodified tree.
+    struct Position {
+      const Leaf* leaf = nullptr;
+      std::size_t idx = 0;
+    };
+
+    /// Position at the first row in key order (end if the tree is empty).
+    void seek_first();
+
+    /// Position at the lower bound of `prefix` (prefix.size() columns,
+    /// must be <= key_arity).  See the class comment for monotonicity.
+    void seek(std::span<const value_t> prefix);
+
+    [[nodiscard]] bool valid() const { return leaf_ != nullptr; }
+
+    /// The current row (full arity).  Only when valid().
+    [[nodiscard]] std::span<const value_t> row() const {
+      return tree_->leaf_row(*leaf_, idx_);
+    }
+
+    /// Does the current row's leading prefix.size() columns equal
+    /// `prefix`?  Counted as one key comparison.  Only when valid().
+    [[nodiscard]] bool matches(std::span<const value_t> prefix) const {
+      return tree_->cmp_key(row(), prefix, prefix.size()) == 0;
+    }
+
+    /// Advance to the next row in key order.  Only when valid().
+    void next() {
+      if (++idx_ >= tree_->leaf_rows(*leaf_)) {
+        tail_ = leaf_;
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+    }
+
+    [[nodiscard]] Position position() const { return {leaf_, idx_}; }
+    void restore(const Position& p) {
+      leaf_ = p.leaf;
+      idx_ = p.idx;
+    }
+
+   private:
+    /// Give up on chain-walking and re-descend beyond this many leaves: a
+    /// far target costs one comparison per skipped leaf but only
+    /// O(depth log fanout) for a descent.
+    static constexpr std::size_t kMaxChainHops = 4;
+
+    /// Walk the chain from `l` (rows before `start` excluded) to the leaf
+    /// containing the lower bound of `prefix`, visiting at most
+    /// `max_leaves` leaves; false = budget exhausted, caller re-descends.
+    bool land(const Leaf* l, std::size_t start, std::span<const value_t> prefix,
+              std::size_t max_leaves);
+    void descend(std::span<const value_t> prefix);
+
+    const TupleBTree* tree_;
+    const Leaf* leaf_ = nullptr;  // null = unpositioned or past the end
+    std::size_t idx_ = 0;
+    const Leaf* tail_ = nullptr;  // last leaf seen before falling off the end
+  };
+
+  [[nodiscard]] Cursor cursor() const { return Cursor(*this); }
+
+  /// Visit every stored row whose first prefix.size() columns equal
+  /// `prefix`, in key order.  prefix.size() must be <= key_arity (an empty
+  /// prefix visits everything).  `fn` receives std::span<const value_t>.
+  template <typename Fn>
+  void scan_prefix(std::span<const value_t> prefix, Fn&& fn) const {
+    Cursor c(*this);
+    for (c.seek(prefix); c.valid() && c.matches(prefix); c.next()) fn(c.row());
+  }
+
+  /// Visit all rows in key order.  `fn` receives std::span<const value_t>.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    Cursor c(*this);
+    for (c.seek_first(); c.valid(); c.next()) fn(c.row());
+  }
 
   // -- instrumentation --------------------------------------------------------
 
   [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
   [[nodiscard]] std::uint64_t inserts() const { return inserts_; }
-  void reset_counters() { comparisons_ = 0; inserts_ = 0; }
+  void reset_counters() const { comparisons_ = 0; }
 
   /// Rough resident size, for memory-pressure modelling.
   [[nodiscard]] std::size_t approx_bytes() const;
@@ -84,10 +225,6 @@ class TupleBTree {
   [[nodiscard]] std::size_t check_invariants() const;
 
  private:
-  struct Leaf;
-  struct Inner;
-  struct Node;
-
   static constexpr std::size_t kLeafCap = 32;
   static constexpr std::size_t kInnerCap = 32;
 
@@ -95,12 +232,15 @@ class TupleBTree {
                                              std::span<const value_t> b,
                                              std::size_t ncols) const;
 
+  [[nodiscard]] std::unique_ptr<Leaf> make_leaf() const;
+
   /// Insert into subtree; if the child splits, returns the new right
   /// sibling and its separator key via out-params.
-  bool insert_rec(Node* node, const Tuple& t, Tuple& sep_out,
+  bool insert_rec(Node* node, std::span<const value_t> row, Tuple& sep_out,
                   std::unique_ptr<Node>& right_out);
 
   [[nodiscard]] const Leaf* descend_lower_bound(std::span<const value_t> prefix) const;
+  [[nodiscard]] const Leaf* leftmost_leaf() const;
 
   std::size_t arity_;
   std::size_t key_arity_;

@@ -67,6 +67,13 @@ class Tuple {
     data()[size_++] = v;
   }
 
+  /// Ensure capacity for `n` columns; existing contents are preserved.
+  /// Decode loops that know the arity up front call this once instead of
+  /// paying doubling re-grows through push_back.
+  void reserve(std::size_t n) {
+    if (n > capacity()) grow(n);
+  }
+
   void clear() { size_ = 0; }
 
   [[nodiscard]] std::span<const value_t> view() const { return {data(), size_}; }

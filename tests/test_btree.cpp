@@ -1,4 +1,5 @@
-// TupleBTree: insertion, lookup, prefix scans, structural invariants.
+// TupleBTree: insertion, lookup, prefix scans, cursors, structural
+// invariants.
 
 #include "storage/btree.hpp"
 
@@ -17,9 +18,9 @@ TEST(BTree, EmptyTreeBasics) {
   EXPECT_EQ(t.size(), 0u);
   EXPECT_TRUE(t.empty());
   const value_t key[] = {1, 2};
-  EXPECT_EQ(t.find_key(std::span<const value_t>(key, 2)), nullptr);
+  EXPECT_TRUE(t.find_key(std::span<const value_t>(key, 2)).empty());
   std::size_t visits = 0;
-  t.for_each([&](const Tuple&) { ++visits; });
+  t.for_each([&](std::span<const value_t>) { ++visits; });
   EXPECT_EQ(visits, 0u);
   EXPECT_EQ(t.check_invariants(), 0u);
 }
@@ -29,9 +30,9 @@ TEST(BTree, InsertAndFind) {
   EXPECT_TRUE(t.insert(Tuple{3, 4}));
   EXPECT_EQ(t.size(), 1u);
   const value_t key[] = {3, 4};
-  const Tuple* found = t.find_key(std::span<const value_t>(key, 2));
-  ASSERT_NE(found, nullptr);
-  EXPECT_EQ(*found, (Tuple{3, 4}));
+  const auto found = t.find_key(std::span<const value_t>(key, 2));
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(Tuple(found), (Tuple{3, 4}));
 }
 
 TEST(BTree, DuplicateKeyRejected) {
@@ -48,19 +49,19 @@ TEST(BTree, PayloadDistinguishedFromKey) {
   EXPECT_TRUE(t.insert(Tuple{7, 100}));
   EXPECT_FALSE(t.insert(Tuple{7, 200}));
   const value_t key[] = {7};
-  const Tuple* found = t.find_key(std::span<const value_t>(key, 1));
-  ASSERT_NE(found, nullptr);
-  EXPECT_EQ((*found)[1], 100u);  // original payload kept
+  const auto found = t.find_key(std::span<const value_t>(key, 1));
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[1], 100u);  // original payload kept
 }
 
 TEST(BTree, PayloadMutableInPlace) {
   TupleBTree t(2, 1);
   t.insert(Tuple{7, 100});
   const value_t key[] = {7};
-  Tuple* row = t.find_key(std::span<const value_t>(key, 1));
-  ASSERT_NE(row, nullptr);
-  (*row)[1] = 55;
-  EXPECT_EQ((*t.find_key(std::span<const value_t>(key, 1)))[1], 55u);
+  const std::span<value_t> row = t.find_key(std::span<const value_t>(key, 1));
+  ASSERT_FALSE(row.empty());
+  row[1] = 55;
+  EXPECT_EQ(std::as_const(t).find_key(std::span<const value_t>(key, 1))[1], 55u);
   EXPECT_EQ(t.check_invariants(), 1u);
 }
 
@@ -80,7 +81,7 @@ TEST(BTree, ManyInsertionsStaySortedAndComplete) {
 
   // for_each must yield key order exactly.
   std::vector<std::pair<value_t, value_t>> seen;
-  t.for_each([&](const Tuple& row) { seen.emplace_back(row[0], row[1]); });
+  t.for_each([&](std::span<const value_t> row) { seen.emplace_back(row[0], row[1]); });
   EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
   EXPECT_TRUE(std::equal(seen.begin(), seen.end(), expect.begin(), expect.end()));
 }
@@ -91,8 +92,8 @@ TEST(BTree, FindAfterHeavyLoad) {
   for (value_t v = 0; v < 3000; ++v) {
     const value_t even[] = {v * 2};
     const value_t odd[] = {v * 2 + 1};
-    EXPECT_NE(t.find_key(std::span<const value_t>(even, 1)), nullptr) << v;
-    EXPECT_EQ(t.find_key(std::span<const value_t>(odd, 1)), nullptr) << v;
+    EXPECT_FALSE(t.find_key(std::span<const value_t>(even, 1)).empty()) << v;
+    EXPECT_TRUE(t.find_key(std::span<const value_t>(odd, 1)).empty()) << v;
   }
 }
 
@@ -111,7 +112,7 @@ TEST(BTree, PrefixScanFindsAllMatches) {
     std::vector<value_t> seconds;
     const value_t prefix[] = {g};
     t.scan_prefix(std::span<const value_t>(prefix, 1),
-                  [&](const Tuple& row) { seconds.push_back(row[1]); });
+                  [&](std::span<const value_t> row) { seconds.push_back(row[1]); });
     EXPECT_EQ(seconds.size(), expect[g]) << "group " << g;
     EXPECT_TRUE(std::is_sorted(seconds.begin(), seconds.end()));
   }
@@ -122,7 +123,8 @@ TEST(BTree, PrefixScanOnAbsentPrefixIsEmpty) {
   for (value_t g = 0; g < 50; ++g) t.insert(Tuple{g * 10, 1});
   const value_t prefix[] = {5};  // between groups
   std::size_t hits = 0;
-  t.scan_prefix(std::span<const value_t>(prefix, 1), [&](const Tuple&) { ++hits; });
+  t.scan_prefix(std::span<const value_t>(prefix, 1),
+                [&](std::span<const value_t>) { ++hits; });
   EXPECT_EQ(hits, 0u);
 }
 
@@ -131,7 +133,7 @@ TEST(BTree, PrefixScanFullKeyActsAsLookup) {
   t.insert(Tuple{1, 2, 77});
   const value_t prefix[] = {1, 2};
   std::size_t hits = 0;
-  t.scan_prefix(std::span<const value_t>(prefix, 2), [&](const Tuple& row) {
+  t.scan_prefix(std::span<const value_t>(prefix, 2), [&](std::span<const value_t> row) {
     ++hits;
     EXPECT_EQ(row[2], 77u);
   });
@@ -146,8 +148,212 @@ TEST(BTree, PrefixScanSpanningLeafBoundaries) {
   t.insert(Tuple{43, 0});
   std::size_t hits = 0;
   const value_t prefix[] = {42};
-  t.scan_prefix(std::span<const value_t>(prefix, 1), [&](const Tuple&) { ++hits; });
+  t.scan_prefix(std::span<const value_t>(prefix, 1),
+                [&](std::span<const value_t>) { ++hits; });
   EXPECT_EQ(hits, 1000u);
+}
+
+TEST(BTree, PrefixScanEmptyPrefixVisitsEverything) {
+  TupleBTree t(2, 2);
+  for (value_t v = 0; v < 1234; ++v) t.insert(Tuple{mix64(v) % 5000, v});
+  std::size_t hits = 0;
+  value_t prev_first = 0;
+  bool first = true;
+  t.scan_prefix(std::span<const value_t>{}, [&](std::span<const value_t> row) {
+    if (!first) EXPECT_GE(row[0], prev_first);
+    prev_first = row[0];
+    first = false;
+    ++hits;
+  });
+  EXPECT_EQ(hits, t.size());
+  EXPECT_EQ(t.check_invariants(), t.size());
+}
+
+TEST(BTree, PrefixShorterThanKeyArity) {
+  // key_arity 3, scans over 1- and 2-column prefixes.
+  TupleBTree t(3, 3);
+  for (value_t a = 0; a < 8; ++a) {
+    for (value_t b = 0; b < 8; ++b) {
+      for (value_t c = 0; c < 3; ++c) t.insert(Tuple{a, b, c});
+    }
+  }
+  const value_t one[] = {5};
+  std::size_t hits1 = 0;
+  t.scan_prefix(std::span<const value_t>(one, 1), [&](std::span<const value_t> row) {
+    EXPECT_EQ(row[0], 5u);
+    ++hits1;
+  });
+  EXPECT_EQ(hits1, 8u * 3u);
+
+  const value_t two[] = {5, 2};
+  std::size_t hits2 = 0;
+  t.scan_prefix(std::span<const value_t>(two, 2), [&](std::span<const value_t> row) {
+    EXPECT_EQ(row[0], 5u);
+    EXPECT_EQ(row[1], 2u);
+    ++hits2;
+  });
+  EXPECT_EQ(hits2, 3u);
+  EXPECT_EQ(t.check_invariants(), t.size());
+}
+
+TEST(BTree, SeekPastLastKey) {
+  TupleBTree t(2, 2);
+  for (value_t v = 0; v < 200; ++v) t.insert(Tuple{v, v});
+  auto c = t.cursor();
+  const value_t beyond[] = {1000};
+  c.seek(std::span<const value_t>(beyond, 1));
+  EXPECT_FALSE(c.valid());
+  // Further seeks beyond the end stay at the end (and stay cheap), but a
+  // seek back inside the key space must recover via a fresh descent.
+  const value_t farther[] = {2000};
+  c.seek(std::span<const value_t>(farther, 1));
+  EXPECT_FALSE(c.valid());
+  const value_t inside[] = {42};
+  c.seek(std::span<const value_t>(inside, 1));
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.row()[0], 42u);
+  EXPECT_EQ(t.check_invariants(), t.size());
+}
+
+TEST(BTree, SeekIntoJustSplitLeaf) {
+  // Drive the tree through its first leaf split (kLeafCap = 32) and seek
+  // around the split boundary after every insert.
+  TupleBTree t(2, 2);
+  for (value_t v = 0; v < 40; ++v) {
+    ASSERT_TRUE(t.insert(Tuple{v * 2, v}));
+    ASSERT_EQ(t.check_invariants(), static_cast<std::size_t>(v + 1));
+    auto c = t.cursor();
+    // Seek to each stored key and to the gap just before it.
+    for (value_t probe = 0; probe <= v; ++probe) {
+      const value_t exact[] = {probe * 2};
+      c.seek(std::span<const value_t>(exact, 1));
+      ASSERT_TRUE(c.valid()) << "insert " << v << " probe " << probe;
+      EXPECT_EQ(c.row()[0], probe * 2);
+      const value_t gap[] = {probe * 2 + 1};
+      c.seek(std::span<const value_t>(gap, 1));  // lower bound = next key
+      if (probe < v) {
+        ASSERT_TRUE(c.valid());
+        EXPECT_EQ(c.row()[0], (probe + 1) * 2);
+      } else {
+        EXPECT_FALSE(c.valid());
+      }
+    }
+  }
+}
+
+TEST(BTree, CursorSeekFirstMatchesForEach) {
+  TupleBTree t(3, 2);
+  for (value_t v = 0; v < 2500; ++v) t.insert(Tuple{mix64(v) % 700, v % 5, v});
+  std::vector<Tuple> via_for_each;
+  t.for_each([&](std::span<const value_t> row) { via_for_each.emplace_back(row); });
+  std::vector<Tuple> via_cursor;
+  auto c = t.cursor();
+  for (c.seek_first(); c.valid(); c.next()) via_cursor.emplace_back(c.row());
+  EXPECT_EQ(via_for_each, via_cursor);
+}
+
+TEST(BTree, CursorEmptyTree) {
+  TupleBTree t(2, 1);
+  auto c = t.cursor();
+  c.seek_first();
+  EXPECT_FALSE(c.valid());
+  const value_t key[] = {3};
+  c.seek(std::span<const value_t>(key, 1));
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(BTree, CursorMonotoneSeeksMatchFreshScans) {
+  // Differential: a single cursor driven through an ascending probe
+  // sequence must enumerate exactly what per-probe scan_prefix does.
+  TupleBTree t(2, 2);
+  for (value_t v = 0; v < 4000; ++v) t.insert(Tuple{mix64(v) % 500, v});
+  std::vector<value_t> probes;
+  for (value_t p = 0; p < 600; ++p) probes.push_back(p);  // hits and misses
+  auto c = t.cursor();
+  for (value_t p : probes) {
+    const value_t prefix[] = {p};
+    const auto pre = std::span<const value_t>(prefix, 1);
+    std::vector<value_t> fresh;
+    t.scan_prefix(pre, [&](std::span<const value_t> row) { fresh.push_back(row[1]); });
+    std::vector<value_t> resumed;
+    for (c.seek(pre); c.valid() && c.matches(pre); c.next()) resumed.push_back(c.row()[1]);
+    EXPECT_EQ(fresh, resumed) << "probe " << p;
+  }
+}
+
+TEST(BTree, CursorNonMonotoneSeekIsCorrect) {
+  TupleBTree t(2, 2);
+  for (value_t v = 0; v < 3000; ++v) t.insert(Tuple{v, v});
+  auto c = t.cursor();
+  // Descending and zig-zag probes: always globally correct, just slower.
+  const value_t seq[] = {2500, 100, 2400, 50, 2999, 0, 1500, 1500};
+  for (value_t p : seq) {
+    const value_t prefix[] = {p};
+    c.seek(std::span<const value_t>(prefix, 1));
+    ASSERT_TRUE(c.valid()) << p;
+    EXPECT_EQ(c.row()[0], p);
+  }
+}
+
+TEST(BTree, CursorPositionRestoreReplaysRange) {
+  TupleBTree t(2, 2);
+  for (value_t i = 0; i < 300; ++i) t.insert(Tuple{7, i});
+  t.insert(Tuple{6, 0});
+  t.insert(Tuple{8, 0});
+  auto c = t.cursor();
+  const value_t prefix[] = {7};
+  const auto pre = std::span<const value_t>(prefix, 1);
+  c.seek(pre);
+  const auto begin = c.position();
+  std::size_t n = 0;
+  while (c.valid() && c.matches(pre)) {
+    ++n;
+    c.next();
+  }
+  ASSERT_EQ(n, 300u);
+  // Replay the recorded range twice without re-matching.
+  for (int rep = 0; rep < 2; ++rep) {
+    c.restore(begin);
+    value_t want = 0;
+    for (std::size_t i = 0; i < n; ++i, c.next()) {
+      ASSERT_TRUE(c.valid());
+      EXPECT_EQ(c.row()[0], 7u);
+      EXPECT_EQ(c.row()[1], want++);
+    }
+  }
+}
+
+TEST(BTree, SortedSeeksCostFewerComparisonsThanFreshScans) {
+  // The counter-based version of the bench/probe_kernel verdict: the same
+  // ascending probe set through one monotone cursor must cost strictly
+  // fewer key comparisons than per-probe fresh descents.
+  TupleBTree t(2, 1);
+  for (value_t v = 0; v < 20000; ++v) t.insert(Tuple{mix64(v) % 30000, v});
+
+  std::vector<value_t> probes;
+  for (value_t p = 0; p < 30000; p += 3) probes.push_back(p);
+
+  t.reset_counters();
+  std::size_t sink = 0;
+  for (value_t p : probes) {
+    const value_t prefix[] = {p};
+    t.scan_prefix(std::span<const value_t>(prefix, 1),
+                  [&](std::span<const value_t>) { ++sink; });
+  }
+  const auto fresh_cmps = t.comparisons();
+
+  t.reset_counters();
+  std::size_t sink2 = 0;
+  auto c = t.cursor();
+  for (value_t p : probes) {
+    const value_t prefix[] = {p};
+    const auto pre = std::span<const value_t>(prefix, 1);
+    for (c.seek(pre); c.valid() && c.matches(pre); c.next()) ++sink2;
+  }
+  const auto sorted_cmps = t.comparisons();
+
+  EXPECT_EQ(sink, sink2);
+  EXPECT_LT(sorted_cmps, fresh_cmps);
 }
 
 TEST(BTree, ClearEmptiesTree) {
@@ -173,7 +379,7 @@ TEST(BTree, CountsComparisonsMonotonically) {
   const auto after_insert = t.comparisons();
   EXPECT_GT(after_insert, 0u);
   const value_t key[] = {50};
-  (void)t.find_key(std::span<const value_t>(key, 1));
+  (void)std::as_const(t).find_key(std::span<const value_t>(key, 1));
   EXPECT_GT(t.comparisons(), after_insert);
   t.reset_counters();
   EXPECT_EQ(t.comparisons(), 0u);
@@ -188,7 +394,8 @@ TEST(BTree, ApproxBytesGrowsWithContent) {
 
 TEST(BTree, FuzzAgainstStdMap) {
   // Randomized differential test: interleaved inserts, lookups, payload
-  // rewrites, and prefix scans against a std::map reference.
+  // rewrites, prefix scans, and monotone cursor batches against a
+  // std::map reference.
   TupleBTree tree(3, 2);
   std::map<std::pair<value_t, value_t>, value_t> ref;
   value_t state = 12345;
@@ -198,7 +405,7 @@ TEST(BTree, FuzzAgainstStdMap) {
   };
   for (int op = 0; op < 20000; ++op) {
     const value_t k1 = rnd(64), k2 = rnd(16);
-    switch (rnd(4)) {
+    switch (rnd(5)) {
       case 0: {  // insert
         const value_t payload = rnd(1000);
         const bool fresh = ref.emplace(std::make_pair(k1, k2), payload).second;
@@ -207,39 +414,58 @@ TEST(BTree, FuzzAgainstStdMap) {
       }
       case 1: {  // point lookup
         const value_t key[] = {k1, k2};
-        const Tuple* row = tree.find_key(std::span<const value_t>(key, 2));
+        const auto row = std::as_const(tree).find_key(std::span<const value_t>(key, 2));
         const auto it = ref.find({k1, k2});
         if (it == ref.end()) {
-          EXPECT_EQ(row, nullptr);
+          EXPECT_TRUE(row.empty());
         } else {
-          ASSERT_NE(row, nullptr);
-          EXPECT_EQ((*row)[2], it->second);
+          ASSERT_FALSE(row.empty());
+          EXPECT_EQ(row[2], it->second);
         }
         break;
       }
       case 2: {  // payload rewrite (the fused-aggregation hot path)
         const value_t key[] = {k1, k2};
-        Tuple* row = tree.find_key(std::span<const value_t>(key, 2));
+        const std::span<value_t> row = tree.find_key(std::span<const value_t>(key, 2));
         auto it = ref.find({k1, k2});
-        ASSERT_EQ(row != nullptr, it != ref.end());
-        if (row != nullptr) {
+        ASSERT_EQ(!row.empty(), it != ref.end());
+        if (!row.empty()) {
           const value_t v = rnd(1000);
-          (*row)[2] = v;
+          row[2] = v;
           it->second = v;
         }
         break;
       }
-      default: {  // prefix scan over k1
+      case 3: {  // prefix scan over k1
         const value_t prefix[] = {k1};
         std::vector<std::pair<value_t, value_t>> got;
-        tree.scan_prefix(std::span<const value_t>(prefix, 1),
-                         [&](const Tuple& row) { got.emplace_back(row[1], row[2]); });
+        tree.scan_prefix(
+            std::span<const value_t>(prefix, 1),
+            [&](std::span<const value_t> row) { got.emplace_back(row[1], row[2]); });
         std::vector<std::pair<value_t, value_t>> want;
         for (auto it = ref.lower_bound({k1, 0}); it != ref.end() && it->first.first == k1;
              ++it) {
           want.emplace_back(it->first.second, it->second);
         }
         EXPECT_EQ(got, want) << "prefix " << k1 << " at op " << op;
+        break;
+      }
+      default: {  // ascending cursor batch over a few prefixes from k1
+        auto c = tree.cursor();
+        for (value_t p = k1; p < k1 + 5; ++p) {
+          const value_t prefix[] = {p};
+          const auto pre = std::span<const value_t>(prefix, 1);
+          std::vector<std::pair<value_t, value_t>> got;
+          for (c.seek(pre); c.valid() && c.matches(pre); c.next()) {
+            got.emplace_back(c.row()[1], c.row()[2]);
+          }
+          std::vector<std::pair<value_t, value_t>> want;
+          for (auto it = ref.lower_bound({p, 0}); it != ref.end() && it->first.first == p;
+               ++it) {
+            want.emplace_back(it->first.second, it->second);
+          }
+          EXPECT_EQ(got, want) << "cursor prefix " << p << " at op " << op;
+        }
         break;
       }
     }
@@ -272,7 +498,7 @@ TEST_P(BTreeSweep, InvariantsAndMembership) {
   // later row with the same key prefix was rejected, so prefix lookup by
   // the stored row's key must return a row).
   for (const auto& row : inserted) {
-    EXPECT_NE(t.find_key(row.prefix(p.key_arity)), nullptr);
+    EXPECT_FALSE(t.find_key(row.prefix(p.key_arity)).empty());
   }
 }
 

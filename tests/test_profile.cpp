@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/phase_scope.hpp"
+#include "core/ra_op.hpp"
 #include "vmpi/runtime.hpp"
 
 namespace paralagg::core {
@@ -181,6 +182,62 @@ TEST(CostModel, SyncTermGrowsWithRanks) {
   CostModel m;
   EXPECT_GT(m.project(p, 1024), m.project(p, 4));
   EXPECT_GT(m.project(p, 2), 0.0);  // never free
+}
+
+TEST(WorkAccounting, CopyAndJoinChargeLocalJoinIdentically) {
+  // The balancer compares kLocalJoin work across rules, so copy and join
+  // must charge the same unit: probes + matches.  A copy "probes" each
+  // source row once and every row matches (modulo filters).
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    Relation r(comm, {.name = "r", .arity = 2, .jcc = 1});
+    Relation s(comm, {.name = "s", .arity = 2, .jcc = 1});
+    Relation join_out(comm, {.name = "join_out", .arity = 2, .jcc = 1});
+    Relation copy_out(comm, {.name = "copy_out", .arity = 2, .jcc = 1});
+    std::vector<Tuple> rf, sf;
+    if (comm.rank() == 0) {
+      for (value_t k = 0; k < 16; ++k) {
+        rf.push_back(Tuple{k, k * 10});
+        // Two inner rows per key: matches != probes for the join.
+        sf.push_back(Tuple{k, k});
+        sf.push_back(Tuple{k, k + 100});
+      }
+    }
+    r.load_facts(rf);
+    s.load_facts(sf);
+
+    const auto lj = static_cast<std::size_t>(Phase::kLocalJoin);
+
+    RankProfile join_profile;
+    const auto join_stats = execute_join(
+        comm, join_profile,
+        JoinRule{.a = &r,
+                 .a_version = Version::kFull,
+                 .b = &s,
+                 .b_version = Version::kFull,
+                 .out = {.target = &join_out,
+                         .cols = {Expr::col_a(1), Expr::col_b(1)}}});
+    join_out.materialize();
+    EXPECT_EQ(join_profile.current().work[lj], join_stats.probes + join_stats.matches);
+    EXPECT_GT(join_stats.matches, join_stats.probes);  // 2 inner rows per key
+
+    RankProfile copy_profile;
+    const auto copy_stats = execute_copy(
+        comm, copy_profile,
+        CopyRule{.src = &r,
+                 .version = Version::kFull,
+                 .out = {.target = &copy_out,
+                         .cols = {Expr::col_a(0), Expr::col_a(1)}},
+                 .filter = Expr::less(Expr::col_a(0), Expr::constant(8))});
+    copy_out.materialize();
+    EXPECT_EQ(copy_profile.current().work[lj], copy_stats.probes + copy_stats.matches);
+    // The filter keeps half the rows: probes counts all, matches the kept.
+    const auto probes =
+        comm.allreduce<std::uint64_t>(copy_stats.probes, vmpi::ReduceOp::kSum);
+    const auto matches =
+        comm.allreduce<std::uint64_t>(copy_stats.matches, vmpi::ReduceOp::kSum);
+    EXPECT_EQ(probes, 16u);
+    EXPECT_EQ(matches, 8u);
+  });
 }
 
 TEST(PhaseNames, AllDistinct) {

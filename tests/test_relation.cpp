@@ -172,9 +172,9 @@ TEST(Relation, FusedAggregationCollapsesWithinIteration) {
     auto m = r.materialize();
     EXPECT_EQ(m.inserted, 1u);
     const value_t key[] = {1, 2};
-    const Tuple* row = r.tree(Version::kFull).find_key(std::span<const value_t>(key, 2));
-    ASSERT_NE(row, nullptr);
-    EXPECT_EQ((*row)[2], 30u);
+    const auto row = r.tree(Version::kFull).find_key(std::span<const value_t>(key, 2));
+    ASSERT_FALSE(row.empty());
+    EXPECT_EQ(row[2], 30u);
   });
 }
 
@@ -196,7 +196,7 @@ TEST(Relation, FusedAggregationAscendsAcrossIterations) {
     EXPECT_EQ(better.updated, 1u);
     EXPECT_EQ(better.delta_size, 1u);
     const value_t key[] = {1, 2};
-    EXPECT_EQ((*r.tree(Version::kFull).find_key(std::span<const value_t>(key, 2)))[2], 20u);
+    EXPECT_EQ(r.tree(Version::kFull).find_key(std::span<const value_t>(key, 2))[2], 20u);
     EXPECT_EQ(r.local_size(Version::kFull), 1u);  // collapsed, not accumulated
   });
 }
@@ -214,14 +214,14 @@ TEST(Relation, RefreshModeReplacesState) {
     r.stage(Tuple{2, 7}.view());
     r.materialize();
     const value_t k1[] = {1};
-    EXPECT_EQ((*r.tree(Version::kFull).find_key(std::span<const value_t>(k1, 1)))[1], 15u);
+    EXPECT_EQ(r.tree(Version::kFull).find_key(std::span<const value_t>(k1, 1))[1], 15u);
 
     // Next round: key 2 not restaged -> dropped (Jacobi replacement).
     r.stage(Tuple{1, 3}.view());
     r.materialize();
-    EXPECT_EQ((*r.tree(Version::kFull).find_key(std::span<const value_t>(k1, 1)))[1], 3u);
+    EXPECT_EQ(r.tree(Version::kFull).find_key(std::span<const value_t>(k1, 1))[1], 3u);
     const value_t k2[] = {2};
-    EXPECT_EQ(r.tree(Version::kFull).find_key(std::span<const value_t>(k2, 1)), nullptr);
+    EXPECT_TRUE(r.tree(Version::kFull).find_key(std::span<const value_t>(k2, 1)).empty());
   });
 }
 
@@ -238,8 +238,8 @@ TEST(Relation, LoadFactsRoutesToOwners) {
     EXPECT_EQ(r.global_size(Version::kFull), 100u);
     EXPECT_EQ(r.global_size(Version::kDelta), 100u);  // delta == initial facts
     // Every local tuple is owned by this rank.
-    r.tree(Version::kFull).for_each([&](const Tuple& t) {
-      EXPECT_EQ(r.owner_rank(t.view()), comm.rank());
+    r.tree(Version::kFull).for_each([&](std::span<const value_t> t) {
+      EXPECT_EQ(r.owner_rank(t), comm.rank());
     });
   });
 }
@@ -283,8 +283,8 @@ TEST(Relation, ReshuffleKeepsContentAndMovesOwnership) {
         comm.allreduce<std::uint64_t>(r.local_size(Version::kFull), vmpi::ReduceOp::kMax);
     EXPECT_LT(after_max, 200u);  // spread out
     // Ownership must be consistent under the new mapping.
-    r.tree(Version::kFull).for_each([&](const Tuple& t) {
-      EXPECT_EQ(r.owner_rank(t.view()), comm.rank());
+    r.tree(Version::kFull).for_each([&](std::span<const value_t> t) {
+      EXPECT_EQ(r.owner_rank(t), comm.rank());
     });
   });
 }
