@@ -25,6 +25,14 @@
 //     --async-batch N     async mode: rows buffered per destination before
 //                         an eager send (default 128)
 //     --baseline          disable dynamic join order + balancing
+//     --checkpoint FILE   checkpoint manifest path (with --checkpoint-every)
+//     --checkpoint-every N  write the manifest every N loop iterations
+//                         (BSP engine; 0 = off, the default)
+//     --resume FILE       restart from a checkpoint manifest written by an
+//                         earlier run of the SAME query/graph/options; any
+//                         rank count works
+//     --watchdog SECONDS  fail blocked waits with a typed timeout instead
+//                         of hanging (0 = off, the default)
 //     --out FILE          write result tuples as text
 //
 // Examples:
@@ -57,6 +65,10 @@ struct Args {
   bool use_async = false;
   std::size_t async_batch = 128;
   bool baseline = false;
+  std::string checkpoint_file;
+  std::size_t checkpoint_every = 0;
+  std::string resume_file;
+  double watchdog_seconds = 0;
   std::string out_file;
 };
 
@@ -65,8 +77,9 @@ struct Args {
   std::cerr << "usage: paralagg_cli <sssp|cc|tc|pagerank|triangles|lsp|sssp-tree> "
                "[--graph FILE | --synthetic NAME] [--scale N] [--ranks N]\n"
                "       [--sources a,b,c] [--rounds N] [--sub-buckets N]\n"
-               "       [--engine bsp|async] [--async-batch N] [--baseline] "
-               "[--out FILE]\n";
+               "       [--engine bsp|async] [--async-batch N] [--baseline]\n"
+               "       [--checkpoint FILE --checkpoint-every N] [--resume FILE]\n"
+               "       [--watchdog SECONDS] [--out FILE]\n";
   std::exit(2);
 }
 
@@ -114,6 +127,14 @@ Args parse(int argc, char** argv) {
       args.async_batch = std::stoull(next());
     } else if (flag == "--baseline") {
       args.baseline = true;
+    } else if (flag == "--checkpoint") {
+      args.checkpoint_file = next();
+    } else if (flag == "--checkpoint-every") {
+      args.checkpoint_every = std::stoull(next());
+    } else if (flag == "--resume") {
+      args.resume_file = next();
+    } else if (flag == "--watchdog") {
+      args.watchdog_seconds = std::stod(next());
     } else if (flag == "--out") {
       args.out_file = next();
     } else {
@@ -168,6 +189,10 @@ void report(const core::RunResult& run) {
     std::cerr << "WARNING: tuple limit hit — the run was truncated and did NOT reach "
                  "its fixpoint; results below are partial\n";
   }
+  if (run.aborted_fault) {
+    std::cerr << "ERROR: run aborted on a detected fault: " << run.fault_what << "\n";
+  }
+  if (run.resumed) std::cout << "(resumed from checkpoint)\n";
 }
 
 }  // namespace
@@ -262,7 +287,9 @@ namespace {
 
 void run_query(const Args& args, const graph::Graph& g, const queries::QueryTuning& tuning,
                const std::vector<core::value_t>& sources) {
-  vmpi::run(args.ranks, [&](vmpi::Comm& comm) {
+  vmpi::RunOptions ropts;
+  ropts.watchdog_seconds = args.watchdog_seconds;
+  vmpi::run(args.ranks, ropts, [&](vmpi::Comm& comm) {
     const bool root = comm.is_root();
     if (args.query == "sssp") {
       queries::SsspOptions opts;
@@ -357,6 +384,12 @@ int main(int argc, char** argv) {
   tuning.edge_sub_buckets = args.sub_buckets;
   tuning.use_async = args.use_async;
   tuning.async.batch_rows = args.async_batch;
+  tuning.engine.checkpoint_every = args.checkpoint_every;
+  tuning.engine.checkpoint_path = args.checkpoint_file;
+  tuning.resume_manifest = args.resume_file;
+  if (args.checkpoint_every > 0 && args.checkpoint_file.empty()) {
+    usage("--checkpoint-every needs --checkpoint FILE");
+  }
 
   auto sources = args.sources;
   if (sources.empty()) sources = g.pick_hubs(3);

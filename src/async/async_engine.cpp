@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <variant>
 
 #include "async/termination.hpp"
@@ -12,6 +13,8 @@
 #include "core/phase_scope.hpp"
 #include "core/ra_op.hpp"
 #include "core/relation.hpp"
+#include "core/wire.hpp"
+#include "vmpi/fault.hpp"
 #include "vmpi/serialize.hpp"
 
 namespace paralagg::async {
@@ -74,6 +77,8 @@ class StratumLoop {
         nranks_(static_cast<std::size_t>(comm.size())) {
     fresh_.assign(targets_.size(), false);
     stage_out_.resize(targets_.size() * nranks_);
+    app_seq_.assign(nranks_, 0);
+    seen_seqs_.resize(nranks_);
     for (const auto& rule : stratum.loop_rules) {
       if (const auto* j = std::get_if<core::JoinRule>(&rule)) {
         joins_.push_back(JoinTask{j, target_index(j->a), target_index(j->out.target)});
@@ -94,14 +99,33 @@ class StratumLoop {
       fresh_[i] = targets_[i]->local_size(Version::kDelta) > 0;
     }
 
+    // Progress watchdog.  The per-recv watchdog inside Comm only catches
+    // a rank parked with *nothing* arriving; a dropped app message leaves
+    // the Safra counters permanently unbalanced, so probes keep failing
+    // and tokens keep circulating — every blocking recv returns promptly
+    // and the loop livelocks instead of hanging.  App-level progress
+    // (computation or accepted app messages) is the signal that is
+    // actually starved, so that is what the deadline watches.
+    const double deadline = comm_.watchdog_seconds();
+    last_progress_ = wall_now();
+
     while (!detector_.terminated()) {
-      drain_app();
-      if (local_round()) continue;
+      if (drain_app() > 0) last_progress_ = wall_now();
+      if (local_round()) {
+        // A productive local round is the async analogue of a BSP
+        // iteration boundary: release injected delays, apply epoch faults.
+        comm_.advance_epoch();
+        last_progress_ = wall_now();
+        continue;
+      }
 
       // Nothing to compute: push every buffered row out, then re-check the
       // mailbox — a message may have raced in while we were flushing.
       flush_all();
-      if (drain_app() > 0) continue;
+      if (drain_app() > 0) {
+        last_progress_ = wall_now();
+        continue;
+      }
 
       // Passive: all work done, all sends flushed.  Move the termination
       // protocol along, then park in a blocking receive — the next app
@@ -113,6 +137,11 @@ class StratumLoop {
         detector_.try_terminate();
       }
       if (detector_.terminated()) break;
+      if (deadline > 0 && wall_now() - last_progress_ > deadline) {
+        comm_.world().fault_abort();
+        throw vmpi::TimeoutError("async loop (termination starved, no app progress)",
+                                 deadline, comm_.stats());
+      }
       blocking_wait();
     }
   }
@@ -279,8 +308,13 @@ class StratumLoop {
 
   // -- outbound ---------------------------------------------------------------
 
-  void send_app(int dst, int tag, vmpi::Bytes bytes) {
-    comm_.isend(dst, tag, bytes);
+  /// Seal and ship one app frame.  The wire trailer's sequence number is
+  /// per destination (stage and probe tags share the counter), so every
+  /// frame this rank ever sends to `dst` is uniquely numbered — which is
+  /// what lets the receiver recognize injected duplicates.
+  void send_app(int dst, int tag, vmpi::TypedWriter<value_t>& w) {
+    core::wire::seal_frame(w, app_seq_[static_cast<std::size_t>(dst)]++);
+    comm_.isend(dst, tag, w.take());
     detector_.on_app_send();
     ++ls_.messages_sent;
   }
@@ -294,7 +328,7 @@ class StratumLoop {
     w.put(static_cast<value_t>(out_idx));
     w.put(static_cast<value_t>(count));
     w.put_span(std::span<const value_t>(buf));
-    send_app(static_cast<int>(dest), kTagStage, w.take());
+    send_app(static_cast<int>(dest), kTagStage, w);
     ls_.stage_rows_sent += count;
     profile_.add_work(Phase::kAllToAll, count);
     buf.clear();
@@ -309,7 +343,7 @@ class StratumLoop {
     w.put(static_cast<value_t>(join_idx));
     w.put(static_cast<value_t>(count));
     w.put_span(std::span<const value_t>(buf));
-    send_app(static_cast<int>(dest), kTagProbe, w.take());
+    send_app(static_cast<int>(dest), kTagProbe, w);
     ls_.probe_rows_sent += count;
     profile_.add_work(Phase::kAllToAll, count);
     buf.clear();
@@ -346,7 +380,7 @@ class StratumLoop {
         }
         if (!w.empty()) {
           PhaseScope scope(comm_, profile_, Phase::kAllToAll);
-          send_app(static_cast<int>(d), kTagStage, w.take());
+          send_app(static_cast<int>(d), kTagStage, w);
           ls_.stage_rows_sent += rows;
           profile_.add_work(Phase::kAllToAll, rows);
         }
@@ -366,7 +400,7 @@ class StratumLoop {
         }
         if (!w.empty()) {
           PhaseScope scope(comm_, profile_, Phase::kAllToAll);
-          send_app(static_cast<int>(d), kTagProbe, w.take());
+          send_app(static_cast<int>(d), kTagProbe, w);
           ls_.probe_rows_sent += rows;
           profile_.add_work(Phase::kAllToAll, rows);
         }
@@ -376,46 +410,81 @@ class StratumLoop {
 
   // -- inbound ----------------------------------------------------------------
 
+  /// Open, validate, and dedup-filter one inbound app frame.  Returns
+  /// false (counting it) when the frame is an injected duplicate; throws
+  /// vmpi::FrameDecodeError on corruption.  The Safra receive is recorded
+  /// here, for accepted frames only — the sender counted each message
+  /// once, so discarding the injected copies BEFORE the detector sees
+  /// them is what keeps the counters balanced and termination reachable
+  /// under duplication.
+  bool accept_app(int src, const vmpi::Bytes& bytes, core::wire::Frame& frame) {
+    frame = core::wire::open_frame(bytes);
+    if (frame.empty()) {
+      throw vmpi::FrameDecodeError("async: app frame has no payload");
+    }
+    if (!seen_seqs_[static_cast<std::size_t>(src)].insert(frame.seq).second) {
+      comm_.stats().dup_frames_discarded += 1;
+      return false;
+    }
+    detector_.on_app_receive();
+    ++ls_.messages_received;
+    return true;
+  }
+
   std::size_t drain_app() {
     std::size_t n = 0;
-    n += comm_.drain(kTagStage, [&](int /*src*/, vmpi::Bytes b) {
-      detector_.on_app_receive();
-      ++ls_.messages_received;
-      on_stage(b);
+    n += comm_.drain(kTagStage, [&](int src, vmpi::Bytes b) {
+      core::wire::Frame frame;
+      if (accept_app(src, b, frame)) on_stage(frame.payload);
     });
-    n += comm_.drain(kTagProbe, [&](int /*src*/, vmpi::Bytes b) {
-      detector_.on_app_receive();
-      ++ls_.messages_received;
-      on_probe(b);
+    n += comm_.drain(kTagProbe, [&](int src, vmpi::Bytes b) {
+      core::wire::Frame frame;
+      if (accept_app(src, b, frame)) on_probe(frame.payload);
     });
     return n;
   }
 
-  void on_stage(const vmpi::Bytes& bytes) {
+  void on_stage(std::span<const std::byte> payload) {
     PhaseScope scope(comm_, profile_, Phase::kDedupAgg);
-    vmpi::TypedReader<value_t> r(bytes);
+    vmpi::TypedReader<value_t> r(payload);
     std::uint64_t rows = 0;
     while (!r.done()) {
+      if (r.remaining() < 2) {
+        throw vmpi::FrameDecodeError("async: stage frame truncated before row count");
+      }
       const auto idx = static_cast<std::size_t>(r.get());
-      assert(idx < targets_.size() && "stage frame names an unknown route");
+      if (idx >= targets_.size()) {
+        throw vmpi::FrameDecodeError("async: stage frame names an unknown route");
+      }
       Relation& rel = *targets_[idx];
       const auto count = static_cast<std::size_t>(r.get());
+      if (count > r.remaining() / rel.arity()) {
+        throw vmpi::FrameDecodeError("async: stage frame row count overruns payload");
+      }
       rel.stage_rows(r.take_span(count * rel.arity()));
       rows += count;
     }
     profile_.add_work(Phase::kDedupAgg, rows);
   }
 
-  void on_probe(const vmpi::Bytes& bytes) {
+  void on_probe(std::span<const std::byte> payload) {
     PhaseScope scope(comm_, profile_, Phase::kLocalJoin);
-    vmpi::TypedReader<value_t> r(bytes);
+    vmpi::TypedReader<value_t> r(payload);
     std::uint64_t rows = 0;
     while (!r.done()) {
+      if (r.remaining() < 2) {
+        throw vmpi::FrameDecodeError("async: probe frame truncated before row count");
+      }
       const auto j = static_cast<std::size_t>(r.get());
-      assert(j < joins_.size() && "probe frame names an unknown join rule");
+      if (j >= joins_.size()) {
+        throw vmpi::FrameDecodeError("async: probe frame names an unknown join rule");
+      }
       const JoinTask& task = joins_[j];
       const std::size_t arity = task.rule->a->arity();
       const auto count = static_cast<std::size_t>(r.get());
+      if (count > r.remaining() / arity) {
+        throw vmpi::FrameDecodeError("async: probe frame row count overruns payload");
+      }
       const auto flat = r.take_span(count * arity);
       // Frames are concatenations of delta scans, so rows arrive in sorted
       // runs; one cursor rides the runs and re-descends only at run seams.
@@ -439,14 +508,20 @@ class StratumLoop {
       detector_.on_control(src, tag, bytes);
       return;
     }
-    detector_.on_app_receive();
-    ++ls_.messages_received;
-    if (tag == kTagStage) {
-      on_stage(bytes);
-    } else {
-      assert(tag == kTagProbe && "foreign tag in the async loop");
-      on_probe(bytes);
+    if (tag == kTagStage || tag == kTagProbe) {
+      core::wire::Frame frame;
+      if (!accept_app(src, bytes, frame)) return;
+      if (tag == kTagStage) {
+        on_stage(frame.payload);
+      } else {
+        on_probe(frame.payload);
+      }
+      return;
     }
+    // Foreign tag: an injected delay can carry a control message from an
+    // earlier stratum's detector (its tag block is retired) across the
+    // stratum boundary.  Stale by construction — discard, don't abort.
+    comm_.stats().dup_frames_discarded += 1;
   }
 
   vmpi::Comm& comm_;
@@ -470,6 +545,14 @@ class StratumLoop {
   std::size_t stale_rounds_ = 0;
   std::vector<int> dest_scratch_;
   Tuple out_scratch_;
+
+  // Fault hardening: per-destination send sequence (stamped into the wire
+  // trailer), per-source set of accepted sequences (injected duplicates
+  // are discarded before the termination detector counts them), and the
+  // progress-watchdog clock.
+  std::vector<value_t> app_seq_;
+  std::vector<std::unordered_set<value_t>> seen_seqs_;
+  double last_progress_ = 0;
 };
 
 }  // namespace
@@ -602,10 +685,22 @@ core::RunResult AsyncEngine::run(core::Program& program) {
 
   core::RunResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& stratum : program.strata()) {
-    auto sr = run_stratum(*stratum);
-    result.total_iterations += sr.iterations;
-    result.strata.push_back(sr);
+  try {
+    for (const auto& stratum : program.strata()) {
+      auto sr = run_stratum(*stratum);
+      result.total_iterations += sr.iterations;
+      result.strata.push_back(sr);
+    }
+  } catch (const vmpi::FaultError& e) {
+    // Same contract as core::Engine: poison the world (idempotent) so
+    // peers unwind, surface a typed abort, and skip the cross-rank
+    // summary — its collectives cannot run on a poisoned world.
+    comm_->world().fault_abort();
+    result.aborted_fault = true;
+    result.fault_what = e.what();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
   }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

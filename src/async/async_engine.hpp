@@ -16,7 +16,9 @@
 // and quiescence is decided by a Safra token ring (async::TerminationDetector)
 // instead of an allreduce.  Two message kinds circulate, both framed like
 // the ExchangeRouter wire format ([id | row_count | rows] in value_t units,
-// via TypedWriter/TypedReader):
+// via TypedWriter/TypedReader, sealed with the core/wire.hpp CRC trailer —
+// the trailer's sequence number is what lets receivers discard injected
+// duplicate frames before they unbalance the Safra counters):
 //
 //   * PROBE (per join rule): a fresh delta row of the recursive side,
 //     replicated from its owner to every rank holding a sub-bucket of the

@@ -1,32 +1,94 @@
 #include "async/termination.hpp"
 
-#include <cassert>
+#include <span>
 
+#include "vmpi/crc32.hpp"
+#include "vmpi/fault.hpp"
 #include "vmpi/serialize.hpp"
 
 namespace paralagg::async {
 
 namespace {
 
+// Token wire format: four little-endian u64 words.
+//   [0] accumulated counter q (two's-complement int64)
+//   [1] probe id (monotone per ring; rank 0 assigns, forwarders preserve)
+//   [2] token colour (0 = white, 1 = black)
+//   [3] CRC-32 of words [0..2], zero-extended
+// The CRC catches injected corruption; the probe id catches injected
+// duplication and reordering (a token is accepted at most once per rank
+// per probe, and rank 0 only accepts the probe it actually launched).
+constexpr std::size_t kTokenWords = 4;
+constexpr std::size_t kTokenBytes = kTokenWords * sizeof(std::uint64_t);
+constexpr std::size_t kTokenCrcBytes = (kTokenWords - 1) * sizeof(std::uint64_t);
+
+vmpi::Bytes pack_token(std::int64_t q, std::uint64_t probe_id, bool black) {
+  const std::uint64_t words[3] = {static_cast<std::uint64_t>(q), probe_id,
+                                  black ? std::uint64_t{1} : std::uint64_t{0}};
+  vmpi::BufferWriter w(kTokenBytes);
+  w.put(words[0]);
+  w.put(words[1]);
+  w.put(words[2]);
+  w.put(static_cast<std::uint64_t>(vmpi::crc32(std::as_bytes(std::span(words)))));
+  return w.take();
+}
+
 struct TokenWire {
   std::int64_t q;
-  std::uint8_t black;
+  std::uint64_t probe_id;
+  bool black;
 };
+
+TokenWire unpack_token(const vmpi::Bytes& payload) {
+  if (payload.size() != kTokenBytes) {
+    throw vmpi::FrameDecodeError("safra: token frame has wrong size");
+  }
+  vmpi::BufferReader r(payload);
+  const auto q = r.get<std::uint64_t>();
+  const auto probe_id = r.get<std::uint64_t>();
+  const auto black = r.get<std::uint64_t>();
+  const auto crc = r.get<std::uint64_t>();
+  if (vmpi::crc32({payload.data(), kTokenCrcBytes}) != crc) {
+    throw vmpi::FrameDecodeError("safra: token CRC mismatch");
+  }
+  if (black > 1) {
+    throw vmpi::FrameDecodeError("safra: token colour out of range");
+  }
+  return TokenWire{static_cast<std::int64_t>(q), probe_id, black != 0};
+}
 
 }  // namespace
 
 void TerminationDetector::on_control(int src, int tag, const vmpi::Bytes& payload) {
   (void)src;
   if (tag == terminate_tag()) {
+    // Terminate is idempotent; duplicates are harmless by construction.
     terminated_ = true;
     return;
   }
-  assert(tag == token_tag() && "control message with a foreign tag");
-  assert(!has_token_ && "two tokens on one ring");
-  vmpi::BufferReader r(payload);
-  const auto wire = r.get<TokenWire>();
+  if (tag != token_tag()) {
+    throw vmpi::FrameDecodeError("safra: control message with a foreign tag");
+  }
+  const TokenWire wire = unpack_token(payload);
+
+  // Duplicate / stale suppression.  Probe ids are strictly increasing, and
+  // each probe visits every rank exactly once, so a token whose id is not
+  // *new* (or, on rank 0, not the outstanding probe) must be an injected
+  // copy or a delayed straggler from an already-decided probe.  Accepting
+  // it twice would double-count counters into q and wreck the quiescence
+  // decision; dropping it is always safe (at worst the probe fails and
+  // rank 0 launches another).
+  const bool fresh = comm_->rank() == 0
+                         ? (probe_outstanding_ && wire.probe_id == probe_id_)
+                         : wire.probe_id > seen_probe_id_;
+  if (!fresh || has_token_) {
+    comm_->stats().dup_frames_discarded += 1;
+    return;
+  }
+  if (comm_->rank() != 0) seen_probe_id_ = wire.probe_id;
   token_q_ = wire.q;
-  token_black_ = wire.black != 0;
+  token_black_ = wire.black;
+  token_probe_id_ = wire.probe_id;
   has_token_ = true;
 }
 
@@ -66,20 +128,15 @@ void TerminationDetector::start_probe() {
   // receive before the token returns re-blackens rank 0 and voids the
   // probe, which is the point.)
   black_ = false;
-  vmpi::BufferWriter w(sizeof(TokenWire));
-  w.put(TokenWire{0, 0});
-  const auto b = w.take();
-  comm_->isend(1 % comm_->size(), token_tag(), b);
+  ++probe_id_;
+  comm_->isend(1 % comm_->size(), token_tag(), pack_token(0, probe_id_, false));
   probe_outstanding_ = true;
   ++stats_.probes_started;
 }
 
 void TerminationDetector::forward_token() {
-  vmpi::BufferWriter w(sizeof(TokenWire));
-  w.put(TokenWire{token_q_ + counter_,
-                  static_cast<std::uint8_t>((token_black_ || black_) ? 1 : 0)});
-  const auto b = w.take();
-  comm_->isend((comm_->rank() + 1) % comm_->size(), token_tag(), b);
+  comm_->isend((comm_->rank() + 1) % comm_->size(), token_tag(),
+               pack_token(token_q_ + counter_, token_probe_id_, token_black_ || black_));
   black_ = false;  // this rank's activity is now folded into the token
   ++stats_.tokens_forwarded;
 }

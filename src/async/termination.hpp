@@ -26,6 +26,14 @@
 // traffic via on_app_send / on_app_receive, hand control messages to
 // on_control (or let poll() drain them), and call try_terminate() whenever
 // they are passive.  Once terminated() flips, it never reverts.
+//
+// Fault hardening: tokens carry a monotone probe id and a CRC.  An
+// injected duplicate or stale (delayed, reordered) token is recognised by
+// its id and discarded; a corrupted token fails its CRC and raises
+// vmpi::FrameDecodeError instead of corrupting the quiescence decision.
+// A *dropped* token stalls the probe forever — that is not detectable
+// here by design (Safra assumes reliable delivery) and is the async
+// loop's progress watchdog's job.
 
 #include <cstdint>
 
@@ -99,7 +107,10 @@ class TerminationDetector {
   bool has_token_ = false;
   std::int64_t token_q_ = 0;
   bool token_black_ = false;
-  bool probe_outstanding_ = false;  // rank 0 only
+  std::uint64_t token_probe_id_ = 0;  // id of the held token
+  bool probe_outstanding_ = false;    // rank 0 only
+  std::uint64_t probe_id_ = 0;        // rank 0: id of the last launched probe
+  std::uint64_t seen_probe_id_ = 0;   // rank>0: highest probe id accepted
 
   Stats stats_;
 };

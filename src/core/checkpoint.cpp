@@ -1,0 +1,205 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "vmpi/crc32.hpp"
+
+namespace paralagg::core {
+
+namespace {
+
+constexpr char kManifestMagicChars[8] = {'P', 'A', 'R', 'A', 'M', 'N', 'F', '1'};
+
+std::uint64_t manifest_magic() {
+  std::uint64_t m = 0;
+  std::memcpy(&m, kManifestMagicChars, sizeof(m));
+  return m;
+}
+
+void put_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounded sequential reader over the manifest bytes; any overrun is a
+/// format error, never UB.
+class BoundedReader {
+ public:
+  explicit BoundedReader(const std::vector<char>& bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    read_into(&v, sizeof(v));
+    return v;
+  }
+  std::string str(std::uint64_t len) {
+    if (len > remaining()) throw CheckpointError("manifest: truncated name");
+    std::string s(bytes_.data() + pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+  std::span<const std::byte> bytes(std::uint64_t len) {
+    if (len > remaining()) throw CheckpointError("manifest: truncated row data");
+    const auto* p = reinterpret_cast<const std::byte*>(bytes_.data() + pos_);
+    pos_ += static_cast<std::size_t>(len);
+    return {p, static_cast<std::size_t>(len)};
+  }
+  [[nodiscard]] std::uint64_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void read_into(void* dst, std::size_t n) {
+    if (n > remaining()) throw CheckpointError("manifest: truncated header field");
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+  const std::vector<char>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_manifest(const Program& program, const std::string& path,
+                    const ManifestHeader& at) {
+  vmpi::Comm& comm = program.comm();
+
+  // Collective phase first: every relation's rows to rank 0, sorted (so
+  // the file does not depend on the rank count that produced it).
+  std::vector<std::vector<Tuple>> gathered;
+  gathered.reserve(program.relations().size());
+  for (const auto& rel : program.relations()) {
+    gathered.push_back(rel->gather_to_root(0));
+  }
+
+  if (comm.rank() == 0) {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw CheckpointError("manifest: cannot open for writing: " + tmp);
+      put_u64(out, manifest_magic());
+      put_u64(out, at.stratum);
+      put_u64(out, at.iteration);
+      put_u64(out, at.total_iterations);
+      put_u64(out, program.relations().size());
+      for (std::size_t i = 0; i < program.relations().size(); ++i) {
+        const Relation& rel = *program.relations()[i];
+        const auto& rows = gathered[i];
+        put_u64(out, rel.name().size());
+        out.write(rel.name().data(), static_cast<std::streamsize>(rel.name().size()));
+        put_u64(out, rel.arity());
+        put_u64(out, rows.size());
+        vmpi::BufferWriter w;
+        for (const auto& t : rows) w.put_span(t.view());
+        const auto body = w.take();
+        put_u64(out, vmpi::crc32(body));
+        out.write(reinterpret_cast<const char*>(body.data()),
+                  static_cast<std::streamsize>(body.size()));
+      }
+      if (!out) throw CheckpointError("manifest: write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw CheckpointError("manifest: atomic rename failed: " + path);
+    }
+  }
+  comm.barrier();  // nobody returns before the file exists
+}
+
+ManifestHeader load_manifest(Program& program, const std::string& path) {
+  vmpi::Comm& comm = program.comm();
+
+  // Rank 0 parses and fully validates before any rank mutates anything.
+  ManifestHeader at;
+  std::vector<std::vector<Tuple>> rows(program.relations().size());
+  bool failed = false;
+  std::string error;
+  if (comm.rank() == 0) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw CheckpointError("manifest: cannot read " + path);
+      std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+      BoundedReader r(bytes);
+      if (r.u64() != manifest_magic()) {
+        throw CheckpointError("manifest: bad magic in " + path);
+      }
+      at.stratum = r.u64();
+      at.iteration = r.u64();
+      at.total_iterations = r.u64();
+      const std::uint64_t nrel = r.u64();
+      if (nrel != program.relations().size()) {
+        throw CheckpointError("manifest: relation count mismatch in " + path);
+      }
+      if (at.stratum >= program.strata().size()) {
+        throw CheckpointError("manifest: stratum index out of range in " + path);
+      }
+      std::unordered_map<std::string, std::size_t> by_name;
+      for (std::size_t i = 0; i < program.relations().size(); ++i) {
+        by_name[program.relations()[i]->name()] = i;
+      }
+      for (std::uint64_t k = 0; k < nrel; ++k) {
+        const std::string name = r.str(r.u64());
+        const auto it = by_name.find(name);
+        if (it == by_name.end()) {
+          throw CheckpointError("manifest: unknown relation '" + name + "' in " + path);
+        }
+        const Relation& rel = *program.relations()[it->second];
+        const std::uint64_t arity = r.u64();
+        if (arity != rel.arity()) {
+          throw CheckpointError("manifest: arity mismatch for '" + name + "' in " + path);
+        }
+        const std::uint64_t count = r.u64();
+        const std::uint64_t crc = r.u64();
+        // Division form: a corrupt count must not wrap the multiply.
+        if (count > r.remaining() / (arity * sizeof(value_t))) {
+          throw CheckpointError("manifest: row count overruns file for '" + name +
+                                "' in " + path);
+        }
+        const std::uint64_t body_bytes = count * arity * sizeof(value_t);
+        const auto body = r.bytes(body_bytes);
+        if (vmpi::crc32(body) != static_cast<std::uint32_t>(crc)) {
+          throw CheckpointError("manifest: row CRC mismatch for '" + name + "' in " + path);
+        }
+        // The variable-length name field leaves the body at an arbitrary
+        // file offset, so copy into aligned storage before viewing it as
+        // value_t words.
+        std::vector<value_t> words(static_cast<std::size_t>(count * arity));
+        if (!words.empty()) std::memcpy(words.data(), body.data(), body.size_bytes());
+        auto& out = rows[it->second];
+        out.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t t = 0; t < count; ++t) {
+          out.emplace_back(std::span<const value_t>(
+              words.data() + t * arity, static_cast<std::size_t>(arity)));
+        }
+      }
+      if (r.remaining() != 0) {
+        throw CheckpointError("manifest: trailing bytes in " + path);
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+  }
+
+  // Agreement before mutation: if rank 0 saw a bad file, every rank throws
+  // and no relation has been touched.
+  if (comm.allreduce<std::uint8_t>(failed ? 1 : 0, vmpi::ReduceOp::kLor) != 0) {
+    throw CheckpointError(comm.rank() == 0 ? error : "manifest: load failed on rank 0");
+  }
+
+  at.stratum = comm.bcast_value<std::uint64_t>(0, at.stratum);
+  at.iteration = comm.bcast_value<std::uint64_t>(0, at.iteration);
+  at.total_iterations = comm.bcast_value<std::uint64_t>(0, at.total_iterations);
+
+  for (std::size_t i = 0; i < program.relations().size(); ++i) {
+    Relation& rel = *program.relations()[i];
+    // Rank 0 contributes all rows, everyone else an empty slice; after
+    // load_facts the delta equals the loaded full version, which is the
+    // superset restart semi-naive resumption relies on.
+    rel.reset();
+    rel.load_facts(rows[i]);
+  }
+  return at;
+}
+
+}  // namespace paralagg::core

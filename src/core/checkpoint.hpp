@@ -1,0 +1,59 @@
+#pragma once
+
+// Engine-level checkpoint manifests.
+//
+// A manifest captures the whole program state at an iteration boundary:
+// which stratum was running, how many loop iterations it had completed,
+// and every relation's full version.  Rows are gathered to rank 0 and
+// sorted before writing, so the file is independent of the rank count and
+// sub-bucket layout that produced it — a run killed at 4 ranks resumes at
+// 7 and still converges to the bit-identical fixpoint (semi-naive
+// evaluation restarted with delta := full is a superset restart: it can
+// only redo work, never change the least fixpoint).
+//
+// File layout (binary, native-endian like the relation checkpoints):
+//
+//   u64 magic "PARAMNF1" | u64 stratum | u64 iteration
+//   u64 total_iterations | u64 relation_count
+//   per relation:
+//     u64 name_len | name bytes | u64 arity | u64 row_count
+//     u64 crc32(row bytes) | row_count * arity * u64 rows (sorted)
+//
+// Writing goes through a temporary file renamed into place, so a crash
+// mid-write can never leave a half manifest under the advertised path.
+// Loading validates magic, structure against the actual file size, and
+// every relation's CRC on rank 0 *before* any rank mutates a relation;
+// on failure every rank throws CheckpointError and the program state is
+// untouched.
+
+#include <stdexcept>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace paralagg::core {
+
+struct CheckpointError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Where in the program a manifest was taken.
+struct ManifestHeader {
+  std::uint64_t stratum = 0;           // index of the stratum in progress
+  std::uint64_t iteration = 0;         // completed loop iterations within it
+  std::uint64_t total_iterations = 0;  // completed across all strata
+};
+
+/// Gather every relation's full version to rank 0 and atomically write the
+/// manifest.  Collective; every rank returns only once the file exists.
+void write_manifest(const Program& program, const std::string& path,
+                    const ManifestHeader& at);
+
+/// Validate `path` and replace every relation's contents with the manifest
+/// rows (after which delta == full, as after load_facts).  Collective;
+/// rank 0 reads and scatters.  Returns the header, identical on all ranks.
+/// Throws CheckpointError on every rank if the file is missing, corrupt,
+/// or does not match the program's relations.
+ManifestHeader load_manifest(Program& program, const std::string& path);
+
+}  // namespace paralagg::core

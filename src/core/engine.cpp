@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/checkpoint.hpp"
 #include "core/phase_scope.hpp"
 
 namespace paralagg::core {
@@ -77,7 +78,8 @@ void Engine::run_rules(const std::vector<Rule>& rules, ExchangeRouter& router) {
   if (cfg_.fuse_exchanges) router.flush(profile_, cfg_.exchange);
 }
 
-StratumResult Engine::run_stratum(const Stratum& stratum) {
+StratumResult Engine::run_stratum(const Stratum& stratum, std::size_t start_iteration,
+                                  bool skip_init) {
   StratumResult result;
 
   // One router per stratum: rules emit into it, and it is flushed either
@@ -87,7 +89,7 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
   ExchangeRouter router(*comm_, cfg_.router_preagg);
 
   // ---- init rules: run once, seed the deltas --------------------------------
-  if (!stratum.init_rules.empty()) {
+  if (!skip_init && !stratum.init_rules.empty()) {
     run_rules(stratum.init_rules, router);
     PhaseScope scope(*comm_, profile_, Phase::kDedupAgg);
     for (Relation* t : targets_of(stratum.init_rules)) {
@@ -110,7 +112,12 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
       stratum.fixpoint ? cfg_.max_iterations
                        : std::min(stratum.max_rounds, cfg_.max_iterations);
 
-  for (std::size_t iter = 0; iter < bound; ++iter) {
+  for (std::size_t iter = start_iteration; iter < bound; ++iter) {
+    // Iteration boundary: release injected delays and apply the fault
+    // plan's epoch faults (kill/stall) deterministically.  No-op without
+    // an installed FaultPlan.
+    comm_->advance_epoch();
+
     // ---- spatial load balancing ---------------------------------------------
     if (cfg_.balance.enabled && iter % std::max<std::size_t>(cfg_.balance.period, 1) == 0) {
       for (Relation* rel : balance_candidates) {
@@ -151,6 +158,18 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
       result.aborted_tuple_limit = true;  // deterministic on all ranks
       break;
     }
+
+    // ---- checkpoint manifest ---------------------------------------------------
+    // Written only when the stratum continues (a finished stratum needs no
+    // restart point), after the termination allreduce so every rank agrees
+    // this boundary was reached.  All knobs are config, so the decision is
+    // SPMD-identical.
+    if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_path.empty() &&
+        program_ != nullptr && (iter + 1) % cfg_.checkpoint_every == 0) {
+      write_manifest(*program_, cfg_.checkpoint_path,
+                     ManifestHeader{stratum_index_, iter + 1,
+                                    prior_iterations_ + iter + 1});
+    }
   }
   // A bounded stratum that ran its whole budget finished by design — but
   // only if nothing cut it short.  Reporting a tuple-limit abort as
@@ -159,17 +178,43 @@ StratumResult Engine::run_stratum(const Stratum& stratum) {
   return result;
 }
 
-RunResult Engine::run(Program& program) {
-  program.validate();
+RunResult Engine::run_from(Program& program, std::size_t first_stratum,
+                           std::size_t start_iteration, bool skip_init,
+                           std::uint64_t prior_iterations) {
   RunResult result;
   const auto t0 = std::chrono::steady_clock::now();
+  program_ = &program;
+  prior_iterations_ = prior_iterations;
 
-  for (const auto& stratum : program.strata()) {
-    auto sr = run_stratum(*stratum);
-    result.total_iterations += sr.iterations;
-    result.aborted_tuple_limit = result.aborted_tuple_limit || sr.aborted_tuple_limit;
-    result.strata.push_back(sr);
+  try {
+    const auto& strata = program.strata();
+    for (std::size_t i = first_stratum; i < strata.size(); ++i) {
+      stratum_index_ = i;
+      const bool resumed_here = i == first_stratum;
+      const std::size_t start = resumed_here ? start_iteration : 0;
+      auto sr = run_stratum(*strata[i], start, resumed_here && skip_init);
+      prior_iterations_ += start + sr.iterations;
+      result.total_iterations += sr.iterations;
+      result.aborted_tuple_limit = result.aborted_tuple_limit || sr.aborted_tuple_limit;
+      result.strata.push_back(sr);
+    }
+  } catch (const vmpi::FaultError& e) {
+    // One catch site for every injected-failure surface: watchdog
+    // timeout, injected rank death, corrupt frame.  Poison the world
+    // (idempotent — timeouts already did) so peers blocked on this rank
+    // unwind instead of hanging; with the world poisoned no further
+    // collectives are possible — including the summary below — so the
+    // caller gets a clean typed abort instead of a half-synchronized
+    // summary.
+    comm_->world().fault_abort();
+    program_ = nullptr;
+    result.aborted_fault = true;
+    result.fault_what = e.what();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
   }
+  program_ = nullptr;
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -190,6 +235,26 @@ RunResult Engine::run(Program& program) {
     result.kernel.matches =
         comm_->allreduce<std::uint64_t>(local_kernel_.matches, vmpi::ReduceOp::kSum);
   }
+  return result;
+}
+
+RunResult Engine::run(Program& program) {
+  program.validate();
+  return run_from(program, 0, 0, /*skip_init=*/false, /*prior_iterations=*/0);
+}
+
+RunResult Engine::resume(Program& program, const std::string& manifest_path) {
+  program.validate();
+  const ManifestHeader at = load_manifest(program, manifest_path);
+  // The resumed stratum restarts at the recorded iteration with its init
+  // rules suppressed (their effects are already inside the restored full
+  // versions); earlier strata are skipped entirely.
+  auto result =
+      run_from(program, static_cast<std::size_t>(at.stratum),
+               static_cast<std::size_t>(at.iteration), /*skip_init=*/true,
+               at.total_iterations - at.iteration);
+  result.resumed = true;
+  result.total_iterations += static_cast<std::size_t>(at.total_iterations);
   return result;
 }
 

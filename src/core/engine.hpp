@@ -27,6 +27,7 @@
 
 #include <limits>
 #include <optional>
+#include <string>
 
 #include "core/balancer.hpp"
 #include "core/program.hpp"
@@ -83,6 +84,14 @@ struct EngineConfig {
   /// materializing query out of memory (the Table I "N/A" entries and the
   /// §V-A observation that Datalog CC cannot avoid the node product).
   std::uint64_t tuple_limit = std::numeric_limits<std::uint64_t>::max();
+
+  /// Write a checkpoint manifest (core/checkpoint.hpp) every this many
+  /// completed loop iterations, at the iteration boundary after global
+  /// termination agreement.  0 disables checkpointing.  Requires
+  /// `checkpoint_path`; only run(Program&) checkpoints (a bare
+  /// run_stratum has no program to snapshot).
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 /// Convenience: the paper's unoptimized configuration (RQ1 baseline).
@@ -119,6 +128,17 @@ struct RunResult {
   /// True iff any stratum hit EngineConfig::tuple_limit — the run's
   /// results are truncated, whatever the per-stratum flags say.
   bool aborted_tuple_limit = false;
+  /// True iff the run was cut short by an injected or detected fault
+  /// (vmpi::FaultError: watchdog timeout, injected rank death, corrupt
+  /// frame).  The world is poisoned at that point, so the cross-rank
+  /// summary fields below are NOT populated; `fault_what` carries the
+  /// fault's message.  This rank unwound cleanly — no hang, no UB.
+  bool aborted_fault = false;
+  std::string fault_what;
+  /// True iff this run was restarted from a checkpoint manifest
+  /// (Engine::resume); total_iterations then includes the iterations the
+  /// original run had completed before the manifest was taken.
+  bool resumed = false;
   ProfileSummary profile;      // identical on every rank
   vmpi::CommStats comm_total;  // identical on every rank
   JoinKernelTotals kernel;     // identical on every rank
@@ -132,12 +152,23 @@ class Engine {
   [[nodiscard]] RankProfile& rank_profile() { return profile_; }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
 
-  /// Execute one stratum to completion.  Collective.
-  StratumResult run_stratum(const Stratum& stratum);
+  /// Execute one stratum to completion.  Collective.  `start_iteration`
+  /// skips the first loop iterations (a resumed stratum continues where
+  /// the manifest left off); `skip_init` suppresses the init rules (their
+  /// effects are already part of the restored full versions).
+  StratumResult run_stratum(const Stratum& stratum, std::size_t start_iteration = 0,
+                            bool skip_init = false);
 
   /// Validate and execute a whole program, then assemble the cross-rank
   /// summary.  Collective; the result is identical on every rank.
   RunResult run(Program& program);
+
+  /// Restart from a checkpoint manifest: restore every relation, then run
+  /// from the recorded (stratum, iteration) to completion.  The program
+  /// must be the SPMD-identical program that wrote the manifest (same
+  /// relations, same strata), at any rank count.  Collective; throws
+  /// CheckpointError if the manifest is missing or corrupt.
+  RunResult resume(Program& program, const std::string& manifest_path);
 
  private:
   /// Execute one rule (join or copy) into `router`, honouring the engine's
@@ -156,11 +187,24 @@ class Engine {
   /// Distinct relations read by a rule list (join sides / copy sources).
   static std::vector<Relation*> sources_of(const std::vector<Rule>& rules);
 
+  /// Shared tail of run()/resume(): execute strata `first..end`, catching
+  /// vmpi::FaultError into aborted_fault, then assemble the cross-rank
+  /// summary (skipped when the world is poisoned by a fault).
+  RunResult run_from(Program& program, std::size_t first_stratum,
+                     std::size_t start_iteration, bool skip_init,
+                     std::uint64_t prior_iterations);
+
   vmpi::Comm* comm_;
   EngineConfig cfg_;
   RankProfile profile_;
   std::uint64_t cumulative_materialized_ = 0;
   JoinKernelTotals local_kernel_;  // this rank's share; summed in run()
+  // Checkpoint context, valid only inside run_from(): the program being
+  // executed, the index of the stratum in flight, and the loop iterations
+  // completed in earlier strata (for the manifest's total count).
+  Program* program_ = nullptr;
+  std::size_t stratum_index_ = 0;
+  std::uint64_t prior_iterations_ = 0;
 };
 
 }  // namespace paralagg::core

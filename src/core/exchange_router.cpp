@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/phase_scope.hpp"
+#include "core/wire.hpp"
 #include "vmpi/serialize.hpp"
 
 namespace paralagg::core {
@@ -116,8 +117,10 @@ std::vector<vmpi::Bytes> ExchangeRouter::pack(RouterFlushStats& st) {
       w.put_span(std::span<const value_t>(rows));
       st.rows_sent += count;
     }
+    wire::seal_frame(w, static_cast<value_t>(flush_seq_));
     send[d] = w.take();
   }
+  ++flush_seq_;
   pending_rows_ = 0;
   return send;
 }
@@ -140,12 +143,25 @@ void ExchangeRouter::decode(const std::vector<vmpi::Bytes>& received, RouterFlus
                             RankProfile& profile) {
   PhaseScope scope(*comm_, profile, Phase::kDedupAgg);
   for (const auto& buf : received) {
-    vmpi::TypedReader<value_t> r(buf);
+    // Trailer validation (length, CRC, magic) before the zero-copy reader
+    // sees a single payload word; FrameDecodeError on any mismatch.
+    const wire::Frame frame = wire::open_frame(buf);
+    if (frame.empty()) continue;
+    vmpi::TypedReader<value_t> r(frame.payload);
     while (!r.done()) {
       const auto id = static_cast<std::size_t>(r.get());
-      assert(id < targets_.size() && "frame names an unregistered route");
+      if (id >= targets_.size()) {
+        throw vmpi::FrameDecodeError("router: frame names an unregistered route");
+      }
       Relation& rel = *targets_[id];
+      if (r.remaining() < 1) {
+        throw vmpi::FrameDecodeError("router: frame truncated before row count");
+      }
       const auto count = static_cast<std::size_t>(r.get());
+      // Division form: a corrupt count must not overflow the multiply.
+      if (count > r.remaining() / rel.arity()) {
+        throw vmpi::FrameDecodeError("router: frame row count overruns payload");
+      }
       // Zero-copy decode: the frame body is staged straight from the
       // receive buffer, no per-tuple materialization.
       rel.stage_rows(r.take_span(count * rel.arity()));

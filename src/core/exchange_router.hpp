@@ -24,7 +24,13 @@
 //
 // Wire format of one flush, per destination rank (all units are value_t):
 //
-//   [ route_id | row_count | row_count * arity values ]*   ("frames")
+//   [ route_id | row_count | row_count * arity values ]*  wire-trailer
+//
+// followed by the core::wire trailer (sequence, length, CRC-32, magic; see
+// core/wire.hpp) sealing every non-empty buffer.  decode() validates the
+// trailer before the zero-copy reader touches the payload, so a corrupted
+// or truncated frame surfaces as vmpi::FrameDecodeError instead of
+// undefined behaviour.  Empty buffers stay zero bytes on the wire.
 //
 // Route ids are per-router registration indices; every rank must register
 // the same relations in the same order (SPMD, like everything else here).
@@ -159,6 +165,7 @@ class ExchangeRouter {
   InFlight inflight_;
   std::uint64_t pending_rows_ = 0;
   std::uint64_t loopback_rows_ = 0;
+  std::uint64_t flush_seq_ = 0;  // frame sequence stamp (advances per pack)
 };
 
 }  // namespace paralagg::core

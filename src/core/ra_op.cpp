@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/phase_scope.hpp"
+#include "core/wire.hpp"
 #include "vmpi/serialize.hpp"
 
 namespace paralagg::core {
@@ -18,7 +19,7 @@ namespace {
 /// intra-bucket exchange.
 std::uint64_t serialize_outer(const storage::TupleBTree& tree, const Relation& outer,
                               const Relation& inner,
-                              std::vector<vmpi::BufferWriter>& outgoing) {
+                              std::vector<vmpi::TypedWriter<value_t>>& outgoing) {
   std::uint64_t shipped = 0;
   std::vector<int> dests;
   tree.for_each([&](std::span<const value_t> t) {
@@ -32,9 +33,16 @@ std::uint64_t serialize_outer(const storage::TupleBTree& tree, const Relation& o
   return shipped;
 }
 
-std::vector<vmpi::Bytes> take_all(std::vector<vmpi::BufferWriter>& outgoing) {
+/// Seal each destination buffer with the wire trailer: the probe batch is
+/// raw tuple words, so an unsealed exchange would turn a corrupted byte
+/// into a silently wrong join input.  The exchange is matched by round,
+/// so the seq word carries no dedup duty here.
+std::vector<vmpi::Bytes> take_all(std::vector<vmpi::TypedWriter<value_t>>& outgoing) {
   std::vector<vmpi::Bytes> send(outgoing.size());
-  for (std::size_t d = 0; d < outgoing.size(); ++d) send[d] = outgoing[d].take();
+  for (std::size_t d = 0; d < outgoing.size(); ++d) {
+    wire::seal_frame(outgoing[d], /*seq=*/0);
+    send[d] = outgoing[d].take();
+  }
   return send;
 }
 
@@ -58,7 +66,9 @@ std::vector<value_t> decode_probe_batch(const std::vector<vmpi::Bytes>& received
   std::vector<value_t> batch;
   batch.reserve(total);
   for (const auto& buf : received) {
-    vmpi::TypedReader<value_t> r(buf);
+    const auto frame = wire::open_frame(buf);  // throws FrameDecodeError if damaged
+    if (frame.empty()) continue;
+    vmpi::TypedReader<value_t> r(frame.payload);
     const auto vals = r.take_span(r.remaining());
     batch.insert(batch.end(), vals.begin(), vals.end());
   }
@@ -101,7 +111,7 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
   std::vector<vmpi::Bytes> received_outer;
   {
     PhaseScope scope(comm, profile, Phase::kIntraBucket);
-    std::vector<vmpi::BufferWriter> outgoing(static_cast<std::size_t>(comm.size()));
+    std::vector<vmpi::TypedWriter<value_t>> outgoing(static_cast<std::size_t>(comm.size()));
     stats.outer_tuples_shipped =
         serialize_outer(outer.tree(outer_version), outer, inner, outgoing);
     profile.add_work(Phase::kIntraBucket, stats.outer_tuples_shipped);

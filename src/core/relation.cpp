@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "vmpi/crc32.hpp"
+
 namespace paralagg::core {
 
 Relation::Relation(vmpi::Comm& comm, RelationConfig cfg)
@@ -185,6 +187,13 @@ MaterializeResult Relation::materialize() {
   return res;
 }
 
+void Relation::reset() {
+  full_.clear();
+  delta_.clear();
+  staged_set_.clear();
+  staged_agg_.clear();
+}
+
 void Relation::load_facts(std::span<const Tuple> slice) {
   const auto n = static_cast<std::size_t>(comm_->size());
   std::vector<vmpi::BufferWriter> outgoing(n);
@@ -264,6 +273,9 @@ std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
 namespace {
 
 constexpr std::uint64_t kCheckpointMagic = 0x50415241'4c414747ULL;  // "PARALAGG"
+constexpr std::uint64_t kCheckpointVersion = 2;
+// Header: magic, version, arity, row count, CRC-32 of the row bytes.
+constexpr std::size_t kCheckpointHeaderWords = 5;
 
 }  // namespace
 
@@ -277,8 +289,14 @@ void Relation::save_checkpoint(const std::string& path) {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("checkpoint: cannot open for writing: " + path);
     std::uint64_t count = 0;
-    for (const auto& buf : all) count += buf.size() / (cfg_.arity * sizeof(value_t));
-    const std::uint64_t header[3] = {kCheckpointMagic, cfg_.arity, count};
+    std::uint32_t crc_state = vmpi::kCrc32Init;
+    for (const auto& buf : all) {
+      count += buf.size() / (cfg_.arity * sizeof(value_t));
+      crc_state = vmpi::crc32_update(crc_state, buf);
+    }
+    const std::uint64_t header[kCheckpointHeaderWords] = {
+        kCheckpointMagic, kCheckpointVersion, cfg_.arity, count,
+        crc_state ^ vmpi::kCrc32Init};
     out.write(reinterpret_cast<const char*>(header), sizeof(header));
     for (const auto& buf : all) {
       out.write(reinterpret_cast<const char*>(buf.data()),
@@ -290,33 +308,52 @@ void Relation::save_checkpoint(const std::string& path) {
 }
 
 void Relation::load_checkpoint(const std::string& path) {
+  // Rank 0 parses and validates the whole file — magic, version, arity,
+  // declared count against the actual file size (so a corrupt count can
+  // never drive a huge reserve), and the row-byte CRC — before any rank
+  // touches its trees.  On any failure every rank throws and the relation
+  // is left exactly as it was.
   std::vector<Tuple> rows;
   bool failed = false;
   std::string error;
   if (comm_->rank() == 0) {
+    const auto fail = [&](std::string msg) {
+      failed = true;
+      error = std::move(msg);
+    };
     std::ifstream in(path, std::ios::binary);
-    std::uint64_t header[3] = {};
+    std::uint64_t header[kCheckpointHeaderWords] = {};
     if (!in || !in.read(reinterpret_cast<char*>(header), sizeof(header))) {
-      failed = true;
-      error = "checkpoint: cannot read " + path;
+      fail("checkpoint: cannot read " + path);
     } else if (header[0] != kCheckpointMagic) {
-      failed = true;
-      error = "checkpoint: bad magic in " + path;
-    } else if (header[1] != cfg_.arity) {
-      failed = true;
-      error = "checkpoint: arity mismatch in " + path + " (file " +
-              std::to_string(header[1]) + ", relation " + std::to_string(cfg_.arity) + ")";
+      fail("checkpoint: bad magic in " + path);
+    } else if (header[1] != kCheckpointVersion) {
+      fail("checkpoint: unsupported version " + std::to_string(header[1]) + " in " + path);
+    } else if (header[2] != cfg_.arity) {
+      fail("checkpoint: arity mismatch in " + path + " (file " +
+           std::to_string(header[2]) + ", relation " + std::to_string(cfg_.arity) + ")");
     } else {
-      rows.reserve(header[2]);
-      std::vector<value_t> vals(cfg_.arity);
-      for (std::uint64_t i = 0; i < header[2]; ++i) {
-        if (!in.read(reinterpret_cast<char*>(vals.data()),
-                     static_cast<std::streamsize>(cfg_.arity * sizeof(value_t)))) {
-          failed = true;
-          error = "checkpoint: truncated file " + path;
-          break;
+      const std::uint64_t count = header[3];
+      const std::uint64_t row_bytes = count * cfg_.arity * sizeof(value_t);
+      in.seekg(0, std::ios::end);
+      const auto end = in.tellg();
+      in.seekg(static_cast<std::streamoff>(sizeof(header)), std::ios::beg);
+      if (end < 0 ||
+          static_cast<std::uint64_t>(end) != sizeof(header) + row_bytes) {
+        fail("checkpoint: file size disagrees with declared row count in " + path);
+      } else {
+        std::vector<std::byte> body(row_bytes);
+        if (row_bytes > 0 &&
+            !in.read(reinterpret_cast<char*>(body.data()),
+                     static_cast<std::streamsize>(row_bytes))) {
+          fail("checkpoint: truncated file " + path);
+        } else if (vmpi::crc32(body) != static_cast<std::uint32_t>(header[4])) {
+          fail("checkpoint: row data CRC mismatch in " + path);
+        } else {
+          rows.reserve(count);
+          vmpi::TypedReader<value_t> r(body);
+          while (!r.done()) rows.emplace_back(r.take_span(cfg_.arity));
         }
-        rows.emplace_back(std::span<const value_t>(vals));
       }
     }
   }
@@ -326,10 +363,7 @@ void Relation::load_checkpoint(const std::string& path) {
     throw std::runtime_error(comm_->rank() == 0 ? error : "checkpoint: load failed");
   }
 
-  full_.clear();
-  delta_.clear();
-  staged_set_.clear();
-  staged_agg_.clear();
+  reset();
   load_facts(rows);  // rank 0 contributes everything; others pass empty
 }
 

@@ -123,6 +123,10 @@ class Relation {
   /// area into full, computing the next delta.  Local; no communication.
   MaterializeResult materialize();
 
+  /// Drop every tuple and staged row (full, delta, staging).  Local; the
+  /// checkpoint-restore path clears a relation before repopulating it.
+  void reset();
+
   [[nodiscard]] std::size_t staged_count() const {
     return aggregated() ? staged_agg_.size() : staged_set_.size();
   }

@@ -1,0 +1,89 @@
+#pragma once
+
+// Validated wire framing for tuple exchanges.
+//
+// Every router / async frame is a flat stream of value_t words.  Under
+// fault injection (vmpi::FaultPlan) a frame may arrive with a flipped
+// byte, duplicated, or matched against the wrong exchange; the zero-copy
+// TypedReader would turn any of that into silent garbage or UB.  Sealing
+// appends a fixed trailer
+//
+//   [ seq | payload_words | crc32 | magic ]      (4 x value_t)
+//
+// where the CRC covers the payload plus the seq and length words.
+// open_frame() validates size, magic, length, and CRC before exposing the
+// payload, throwing vmpi::FrameDecodeError on any mismatch — a corrupted
+// frame becomes a typed failure, never undefined behaviour.
+//
+// A truly empty buffer (a destination that got nothing this flush) is
+// NOT sealed: "no data" stays zero bytes on the wire, preserving the
+// engine's zero-extra-communication property for empty exchanges.  The
+// seq word lets receivers on faultable transports (isend/drain) detect
+// injected duplicates; slot-based collectives may pass any value.
+
+#include <cstring>
+#include <span>
+
+#include "core/types.hpp"
+#include "vmpi/crc32.hpp"
+#include "vmpi/fault.hpp"
+#include "vmpi/serialize.hpp"
+
+namespace paralagg::core::wire {
+
+inline constexpr value_t kFrameMagic = 0x50'41'52'41'46'52'4dULL;  // "PARAFRM"
+inline constexpr std::size_t kTrailerWords = 4;
+inline constexpr std::size_t kTrailerBytes = kTrailerWords * sizeof(value_t);
+
+/// A validated view into a received buffer.  `payload` aliases the buffer
+/// passed to open_frame, which must outlive it.
+struct Frame {
+  std::span<const std::byte> payload;
+  value_t seq = 0;
+  [[nodiscard]] bool empty() const { return payload.empty(); }
+};
+
+/// Append the trailer to the words written so far.  No-op on an empty
+/// writer (empty frames travel as zero bytes and open as empty frames).
+inline void seal_frame(vmpi::TypedWriter<value_t>& w, value_t seq) {
+  if (w.empty()) return;
+  const auto payload_words = static_cast<value_t>(w.elements());
+  w.put(seq);
+  w.put(payload_words);
+  // CRC over payload || seq || len, so trailer corruption is caught too.
+  w.put(static_cast<value_t>(vmpi::crc32(w.bytes())));
+  w.put(kFrameMagic);
+}
+
+/// Validate a sealed buffer and return its payload view.
+/// Throws vmpi::FrameDecodeError if the buffer is not an intact frame.
+inline Frame open_frame(std::span<const std::byte> buf) {
+  if (buf.empty()) return Frame{};
+  if (buf.size() % sizeof(value_t) != 0) {
+    throw vmpi::FrameDecodeError("wire: frame size is not a whole word count");
+  }
+  const std::size_t words = buf.size() / sizeof(value_t);
+  if (words < kTrailerWords) {
+    throw vmpi::FrameDecodeError("wire: frame shorter than its trailer");
+  }
+  const auto word_at = [&](std::size_t i) {
+    value_t v;
+    std::memcpy(&v, buf.data() + i * sizeof(value_t), sizeof(value_t));
+    return v;
+  };
+  if (word_at(words - 1) != kFrameMagic) {
+    throw vmpi::FrameDecodeError("wire: bad frame magic");
+  }
+  const value_t crc = word_at(words - 2);
+  const value_t payload_words = word_at(words - 3);
+  if (payload_words != words - kTrailerWords) {
+    throw vmpi::FrameDecodeError("wire: frame length word disagrees with buffer size");
+  }
+  if (static_cast<value_t>(vmpi::crc32(buf.first((words - 2) * sizeof(value_t)))) != crc) {
+    throw vmpi::FrameDecodeError("wire: frame CRC mismatch");
+  }
+  return Frame{buf.first(static_cast<std::size_t>(payload_words) * sizeof(value_t)),
+               word_at(words - 4)};
+}
+
+}  // namespace paralagg::core::wire

@@ -64,6 +64,8 @@ CcResult run_cc(vmpi::Comm& comm, const graph::Graph& g, const CcOptions& opts) 
   CcResult result;
   result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.component_count = comp->global_size(core::Version::kFull);
   result.labelled_nodes = cc->global_size(core::Version::kFull);
   if (opts.collect_labels) result.labels = cc->gather_to_root(0);

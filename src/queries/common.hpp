@@ -6,6 +6,8 @@
 // options; fact loading slices the edge list round-robin by rank so no
 // rank needs the whole input resident in relation form.
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "async/async_engine.hpp"
@@ -64,6 +66,11 @@ struct QueryTuning {
   bool use_async = false;
   async::AsyncConfig async;
 
+  /// Restart from this checkpoint manifest instead of running from
+  /// scratch (core::Engine::resume; see engine.checkpoint_every /
+  /// engine.checkpoint_path for writing one).  BSP engine only.
+  std::string resume_manifest;
+
   /// The paper's RQ1 baseline: no balancing, fixed join order.
   static QueryTuning baseline() {
     QueryTuning t;
@@ -77,10 +84,16 @@ struct QueryTuning {
 inline core::RunResult run_engine(vmpi::Comm& comm, core::Program& program,
                                   const QueryTuning& tuning) {
   if (tuning.use_async) {
+    if (!tuning.resume_manifest.empty()) {
+      throw std::invalid_argument(
+          "async engine: checkpoint resume is a BSP-engine feature "
+          "(iteration boundaries are its restart points)");
+    }
     async::AsyncEngine engine(comm, tuning.async);
     return engine.run(program);
   }
   core::Engine engine(comm, tuning.engine);
+  if (!tuning.resume_manifest.empty()) return engine.resume(program, tuning.resume_manifest);
   return engine.run(program);
 }
 

@@ -85,6 +85,8 @@ LspResult run_lsp(vmpi::Comm& comm, const graph::Graph& g, const LspOptions& opt
   LspResult result;
   result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.spath_count = spath->global_size(core::Version::kFull);
   result.spnorm_count = spnorm->global_size(core::Version::kFull);
 

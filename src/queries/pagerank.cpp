@@ -79,6 +79,8 @@ PagerankResult run_pagerank(vmpi::Comm& comm, const graph::Graph& g,
   PagerankResult result;
   result.run = run_engine(comm, program, opts.tuning);
   result.rounds = result.run.total_iterations;
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.ranked_nodes = rank->global_size(core::Version::kFull);
 
   // Mass check: Σ rank / (N * scale).

@@ -48,6 +48,8 @@ SsspResult run_sssp(vmpi::Comm& comm, const graph::Graph& g, const SsspOptions& 
   SsspResult result;
   result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.path_count = spath->global_size(core::Version::kFull);
   if (opts.collect_distances) result.distances = spath->gather_to_root(0);
   return result;

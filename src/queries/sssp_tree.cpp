@@ -43,6 +43,8 @@ SsspTreeResult run_sssp_tree(vmpi::Comm& comm, const graph::Graph& g,
   SsspTreeResult result;
   result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.reached = tree->global_size(core::Version::kFull);
   result.tree = tree->gather_to_root(0);
   return result;

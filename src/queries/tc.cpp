@@ -37,6 +37,8 @@ TcResult run_tc(vmpi::Comm& comm, const graph::Graph& g, const TcOptions& opts) 
   TcResult result;
   result.run = run_engine(comm, program, opts.tuning);
   result.iterations = result.run.total_iterations;
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.path_count = path->global_size(core::Version::kFull);
   if (opts.collect_pairs) result.pairs = path->gather_to_root(0);
   return result;

@@ -62,6 +62,8 @@ TrianglesResult run_triangles(vmpi::Comm& comm, const graph::Graph& g,
 
   TrianglesResult result;
   result.run = run_engine(comm, program, opts.tuning);
+  // Faulted world: no further collectives are possible, return the abort.
+  if (result.run.aborted_fault) return result;
   result.wedges = wedge->global_size(core::Version::kFull);
 
   const auto rows = tri->gather_to_root(0);

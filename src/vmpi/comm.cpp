@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 namespace paralagg::vmpi {
 
@@ -35,6 +39,15 @@ void World::abort() {
   }
 }
 
+void World::fault_abort() {
+  barrier_.fault_abort();
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box.m);
+    box.faulted = true;
+    box.cv.notify_all();
+  }
+}
+
 CommStats World::total_stats() const {
   CommStats total;
   for (const auto& s : stats_) total += s;
@@ -42,14 +55,111 @@ CommStats World::total_stats() const {
 }
 
 void Comm::timed_barrier_wait() {
+  flush_delayed();
+  const double deadline = world_->watchdog_seconds_;
   const double t0 = wall_now();
   try {
-    world_->barrier_.arrive_and_wait();
+    world_->barrier_.arrive_and_wait(deadline);
+  } catch (const detail::WaitTimeout&) {
+    if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+    // Our deadline fired first: poison the world so peers blocked on us
+    // unwind with their own TimeoutError instead of hanging.
+    world_->fault_abort();
+    throw TimeoutError("barrier", deadline, stats());
+  } catch (const detail::FaultWake&) {
+    if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+    throw TimeoutError("barrier (released by peer fault)", deadline, stats());
   } catch (...) {
     if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
     throw;
   }
   if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+}
+
+void Comm::advance_epoch() {
+  flush_delayed();
+  const std::uint64_t e = epoch_++;
+  const FaultPlan& plan = world_->plan_;
+  if (plan.kill_rank == rank_ && plan.kill_epoch == e) {
+    throw FaultInjectedDeath(rank_, e);
+  }
+  if (plan.stall_rank == rank_ && plan.stall_epoch == e && plan.stall_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(plan.stall_seconds));
+  }
+}
+
+void Comm::flush_delayed() {
+  if (edges_.empty()) return;
+  for (std::size_t d = 0; d < edges_.size(); ++d) {
+    auto& edge = edges_[d];
+    if (edge.held.empty()) continue;
+    auto& box = world_->mailboxes_[d];
+    {
+      std::lock_guard lock(box.m);
+      for (auto& h : edge.held) {
+        box.q.push_back(detail::Message{rank_, h.tag, std::move(h.payload)});
+      }
+    }
+    edge.held.clear();
+    box.cv.notify_all();
+  }
+}
+
+void Comm::faulted_enqueue(int dst, int tag, Bytes payload) {
+  if (edges_.empty()) edges_.resize(static_cast<std::size_t>(size()));
+  auto& edge = edges_[static_cast<std::size_t>(dst)];
+  const std::uint64_t seq = edge.seq++;
+  const FaultDecision decision = fault_decide(world_->plan_, rank_, dst, seq);
+
+  // Copies of this message to publish now (0 for drop/delay, 2 for dup),
+  // followed by any held messages whose delay ran out — publishing the
+  // batch under one lock keeps the schedule a pure function of the seed
+  // (a receiver can never observe a duplicate before its original, nor a
+  // release without the send that triggered it).
+  int copies = 1;
+  switch (decision.action) {
+    case FaultAction::kDeliver:
+      break;
+    case FaultAction::kDrop:
+      stats().faults_dropped += 1;
+      copies = 0;
+      break;
+    case FaultAction::kDuplicate:
+      stats().faults_duplicated += 1;
+      copies = 2;
+      break;
+    case FaultAction::kDelay:
+      stats().faults_delayed += 1;
+      edge.held.push_back(Held{tag, std::move(payload), seq + decision.delay_msgs});
+      copies = 0;
+      break;
+    case FaultAction::kCorrupt:
+      stats().faults_corrupted += 1;
+      if (!payload.empty()) {
+        payload[static_cast<std::size_t>(decision.corrupt_index % payload.size())] ^=
+            std::byte{0x5A};
+      }
+      break;
+  }
+
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(dst)];
+  bool published = false;
+  {
+    std::lock_guard lock(box.m);
+    for (int c = 0; c < copies; ++c) {
+      box.q.push_back(detail::Message{rank_, tag, payload});
+      published = true;
+    }
+    // Release held messages that have now been passed by enough newer
+    // sends on this edge (this is what makes the delay a bounded reorder).
+    while (!edge.held.empty() && edge.held.front().release_at <= seq) {
+      box.q.push_back(detail::Message{rank_, edge.held.front().tag,
+                                      std::move(edge.held.front().payload)});
+      edge.held.pop_front();
+      published = true;
+    }
+  }
+  if (published) box.cv.notify_all();
 }
 
 void Comm::barrier() {
@@ -64,6 +174,13 @@ void Comm::isend(int dst, int tag, std::span<const std::byte> data) {
     st.record_call(Op::kP2P);
     st.record_send(Op::kP2P, data.size(), dst != rank_);
     st.messages_sent += 1;
+  }
+
+  // Self-sends are exempt from injection: a process does not lose messages
+  // to itself, and the loopback staging paths rely on that.
+  if (dst != rank_ && world_->plan_.faults_messages()) {
+    faulted_enqueue(dst, tag, Bytes(data.begin(), data.end()));
+    return;
   }
 
   auto& box = world_->mailboxes_[static_cast<std::size_t>(dst)];
@@ -83,7 +200,11 @@ bool matches(const detail::Message& m, int src, int tag) {
 }  // namespace
 
 Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
+  // About to block: anything our own injected delays still hold must go
+  // out first, or two ranks could deadlock on each other's held messages.
+  flush_delayed();
   auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  const double deadline = world_->watchdog_seconds_;
   const double t0 = wall_now();
   std::unique_lock lock(box.m);
   for (;;) {
@@ -103,11 +224,29 @@ Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
       return std::move(m.payload);
     }
     if (box.aborted) throw WorldAborted{};
-    box.cv.wait(lock, [&] {
-      return box.aborted ||
+    if (box.faulted) {
+      lock.unlock();
+      if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+      throw TimeoutError("recv (released by peer fault)", deadline, stats());
+    }
+    const auto pred = [&] {
+      return box.aborted || box.faulted ||
              std::any_of(box.q.begin(), box.q.end(),
                          [&](const detail::Message& m) { return matches(m, src, tag); });
-    });
+    };
+    if (deadline > 0) {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(deadline - (wall_now() - t0)));
+      if (!box.cv.wait_until(lock, until, pred)) {
+        lock.unlock();
+        if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+        world_->fault_abort();
+        throw TimeoutError("recv", deadline, stats());
+      }
+    } else {
+      box.cv.wait(lock, pred);
+    }
   }
 }
 
@@ -228,18 +367,36 @@ Comm::Ticket Comm::ialltoallv(std::vector<Bytes> send) {
 
 void Comm::ticket_deliver(Ticket& ticket, int src, Bytes payload) {
   auto& slot = ticket.arrived_[static_cast<std::size_t>(src)];
-  assert(slot == 0 && "duplicate ialltoallv frame from one source");
+  if (slot != 0) {
+    // Injected duplicate of a frame this ticket already absorbed: the
+    // exchange is idempotent at the frame level, so discard and count.
+    stats().dup_frames_discarded += 1;
+    return;
+  }
   slot = 1;
   ticket.received_[static_cast<std::size_t>(src)] = std::move(payload);
   --ticket.remaining_;
 }
 
 std::vector<Bytes> Comm::wait(Ticket& ticket) {
-  assert(ticket.active_ && "wait on an inactive ticket");
+  if (!ticket.active_) {
+    throw std::logic_error("vmpi: wait() on an inactive ialltoallv ticket "
+                           "(already waited, or never posted)");
+  }
   const double t0 = wall_now();
   {
     StatsPause pause(*this);
     while (ticket.remaining_ > 0) {
+      int src = 0;
+      Bytes payload = recv(kAnySource, ticket.tag_, &src);
+      ticket_deliver(ticket, src, std::move(payload));
+    }
+    // Injected duplicates of frames we already consumed may still be
+    // queued under this tag; every duplicate of a delivered original is
+    // published with it under one lock, so this drain is deterministic
+    // and leaves nothing of this exchange behind to pollute a later
+    // ticket reusing the tag window.
+    while (iprobe(kAnySource, ticket.tag_)) {
       int src = 0;
       Bytes payload = recv(kAnySource, ticket.tag_, &src);
       ticket_deliver(ticket, src, std::move(payload));
@@ -255,9 +412,12 @@ std::vector<Bytes> Comm::wait(Ticket& ticket) {
 }
 
 bool Comm::test(Ticket& ticket) {
-  assert(ticket.active_ && "test on an inactive ticket");
+  if (!ticket.active_) {
+    throw std::logic_error("vmpi: test() on an inactive ialltoallv ticket "
+                           "(already waited, or never posted)");
+  }
   StatsPause pause(*this);
-  while (ticket.remaining_ > 0 && iprobe(kAnySource, ticket.tag_)) {
+  while (iprobe(kAnySource, ticket.tag_)) {
     int src = 0;
     Bytes payload = recv(kAnySource, ticket.tag_, &src);
     ticket_deliver(ticket, src, std::move(payload));
@@ -284,8 +444,12 @@ std::vector<Bytes> Comm::alltoallv_bruck(std::vector<Bytes> send) {
     }
   }
 
-  // log2-ceil rounds; tags carry the round number so interleaved calls on
-  // the same communicator cannot cross-match.
+  // log2-ceil rounds; tags carry the call sequence and the round number so
+  // neither interleaved calls nor an injected duplicate/delay surviving
+  // into a later Bruck exchange can cross-match.
+  const int tag_base =
+      kBruckTagBase +
+      static_cast<int>(bruck_seq_++ % kBruckTagWindow) * kBruckRoundsPerCall;
   for (int k = 0; (1 << k) < n; ++k) {
     const int hop = 1 << k;
     const int to = (rank_ + hop) % n;
@@ -307,22 +471,47 @@ std::vector<Bytes> Comm::alltoallv_bruck(std::vector<Bytes> send) {
     pool = std::move(keep);
 
     const auto outgoing = w.take();
-    isend(to, /*tag=*/0x42000000 + k, outgoing);
-    const auto incoming = recv(from, 0x42000000 + k);
-    BufferReader r(incoming);
-    while (!r.done()) {
+    isend(to, tag_base + k, outgoing);
+    const auto incoming = recv(from, tag_base + k);
+    // Relay frames cross multiple hops, so a corrupted length or rank
+    // field must surface as a typed decode error rather than feed the
+    // unchecked reader.
+    std::size_t pos = 0;
+    const auto take = [&](std::size_t want) -> const std::byte* {
+      if (incoming.size() - pos < want) {
+        throw FrameDecodeError("vmpi: truncated Bruck relay frame");
+      }
+      const std::byte* p = incoming.data() + pos;
+      pos += want;
+      return p;
+    };
+    while (pos < incoming.size()) {
       Item item;
-      item.dst = r.get<std::int32_t>();
-      item.src = r.get<std::int32_t>();
-      item.payload.resize(r.get<std::uint64_t>());
-      r.get_into(std::span<std::byte>(item.payload));
+      std::int32_t dst32 = 0;
+      std::int32_t src32 = 0;
+      std::uint64_t len = 0;
+      std::memcpy(&dst32, take(sizeof dst32), sizeof dst32);
+      std::memcpy(&src32, take(sizeof src32), sizeof src32);
+      std::memcpy(&len, take(sizeof len), sizeof len);
+      if (dst32 < 0 || dst32 >= n || src32 < 0 || src32 >= n) {
+        throw FrameDecodeError("vmpi: Bruck relay rank out of range");
+      }
+      if (len > incoming.size() - pos) {
+        throw FrameDecodeError("vmpi: Bruck relay payload length overruns frame");
+      }
+      item.dst = dst32;
+      item.src = src32;
+      const std::byte* p = take(static_cast<std::size_t>(len));
+      item.payload.assign(p, p + len);
       pool.push_back(std::move(item));
     }
   }
 
   std::vector<Bytes> out(static_cast<std::size_t>(n));
   for (auto& item : pool) {
-    assert(item.dst == rank_ && "Bruck routing failed to deliver an item");
+    if (item.dst != rank_) {
+      throw FrameDecodeError("vmpi: Bruck routing delivered a misrouted item");
+    }
     auto& buf = out[static_cast<std::size_t>(item.src)];
     buf.insert(buf.end(), item.payload.begin(), item.payload.end());
   }

@@ -17,6 +17,7 @@
 // accounting, preserves everything the evaluation measures except absolute
 // wall-clock — which a 1-core container could not reproduce anyway.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "vmpi/fault.hpp"
 #include "vmpi/serialize.hpp"
 #include "vmpi/stats.hpp"
 
@@ -47,25 +49,47 @@ struct WorldAborted : std::exception {
 
 namespace detail {
 
+/// Internal wake reasons for watchdog-bounded waits; converted by Comm
+/// into TimeoutError (with a stats snapshot) before they leave vmpi.
+struct WaitTimeout {};  // this waiter's own deadline expired
+struct FaultWake {};    // a peer's timeout / fault poisoned the world
+
 /// Classic generation-counting barrier (condition-variable based; the
 /// container has one physical core, so spinning would be pathological).
-/// Abortable: `abort()` releases all current and future waiters, which
-/// throw WorldAborted.
+/// Abortable two ways: `abort()` releases all current and future waiters
+/// with WorldAborted (a peer rank died with an exception); `fault_abort()`
+/// releases them with FaultWake (a peer hit its watchdog deadline or an
+/// injected fault — the typed-failure path).  A waiter whose own
+/// `timeout_seconds` expires first leaves with WaitTimeout.
 class Barrier {
  public:
   explicit Barrier(int n) : n_(n) {}
 
-  void arrive_and_wait() {
+  void arrive_and_wait(double timeout_seconds = 0) {
     std::unique_lock lock(m_);
     if (aborted_) throw WorldAborted{};
+    if (faulted_) throw FaultWake{};
     const auto my_gen = gen_;
     if (++arrived_ == n_) {
       arrived_ = 0;
       ++gen_;
       cv_.notify_all();
+      return;
+    }
+    const auto pred = [&] { return gen_ != my_gen || aborted_ || faulted_; };
+    if (timeout_seconds > 0) {
+      if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds), pred)) {
+        // Withdraw our arrival so the count cannot complete a generation
+        // we already gave up on (the caller fault-aborts the world next).
+        if (gen_ == my_gen && arrived_ > 0) --arrived_;
+        throw WaitTimeout{};
+      }
     } else {
-      cv_.wait(lock, [&] { return gen_ != my_gen || aborted_; });
-      if (gen_ == my_gen && aborted_) throw WorldAborted{};
+      cv_.wait(lock, pred);
+    }
+    if (gen_ == my_gen) {
+      if (aborted_) throw WorldAborted{};
+      if (faulted_) throw FaultWake{};
     }
   }
 
@@ -75,12 +99,19 @@ class Barrier {
     cv_.notify_all();
   }
 
+  void fault_abort() {
+    std::lock_guard lock(m_);
+    faulted_ = true;
+    cv_.notify_all();
+  }
+
  private:
   std::mutex m_;
   std::condition_variable cv_;
   int n_;
   int arrived_ = 0;
   bool aborted_ = false;
+  bool faulted_ = false;
   std::uint64_t gen_ = 0;
 };
 
@@ -95,6 +126,7 @@ struct Mailbox {
   std::condition_variable cv;
   std::deque<Message> q;
   bool aborted = false;
+  bool faulted = false;
 };
 
 }  // namespace detail
@@ -113,6 +145,25 @@ class World {
   /// Called by the runtime when a rank exits exceptionally.
   void abort();
 
+  /// Typed-failure twin of abort(): wake every blocked rank so each throws
+  /// a TimeoutError instead of hanging.  Called by the rank whose watchdog
+  /// fired (or that detected a corrupt frame); idempotent and thread-safe.
+  /// The world stays poisoned — any later blocking call fails fast — so
+  /// callers must not attempt further collectives after catching.
+  void fault_abort();
+
+  /// Install the fault schedule.  Call before the rank threads start
+  /// communicating (vmpi::run does this from RunOptions); the plan is
+  /// read-only afterwards.
+  void set_fault_plan(const FaultPlan& plan) { plan_ = plan; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Deadline (seconds) for every blocking wait: barrier / collective
+  /// rendezvous, recv, ticket wait.  0 disables the watchdog (the
+  /// default — fault-free runs must not pay spurious wakeups).
+  void set_watchdog(double seconds) { watchdog_seconds_ = seconds; }
+  [[nodiscard]] double watchdog_seconds() const { return watchdog_seconds_; }
+
   /// Aggregate of all per-rank stats (call only after the ranks joined).
   [[nodiscard]] CommStats total_stats() const;
   [[nodiscard]] const CommStats& stats_of(int rank) const { return stats_[static_cast<std::size_t>(rank)]; }
@@ -121,6 +172,8 @@ class World {
   friend class Comm;
 
   int nranks_;
+  FaultPlan plan_;
+  double watchdog_seconds_ = 0;
   detail::Barrier barrier_;
   // Collective exchange area: slot per rank, double-barrier protected.
   std::vector<Bytes> slots_;
@@ -139,12 +192,32 @@ class World {
 class Comm {
  public:
   Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  /// A dying rank must not strand messages an injected delay held back:
+  /// peers blocked on them would otherwise only learn via the watchdog.
+  ~Comm() { flush_delayed(); }
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm(Comm&&) = default;
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return world_->size(); }
   [[nodiscard]] bool is_root() const { return rank_ == 0; }
   [[nodiscard]] CommStats& stats() { return world_->stats_[static_cast<std::size_t>(rank_)]; }
   [[nodiscard]] World& world() { return *world_; }
+  [[nodiscard]] double watchdog_seconds() const { return world_->watchdog_seconds_; }
+
+  /// Engines call this at every iteration boundary (BSP) or local round
+  /// (async): releases delayed messages, then applies the FaultPlan's
+  /// rank-level faults for the new epoch — FaultInjectedDeath on the kill
+  /// victim, a sleep on the stall victim.  Cheap no-op without a plan.
+  void advance_epoch();
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Release every message an injected delay is still holding back.
+  /// Called automatically at each blocking-wait entry (and from
+  /// advance_epoch / the destructor), which is what bounds the reorder:
+  /// a rank either keeps sending — releasing by sequence — or blocks.
+  void flush_delayed();
 
   /// Toggle byte accounting; returns the previous setting.  Used to keep
   /// instrumentation exchanges (profile gathering, test oracles) out of the
@@ -212,7 +285,9 @@ class Comm {
 
   /// In-flight handle for a nonblocking personalised exchange posted by
   /// ialltoallv.  Move-only; complete it exactly once via wait() (test()
-  /// may be polled first to make progress without blocking).
+  /// may be polled first to make progress without blocking).  wait() or
+  /// test() on a ticket already consumed by wait() — or never posted —
+  /// throws std::logic_error deterministically, in Release builds too.
   class Ticket {
    public:
     Ticket() = default;
@@ -353,11 +428,22 @@ class Comm {
   /// barrier.  The canonical building block for symmetric collectives.
   std::vector<Bytes> exchange_slots(Bytes mine, Op op);
 
-  /// arrive_and_wait with the parked wall time charged to wait_seconds.
+  /// arrive_and_wait with the parked wall time charged to wait_seconds,
+  /// bounded by the world's watchdog; held (delayed) sends are released
+  /// first.  Internal wake sentinels become TimeoutError here.
   void timed_barrier_wait();
 
-  /// Move one arrived ialltoallv message into its ticket slot.
-  static void ticket_deliver(Ticket& ticket, int src, Bytes payload);
+  /// Move one arrived ialltoallv message into its ticket slot.  A
+  /// duplicate frame (injected dup of an already-delivered source) is
+  /// discarded idempotently and counted in dup_frames_discarded.
+  void ticket_deliver(Ticket& ticket, int src, Bytes payload);
+
+  /// Enqueue messages for `dst` under the installed FaultPlan: may drop,
+  /// duplicate, corrupt, or hold the payload back, and releases held
+  /// messages whose delay ran out.  All copies of one logical message are
+  /// published under a single mailbox lock, so a duplicate is never
+  /// observable without its original already queued ahead of it.
+  void faulted_enqueue(int dst, int tag, Bytes payload);
 
   // Dedicated tag space for ialltoallv frames, disjoint from the Bruck
   // relay (0x42......) and the async engine's tags.  The per-Comm sequence
@@ -366,11 +452,34 @@ class Comm {
   static constexpr int kIalltoallvTagBase = 0x41A20000;
   static constexpr std::uint64_t kIalltoallvTagWindow = 4096;
 
+  // Bruck relay tags rotate with a per-call sequence so a duplicated or
+  // delayed relay frame from one call can never match a later call's
+  // receive (the old fixed 0x42000000+k scheme relied on perfect
+  // delivery).  Each call claims kBruckRoundsPerCall consecutive tags.
+  static constexpr int kBruckTagBase = 0x42000000;
+  static constexpr std::uint64_t kBruckTagWindow = 1024;
+  static constexpr int kBruckRoundsPerCall = 64;  // log2(nranks) bound
+
+  /// Per-destination fault state: the edge's send sequence number and the
+  /// messages an injected delay is holding back.
+  struct Held {
+    int tag;
+    Bytes payload;
+    std::uint64_t release_at;  // edge seq at/after which the message ships
+  };
+  struct EdgeState {
+    std::uint64_t seq = 0;
+    std::deque<Held> held;
+  };
+
   World* world_;
   int rank_;
   bool stats_enabled_ = true;
   std::uint64_t split_epoch_ = 0;
   std::uint64_t ialltoallv_seq_ = 0;
+  std::uint64_t bruck_seq_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<EdgeState> edges_;  // sized lazily when a plan faults messages
 };
 
 /// Owning handle for a child communicator produced by Comm::split.

@@ -1,0 +1,82 @@
+#include "vmpi/fault.hpp"
+
+#include <string>
+
+namespace paralagg::vmpi {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Map 64 random bits to [0, 1).
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TimeoutError::TimeoutError(std::string where_, double deadline_seconds_,
+                           CommStats snapshot)
+    : FaultError("vmpi: watchdog timeout after " + std::to_string(deadline_seconds_) +
+                 "s in " + where_),
+      where(std::move(where_)),
+      deadline_seconds(deadline_seconds_),
+      stats(snapshot) {}
+
+FaultInjectedDeath::FaultInjectedDeath(int rank_, std::uint64_t epoch_)
+    : FaultError("vmpi: injected death of rank " + std::to_string(rank_) +
+                 " at epoch " + std::to_string(epoch_)),
+      rank(rank_),
+      epoch(epoch_) {}
+
+std::uint64_t fault_hash(std::uint64_t seed, int src, int dst, std::uint64_t seq) {
+  std::uint64_t h = splitmix64(seed ^ 0xA5A5A5A55A5A5A5AULL);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))));
+  h = splitmix64(h ^ seq);
+  return h;
+}
+
+FaultDecision fault_decide(const FaultPlan& plan, int src, int dst, std::uint64_t seq) {
+  FaultDecision d;
+  if (!plan.faults_messages()) return d;
+  const std::uint64_t h = fault_hash(plan.seed, src, dst, seq);
+  const double u = to_unit(h);
+
+  // Cumulative thresholds: at most one fault class per message, and the
+  // class chosen depends only on (seed, src, dst, seq).
+  double edge = plan.drop_prob;
+  if (u < edge) {
+    d.action = FaultAction::kDrop;
+    return d;
+  }
+  edge += plan.dup_prob;
+  if (u < edge) {
+    d.action = FaultAction::kDuplicate;
+    return d;
+  }
+  edge += plan.delay_prob;
+  if (u < edge) {
+    d.action = FaultAction::kDelay;
+    // A second hash round keeps the hold distance independent of the
+    // class-selection bits.
+    const std::uint64_t h2 = splitmix64(h ^ 0xD15EA5EDC0FFEE00ULL);
+    const std::uint32_t span = plan.max_delay_msgs == 0 ? 1 : plan.max_delay_msgs;
+    d.delay_msgs = 1 + static_cast<std::uint32_t>(h2 % span);
+    return d;
+  }
+  edge += plan.corrupt_prob;
+  if (u < edge) {
+    d.action = FaultAction::kCorrupt;
+    d.corrupt_index = splitmix64(h ^ 0xBADC0DEBADC0DE00ULL);
+    return d;
+  }
+  return d;
+}
+
+}  // namespace paralagg::vmpi

@@ -1,0 +1,131 @@
+#pragma once
+
+// Deterministic fault injection for the virtual MPI substrate.
+//
+// The paper's Theta runs assume a perfect interconnect; production never
+// has one.  A FaultPlan installed on a World perturbs the message layer —
+// drop, duplicate, bounded reorder/delay, single-byte corruption, and
+// rank stall/kill at a chosen epoch — and every decision is a pure
+// function of (seed, src, dst, per-edge sequence number), so any observed
+// schedule is replayable from its seed alone.
+//
+// Scope: only mailbox *messages* are faultable (isend/recv/drain, the
+// ialltoallv tickets, and the Bruck relay ride mailboxes).  The dense
+// slot/matrix collectives (allreduce, allgather, bcast, gather, dense
+// alltoallv) move data through barrier-protected shared slots and model a
+// reliable transport underneath MPI's collectives; they are perturbed
+// only indirectly, via the stall/kill epochs and the watchdog.
+//
+// Failure surfacing is layered on top (see comm.hpp): a watchdog deadline
+// on every blocking wait converts the silent hang an injected fault would
+// cause into a typed TimeoutError carrying this rank's CommStats snapshot.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "vmpi/stats.hpp"
+
+namespace paralagg::vmpi {
+
+/// Base class of every injected-failure condition the substrate raises.
+/// Engines catch this (not individual subclasses) to turn a fault into a
+/// clean RunResult instead of a wedged process.
+struct FaultError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A blocking wait (barrier, recv, ticket wait, collective rendezvous)
+/// exceeded the watchdog deadline — or was released because a peer's wait
+/// did.  Carries the waiting rank's communication counters at the moment
+/// of the timeout, so a post-mortem can see e.g. tickets posted but never
+/// completed, or wait_seconds dwarfing useful work.
+struct TimeoutError : FaultError {
+  TimeoutError(std::string where_, double deadline_seconds_, CommStats snapshot);
+
+  std::string where;        // which primitive timed out
+  double deadline_seconds;  // the watchdog setting that fired
+  CommStats stats;          // this rank's counters at the timeout
+};
+
+/// Thrown on the victim rank when FaultPlan::kill_rank reaches its epoch:
+/// the simulated process death.  Peers observe it only as silence (and
+/// eventually a TimeoutError), exactly like a real rank crash.
+struct FaultInjectedDeath : FaultError {
+  FaultInjectedDeath(int rank_, std::uint64_t epoch_);
+
+  int rank;
+  std::uint64_t epoch;
+};
+
+/// A wire frame failed validation (length, magic, or CRC): raised by the
+/// framed decode paths instead of feeding a corrupted buffer into the
+/// zero-copy readers.  Derives from FaultError so one catch site in the
+/// engines covers every injected-failure surface.
+struct FrameDecodeError : FaultError {
+  using FaultError::FaultError;
+};
+
+/// Seeded description of what to break.  All probabilities are per
+/// message, evaluated independently per (src, dst, edge-sequence) triple;
+/// at most one fault class applies to a message (cumulative thresholds in
+/// the order drop, duplicate, delay, corrupt).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // -- message faults (mailbox path only) -----------------------------------
+  double drop_prob = 0;     // message vanishes
+  double dup_prob = 0;      // message delivered twice (back to back)
+  double delay_prob = 0;    // message held back, released out of order
+  double corrupt_prob = 0;  // one payload byte flipped
+  /// Upper bound on how many subsequent same-edge sends a delayed message
+  /// may be held behind (it is also released whenever the sender blocks,
+  /// so delivery is always eventual).
+  std::uint32_t max_delay_msgs = 3;
+
+  // -- rank faults ----------------------------------------------------------
+  /// Kill `kill_rank` when its epoch counter reaches `kill_epoch` (epochs
+  /// are advanced by the engines at iteration boundaries via
+  /// Comm::advance_epoch).  -1 = disabled.
+  int kill_rank = -1;
+  std::uint64_t kill_epoch = 0;
+  /// Stall `stall_rank` for `stall_seconds` at `stall_epoch`.  -1 = disabled.
+  int stall_rank = -1;
+  std::uint64_t stall_epoch = 0;
+  double stall_seconds = 0;
+
+  /// Any fault configured at all?
+  [[nodiscard]] bool active() const {
+    return faults_messages() || kill_rank >= 0 || stall_rank >= 0;
+  }
+  /// Any per-message fault configured (the isend fast path gate)?
+  [[nodiscard]] bool faults_messages() const {
+    return drop_prob > 0 || dup_prob > 0 || delay_prob > 0 || corrupt_prob > 0;
+  }
+};
+
+/// What to do with one message.
+enum class FaultAction : std::uint8_t {
+  kDeliver = 0,
+  kDrop,
+  kDuplicate,
+  kDelay,
+  kCorrupt,
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kDeliver;
+  std::uint32_t delay_msgs = 0;    // kDelay: hold behind this many sends
+  std::uint64_t corrupt_index = 0; // kCorrupt: byte offset selector
+};
+
+/// The single source of randomness: a splitmix64-style hash of
+/// (seed, src, dst, seq).  Identical across replays by construction.
+[[nodiscard]] std::uint64_t fault_hash(std::uint64_t seed, int src, int dst,
+                                       std::uint64_t seq);
+
+/// Decide the fate of the seq-th message on edge src→dst under `plan`.
+[[nodiscard]] FaultDecision fault_decide(const FaultPlan& plan, int src, int dst,
+                                         std::uint64_t seq);
+
+}  // namespace paralagg::vmpi

@@ -9,14 +9,28 @@ namespace paralagg::vmpi {
 
 CommStats run(int nranks, const std::function<void(Comm&)>& fn) {
   std::vector<CommStats> ignored;
-  return run_collect(nranks, fn, ignored);
+  return run_collect(nranks, RunOptions{}, fn, ignored);
+}
+
+CommStats run(int nranks, const RunOptions& options,
+              const std::function<void(Comm&)>& fn) {
+  std::vector<CommStats> ignored;
+  return run_collect(nranks, options, fn, ignored);
 }
 
 CommStats run_collect(int nranks, const std::function<void(Comm&)>& fn,
                       std::vector<CommStats>& per_rank) {
+  return run_collect(nranks, RunOptions{}, fn, per_rank);
+}
+
+CommStats run_collect(int nranks, const RunOptions& options,
+                      const std::function<void(Comm&)>& fn,
+                      std::vector<CommStats>& per_rank) {
   if (nranks < 1) throw std::invalid_argument("vmpi::run: nranks must be >= 1");
 
   World world(nranks);
+  world.set_fault_plan(options.fault);
+  world.set_watchdog(options.watchdog_seconds);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));

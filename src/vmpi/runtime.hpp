@@ -14,12 +14,28 @@
 
 namespace paralagg::vmpi {
 
+/// Launch-time knobs beyond the rank count.  The fault plan and watchdog
+/// are installed on the World before any rank thread starts, so every
+/// rank observes the same schedule from its first message.
+struct RunOptions {
+  FaultPlan fault{};
+  /// Deadline (seconds) for every blocking wait; 0 disables the watchdog.
+  /// A fault sweep sets a few seconds: long enough for slow CI, short
+  /// enough that an injected hang fails the test instead of the runner.
+  double watchdog_seconds = 0;
+};
+
 /// Run `fn(comm)` on `nranks` ranks; blocks until all ranks return.
 /// Returns the aggregated communication stats of the whole run.
 CommStats run(int nranks, const std::function<void(Comm&)>& fn);
+CommStats run(int nranks, const RunOptions& options,
+              const std::function<void(Comm&)>& fn);
 
 /// As `run`, but also copies each rank's CommStats into `per_rank`.
 CommStats run_collect(int nranks, const std::function<void(Comm&)>& fn,
+                      std::vector<CommStats>& per_rank);
+CommStats run_collect(int nranks, const RunOptions& options,
+                      const std::function<void(Comm&)>& fn,
                       std::vector<CommStats>& per_rank);
 
 }  // namespace paralagg::vmpi

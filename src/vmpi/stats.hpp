@@ -67,6 +67,16 @@ struct CommStats {
   /// (barriers, collective rendezvous, recv).  For BSP runs this is the
   /// barrier-wait cost skew inflicts; for async runs it is idle drain time.
   double wait_seconds = 0;
+  /// Fault-injection accounting (always recorded, even under StatsPause:
+  /// a fault schedule is diagnostic state, not measured traffic).  Sender
+  /// side: messages this rank's sends had dropped / duplicated / delayed /
+  /// corrupted by the installed FaultPlan.  Receiver side: duplicate
+  /// frames a consumer (ticket or framed decode) discarded.
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_corrupted = 0;
+  std::uint64_t dup_frames_discarded = 0;
 
   void record_send(Op op, std::uint64_t bytes, bool remote) {
     const auto i = static_cast<std::size_t>(op);
@@ -110,6 +120,11 @@ struct CommStats {
     tickets_posted += other.tickets_posted;
     tickets_completed += other.tickets_completed;
     wait_seconds += other.wait_seconds;
+    faults_dropped += other.faults_dropped;
+    faults_duplicated += other.faults_duplicated;
+    faults_delayed += other.faults_delayed;
+    faults_corrupted += other.faults_corrupted;
+    dup_frames_discarded += other.dup_frames_discarded;
     return *this;
   }
 };

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/engine.hpp"
 #include "queries/common.hpp"
 #include "queries/reference.hpp"
@@ -108,6 +110,108 @@ TEST(Checkpoint, FixpointPortableAcrossRankAndSubBucketLayouts) {
     EXPECT_TRUE(again.strata.back().reached_fixpoint);
     EXPECT_EQ(f.spath->global_size(Version::kFull), oracle.size());
   });
+  std::remove(path.c_str());
+}
+
+// ---- corruption / truncation robustness -------------------------------------
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Every failed load must throw on EVERY rank and leave the relation
+/// byte-identical to its pre-load state.
+void expect_load_fails_and_leaves_relation_untouched(const graph::Graph& g,
+                                                     const std::string& path) {
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    SsspFixture f(comm, g, 0, /*sub_buckets=*/1);
+    // Pre-existing contents that a failed load must not disturb.
+    const auto before_full = f.spath->global_size(Version::kFull);
+    const auto before_rows = f.spath->gather_to_root(0);
+    EXPECT_THROW(f.spath->load_checkpoint(path), std::runtime_error);
+    EXPECT_EQ(f.spath->global_size(Version::kFull), before_full);
+    const auto after_rows = f.spath->gather_to_root(0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(after_rows, before_rows);
+    }
+  });
+}
+
+TEST(Checkpoint, CorruptOrTruncatedFilesRejectedRelationUntouched) {
+  const std::string path = testing::TempDir() + "/paralagg_ckpt_corrupt.bin";
+  const auto g = graph::make_rmat({.scale = 5, .edge_factor = 4, .seed = 9});
+
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    SsspFixture f(comm, g, 0, /*sub_buckets=*/1);
+    Engine engine(comm);
+    (void)engine.run(f.program);
+    f.spath->save_checkpoint(path);
+  });
+  const std::vector<char> good = slurp(path);
+  ASSERT_GT(good.size(), 40u);  // 5-word header + some rows
+
+  // One flipped byte at each interesting offset: magic, version, arity,
+  // count, CRC word, first body byte, middle of the body, last byte.
+  const std::size_t offsets[] = {0,  8,  16, 24, 32,
+                                 40, good.size() / 2, good.size() - 1};
+  for (const std::size_t off : offsets) {
+    auto bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x5A);
+    spit(path, bad);
+    SCOPED_TRACE("corrupt byte at offset " + std::to_string(off));
+    expect_load_fails_and_leaves_relation_untouched(g, path);
+  }
+
+  // Truncations: inside the header, right after it, and mid-body.  A
+  // truncated count must never drive a huge allocation either — the
+  // declared count is validated against the file size before any reserve.
+  for (const std::size_t keep : {std::size_t{12}, std::size_t{40}, good.size() - 7}) {
+    spit(path, {good.begin(), good.begin() + static_cast<std::ptrdiff_t>(keep)});
+    SCOPED_TRACE("truncated to " + std::to_string(keep) + " bytes");
+    expect_load_fails_and_leaves_relation_untouched(g, path);
+  }
+
+  // A pristine file still loads after all that (the copies were corrupted,
+  // not the original bytes).
+  spit(path, good);
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    SsspFixture f(comm, g, 0, /*sub_buckets=*/1);
+    f.spath->load_checkpoint(path);
+    EXPECT_GT(f.spath->global_size(Version::kFull), 0u);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ManifestCorruptionRejectedOnEveryRank) {
+  const std::string path = testing::TempDir() + "/paralagg_manifest_corrupt.bin";
+  const auto g = graph::make_rmat({.scale = 5, .edge_factor = 4, .seed = 11});
+
+  vmpi::run(3, [&](vmpi::Comm& comm) {
+    SsspFixture f(comm, g, 0, /*sub_buckets=*/1);
+    Engine engine(comm);
+    (void)engine.run(f.program);
+    write_manifest(f.program, path, ManifestHeader{0, 1, 1});
+  });
+  const std::vector<char> good = slurp(path);
+  ASSERT_GT(good.size(), 48u);
+
+  for (const std::size_t off : {std::size_t{0}, std::size_t{32}, good.size() - 1}) {
+    auto bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x5A);
+    spit(path, bad);
+    SCOPED_TRACE("corrupt manifest byte at offset " + std::to_string(off));
+    vmpi::run(3, [&](vmpi::Comm& comm) {
+      SsspFixture f(comm, g, 0, /*sub_buckets=*/1);
+      EXPECT_THROW(load_manifest(f.program, path), CheckpointError);
+    });
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,498 @@
+// Deterministic fault injection, hang-free failure detection, and
+// checkpoint/restart.
+//
+// The sweep's contract (DESIGN.md §8): under any seeded message-fault
+// schedule a run either reaches the bit-identical reference fixpoint or
+// fails with a typed vmpi::FaultError on every rank — never a hang, never
+// a silently wrong answer.  Stronger guarantees hold per fault class:
+// duplication and bounded reorder are absorbed (the run completes),
+// drops are detected (the run aborts), and every schedule replays
+// exactly from its seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "queries/cc.hpp"
+#include "queries/common.hpp"
+#include "queries/pagerank.hpp"
+#include "queries/sssp.hpp"
+#include "queries/tc.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg {
+namespace {
+
+using core::Tuple;
+using core::value_t;
+
+// Generous enough that sanitizer builds never trip it on a healthy run,
+// short enough that a starved wait fails the leg instead of the runner.
+constexpr double kWatchdog = 4.0;
+
+graph::Graph sweep_graph() {
+  return graph::make_rmat({.scale = 6, .edge_factor = 4, .seed = 33});
+}
+
+enum class Query { kSssp, kCc, kTc };
+const char* query_name(Query q) {
+  switch (q) {
+    case Query::kSssp: return "sssp";
+    case Query::kCc: return "cc";
+    case Query::kTc: return "tc";
+  }
+  return "?";
+}
+
+/// One rank's view of a faulted run: the typed-abort flag plus the rows it
+/// gathered (root only, and only when the run completed).
+struct LegOutcome {
+  std::vector<int> aborted;             // per rank: run.aborted_fault
+  std::vector<std::string> fault_what;  // per rank
+  std::vector<Tuple> rows;              // root's gather when not aborted
+  [[nodiscard]] bool any_aborted() const {
+    for (const int a : aborted) {
+      if (a != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool all_aborted() const {
+    for (const int a : aborted) {
+      if (a == 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Run `query` on `ranks` ranks under `options`, using the BSP engine with
+/// the Bruck exchange (the faultable collective path) unless `tuning_fn`
+/// overrides it.  Collects per-rank abort flags without any cross-rank
+/// communication — a faulted world cannot run collectives.
+template <typename TuningFn>
+LegOutcome run_leg(Query query, int ranks, const vmpi::RunOptions& options,
+                   const graph::Graph& g, TuningFn&& tuning_fn) {
+  LegOutcome out;
+  out.aborted.assign(static_cast<std::size_t>(ranks), 0);
+  out.fault_what.resize(static_cast<std::size_t>(ranks));
+  vmpi::run(ranks, options, [&](vmpi::Comm& comm) {
+    queries::QueryTuning tuning;
+    tuning.engine.exchange = core::ExchangeAlgorithm::kBruck;
+    tuning_fn(tuning);
+    core::RunResult run;
+    switch (query) {
+      case Query::kSssp: {
+        queries::SsspOptions opts;
+        opts.sources = {0};
+        opts.tuning = tuning;
+        opts.collect_distances = true;
+        auto r = run_sssp(comm, g, opts);
+        run = r.run;
+        if (comm.rank() == 0) out.rows = std::move(r.distances);
+        break;
+      }
+      case Query::kCc: {
+        queries::CcOptions opts;
+        opts.tuning = tuning;
+        opts.collect_labels = true;
+        auto r = run_cc(comm, g, opts);
+        run = r.run;
+        if (comm.rank() == 0) out.rows = std::move(r.labels);
+        break;
+      }
+      case Query::kTc: {
+        queries::TcOptions opts;
+        opts.tuning = tuning;
+        opts.collect_pairs = true;
+        auto r = run_tc(comm, g, opts);
+        run = r.run;
+        if (comm.rank() == 0) out.rows = std::move(r.pairs);
+        break;
+      }
+    }
+    const auto me = static_cast<std::size_t>(comm.rank());
+    out.aborted[me] = run.aborted_fault ? 1 : 0;
+    out.fault_what[me] = run.fault_what;
+  });
+  return out;
+}
+
+LegOutcome run_leg(Query query, int ranks, const vmpi::RunOptions& options,
+                   const graph::Graph& g) {
+  return run_leg(query, ranks, options, g, [](queries::QueryTuning&) {});
+}
+
+/// Typed aborts must be unanimous: one rank detecting a fault poisons the
+/// world, so a half-aborted outcome would mean some rank kept computing on
+/// a dead world (or worse, hung).
+void expect_unanimous(const LegOutcome& leg) {
+  EXPECT_EQ(leg.any_aborted(), leg.all_aborted())
+      << "fault abort was not unanimous across ranks";
+}
+
+TEST(FaultSweep, DropDupReorderAcrossQueriesAndRankCounts) {
+  const auto g = sweep_graph();
+
+  // Clean references, one per query (fixpoints are rank-count invariant,
+  // so one reference serves both rank counts).
+  std::vector<Tuple> reference[3];
+  for (const Query q : {Query::kSssp, Query::kCc, Query::kTc}) {
+    const auto leg = run_leg(q, 4, vmpi::RunOptions{}, g);
+    ASSERT_FALSE(leg.any_aborted()) << query_name(q) << " clean run aborted";
+    ASSERT_FALSE(leg.rows.empty());
+    reference[static_cast<int>(q)] = leg.rows;
+  }
+
+  struct FaultKind {
+    const char* name;
+    vmpi::FaultPlan plan;
+    bool expect_abort;
+  };
+  vmpi::FaultPlan drop;
+  drop.seed = 41;
+  drop.drop_prob = 0.02;
+  vmpi::FaultPlan dup;
+  dup.seed = 42;
+  dup.dup_prob = 0.10;
+  vmpi::FaultPlan reorder;
+  reorder.seed = 43;
+  reorder.delay_prob = 0.10;
+  reorder.max_delay_msgs = 3;
+  const FaultKind kinds[] = {
+      {"drop", drop, /*expect_abort=*/true},
+      {"dup", dup, /*expect_abort=*/false},
+      {"reorder", reorder, /*expect_abort=*/false},
+  };
+
+  for (const auto& kind : kinds) {
+    for (const Query q : {Query::kSssp, Query::kCc, Query::kTc}) {
+      for (const int ranks : {4, 7}) {
+        SCOPED_TRACE(std::string(kind.name) + " x " + query_name(q) + " x " +
+                     std::to_string(ranks) + " ranks");
+        vmpi::RunOptions options;
+        options.fault = kind.plan;
+        options.watchdog_seconds = kWatchdog;
+        const auto leg = run_leg(q, ranks, options, g);
+        expect_unanimous(leg);
+        if (kind.expect_abort) {
+          // A dropped frame starves a matched receive; the watchdog must
+          // convert that into a typed abort on every rank.
+          EXPECT_TRUE(leg.all_aborted());
+          EXPECT_FALSE(leg.fault_what[0].empty());
+        } else {
+          // Duplication and bounded reorder are absorbed by the framing
+          // layer: the run completes and the fixpoint is bit-identical.
+          EXPECT_FALSE(leg.any_aborted()) << leg.fault_what[0];
+          EXPECT_EQ(leg.rows, reference[static_cast<int>(q)]);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultSweep, CorruptFramesRaiseTypedDecodeErrorOnSealedPath) {
+  // overlap_flush routes the router's tuple frames over ialltoallv — the
+  // mailbox (faultable) path — and those frames carry the CRC trailer, so
+  // a flipped payload byte must surface as FrameDecodeError, never as a
+  // silently wrong fixpoint.
+  const auto g = sweep_graph();
+  const auto clean = run_leg(Query::kSssp, 4, vmpi::RunOptions{}, g,
+                             [](queries::QueryTuning& t) {
+                               t.engine.exchange = core::ExchangeAlgorithm::kDense;
+                               t.engine.overlap_flush = true;
+                             });
+  ASSERT_FALSE(clean.any_aborted());
+
+  vmpi::RunOptions options;
+  options.fault.seed = 44;
+  options.fault.corrupt_prob = 0.05;
+  options.watchdog_seconds = kWatchdog;
+  const auto leg = run_leg(Query::kSssp, 4, options, g, [](queries::QueryTuning& t) {
+    t.engine.exchange = core::ExchangeAlgorithm::kDense;
+    t.engine.overlap_flush = true;
+  });
+  expect_unanimous(leg);
+  if (leg.all_aborted()) {
+    EXPECT_FALSE(leg.fault_what[0].empty());
+  } else {
+    // Every corrupted byte happened to land in an unsealed (empty) frame:
+    // then nothing was damaged and the fixpoint must still be exact.
+    EXPECT_EQ(leg.rows, clean.rows);
+  }
+}
+
+TEST(FaultSweep, ScheduleReplaysExactlyFromSeed) {
+  const auto g = sweep_graph();
+  vmpi::RunOptions options;
+  options.fault.seed = 45;
+  options.fault.dup_prob = 0.08;
+  options.fault.delay_prob = 0.08;
+  options.watchdog_seconds = kWatchdog;
+
+  auto counters = [&](std::vector<vmpi::CommStats>& per_rank) {
+    std::vector<Tuple> rows;
+    vmpi::run_collect(
+        4, options,
+        [&](vmpi::Comm& comm) {
+          queries::QueryTuning tuning;
+          tuning.engine.exchange = core::ExchangeAlgorithm::kBruck;
+          queries::SsspOptions opts;
+          opts.sources = {0};
+          opts.tuning = tuning;
+          opts.collect_distances = true;
+          auto r = run_sssp(comm, g, opts);
+          ASSERT_FALSE(r.run.aborted_fault) << r.run.fault_what;
+          if (comm.rank() == 0) rows = std::move(r.distances);
+        },
+        per_rank);
+    return rows;
+  };
+
+  std::vector<vmpi::CommStats> first_stats;
+  std::vector<vmpi::CommStats> second_stats;
+  const auto first_rows = counters(first_stats);
+  const auto second_rows = counters(second_stats);
+
+  EXPECT_EQ(first_rows, second_rows);
+  ASSERT_EQ(first_stats.size(), second_stats.size());
+  std::uint64_t total_faults = 0;
+  for (std::size_t r = 0; r < first_stats.size(); ++r) {
+    // The BSP schedule is SPMD-deterministic, so the same seed must
+    // reproduce the exact same fault decisions message for message.
+    EXPECT_EQ(first_stats[r].faults_duplicated, second_stats[r].faults_duplicated);
+    EXPECT_EQ(first_stats[r].faults_delayed, second_stats[r].faults_delayed);
+    EXPECT_EQ(first_stats[r].dup_frames_discarded, second_stats[r].dup_frames_discarded);
+    total_faults += first_stats[r].faults_duplicated + first_stats[r].faults_delayed;
+  }
+  EXPECT_GT(total_faults, 0u) << "fault plan injected nothing; the sweep tested nothing";
+}
+
+// ---- hang-free detection ----------------------------------------------------
+
+TEST(Watchdog, InjectedRankDeathAbortsEveryPeerTyped) {
+  const auto g = sweep_graph();
+  vmpi::RunOptions options;
+  options.fault.kill_rank = 1;
+  options.fault.kill_epoch = 2;
+  options.watchdog_seconds = kWatchdog;
+  const auto leg = run_leg(Query::kSssp, 4, options, g);
+  EXPECT_TRUE(leg.all_aborted());
+  // The victim reports its injected death; peers report the starvation it
+  // caused.  Both are typed (FaultError), so callers need one catch site.
+  EXPECT_NE(leg.fault_what[1].find("injected death"), std::string::npos)
+      << leg.fault_what[1];
+}
+
+TEST(Watchdog, StalledRankDelaysButDoesNotFailTheRun) {
+  const auto g = sweep_graph();
+  vmpi::RunOptions options;
+  options.fault.stall_rank = 2;
+  options.fault.stall_epoch = 1;
+  options.fault.stall_seconds = 0.3;  // well under the watchdog
+  options.watchdog_seconds = kWatchdog;
+  const auto clean = run_leg(Query::kSssp, 4, vmpi::RunOptions{}, g);
+  const auto leg = run_leg(Query::kSssp, 4, options, g);
+  EXPECT_FALSE(leg.any_aborted()) << leg.fault_what[0];
+  EXPECT_EQ(leg.rows, clean.rows);
+}
+
+TEST(Watchdog, BareRecvStarvationRaisesTimeoutWithStatsSnapshot) {
+  vmpi::RunOptions options;
+  options.watchdog_seconds = 0.4;
+  EXPECT_THROW(
+      vmpi::run(2, options,
+                [&](vmpi::Comm& comm) {
+                  if (comm.rank() == 0) {
+                    try {
+                      (void)comm.recv(1, 7);  // rank 1 never sends
+                    } catch (const vmpi::TimeoutError& e) {
+                      // Rank 1's own barrier watchdog may fire first and
+                      // poison the world, so accept either recv flavour.
+                      EXPECT_EQ(e.where.rfind("recv", 0), 0u) << e.where;
+                      EXPECT_DOUBLE_EQ(e.deadline_seconds, 0.4);
+                      throw;
+                    }
+                  } else {
+                    // Poisoned by rank 0's timeout: the barrier must not
+                    // hang.  Depending on who wakes us first we see the
+                    // fault poisoning (TimeoutError) or the runtime's
+                    // peer-abort (WorldAborted) — either is a typed,
+                    // hang-free outcome.
+                    EXPECT_ANY_THROW(comm.barrier());
+                  }
+                }),
+      vmpi::TimeoutError);
+}
+
+// ---- async engine under faults ---------------------------------------------
+
+LegOutcome run_async_sssp(int ranks, const vmpi::RunOptions& options,
+                          const graph::Graph& g) {
+  return run_leg(Query::kSssp, ranks, options, g, [](queries::QueryTuning& t) {
+    t.use_async = true;
+  });
+}
+
+TEST(AsyncFaults, DupAndReorderReachBitIdenticalFixpoint) {
+  const auto g = sweep_graph();
+  const auto clean = run_async_sssp(4, vmpi::RunOptions{}, g);
+  ASSERT_FALSE(clean.any_aborted()) << clean.fault_what[0];
+
+  for (const int ranks : {4, 7}) {
+    vmpi::RunOptions options;
+    options.fault.seed = 46;
+    options.fault.dup_prob = 0.10;
+    options.fault.delay_prob = 0.10;
+    options.watchdog_seconds = kWatchdog;
+    SCOPED_TRACE("async dup+reorder at " + std::to_string(ranks) + " ranks");
+    const auto leg = run_async_sssp(ranks, options, g);
+    // Injected duplicates must be invisible: the wire sequence dedup
+    // drops them before the Safra counters see them, so termination
+    // still fires and the lattice fixpoint is exact.
+    EXPECT_FALSE(leg.any_aborted()) << leg.fault_what[0];
+    EXPECT_EQ(leg.rows, clean.rows);
+  }
+}
+
+TEST(AsyncFaults, DroppedDeltasStarveTerminationIntoTypedAbort) {
+  const auto g = sweep_graph();
+  vmpi::RunOptions options;
+  options.fault.seed = 47;
+  options.fault.drop_prob = 0.05;
+  options.watchdog_seconds = 2.0;
+  const auto leg = run_async_sssp(4, options, g);
+  expect_unanimous(leg);
+  // A dropped delta unbalances the Safra counters forever: tokens keep
+  // circulating (so per-recv watchdogs see traffic) but no app progress
+  // happens — the progress watchdog must turn that livelock into a typed
+  // abort.
+  EXPECT_TRUE(leg.all_aborted());
+  EXPECT_FALSE(leg.fault_what[0].empty());
+}
+
+TEST(AsyncFaults, RankDeathStarvesTokenRingIntoTypedAbort) {
+  const auto g = sweep_graph();
+  vmpi::RunOptions options;
+  options.fault.kill_rank = 2;
+  options.fault.kill_epoch = 1;
+  options.watchdog_seconds = 2.0;
+  const auto leg = run_async_sssp(4, options, g);
+  EXPECT_TRUE(leg.all_aborted());
+  EXPECT_NE(leg.fault_what[2].find("injected death"), std::string::npos)
+      << leg.fault_what[2];
+}
+
+// ---- checkpoint / restart ---------------------------------------------------
+
+/// Kill a rank mid-run with checkpointing on, then resume from the
+/// manifest at `resume_ranks` and compare against the clean fixpoint.
+template <typename RunFn>
+void kill_and_resume(const char* tag, const std::string& path, RunFn&& leg,
+                     std::uint64_t kill_epoch) {
+  // Clean reference at 4 ranks.
+  std::vector<Tuple> reference;
+  {
+    queries::QueryTuning tuning;
+    vmpi::run(4, [&](vmpi::Comm& comm) {
+      auto rows = leg(comm, tuning);
+      if (comm.rank() == 0) reference = std::move(rows);
+    });
+    ASSERT_FALSE(reference.empty()) << tag;
+  }
+
+  // Faulted run: checkpoint every iteration, kill rank 1 at `kill_epoch`.
+  {
+    vmpi::RunOptions options;
+    options.fault.kill_rank = 1;
+    options.fault.kill_epoch = kill_epoch;
+    options.watchdog_seconds = kWatchdog;
+    std::vector<int> aborted(4, 0);
+    vmpi::run(4, options, [&](vmpi::Comm& comm) {
+      queries::QueryTuning tuning;
+      tuning.engine.checkpoint_every = 1;
+      tuning.engine.checkpoint_path = path;
+      (void)leg(comm, tuning);
+      aborted[static_cast<std::size_t>(comm.rank())] = 1;  // returned, no hang
+    });
+    for (const int a : aborted) EXPECT_EQ(a, 1) << tag;
+  }
+
+  // Resume at the same and at a coprime rank count: both must finish the
+  // run and land on the bit-identical fixpoint.
+  for (const int ranks : {4, 7}) {
+    SCOPED_TRACE(std::string(tag) + ": resume at " + std::to_string(ranks) + " ranks");
+    queries::QueryTuning tuning;
+    tuning.resume_manifest = path;
+    std::vector<Tuple> resumed;
+    vmpi::run(ranks, [&](vmpi::Comm& comm) {
+      auto rows = leg(comm, tuning);
+      if (comm.rank() == 0) resumed = std::move(rows);
+    });
+    EXPECT_EQ(resumed, reference);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRestart, SsspKillAndResumeBitIdentical) {
+  const auto g = graph::make_chain(48);
+  kill_and_resume(
+      "sssp", testing::TempDir() + "/paralagg_resume_sssp.bin",
+      [&](vmpi::Comm& comm, const queries::QueryTuning& tuning) {
+        queries::SsspOptions opts;
+        opts.sources = {0};
+        opts.tuning = tuning;
+        opts.collect_distances = true;
+        auto r = run_sssp(comm, g, opts);
+        EXPECT_FALSE(r.run.aborted_fault && tuning.engine.checkpoint_every == 0);
+        return std::move(r.distances);
+      },
+      /*kill_epoch=*/5);
+}
+
+TEST(CheckpointRestart, CcKillAndResumeBitIdentical) {
+  const auto g = graph::make_chain(48);
+  kill_and_resume(
+      "cc", testing::TempDir() + "/paralagg_resume_cc.bin",
+      [&](vmpi::Comm& comm, const queries::QueryTuning& tuning) {
+        queries::CcOptions opts;
+        opts.tuning = tuning;
+        opts.collect_labels = true;
+        auto r = run_cc(comm, g, opts);
+        return std::move(r.labels);
+      },
+      /*kill_epoch=*/5);
+}
+
+TEST(CheckpointRestart, TcKillAndResumeBitIdentical) {
+  const auto g = graph::make_chain(24);
+  kill_and_resume(
+      "tc", testing::TempDir() + "/paralagg_resume_tc.bin",
+      [&](vmpi::Comm& comm, const queries::QueryTuning& tuning) {
+        queries::TcOptions opts;
+        opts.tuning = tuning;
+        opts.collect_pairs = true;
+        auto r = run_tc(comm, g, opts);
+        return std::move(r.pairs);
+      },
+      /*kill_epoch=*/5);
+}
+
+TEST(CheckpointRestart, PagerankKillAndResumeBitIdentical) {
+  const auto g = sweep_graph();
+  kill_and_resume(
+      "pagerank", testing::TempDir() + "/paralagg_resume_pagerank.bin",
+      [&](vmpi::Comm& comm, const queries::QueryTuning& tuning) {
+        queries::PagerankOptions opts;
+        opts.rounds = 8;
+        opts.tuning = tuning;
+        opts.collect_ranks = true;
+        auto r = run_pagerank(comm, g, opts);
+        return std::move(r.ranks);
+      },
+      /*kill_epoch=*/4);
+}
+
+}  // namespace
+}  // namespace paralagg

@@ -636,5 +636,33 @@ TEST(ManyRanks, CollectivesScaleTo64Threads) {
   });
 }
 
+TEST(Ialltoallv, WaitOnInactiveTicketThrowsDeterministically) {
+  run(3, [&](Comm& comm) {
+    std::vector<Bytes> send(static_cast<std::size_t>(comm.size()));
+    BufferWriter w;
+    w.put<std::uint64_t>(7);
+    send[static_cast<std::size_t>((comm.rank() + 1) % comm.size())] = w.take();
+    auto ticket = comm.ialltoallv(std::move(send));
+    (void)comm.wait(ticket);
+    EXPECT_FALSE(ticket.active());
+    // A consumed ticket is a programming error, not a hang and not UB.
+    EXPECT_THROW((void)comm.wait(ticket), std::logic_error);
+    EXPECT_THROW((void)comm.test(ticket), std::logic_error);
+  });
+}
+
+TEST(Ialltoallv, AllEmptySendsCompleteWithoutTraffic) {
+  for (const int ranks : {1, 2, 5}) {
+    run(ranks, [&](Comm& comm) {
+      std::vector<Bytes> send(static_cast<std::size_t>(comm.size()));
+      auto ticket = comm.ialltoallv(std::move(send));
+      const auto got = comm.wait(ticket);
+      EXPECT_FALSE(ticket.active());
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(comm.size()));
+      for (const auto& b : got) EXPECT_TRUE(b.empty());
+    });
+  }
+}
+
 }  // namespace
 }  // namespace paralagg::vmpi
