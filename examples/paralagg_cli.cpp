@@ -33,6 +33,15 @@
 //                         rank count works
 //     --watchdog SECONDS  fail blocked waits with a typed timeout instead
 //                         of hanging (0 = off, the default)
+//     --nodes N           group the ranks into N modeled "nodes" for the
+//                         topology: locality-split byte accounting and the
+//                         hierarchical exchange (0 = flat, the default)
+//     --topology MODE     flat (default) | hier — hier routes the tuple
+//                         exchange through per-node aggregator ranks
+//                         (needs --nodes >= 1 to group ranks)
+//     --schedule NAME     linear | rd (default) | swing — collective
+//                         schedule for allreduce/allgather; results are
+//                         bit-identical on any choice
 //     --out FILE          write result tuples as text
 //
 // Examples:
@@ -69,6 +78,9 @@ struct Args {
   std::size_t checkpoint_every = 0;
   std::string resume_file;
   double watchdog_seconds = 0;
+  int nodes = 0;
+  std::string topology = "flat";
+  std::string schedule = "rd";
   std::string out_file;
 };
 
@@ -79,7 +91,8 @@ struct Args {
                "       [--sources a,b,c] [--rounds N] [--sub-buckets N]\n"
                "       [--engine bsp|async] [--async-batch N] [--baseline]\n"
                "       [--checkpoint FILE --checkpoint-every N] [--resume FILE]\n"
-               "       [--watchdog SECONDS] [--out FILE]\n";
+               "       [--watchdog SECONDS] [--nodes N] [--topology flat|hier]\n"
+               "       [--schedule linear|rd|swing] [--out FILE]\n";
   std::exit(2);
 }
 
@@ -135,6 +148,15 @@ Args parse(int argc, char** argv) {
       args.resume_file = next();
     } else if (flag == "--watchdog") {
       args.watchdog_seconds = std::stod(next());
+    } else if (flag == "--nodes") {
+      args.nodes = std::stoi(next());
+    } else if (flag == "--topology") {
+      args.topology = next();
+      if (args.topology != "flat" && args.topology != "hier") {
+        usage(("unknown topology " + args.topology + " (expected flat or hier)").c_str());
+      }
+    } else if (flag == "--schedule") {
+      args.schedule = next();
     } else if (flag == "--out") {
       args.out_file = next();
     } else {
@@ -183,8 +205,11 @@ void write_rows(const std::string& path, const std::vector<core::Tuple>& rows,
 
 void report(const core::RunResult& run) {
   std::cout << "iterations " << run.total_iterations << ", wall " << run.wall_seconds
-            << " s, remote " << run.comm_total.total_remote_bytes() / 1024 << " KiB, "
-            << "modelled parallel " << run.profile.modelled_total() << " s\n";
+            << " s, remote " << run.comm_total.total_remote_bytes() / 1024 << " KiB ("
+            << run.comm_total.total_cross_node_bytes() / 1024 << " KiB cross-node), "
+            << "steps " << run.comm_total.total_steps() << ", "
+            << "modelled parallel " << run.profile.modelled_total() << " s, "
+            << "topo-projected " << core::CostModel{}.project_topology(run.profile) << " s\n";
   if (run.aborted_tuple_limit) {
     std::cerr << "WARNING: tuple limit hit — the run was truncated and did NOT reach "
                  "its fixpoint; results below are partial\n";
@@ -237,7 +262,11 @@ int run_datalog(const Args& args) {
   std::map<std::string, std::vector<core::Tuple>> facts;
   for (const auto& [rel, path] : args.fact_files) facts[rel] = read_rows(path);
 
-  vmpi::run(args.ranks, [&](vmpi::Comm& comm) {
+  vmpi::RunOptions ropts;
+  ropts.watchdog_seconds = args.watchdog_seconds;
+  ropts.topology = vmpi::Topology::grouped(args.ranks, args.nodes);
+  ropts.schedule = vmpi::parse_schedule(args.schedule);
+  vmpi::run(args.ranks, ropts, [&](vmpi::Comm& comm) {
     auto inst = prog.instantiate(comm, args.sub_buckets);
     for (const auto& [rel, rows] : facts) {
       // Round-robin slice so every rank contributes a share.
@@ -250,6 +279,7 @@ int run_datalog(const Args& args) {
     }
     core::EngineConfig cfg;
     if (args.baseline) cfg = core::baseline_config();
+    if (args.topology == "hier") cfg.exchange = core::ExchangeAlgorithm::kHierarchical;
     const auto result = inst.run(cfg);
     if (comm.is_root()) {
       report(result);
@@ -285,10 +315,17 @@ int run_datalog(const Args& args) {
 
 namespace {
 
-void run_query(const Args& args, const graph::Graph& g, const queries::QueryTuning& tuning,
-               const std::vector<core::value_t>& sources) {
+vmpi::RunOptions run_options(const Args& args) {
   vmpi::RunOptions ropts;
   ropts.watchdog_seconds = args.watchdog_seconds;
+  ropts.topology = vmpi::Topology::grouped(args.ranks, args.nodes);
+  ropts.schedule = vmpi::parse_schedule(args.schedule);
+  return ropts;
+}
+
+void run_query(const Args& args, const graph::Graph& g, const queries::QueryTuning& tuning,
+               const std::vector<core::value_t>& sources) {
+  const vmpi::RunOptions ropts = run_options(args);
   vmpi::run(args.ranks, ropts, [&](vmpi::Comm& comm) {
     const bool root = comm.is_root();
     if (args.query == "sssp") {
@@ -378,9 +415,17 @@ int main(int argc, char** argv) {
   const auto g = load_graph(args);
   std::cout << "graph '" << g.name << "': " << g.num_nodes << " nodes, " << g.num_edges()
             << " edges; " << args.ranks << " ranks\n";
+  if (args.nodes > 0 || args.schedule != "rd" || args.topology != "flat") {
+    std::cout << "topology: "
+              << vmpi::Topology::grouped(args.ranks, args.nodes).describe(args.ranks)
+              << ", exchange " << args.topology << ", schedule " << args.schedule << "\n";
+  }
 
   queries::QueryTuning tuning;
   if (args.baseline) tuning = queries::QueryTuning::baseline();
+  if (args.topology == "hier") {
+    tuning.engine.exchange = core::ExchangeAlgorithm::kHierarchical;
+  }
   tuning.edge_sub_buckets = args.sub_buckets;
   tuning.use_async = args.use_async;
   tuning.async.batch_rows = args.async_batch;

@@ -666,6 +666,15 @@ core::StratumResult AsyncEngine::run_stratum(const core::Stratum& stratum) {
   loop_stats_.token_probes += loop.detector_stats().probes_started;
   loop_stats_.tokens_forwarded += loop.detector_stats().tokens_forwarded;
 
+  // Fence before the first post-loop collective.  The log-step collective
+  // schedules relay over the mailboxes, and a rank that learns of
+  // termination late is still parked in the loop's wildcard recv — it
+  // would swallow (and discard as stale) a relay frame from a peer that
+  // already moved on.  The barrier rides the slot matrix, not the
+  // mailboxes, so it is safe at any interleaving and guarantees every
+  // wildcard recv has retired before the first relay frame flies.
+  comm_->barrier();
+
   // ---- stratum summary (collective; doubles as the inter-stratum sync) -------
   {
     PhaseScope scope(*comm_, profile_, Phase::kOther);

@@ -11,6 +11,9 @@ namespace paralagg::core {
 
 std::vector<vmpi::Bytes> exchange_alltoallv(vmpi::Comm& comm, std::vector<vmpi::Bytes> send,
                                             ExchangeAlgorithm algo) {
+  // kHierarchical degrades to the dense matrix here: the two-level path
+  // needs the router's combine context to be worth its extra hops, and the
+  // intra-bucket shuffles this helper serves have none.
   return algo == ExchangeAlgorithm::kBruck ? comm.alltoallv_bruck(std::move(send))
                                            : comm.alltoallv(std::move(send));
 }
@@ -173,6 +176,12 @@ void ExchangeRouter::decode(const std::vector<vmpi::Bytes>& received, RouterFlus
 
 RouterFlushStats ExchangeRouter::flush(RankProfile& profile, ExchangeAlgorithm algo) {
   assert(!inflight_.active && "flush while a split-phase exchange is in flight");
+  if (algo == ExchangeAlgorithm::kHierarchical && comm_->topology().node_size > 1) {
+    // The two-level path is written split-phase; a blocking flush is just
+    // the degenerate composition with nothing overlapped.
+    post(profile, algo);
+    return complete(profile);
+  }
   RouterFlushStats st;
   st.rows_loopback = loopback_rows_;
   loopback_rows_ = 0;
@@ -196,15 +205,29 @@ void ExchangeRouter::post(RankProfile& profile, ExchangeAlgorithm algo) {
   loopback_rows_ = 0;
   {
     PhaseScope scope(*comm_, profile, Phase::kAllToAll);
-    auto send = pack(inflight_.stats);
-    profile.add_work(Phase::kAllToAll, inflight_.stats.rows_sent);
-    if (algo == ExchangeAlgorithm::kBruck) {
-      // The relay rounds block; split-phase degrades to an eager exchange.
-      inflight_.received = comm_->alltoallv_bruck(std::move(send));
-      inflight_.eager = true;
-    } else {
+    if (algo == ExchangeAlgorithm::kHierarchical && comm_->topology().node_size > 1) {
+      inflight_.hier = true;
+      inflight_.hier_seq = hier_seq_++;
+      auto send = pack_hier(inflight_.stats);
+      profile.add_work(Phase::kAllToAll, inflight_.stats.rows_sent);
       inflight_.ticket = comm_->ialltoallv(std::move(send));
       inflight_.eager = false;
+      // Gather and scatter legs on top of the leaders' exchange (which
+      // records its own step); recorded on every rank so per-rank step
+      // counts stay uniform, as for the scheduled collectives' rounds.
+      comm_->account_steps(vmpi::Op::kAlltoallv, 2);
+    } else {
+      inflight_.hier = false;
+      auto send = pack(inflight_.stats);
+      profile.add_work(Phase::kAllToAll, inflight_.stats.rows_sent);
+      if (algo == ExchangeAlgorithm::kBruck) {
+        // The relay rounds block; split-phase degrades to an eager exchange.
+        inflight_.received = comm_->alltoallv_bruck(std::move(send));
+        inflight_.eager = true;
+      } else {
+        inflight_.ticket = comm_->ialltoallv(std::move(send));
+        inflight_.eager = false;
+      }
     }
   }
   inflight_.gen = cur_gen_;  // frozen until complete() (send-buffer stability)
@@ -227,8 +250,272 @@ RouterFlushStats ExchangeRouter::complete(RankProfile& profile) {
   recycle(inflight_.gen);
   inflight_.active = false;
   RouterFlushStats st = inflight_.stats;
-  decode(received, st, profile);
+  if (inflight_.hier) {
+    inflight_.hier = false;
+    absorb_hier(received, st, profile);
+  } else {
+    decode(received, st, profile);
+  }
   return st;
+}
+
+std::vector<vmpi::Bytes> ExchangeRouter::pack_hier(RouterFlushStats& st) {
+  const int n = comm_->size();
+  const auto nsz = static_cast<std::size_t>(n);
+  const int me = comm_->rank();
+  const vmpi::Topology& topo = comm_->topology();
+  const int leader = topo.leader_of(me);
+  const int up_tag = kHierUpTagBase + static_cast<int>(inflight_.hier_seq % kHierTagWindow);
+  const auto seq = static_cast<value_t>(inflight_.hier_seq);
+
+  std::vector<vmpi::Bytes> send(nsz);
+
+  if (me != leader) {
+    // Member: ship every bucket to the node aggregator as one sealed
+    // [dst | route | count | rows]* frame, then return the all-empty send
+    // vector — posting it keeps the leaders-only exchange collective.
+    vmpi::TypedWriter<value_t> w;
+    for (std::size_t d = 0; d < nsz; ++d) {
+      for (std::size_t id = 0; id < targets_.size(); ++id) {
+        auto& rows = bucket(id, d);
+        if (rows.empty()) continue;
+        const Relation& rel = *targets_[id];
+        if (preaggregate_) combine(rel, rows, st);
+        w.put(static_cast<value_t>(d));
+        w.put(static_cast<value_t>(id));
+        w.put(static_cast<value_t>(rows.size() / rel.arity()));
+        w.put_span(std::span<const value_t>(rows));
+        st.rows_sent += rows.size() / rel.arity();
+      }
+    }
+    wire::seal_frame(w, seq);
+    vmpi::Bytes frame = w.take();
+    comm_->account_send(vmpi::Op::kAlltoallv, frame.size(), leader);
+    {
+      // The gather leg rides the faultable mailbox path, so injected
+      // drop/corrupt/delay hit it like any other message; stats pause
+      // because the bytes were just attributed to the collective above.
+      vmpi::StatsPause pause(*comm_);
+      comm_->isend(leader, up_tag, frame);
+    }
+    pending_rows_ = 0;
+    return send;
+  }
+
+  // Leader: merge own buckets with every member frame per (final dst,
+  // route).  Buckets stay frozen from the caller's perspective — the rows
+  // move into the merge scratch and recycle() still sees cleared buffers.
+  const std::vector<int> members = topo.node_members(me, n);
+  std::vector<std::vector<value_t>> merged(targets_.size() * nsz);
+  for (std::size_t id = 0; id < targets_.size(); ++id) {
+    for (std::size_t d = 0; d < nsz; ++d) {
+      auto& rows = bucket(id, d);
+      if (rows.empty()) continue;
+      merged[id * nsz + d] = std::move(rows);
+      rows.clear();
+    }
+  }
+  {
+    vmpi::StatsPause pause(*comm_);
+    std::vector<char> seen(nsz, 0);
+    std::size_t remaining = members.size() - 1;
+    while (remaining > 0) {
+      int src = -1;
+      const vmpi::Bytes buf = comm_->recv(vmpi::kAnySource, up_tag, &src);
+      if (seen[static_cast<std::size_t>(src)] != 0) {
+        comm_->stats().dup_frames_discarded += 1;  // injected duplicate
+        continue;
+      }
+      seen[static_cast<std::size_t>(src)] = 1;
+      --remaining;
+      const wire::Frame frame = wire::open_frame(buf);
+      if (frame.empty()) continue;
+      if (frame.seq != seq) {
+        throw vmpi::FrameDecodeError("router: stale hierarchical gather frame");
+      }
+      vmpi::TypedReader<value_t> r(frame.payload);
+      while (!r.done()) {
+        const auto d = static_cast<std::size_t>(r.get());
+        if (d >= nsz) {
+          throw vmpi::FrameDecodeError("router: gather frame names a bad destination");
+        }
+        if (r.remaining() < 2) {
+          throw vmpi::FrameDecodeError("router: gather frame truncated");
+        }
+        const auto id = static_cast<std::size_t>(r.get());
+        if (id >= targets_.size()) {
+          throw vmpi::FrameDecodeError("router: gather frame names an unregistered route");
+        }
+        const auto count = static_cast<std::size_t>(r.get());
+        const Relation& rel = *targets_[id];
+        if (count > r.remaining() / rel.arity()) {
+          throw vmpi::FrameDecodeError("router: gather frame row count overruns payload");
+        }
+        const auto rows = r.take_span(count * rel.arity());
+        auto& acc = merged[id * nsz + d];
+        acc.insert(acc.end(), rows.begin(), rows.end());
+      }
+    }
+    // Duplicates of frames that arrived after their original was counted.
+    while (comm_->iprobe(vmpi::kAnySource, up_tag)) {
+      (void)comm_->recv(vmpi::kAnySource, up_tag);
+      comm_->stats().dup_frames_discarded += 1;
+    }
+  }
+
+  // Node-level pre-aggregation: one combine pass over each merged bucket
+  // collapses rows different members generated for the same key before
+  // they cross nodes — the volume reduction the two-level exchange buys.
+  if (preaggregate_) {
+    for (std::size_t id = 0; id < targets_.size(); ++id) {
+      const Relation& rel = *targets_[id];
+      for (std::size_t d = 0; d < nsz; ++d) {
+        auto& rows = merged[id * nsz + d];
+        if (rows.empty()) continue;
+        RouterFlushStats node_st;
+        combine(rel, rows, node_st);
+        st.rows_node_merged += node_st.rows_combined;
+      }
+    }
+  }
+
+  // One frame per destination node, addressed to its leader; the final
+  // destination travels in-band so the peer leader can scatter.
+  for (const int peer : topo.leaders(n)) {
+    vmpi::TypedWriter<value_t> w;
+    for (const int d : topo.node_members(peer, n)) {
+      for (std::size_t id = 0; id < targets_.size(); ++id) {
+        const auto& rows = merged[id * nsz + static_cast<std::size_t>(d)];
+        if (rows.empty()) continue;
+        const Relation& rel = *targets_[id];
+        w.put(static_cast<value_t>(d));
+        w.put(static_cast<value_t>(id));
+        w.put(static_cast<value_t>(rows.size() / rel.arity()));
+        w.put_span(std::span<const value_t>(rows));
+        st.rows_sent += rows.size() / rel.arity();
+      }
+    }
+    wire::seal_frame(w, seq);
+    send[static_cast<std::size_t>(peer)] = w.take();
+  }
+  pending_rows_ = 0;
+  return send;
+}
+
+void ExchangeRouter::absorb_hier(const std::vector<vmpi::Bytes>& received,
+                                 RouterFlushStats& st, RankProfile& profile) {
+  const int n = comm_->size();
+  const int me = comm_->rank();
+  const vmpi::Topology& topo = comm_->topology();
+  const int leader = topo.leader_of(me);
+  const int down_tag = kHierDownTagBase + static_cast<int>(inflight_.hier_seq % kHierTagWindow);
+  const auto seq = static_cast<value_t>(inflight_.hier_seq);
+
+  if (me != leader) {
+    // Member: the leaders' exchange delivered only empties here; the node
+    // rows arrive as one sealed [route | count | rows]* scatter frame.
+    vmpi::Bytes buf;
+    {
+      PhaseScope scope(*comm_, profile, Phase::kOverlapWait);
+      vmpi::StatsPause pause(*comm_);
+      buf = comm_->recv(leader, down_tag);
+      while (comm_->iprobe(leader, down_tag)) {
+        (void)comm_->recv(leader, down_tag);
+        comm_->stats().dup_frames_discarded += 1;  // injected duplicate
+      }
+    }
+    PhaseScope scope(*comm_, profile, Phase::kDedupAgg);
+    const wire::Frame frame = wire::open_frame(buf);
+    if (!frame.empty()) {
+      if (frame.seq != seq) {
+        throw vmpi::FrameDecodeError("router: stale hierarchical scatter frame");
+      }
+      vmpi::TypedReader<value_t> r(frame.payload);
+      while (!r.done()) {
+        const auto id = static_cast<std::size_t>(r.get());
+        if (id >= targets_.size()) {
+          throw vmpi::FrameDecodeError("router: scatter frame names an unregistered route");
+        }
+        Relation& rel = *targets_[id];
+        if (r.remaining() < 1) {
+          throw vmpi::FrameDecodeError("router: scatter frame truncated before row count");
+        }
+        const auto count = static_cast<std::size_t>(r.get());
+        if (count > r.remaining() / rel.arity()) {
+          throw vmpi::FrameDecodeError("router: scatter frame row count overruns payload");
+        }
+        rel.stage_rows(r.take_span(count * rel.arity()));
+        st.rows_staged += count;
+      }
+    }
+    profile.add_work(Phase::kDedupAgg, st.rows_staged);
+    return;
+  }
+
+  // Leader: split every arriving leader frame by final destination —
+  // stage own rows, forward the rest as one sealed frame per member.
+  // Node ranks are contiguous, so member index == d - me.
+  const std::vector<int> members = topo.node_members(me, n);
+  std::vector<std::vector<value_t>> fwd(members.size() * targets_.size());
+  {
+    PhaseScope scope(*comm_, profile, Phase::kDedupAgg);
+    for (const auto& buf : received) {
+      const wire::Frame frame = wire::open_frame(buf);
+      if (frame.empty()) continue;
+      if (frame.seq != seq) {
+        throw vmpi::FrameDecodeError("router: stale hierarchical leaders frame");
+      }
+      vmpi::TypedReader<value_t> r(frame.payload);
+      while (!r.done()) {
+        const auto d = static_cast<int>(r.get());
+        if (d < me || d >= me + static_cast<int>(members.size())) {
+          throw vmpi::FrameDecodeError("router: leaders frame names a rank outside this node");
+        }
+        if (r.remaining() < 2) {
+          throw vmpi::FrameDecodeError("router: leaders frame truncated");
+        }
+        const auto id = static_cast<std::size_t>(r.get());
+        if (id >= targets_.size()) {
+          throw vmpi::FrameDecodeError("router: leaders frame names an unregistered route");
+        }
+        const auto count = static_cast<std::size_t>(r.get());
+        Relation& rel = *targets_[id];
+        if (count > r.remaining() / rel.arity()) {
+          throw vmpi::FrameDecodeError("router: leaders frame row count overruns payload");
+        }
+        const auto rows = r.take_span(count * rel.arity());
+        if (d == me) {
+          rel.stage_rows(rows);
+          st.rows_staged += count;
+        } else {
+          auto& acc = fwd[static_cast<std::size_t>(d - me) * targets_.size() + id];
+          acc.insert(acc.end(), rows.begin(), rows.end());
+        }
+      }
+    }
+    profile.add_work(Phase::kDedupAgg, st.rows_staged);
+  }
+  {
+    PhaseScope scope(*comm_, profile, Phase::kAllToAll);
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const int m = members[i];
+      vmpi::TypedWriter<value_t> w;
+      for (std::size_t id = 0; id < targets_.size(); ++id) {
+        const auto& rows = fwd[i * targets_.size() + id];
+        if (rows.empty()) continue;
+        const Relation& rel = *targets_[id];
+        w.put(static_cast<value_t>(id));
+        w.put(static_cast<value_t>(rows.size() / rel.arity()));
+        w.put_span(std::span<const value_t>(rows));
+      }
+      wire::seal_frame(w, seq);
+      vmpi::Bytes frame = w.take();
+      comm_->account_send(vmpi::Op::kAlltoallv, frame.size(), m);
+      // Faultable, like the gather leg.
+      vmpi::StatsPause pause(*comm_);
+      comm_->isend(m, down_tag, frame);
+    }
+  }
 }
 
 }  // namespace paralagg::core

@@ -50,6 +50,16 @@ namespace paralagg::core {
 enum class ExchangeAlgorithm : std::uint8_t {
   kDense,  // matrix alltoallv (bandwidth-optimal)
   kBruck,  // log-round relay (message-count-optimal; see vmpi::Comm)
+  /// Two-level topology-aware exchange: every node's aggregator rank (its
+  /// lowest rank — vmpi::Topology::leader_of) pre-merges the node's
+  /// buffered deltas through the sender-side combine, a leaders-only
+  /// ialltoallv carries the merged frames across nodes, and each leader
+  /// scatters the arrivals intra-node.  3 steps instead of 1, but the
+  /// cross-node volume shrinks by whatever the node-level MIN/MAX merge
+  /// collapses.  Router flushes only; the raw exchange_alltoallv helper
+  /// (intra-bucket shuffles, no combine context) degrades it to kDense.
+  /// Under a flat topology (node_size 1) it IS kDense.
+  kHierarchical,
 };
 
 /// One collective tuple exchange under the chosen algorithm.  Collective.
@@ -61,6 +71,10 @@ struct RouterFlushStats {
   std::uint64_t rows_staged = 0;     // rows decoded and staged from the exchange
   std::uint64_t rows_loopback = 0;   // self-owned rows staged without serialization
   std::uint64_t rows_combined = 0;   // rows collapsed by sender-side pre-aggregation
+  /// Rows the node aggregator collapsed across its members' contributions
+  /// before the leaders-only exchange (hierarchical path, leaders only) —
+  /// the cross-node bytes the two-level exchange avoided.
+  std::uint64_t rows_node_merged = 0;
 };
 
 class ExchangeRouter {
@@ -124,6 +138,14 @@ class ExchangeRouter {
   /// value_t) — smaller buffers are cheap to keep warm across flushes.
   static constexpr std::size_t kShrinkFloorValues = std::size_t{1} << 15;
 
+  // Tag spaces of the hierarchical exchange's intra-node legs (member ->
+  // leader gather, leader -> member scatter).  Disjoint from every vmpi
+  // and async tag space; rotated per flush so an injected duplicate or
+  // delayed frame can never match a later flush's receive.
+  static constexpr int kHierUpTagBase = 0x48A10000;
+  static constexpr int kHierDownTagBase = 0x48A20000;
+  static constexpr std::uint64_t kHierTagWindow = 4096;
+
   [[nodiscard]] std::vector<value_t>& bucket(std::size_t route_id, std::size_t dest) {
     return outgoing_[cur_gen_][route_id * static_cast<std::size_t>(comm_->size()) + dest];
   }
@@ -142,12 +164,35 @@ class ExchangeRouter {
   void decode(const std::vector<vmpi::Bytes>& received, RouterFlushStats& st,
               RankProfile& profile);
 
+  // -- hierarchical (two-level) exchange --------------------------------------
+  //
+  // post side: members serialize their buckets as [dst|route|count|rows]*
+  // frames (CRC-sealed, faultable isend) toward their node leader; the
+  // leader merges its own buckets with the arrivals per (dst, route),
+  // runs the combine pass once per merged bucket (the node-level
+  // pre-aggregation), packs one frame per destination *node*, and every
+  // rank posts the leaders-only ialltoallv (non-leaders all-empty, which
+  // keeps the call collective and the split-phase overlap intact).
+  // complete side: leaders unpack per final destination, stage their own
+  // rows, and scatter one sealed frame per member; members recv + stage.
+  // Leg bytes are attributed to Op::kAlltoallv with intra-node locality;
+  // the leaders' exchange records its own cross-node bytes.
+
+  /// Up-gather + node merge + leaders-only send vector.  Returns the
+  /// buffers to post (empty everywhere for non-leader ranks).
+  std::vector<vmpi::Bytes> pack_hier(RouterFlushStats& st);
+  /// Decode the leaders' exchange, scatter intra-node, stage everything.
+  void absorb_hier(const std::vector<vmpi::Bytes>& received, RouterFlushStats& st,
+                   RankProfile& profile);
+
   /// One split-phase exchange in flight: the ticket (or, under kBruck, the
   /// eagerly exchanged buffers), the generation it froze, and the send-side
   /// stats carried from post() to complete().
   struct InFlight {
     bool active = false;
     bool eager = false;
+    bool hier = false;         // absorb via absorb_hier instead of decode
+    std::uint64_t hier_seq = 0;
     std::size_t gen = 0;
     vmpi::Comm::Ticket ticket;
     std::vector<vmpi::Bytes> received;
@@ -166,6 +211,7 @@ class ExchangeRouter {
   std::uint64_t pending_rows_ = 0;
   std::uint64_t loopback_rows_ = 0;
   std::uint64_t flush_seq_ = 0;  // frame sequence stamp (advances per pack)
+  std::uint64_t hier_seq_ = 0;   // hierarchical flush sequence (tag rotation)
 };
 
 }  // namespace paralagg::core

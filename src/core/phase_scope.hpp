@@ -20,12 +20,17 @@ class PhaseScope {
         profile_(&profile),
         phase_(phase),
         start_bytes_(comm.stats().total_remote_bytes()),
+        start_cross_bytes_(comm.stats().total_cross_node_bytes()),
         start_exchanges_(comm.stats().exchange_rounds()),
+        start_steps_(comm.stats().total_steps()),
         start_wait_(comm.stats().wait_seconds) {}
 
   ~PhaseScope() {
     profile_->add_bytes(phase_, comm_->stats().total_remote_bytes() - start_bytes_);
+    profile_->add_cross_bytes(phase_,
+                              comm_->stats().total_cross_node_bytes() - start_cross_bytes_);
     profile_->add_exchanges(phase_, comm_->stats().exchange_rounds() - start_exchanges_);
+    profile_->add_steps(phase_, comm_->stats().total_steps() - start_steps_);
     profile_->add_wait(phase_, comm_->stats().wait_seconds - start_wait_);
   }
 
@@ -38,7 +43,9 @@ class PhaseScope {
   RankProfile* profile_;
   Phase phase_;
   std::uint64_t start_bytes_;
+  std::uint64_t start_cross_bytes_;
   std::uint64_t start_exchanges_;
+  std::uint64_t start_steps_;
   double start_wait_;
 };
 

@@ -15,7 +15,7 @@ double ScopedPhaseTimer::thread_cpu_seconds() {
 ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
   vmpi::StatsPause pause(comm);  // instrumentation traffic is not "communication"
 
-  // Serialize my history: [iterations, then per iteration the five arrays].
+  // Serialize my history: [iterations, then per iteration the seven arrays].
   const auto& hist = mine.history();
   vmpi::BufferWriter w;
   w.put<std::uint64_t>(hist.size());
@@ -23,7 +23,9 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
     for (double s : rec.cpu_seconds) w.put(s);
     for (std::uint64_t v : rec.work) w.put(v);
     for (std::uint64_t b : rec.bytes) w.put(b);
+    for (std::uint64_t b : rec.cross_bytes) w.put(b);
     for (std::uint64_t e : rec.exchanges) w.put(e);
+    for (std::uint64_t s : rec.steps) w.put(s);
     for (double s : rec.wait_seconds) w.put(s);
   }
   const auto mine_bytes = w.take();
@@ -44,7 +46,9 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
       for (auto& s : rec.cpu_seconds) s = rd.get<double>();
       for (auto& v : rec.work) v = rd.get<std::uint64_t>();
       for (auto& b : rec.bytes) b = rd.get<std::uint64_t>();
+      for (auto& b : rec.cross_bytes) b = rd.get<std::uint64_t>();
       for (auto& e : rec.exchanges) e = rd.get<std::uint64_t>();
+      for (auto& s : rec.steps) s = rd.get<std::uint64_t>();
       for (auto& s : rec.wait_seconds) s = rd.get<double>();
     }
     max_iters = recs.size() > max_iters ? recs.size() : max_iters;
@@ -55,36 +59,52 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
   out.ranks = nranks;
   out.per_iteration_max.resize(max_iters);
   out.per_iteration_max_bytes.assign(max_iters, 0);
+  out.per_iteration_max_cross_bytes.assign(max_iters, 0);
   out.per_iteration_exchanges.assign(max_iters, 0);
+  out.per_iteration_steps.assign(max_iters, 0);
   for (std::size_t it = 0; it < max_iters; ++it) {
     auto& row = out.per_iteration_max[it];
     row.fill(0.0);
     std::array<std::uint64_t, kPhaseCount> xch_max{};
+    std::array<std::uint64_t, kPhaseCount> step_max{};
     for (int r = 0; r < nranks; ++r) {
       const auto& recs = per_rank[static_cast<std::size_t>(r)];
       if (it >= recs.size()) continue;
       const auto& rec = recs[it];
       std::uint64_t rank_bytes = 0;
+      std::uint64_t rank_cross = 0;
       std::uint64_t rank_exchanges = 0;
+      std::uint64_t rank_steps = 0;
       for (std::size_t p = 0; p < kPhaseCount; ++p) {
         if (rec.cpu_seconds[p] > row[p]) row[p] = rec.cpu_seconds[p];
         out.total_cpu_seconds[p] += rec.cpu_seconds[p];
         out.total_bytes[p] += rec.bytes[p];
+        out.total_cross_bytes[p] += rec.cross_bytes[p];
         out.total_wait_seconds[p] += rec.wait_seconds[p];
         if (rec.exchanges[p] > xch_max[p]) xch_max[p] = rec.exchanges[p];
+        if (rec.steps[p] > step_max[p]) step_max[p] = rec.steps[p];
         rank_bytes += rec.bytes[p];
+        rank_cross += rec.cross_bytes[p];
         rank_exchanges += rec.exchanges[p];
+        rank_steps += rec.steps[p];
       }
       if (rank_bytes > out.per_iteration_max_bytes[it]) {
         out.per_iteration_max_bytes[it] = rank_bytes;
       }
+      if (rank_cross > out.per_iteration_max_cross_bytes[it]) {
+        out.per_iteration_max_cross_bytes[it] = rank_cross;
+      }
       if (rank_exchanges > out.per_iteration_exchanges[it]) {
         out.per_iteration_exchanges[it] = rank_exchanges;
+      }
+      if (rank_steps > out.per_iteration_steps[it]) {
+        out.per_iteration_steps[it] = rank_steps;
       }
     }
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       out.modelled_seconds[p] += row[p];
       out.total_exchanges[p] += xch_max[p];
+      out.total_steps[p] += step_max[p];
     }
   }
   return out;

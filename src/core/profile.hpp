@@ -66,7 +66,16 @@ struct IterationRecord {
   std::array<double, kPhaseCount> cpu_seconds{};
   std::array<std::uint64_t, kPhaseCount> work{};
   std::array<std::uint64_t, kPhaseCount> bytes{};      // remote bytes sent in phase
+  /// Subset of `bytes` that crossed a node boundary under the configured
+  /// vmpi::Topology (flat topology: equal to `bytes`).  The split is what
+  /// the hierarchical exchange and the schedule choice move.
+  std::array<std::uint64_t, kPhaseCount> cross_bytes{};
   std::array<std::uint64_t, kPhaseCount> exchanges{};  // collective exchange rounds in phase
+  /// Schedule steps (latency-bearing rounds) the collectives in this phase
+  /// took: n-1 under kLinear, ceil(log2 n) under the log-step schedules, 3
+  /// for a hierarchical flush.  Steps x latency is the sync term of the
+  /// modelled parallel time.
+  std::array<std::uint64_t, kPhaseCount> steps{};
   /// Wall seconds parked in blocking communication during the phase
   /// (CommStats::wait_seconds deltas).  The thread-CPU clock cannot see
   /// blocked time, so this is the only per-phase window into *exposed*
@@ -78,7 +87,9 @@ struct IterationRecord {
       cpu_seconds[i] += o.cpu_seconds[i];
       work[i] += o.work[i];
       bytes[i] += o.bytes[i];
+      cross_bytes[i] += o.cross_bytes[i];
       exchanges[i] += o.exchanges[i];
+      steps[i] += o.steps[i];
       wait_seconds[i] += o.wait_seconds[i];
     }
     return *this;
@@ -91,7 +102,9 @@ class RankProfile {
   void add_seconds(Phase p, double s) { current_.cpu_seconds[idx(p)] += s; }
   void add_work(Phase p, std::uint64_t w) { current_.work[idx(p)] += w; }
   void add_bytes(Phase p, std::uint64_t b) { current_.bytes[idx(p)] += b; }
+  void add_cross_bytes(Phase p, std::uint64_t b) { current_.cross_bytes[idx(p)] += b; }
   void add_exchanges(Phase p, std::uint64_t n) { current_.exchanges[idx(p)] += n; }
+  void add_steps(Phase p, std::uint64_t n) { current_.steps[idx(p)] += n; }
   void add_wait(Phase p, double s) { current_.wait_seconds[idx(p)] += s; }
 
   /// Close the current iteration and append it to the history.
@@ -138,12 +151,19 @@ struct ProfileSummary {
   std::array<double, kPhaseCount> total_cpu_seconds{};
   /// Σ over ranks and iterations of remote bytes per phase.
   std::array<std::uint64_t, kPhaseCount> total_bytes{};
+  /// Σ over ranks and iterations of cross-node bytes per phase (subset of
+  /// total_bytes; equal to it under a flat topology).
+  std::array<std::uint64_t, kPhaseCount> total_cross_bytes{};
   /// Σ over iterations of max-over-ranks collective exchange rounds per
   /// phase.  Every rank participates in every collective, so ranks agree
   /// on the count; the max guards against divergence bugs.  This is how
   /// the fused router's R+1-vs-2R reduction is *observed* rather than
   /// asserted.
   std::array<std::uint64_t, kPhaseCount> total_exchanges{};
+  /// Σ over iterations of max-over-ranks schedule steps per phase — the
+  /// latency-bearing round count the log-step schedules shrink from O(n)
+  /// to O(log n).  Same max-guard rationale as total_exchanges.
+  std::array<std::uint64_t, kPhaseCount> total_steps{};
   /// Σ over ranks and iterations of wall seconds parked in blocking
   /// communication per phase.  The "exposed exchange" metric of
   /// bench/overlap_flush: with the split-phase schedule, the shares of
@@ -153,8 +173,12 @@ struct ProfileSummary {
   std::vector<std::array<double, kPhaseCount>> per_iteration_max;
   /// Per-iteration max-over-ranks remote bytes sent (feeds CostModel).
   std::vector<std::uint64_t> per_iteration_max_bytes;
+  /// Per-iteration max-over-ranks cross-node bytes (feeds project_topology).
+  std::vector<std::uint64_t> per_iteration_max_cross_bytes;
   /// Per-iteration max-over-ranks exchange rounds, all phases combined.
   std::vector<std::uint64_t> per_iteration_exchanges;
+  /// Per-iteration max-over-ranks schedule steps, all phases combined.
+  std::vector<std::uint64_t> per_iteration_steps;
 
   [[nodiscard]] double modelled_total() const {
     double s = 0;
@@ -169,6 +193,16 @@ struct ProfileSummary {
   [[nodiscard]] std::uint64_t exchanges_total() const {
     std::uint64_t s = 0;
     for (auto v : total_exchanges) s += v;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t cross_bytes_total() const {
+    std::uint64_t s = 0;
+    for (auto v : total_cross_bytes) s += v;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t steps_total() const {
+    std::uint64_t s = 0;
+    for (auto v : total_steps) s += v;
     return s;
   }
 };
@@ -188,6 +222,9 @@ struct CostModel {
   double bytes_per_second = 1.0e9;      // effective per-link bandwidth
   double collective_latency = 5.0e-6;   // one tree round
   double collectives_per_iteration = 8; // plan + exchanges + termination
+  /// How much dearer a cross-node byte is than an intra-node one on the
+  /// modelled interconnect (matches vmpi::Topology::cross_cost_ratio).
+  double cross_node_cost_ratio = 4.0;
 
   /// Projected seconds for the whole run on `ranks` ranks.
   [[nodiscard]] double project(const ProfileSummary& p, int ranks) const {
@@ -205,6 +242,32 @@ struct CostModel {
                         std::log2(static_cast<double>(ranks < 2 ? 2 : ranks)) *
                         static_cast<double>(p.iterations);
     return total + sync;
+  }
+
+  /// Topology-aware projection.  Two refinements over project(): the
+  /// bandwidth term splits the measured volume by locality — a cross-node
+  /// byte costs cross_node_cost_ratio link-bytes, an intra-node byte one —
+  /// and the synchronization term charges the *measured* schedule steps
+  /// one collective_latency each instead of assuming a fixed collective
+  /// count per iteration.  This is the number the log-step schedules and
+  /// the hierarchical exchange are designed to shrink.
+  [[nodiscard]] double project_topology(const ProfileSummary& p) const {
+    double total = 0;
+    std::uint64_t steps = 0;
+    for (std::size_t it = 0; it < p.per_iteration_max.size(); ++it) {
+      double cpu = 0;
+      for (double v : p.per_iteration_max[it]) cpu += v;
+      const std::uint64_t all =
+          it < p.per_iteration_max_bytes.size() ? p.per_iteration_max_bytes[it] : 0;
+      const std::uint64_t cross =
+          it < p.per_iteration_max_cross_bytes.size() ? p.per_iteration_max_cross_bytes[it] : 0;
+      // Maxima are per metric, so all >= cross holds rank-by-rank.
+      const double link_bytes = static_cast<double>(all - cross) +
+                                cross_node_cost_ratio * static_cast<double>(cross);
+      total += cpu + link_bytes / bytes_per_second;
+      if (it < p.per_iteration_steps.size()) steps += p.per_iteration_steps[it];
+    }
+    return total + collective_latency * static_cast<double>(steps);
   }
 };
 

@@ -172,7 +172,9 @@ void Comm::isend(int dst, int tag, std::span<const std::byte> data) {
   if (stats_enabled_) {
     auto& st = stats();
     st.record_call(Op::kP2P);
-    st.record_send(Op::kP2P, data.size(), dst != rank_);
+    const bool remote = dst != rank_;
+    st.record_send(Op::kP2P, data.size(), remote,
+                   remote && !world_->topo_.same_node(rank_, dst));
     st.messages_sent += 1;
   }
 
@@ -261,9 +263,17 @@ std::vector<Bytes> Comm::exchange_slots(Bytes mine, Op op) {
   if (stats_enabled_) {
     auto& st = stats();
     st.record_call(op);
-    // Logically, this rank's contribution travels to size()-1 peers.
-    st.record_send(op, mine.size() * static_cast<std::size_t>(size() - 1), true);
-    st.record_send(op, mine.size(), false);
+    // Logically, this rank's contribution travels to size()-1 peers —
+    // classified per peer against the topology — in n-1 sequential steps
+    // (the linear schedule this refactor makes selectable-but-not-default).
+    for (int d = 0; d < size(); ++d) {
+      if (d == rank_) {
+        st.record_send(op, mine.size(), false, false);
+      } else {
+        st.record_send(op, mine.size(), true, !world_->topo_.same_node(rank_, d));
+      }
+    }
+    if (size() > 1) st.record_steps(op, static_cast<std::uint64_t>(size() - 1));
   }
 
   world_->slots_[static_cast<std::size_t>(rank_)] = std::move(mine);
@@ -274,7 +284,159 @@ std::vector<Bytes> Comm::exchange_slots(Bytes mine, Op op) {
 }
 
 std::vector<Bytes> Comm::allgatherv(std::span<const std::byte> mine) {
-  return exchange_slots(Bytes(mine.begin(), mine.end()), Op::kAllgather);
+  return gather_blocks(Bytes(mine.begin(), mine.end()), Op::kAllgather);
+}
+
+void Comm::reliable_send(int dst, int tag, Bytes payload) {
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.m);
+    box.q.push_back(detail::Message{rank_, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<Bytes> Comm::gather_blocks(Bytes mine, Op op) {
+  const int n = size();
+  if (n == 1) {
+    if (stats_enabled_) {
+      auto& st = stats();
+      st.record_call(op);
+      st.record_send(op, mine.size(), false, false);
+    }
+    std::vector<Bytes> out;
+    out.push_back(std::move(mine));
+    return out;
+  }
+  const CollectiveSchedule sched = world_->schedule_;
+  const bool pow2 = (n & (n - 1)) == 0;
+  if (sched == CollectiveSchedule::kLinear) return exchange_slots(std::move(mine), op);
+
+  // Log-step schedules run real point-to-point rounds over the mailboxes.
+  // Byte accounting is payload-only (the src/len relay envelope is the
+  // simulation's encoding, not modelled traffic): recursive doubling and
+  // swing ship 1 + 2 + ... + n/2 = n-1 blocks per rank, and dissemination
+  // truncates its last step to n - 2^floor(log2 n) blocks — so every
+  // schedule moves exactly n-1 blocks per rank and the remote byte totals
+  // match the linear baseline bit for bit.  Stats are recorded manually
+  // (call, per-partner locality, steps, exposed wait); the internal
+  // sends/recvs run under StatsPause so the p2p counters stay clean.
+  const bool record = stats_enabled_;
+  const int tag_base =
+      kSchedTagBase +
+      static_cast<int>(sched_seq_++ % kSchedTagWindow) * kSchedRoundsPerCall;
+
+  std::vector<Bytes> have(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> present(static_cast<std::size_t>(n), 0);
+  have[static_cast<std::size_t>(rank_)] = std::move(mine);
+  present[static_cast<std::size_t>(rank_)] = 1;
+
+  auto& st = stats();
+  if (record) {
+    st.record_call(op);
+    st.record_send(op, have[static_cast<std::size_t>(rank_)].size(), false, false);
+  }
+
+  double waited = 0;
+  std::uint64_t rounds = 0;
+  {
+    StatsPause pause(*this);
+
+    // Serialize + ship the listed blocks to `to`; account their payload
+    // bytes against the partner's locality.
+    const auto send_blocks = [&](int to, const std::vector<int>& srcs) {
+      BufferWriter w;
+      std::uint64_t payload_bytes = 0;
+      for (const int s : srcs) {
+        const auto& block = have[static_cast<std::size_t>(s)];
+        w.put<std::int32_t>(s);
+        w.put<std::uint64_t>(block.size());
+        w.put_span(std::span<const std::byte>(block));
+        payload_bytes += block.size();
+      }
+      if (record) {
+        st.record_send(op, payload_bytes, true, !world_->topo_.same_node(rank_, to));
+      }
+      reliable_send(to, tag_base + static_cast<int>(rounds), w.take());
+    };
+
+    // Receive one relay frame from `from` and absorb its blocks.
+    const auto recv_blocks = [&](int from) {
+      const double t0 = wall_now();
+      const Bytes frame = recv(from, tag_base + static_cast<int>(rounds));
+      waited += wall_now() - t0;
+      BufferReader r(frame);
+      while (!r.done()) {
+        const auto src = r.get<std::int32_t>();
+        const auto len = r.get<std::uint64_t>();
+        if (src < 0 || src >= n || present[static_cast<std::size_t>(src)] != 0) {
+          throw std::logic_error("vmpi: scheduled collective relayed a bad block");
+        }
+        auto& block = have[static_cast<std::size_t>(src)];
+        block.resize(static_cast<std::size_t>(len));
+        r.get_into(std::span<std::byte>(block));
+        present[static_cast<std::size_t>(src)] = 1;
+      }
+    };
+
+    const auto held = [&]() {
+      std::vector<int> srcs;
+      for (int s = 0; s < n; ++s) {
+        if (present[static_cast<std::size_t>(s)] != 0) srcs.push_back(s);
+      }
+      return srcs;
+    };
+
+    if (pow2 && sched == CollectiveSchedule::kRecursiveDoubling) {
+      for (int k = 0; (1 << k) < n; ++k) {
+        const int partner = rank_ ^ (1 << k);
+        send_blocks(partner, held());
+        recv_blocks(partner);
+        ++rounds;
+      }
+    } else if (pow2 && sched == CollectiveSchedule::kSwing) {
+      // Signed partner distance rho(k) = (1-(-2)^(k+1))/3 = 1,-1,3,-5,...
+      // (rho(k+1) = 1 - 2*rho(k)); even ranks step +rho, odd ranks -rho.
+      // Early steps pair nearby ranks, so under a grouped topology most
+      // blocks move on intra-node links before the long hops.
+      int rho = 1;
+      for (int k = 0; (1 << k) < n; ++k) {
+        const int step = (rank_ % 2 == 0) ? rho : -rho;
+        const int partner = ((rank_ + step) % n + n) % n;
+        send_blocks(partner, held());
+        recv_blocks(partner);
+        rho = 1 - 2 * rho;
+        ++rounds;
+      }
+    } else {
+      // Dissemination (Bruck) fallback for non-power-of-two rank counts:
+      // after k rounds this rank holds blocks {rank..rank+2^k-1} (mod n);
+      // round k ships the first min(2^k, n-2^k) of them to rank-2^k, so
+      // the truncated last round still totals exactly n-1 blocks.
+      for (int pow = 1; pow < n; pow <<= 1) {
+        const int to = ((rank_ - pow) % n + n) % n;
+        const int from = (rank_ + pow) % n;
+        const int cnt = pow < n - pow ? pow : n - pow;
+        std::vector<int> srcs;
+        srcs.reserve(static_cast<std::size_t>(cnt));
+        for (int j = 0; j < cnt; ++j) srcs.push_back((rank_ + j) % n);
+        send_blocks(to, srcs);
+        recv_blocks(from);
+        ++rounds;
+      }
+    }
+  }
+
+  for (int s = 0; s < n; ++s) {
+    if (present[static_cast<std::size_t>(s)] == 0) {
+      throw std::logic_error("vmpi: scheduled collective finished incomplete");
+    }
+  }
+  if (record) {
+    st.record_steps(op, rounds);
+    st.wait_seconds += waited;
+  }
+  return have;
 }
 
 Bytes Comm::bcast(int root, std::span<const std::byte> data) {
@@ -282,7 +444,11 @@ Bytes Comm::bcast(int root, std::span<const std::byte> data) {
     auto& st = stats();
     st.record_call(Op::kBcast);
     if (rank_ == root) {
-      st.record_send(Op::kBcast, data.size() * static_cast<std::size_t>(size() - 1), true);
+      for (int d = 0; d < size(); ++d) {
+        if (d == root) continue;
+        st.record_send(Op::kBcast, data.size(), true,
+                       !world_->topo_.same_node(root, d));
+      }
     }
   }
   if (rank_ == root) {
@@ -298,7 +464,8 @@ std::vector<Bytes> Comm::gatherv(int root, std::span<const std::byte> mine) {
   if (stats_enabled_) {
     auto& st = stats();
     st.record_call(Op::kGather);
-    st.record_send(Op::kGather, mine.size(), rank_ != root);
+    st.record_send(Op::kGather, mine.size(), rank_ != root,
+                   rank_ != root && !world_->topo_.same_node(rank_, root));
   }
 
   world_->slots_[static_cast<std::size_t>(rank_)] = Bytes(mine.begin(), mine.end());
@@ -316,8 +483,11 @@ std::vector<Bytes> Comm::alltoallv(std::vector<Bytes> send) {
     auto& st = stats();
     st.record_call(Op::kAlltoallv);
     for (std::size_t d = 0; d < n; ++d) {
-      st.record_send(Op::kAlltoallv, send[d].size(), d != static_cast<std::size_t>(rank_));
+      const bool remote = d != static_cast<std::size_t>(rank_);
+      st.record_send(Op::kAlltoallv, send[d].size(), remote,
+                     remote && !world_->topo_.same_node(rank_, static_cast<int>(d)));
     }
+    st.record_steps(Op::kAlltoallv, 1);  // one dense matrix phase
   }
 
   const auto me = static_cast<std::size_t>(rank_);
@@ -341,8 +511,11 @@ Comm::Ticket Comm::ialltoallv(std::vector<Bytes> send) {
     auto& st = stats();
     st.record_call(Op::kAlltoallv);
     for (std::size_t d = 0; d < n; ++d) {
-      st.record_send(Op::kAlltoallv, send[d].size(), d != me);
+      const bool remote = d != me;
+      st.record_send(Op::kAlltoallv, send[d].size(), remote,
+                     remote && !world_->topo_.same_node(rank_, static_cast<int>(d)));
     }
+    st.record_steps(Op::kAlltoallv, 1);
     st.tickets_posted += 1;
   }
 
@@ -428,7 +601,12 @@ bool Comm::test(Ticket& ticket) {
 std::vector<Bytes> Comm::alltoallv_bruck(std::vector<Bytes> send) {
   const int n = size();
   assert(send.size() == static_cast<std::size_t>(n));
-  if (stats_enabled_) stats().record_call(Op::kAlltoallv);
+  if (stats_enabled_) {
+    stats().record_call(Op::kAlltoallv);
+    std::uint64_t rounds = 0;
+    for (int k = 0; (1 << k) < n; ++k) ++rounds;
+    if (rounds > 0) stats().record_steps(Op::kAlltoallv, rounds);
+  }
 
   // Item pool: (final destination, source, payload).  Self-destined data
   // never leaves the rank.
@@ -548,6 +726,9 @@ Comm::Split Comm::split(int color, int key) {
   // barrier before fetching it.
   if (my_new_rank == 0) {
     auto child = std::make_shared<World>(static_cast<int>(members.size()));
+    // The child inherits the parent's collective schedule; its topology
+    // stays flat (parent node boundaries do not map onto child ranks).
+    child->set_schedule(world_->schedule_);
     std::lock_guard lock(world_->split_mu_);
     world_->split_worlds_[{epoch, color}] = std::move(child);
   }

@@ -31,6 +31,7 @@
 #include "vmpi/fault.hpp"
 #include "vmpi/serialize.hpp"
 #include "vmpi/stats.hpp"
+#include "vmpi/topology.hpp"
 
 namespace paralagg::vmpi {
 
@@ -164,6 +165,19 @@ class World {
   void set_watchdog(double seconds) { watchdog_seconds_ = seconds; }
   [[nodiscard]] double watchdog_seconds() const { return watchdog_seconds_; }
 
+  /// Install the rank-to-node grouping (vmpi/topology.hpp).  Like the
+  /// fault plan: set before the rank threads start, read-only afterwards.
+  /// Pure accounting — no data moves differently — but every remote byte
+  /// is classified intra- vs cross-node against it.
+  void set_topology(const Topology& topo) { topo_ = topo; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Select the schedule the symmetric collectives run on (default:
+  /// recursive doubling).  Same bit-identical results on any schedule;
+  /// only step counts and byte locality differ.
+  void set_schedule(CollectiveSchedule s) { schedule_ = s; }
+  [[nodiscard]] CollectiveSchedule schedule() const { return schedule_; }
+
   /// Aggregate of all per-rank stats (call only after the ranks joined).
   [[nodiscard]] CommStats total_stats() const;
   [[nodiscard]] const CommStats& stats_of(int rank) const { return stats_[static_cast<std::size_t>(rank)]; }
@@ -173,6 +187,8 @@ class World {
 
   int nranks_;
   FaultPlan plan_;
+  Topology topo_{};
+  CollectiveSchedule schedule_ = CollectiveSchedule::kRecursiveDoubling;
   double watchdog_seconds_ = 0;
   detail::Barrier barrier_;
   // Collective exchange area: slot per rank, double-barrier protected.
@@ -205,6 +221,24 @@ class Comm {
   [[nodiscard]] CommStats& stats() { return world_->stats_[static_cast<std::size_t>(rank_)]; }
   [[nodiscard]] World& world() { return *world_; }
   [[nodiscard]] double watchdog_seconds() const { return world_->watchdog_seconds_; }
+  [[nodiscard]] const Topology& topology() const { return world_->topo_; }
+  [[nodiscard]] CollectiveSchedule schedule() const { return world_->schedule_; }
+
+  /// Record `bytes` moved toward `dst` under `op`, locality-classified
+  /// against the world topology (self -> local, same node -> intra-node
+  /// remote, otherwise cross-node remote).  No-op under StatsPause.  For
+  /// callers (the hierarchical router) that move data over raw p2p legs
+  /// but attribute it to a collective op.
+  void account_send(Op op, std::uint64_t bytes, int dst) {
+    if (!stats_enabled_) return;
+    const bool remote = dst != rank_;
+    stats().record_send(op, bytes, remote,
+                        remote && !world_->topo_.same_node(rank_, dst));
+  }
+  /// Record schedule steps under `op`; no-op under StatsPause.
+  void account_steps(Op op, std::uint64_t n) {
+    if (stats_enabled_) stats().record_steps(op, n);
+  }
 
   /// Engines call this at every iteration boundary (BSP) or local round
   /// (async): releases delayed messages, then applies the FaultPlan's
@@ -347,7 +381,10 @@ class Comm {
   T allreduce(T local, ReduceOp op) {
     BufferWriter w(sizeof(T));
     w.put(local);
-    auto all = exchange_slots(w.take(), Op::kAllreduce);
+    // Block allgather on the configured schedule, then a local fold in
+    // rank order: the deterministic reduction-order contract holds on
+    // every schedule because the fold never depends on arrival order.
+    auto all = gather_blocks(w.take(), Op::kAllreduce);
     T acc{};
     bool first = true;
     for (const auto& b : all) {
@@ -374,7 +411,7 @@ class Comm {
   std::vector<T> allgather(T v) {
     BufferWriter w(sizeof(T));
     w.put(v);
-    auto all = exchange_slots(w.take(), Op::kAllgather);
+    auto all = gather_blocks(w.take(), Op::kAllgather);
     std::vector<T> out;
     out.reserve(all.size());
     for (const auto& b : all) {
@@ -425,8 +462,24 @@ class Comm {
 
  private:
   /// Write `mine` into this rank's slot, barrier, copy out all slots,
-  /// barrier.  The canonical building block for symmetric collectives.
+  /// barrier.  The kLinear building block for symmetric collectives,
+  /// modelled as n-1 sequential steps.
   std::vector<Bytes> exchange_slots(Bytes mine, Op op);
+
+  /// Block allgather under the World's CollectiveSchedule: every rank
+  /// contributes one block and receives all n, indexed by rank.  kLinear
+  /// routes through exchange_slots; recursive doubling / swing run real
+  /// log-step point-to-point rounds over the mailboxes (dissemination for
+  /// non-power-of-two rank counts).  Accounting is payload-only — every
+  /// schedule ships exactly n-1 blocks per rank, so remote byte totals
+  /// are schedule-invariant; steps and locality are what differ.  The
+  /// relay legs model MPI's reliable transport underneath collectives:
+  /// they bypass fault injection (fault.hpp's scope note).
+  std::vector<Bytes> gather_blocks(Bytes mine, Op op);
+
+  /// Direct mailbox enqueue: no fault injection, no stats — the reliable
+  /// substrate the scheduled collectives relay over.
+  void reliable_send(int dst, int tag, Bytes payload);
 
   /// arrive_and_wait with the parked wall time charged to wait_seconds,
   /// bounded by the world's watchdog; held (delayed) sends are released
@@ -460,6 +513,14 @@ class Comm {
   static constexpr std::uint64_t kBruckTagWindow = 1024;
   static constexpr int kBruckRoundsPerCall = 64;  // log2(nranks) bound
 
+  // Scheduled-collective relay tags (recursive doubling / swing /
+  // dissemination rounds), disjoint from the ialltoallv (0x41A2....),
+  // Bruck (0x42......), async (0x51A5..../0x53AF....), and hierarchical
+  // router (0x48A.....) spaces.  Rotated per call like the Bruck tags.
+  static constexpr int kSchedTagBase = 0x44000000;
+  static constexpr std::uint64_t kSchedTagWindow = 2048;
+  static constexpr int kSchedRoundsPerCall = 64;  // log2(nranks) bound
+
   /// Per-destination fault state: the edge's send sequence number and the
   /// messages an injected delay is holding back.
   struct Held {
@@ -478,6 +539,7 @@ class Comm {
   std::uint64_t split_epoch_ = 0;
   std::uint64_t ialltoallv_seq_ = 0;
   std::uint64_t bruck_seq_ = 0;
+  std::uint64_t sched_seq_ = 0;
   std::uint64_t epoch_ = 0;
   std::vector<EdgeState> edges_;  // sized lazily when a plan faults messages
 };

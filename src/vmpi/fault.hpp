@@ -9,12 +9,15 @@
 // function of (seed, src, dst, per-edge sequence number), so any observed
 // schedule is replayable from its seed alone.
 //
-// Scope: only mailbox *messages* are faultable (isend/recv/drain, the
-// ialltoallv tickets, and the Bruck relay ride mailboxes).  The dense
-// slot/matrix collectives (allreduce, allgather, bcast, gather, dense
-// alltoallv) move data through barrier-protected shared slots and model a
-// reliable transport underneath MPI's collectives; they are perturbed
-// only indirectly, via the stall/kill epochs and the watchdog.
+// Scope: only mailbox *messages* sent via isend are faultable (isend/
+// recv/drain, the ialltoallv tickets, the Bruck relay, and the
+// hierarchical router's intra-node legs all ride that path).  The
+// slot/matrix collectives (bcast, gather, dense alltoallv) and the
+// scheduled symmetric collectives (allreduce / allgather on any
+// CollectiveSchedule — their log-step relay rounds use a direct reliable
+// enqueue) model the reliable transport underneath MPI's collectives;
+// they are perturbed only indirectly, via the stall/kill epochs and the
+// watchdog.
 //
 // Failure surfacing is layered on top (see comm.hpp): a watchdog deadline
 // on every blocking wait converts the silent hang an injected fault would

@@ -31,6 +31,8 @@ CommStats run_collect(int nranks, const RunOptions& options,
   World world(nranks);
   world.set_fault_plan(options.fault);
   world.set_watchdog(options.watchdog_seconds);
+  world.set_topology(options.topology);
+  world.set_schedule(options.schedule);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));

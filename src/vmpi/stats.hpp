@@ -54,6 +54,17 @@ constexpr std::string_view op_name(Op op) {
 struct CommStats {
   std::array<std::uint64_t, kOpCount> bytes_sent{};   // remote only
   std::array<std::uint64_t, kOpCount> bytes_local{};  // self-destined
+  /// Subset of bytes_sent whose destination lives on a *different node*
+  /// under the World's Topology (vmpi/topology.hpp).  Flat topology makes
+  /// this identical to bytes_sent; a grouped topology splits remote
+  /// traffic into cheap intra-node and expensive cross-node shares — the
+  /// quantity the hierarchical exchange exists to shrink.
+  std::array<std::uint64_t, kOpCount> bytes_cross_node{};
+  /// Schedule steps (latency-bound rounds) per op: n-1 for the linear
+  /// collectives, ceil(log2 n) for recursive-doubling / swing /
+  /// dissemination and the Bruck relay, 1 for a dense alltoallv, 3 for the
+  /// hierarchical exchange (gather, leaders, scatter).
+  std::array<std::uint64_t, kOpCount> steps{};
   std::array<std::uint64_t, kOpCount> calls{};
   std::uint64_t messages_sent = 0;      // p2p messages enqueued by isend
   std::uint64_t messages_received = 0;  // p2p messages delivered by recv
@@ -82,7 +93,17 @@ struct CommStats {
     const auto i = static_cast<std::size_t>(op);
     (remote ? bytes_sent : bytes_local)[i] += bytes;
   }
+  /// Locality-classified variant: `cross` marks bytes whose destination is
+  /// on another node (implies remote).  Comm::account_send derives the
+  /// flags from the World's Topology; call sites without a Comm can pass
+  /// cross == remote (the flat-fabric classification).
+  void record_send(Op op, std::uint64_t bytes, bool remote, bool cross) {
+    const auto i = static_cast<std::size_t>(op);
+    (remote ? bytes_sent : bytes_local)[i] += bytes;
+    if (cross) bytes_cross_node[i] += bytes;
+  }
   void record_call(Op op) { calls[static_cast<std::size_t>(op)] += 1; }
+  void record_steps(Op op, std::uint64_t n) { steps[static_cast<std::size_t>(op)] += n; }
 
   [[nodiscard]] std::uint64_t total_remote_bytes() const {
     std::uint64_t total = 0;
@@ -96,6 +117,26 @@ struct CommStats {
   }
   [[nodiscard]] std::uint64_t remote_bytes(Op op) const {
     return bytes_sent[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] std::uint64_t cross_node_bytes(Op op) const {
+    return bytes_cross_node[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] std::uint64_t total_cross_node_bytes() const {
+    std::uint64_t total = 0;
+    for (auto b : bytes_cross_node) total += b;
+    return total;
+  }
+  /// Remote bytes that stayed inside the sender's node.
+  [[nodiscard]] std::uint64_t intra_node_bytes(Op op) const {
+    return remote_bytes(op) - cross_node_bytes(op);
+  }
+  [[nodiscard]] std::uint64_t steps_of(Op op) const {
+    return steps[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] std::uint64_t total_steps() const {
+    std::uint64_t total = 0;
+    for (auto s : steps) total += s;
+    return total;
   }
   [[nodiscard]] std::uint64_t calls_of(Op op) const {
     return calls[static_cast<std::size_t>(op)];
@@ -112,6 +153,8 @@ struct CommStats {
     for (std::size_t i = 0; i < kOpCount; ++i) {
       bytes_sent[i] += other.bytes_sent[i];
       bytes_local[i] += other.bytes_local[i];
+      bytes_cross_node[i] += other.bytes_cross_node[i];
+      steps[i] += other.steps[i];
       calls[i] += other.calls[i];
     }
     messages_sent += other.messages_sent;

@@ -1,0 +1,54 @@
+#include "vmpi/topology.hpp"
+
+#include <stdexcept>
+
+namespace paralagg::vmpi {
+
+const char* schedule_name(CollectiveSchedule s) {
+  switch (s) {
+    case CollectiveSchedule::kLinear: return "linear";
+    case CollectiveSchedule::kRecursiveDoubling: return "rd";
+    case CollectiveSchedule::kSwing: return "swing";
+  }
+  return "?";
+}
+
+CollectiveSchedule parse_schedule(const std::string& name) {
+  if (name == "linear") return CollectiveSchedule::kLinear;
+  if (name == "rd" || name == "recursive-doubling") {
+    return CollectiveSchedule::kRecursiveDoubling;
+  }
+  if (name == "swing") return CollectiveSchedule::kSwing;
+  throw std::invalid_argument("unknown collective schedule '" + name +
+                              "' (expected linear | rd | swing)");
+}
+
+std::vector<int> Topology::node_members(int rank, int nranks) const {
+  std::vector<int> out;
+  const int first = leader_of(rank);
+  for (int r = first; r < first + node_size && r < nranks; ++r) out.push_back(r);
+  return out;
+}
+
+std::vector<int> Topology::leaders(int nranks) const {
+  std::vector<int> out;
+  for (int r = 0; r < nranks; r += node_size) out.push_back(r);
+  return out;
+}
+
+Topology Topology::grouped(int nranks, int nodes) {
+  Topology t;
+  if (nodes <= 0 || nodes >= nranks) {
+    t.node_size = 1;
+    return t;
+  }
+  t.node_size = (nranks + nodes - 1) / nodes;
+  return t;
+}
+
+std::string Topology::describe(int nranks) const {
+  return std::to_string(node_count(nranks)) + " node(s) x " +
+         std::to_string(node_size) + " rank(s)";
+}
+
+}  // namespace paralagg::vmpi

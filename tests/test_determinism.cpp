@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "queries/cc.hpp"
 #include "queries/pagerank.hpp"
 #include "queries/sssp.hpp"
+#include "queries/tc.hpp"
 #include "vmpi/runtime.hpp"
 
 namespace paralagg {
@@ -137,6 +140,91 @@ TEST(Determinism, ProfileSummaryIdenticalOnAllRanks) {
       EXPECT_EQ(comm_bytes[r], comm_bytes[0]);
     }
   });
+}
+
+TEST(Determinism, FixpointsIdenticalAcrossSchedulesAndTopologies) {
+  // The topology refactor's core invariant: node grouping, collective
+  // schedule, and exchange routing are pure communication choices — every
+  // combination must reach the bit-identical fixpoint because all folds
+  // stay in rank order and the hierarchical pre-merge uses the same
+  // deterministic aggregator as the dense path.
+  const auto g = graph::make_rmat({.scale = 8, .edge_factor = 5, .seed = 29});
+  const auto sources = g.pick_sources(2);
+  constexpr int kRanks = 8;
+
+  struct Variant {
+    const char* name;
+    vmpi::CollectiveSchedule schedule;
+    int nodes;  // 0 -> flat topology
+    core::ExchangeAlgorithm exchange;
+  };
+  const Variant variants[] = {
+      {"linear/flat/dense", vmpi::CollectiveSchedule::kLinear, 0,
+       core::ExchangeAlgorithm::kDense},
+      {"rd/flat/dense", vmpi::CollectiveSchedule::kRecursiveDoubling, 0,
+       core::ExchangeAlgorithm::kDense},
+      {"swing/flat/dense", vmpi::CollectiveSchedule::kSwing, 0,
+       core::ExchangeAlgorithm::kDense},
+      {"rd/flat/bruck", vmpi::CollectiveSchedule::kRecursiveDoubling, 0,
+       core::ExchangeAlgorithm::kBruck},
+      {"rd/2x4/hier", vmpi::CollectiveSchedule::kRecursiveDoubling, 2,
+       core::ExchangeAlgorithm::kHierarchical},
+      {"swing/4x2/hier", vmpi::CollectiveSchedule::kSwing, 4,
+       core::ExchangeAlgorithm::kHierarchical},
+  };
+
+  // reference[q] from the first variant; later variants must match.
+  std::vector<Tuple> reference[4];
+  bool have_reference = false;
+  for (const auto& v : variants) {
+    vmpi::RunOptions options;
+    options.schedule = v.schedule;
+    options.topology = vmpi::Topology::grouped(kRanks, v.nodes);
+    std::vector<Tuple> got[4];
+    vmpi::run(kRanks, options, [&](vmpi::Comm& comm) {
+      queries::QueryTuning tuning;
+      tuning.engine.exchange = v.exchange;
+      {
+        queries::SsspOptions opts;
+        opts.sources = sources;
+        opts.tuning = tuning;
+        opts.collect_distances = true;
+        auto r = run_sssp(comm, g, opts);
+        if (comm.rank() == 0) got[0] = std::move(r.distances);
+      }
+      {
+        queries::CcOptions opts;
+        opts.tuning = tuning;
+        opts.collect_labels = true;
+        auto r = run_cc(comm, g, opts);
+        if (comm.rank() == 0) got[1] = std::move(r.labels);
+      }
+      {
+        queries::TcOptions opts;
+        opts.tuning = tuning;
+        opts.collect_pairs = true;
+        auto r = run_tc(comm, g, opts);
+        if (comm.rank() == 0) got[2] = std::move(r.pairs);
+      }
+      {
+        queries::PagerankOptions opts;
+        opts.rounds = 5;
+        opts.tuning = tuning;
+        opts.collect_ranks = true;
+        auto r = run_pagerank(comm, g, opts);
+        if (comm.rank() == 0) got[3] = std::move(r.ranks);
+      }
+    });
+    for (int q = 0; q < 4; ++q) {
+      ASSERT_FALSE(got[q].empty()) << v.name << " query " << q;
+      if (!have_reference) {
+        reference[q] = std::move(got[q]);
+      } else {
+        EXPECT_EQ(got[q], reference[q]) << v.name << " query " << q;
+      }
+    }
+    have_reference = true;
+  }
 }
 
 }  // namespace

@@ -223,6 +223,83 @@ TEST(FaultSweep, CorruptFramesRaiseTypedDecodeErrorOnSealedPath) {
   }
 }
 
+TEST(FaultSweep, BruckRelayHonorsCorruptAndDropInjection) {
+  // The Bruck dissemination relays other ranks' sealed frames inside its
+  // own envelopes over the mailbox path, so injection must reach it: a
+  // dropped relay starves a round (watchdog -> typed abort everywhere), a
+  // flipped byte must trip either the relay validation or the CRC trailer
+  // of the embedded frame — never a silently different fixpoint.
+  const auto g = sweep_graph();
+  const auto clean = run_leg(Query::kSssp, 4, vmpi::RunOptions{}, g);
+  ASSERT_FALSE(clean.any_aborted());
+
+  {
+    vmpi::RunOptions options;
+    options.fault.seed = 48;
+    options.fault.drop_prob = 0.10;
+    options.watchdog_seconds = kWatchdog;
+    const auto leg = run_leg(Query::kSssp, 4, options, g);
+    expect_unanimous(leg);
+    EXPECT_TRUE(leg.all_aborted());
+    EXPECT_FALSE(leg.fault_what[0].empty());
+  }
+  {
+    vmpi::RunOptions options;
+    options.fault.seed = 49;
+    options.fault.corrupt_prob = 0.05;
+    options.watchdog_seconds = kWatchdog;
+    const auto leg = run_leg(Query::kSssp, 4, options, g);
+    expect_unanimous(leg);
+    if (leg.all_aborted()) {
+      EXPECT_FALSE(leg.fault_what[0].empty());
+    } else {
+      EXPECT_EQ(leg.rows, clean.rows);
+    }
+  }
+}
+
+TEST(FaultSweep, HierarchicalExchangeHonorsCorruptAndDropInjection) {
+  // The two-level exchange moves tuples over three legs — member->leader
+  // up-frames, the leaders-only ialltoallv, and leader->member down-frames
+  // — all sealed and all on the faultable mailbox path.  A drop anywhere
+  // starves a blocking receive (watchdog -> unanimous typed abort); a
+  // corrupt byte must surface as a CRC/decode abort or leave the fixpoint
+  // bit-identical.
+  const auto g = sweep_graph();
+  const auto hier = [](queries::QueryTuning& t) {
+    t.engine.exchange = core::ExchangeAlgorithm::kHierarchical;
+  };
+  vmpi::RunOptions base;
+  base.topology = vmpi::Topology::grouped(4, 2);
+  const auto clean = run_leg(Query::kSssp, 4, base, g, hier);
+  ASSERT_FALSE(clean.any_aborted());
+  ASSERT_FALSE(clean.rows.empty());
+
+  {
+    auto options = base;
+    options.fault.seed = 50;
+    options.fault.drop_prob = 0.02;
+    options.watchdog_seconds = kWatchdog;
+    const auto leg = run_leg(Query::kSssp, 4, options, g, hier);
+    expect_unanimous(leg);
+    EXPECT_TRUE(leg.all_aborted());
+    EXPECT_FALSE(leg.fault_what[0].empty());
+  }
+  {
+    auto options = base;
+    options.fault.seed = 51;
+    options.fault.corrupt_prob = 0.05;
+    options.watchdog_seconds = kWatchdog;
+    const auto leg = run_leg(Query::kSssp, 4, options, g, hier);
+    expect_unanimous(leg);
+    if (leg.all_aborted()) {
+      EXPECT_FALSE(leg.fault_what[0].empty());
+    } else {
+      EXPECT_EQ(leg.rows, clean.rows);
+    }
+  }
+}
+
 TEST(FaultSweep, ScheduleReplaysExactlyFromSeed) {
   const auto g = sweep_graph();
   vmpi::RunOptions options;

@@ -1,0 +1,413 @@
+// Topology model, log-step collective schedules, and the hierarchical
+// two-level exchange.
+//
+// The contracts under test: (1) the Topology partition arithmetic and the
+// schedule parser; (2) allreduce/allgather results AND payload-byte totals
+// are schedule-invariant (only steps and the intra/cross locality split
+// may move); (3) the hierarchical router reaches the bit-identical staged
+// state of the dense exchange while shipping strictly fewer cross-node
+// bytes, with the split-phase and ragged-node edge cases intact.
+
+#include "vmpi/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/exchange_router.hpp"
+#include "core/relation.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace paralagg {
+namespace {
+
+using core::ExchangeAlgorithm;
+using core::ExchangeRouter;
+using core::RankProfile;
+using core::Relation;
+using core::RouterFlushStats;
+using core::Tuple;
+using core::value_t;
+using vmpi::CollectiveSchedule;
+using vmpi::Comm;
+using vmpi::CommStats;
+using vmpi::Op;
+using vmpi::Topology;
+
+// ---------------------------------------------------------------------------
+// Topology partition arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(Topology, FlatDefaultMakesEveryRankItsOwnNode) {
+  const Topology t;
+  EXPECT_EQ(t.node_size, 1);
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(t.node_of(r), r);
+    EXPECT_EQ(t.leader_of(r), r);
+    EXPECT_TRUE(t.is_leader(r));
+  }
+  EXPECT_FALSE(t.same_node(0, 1));
+  EXPECT_EQ(t.node_count(5), 5);
+}
+
+TEST(Topology, GroupedPartitionsContiguously) {
+  const Topology t = Topology::grouped(32, 4);
+  EXPECT_EQ(t.node_size, 8);
+  EXPECT_EQ(t.node_count(32), 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.leader_of(13), 8);
+  EXPECT_TRUE(t.is_leader(24));
+  EXPECT_FALSE(t.is_leader(25));
+  EXPECT_TRUE(t.same_node(16, 23));
+  EXPECT_FALSE(t.same_node(15, 16));
+  EXPECT_EQ(t.leaders(32), (std::vector<int>{0, 8, 16, 24}));
+  EXPECT_EQ(t.node_members(13, 32), (std::vector<int>{8, 9, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST(Topology, GroupedHandlesRaggedAndDegenerateShapes) {
+  // 10 ranks on 3 nodes: node_size ceil(10/3) = 4, last node short.
+  const Topology ragged = Topology::grouped(10, 3);
+  EXPECT_EQ(ragged.node_size, 4);
+  EXPECT_EQ(ragged.node_count(10), 3);
+  EXPECT_EQ(ragged.leaders(10), (std::vector<int>{0, 4, 8}));
+  EXPECT_EQ(ragged.node_members(9, 10), (std::vector<int>{8, 9}));
+
+  // Degenerate requests collapse to flat.
+  EXPECT_EQ(Topology::grouped(8, 0).node_size, 1);
+  EXPECT_EQ(Topology::grouped(8, 8).node_size, 1);
+  EXPECT_EQ(Topology::grouped(8, 100).node_size, 1);
+}
+
+TEST(Topology, ParseScheduleNamesRoundTrip) {
+  EXPECT_EQ(vmpi::parse_schedule("linear"), CollectiveSchedule::kLinear);
+  EXPECT_EQ(vmpi::parse_schedule("rd"), CollectiveSchedule::kRecursiveDoubling);
+  EXPECT_EQ(vmpi::parse_schedule("recursive-doubling"),
+            CollectiveSchedule::kRecursiveDoubling);
+  EXPECT_EQ(vmpi::parse_schedule("swing"), CollectiveSchedule::kSwing);
+  EXPECT_THROW((void)vmpi::parse_schedule("hypercube"), std::invalid_argument);
+  for (const auto s : {CollectiveSchedule::kLinear, CollectiveSchedule::kRecursiveDoubling,
+                       CollectiveSchedule::kSwing}) {
+    EXPECT_EQ(vmpi::parse_schedule(vmpi::schedule_name(s)), s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule equivalence: same results, same payload bytes, fewer steps
+// ---------------------------------------------------------------------------
+
+vmpi::RunOptions with_schedule(CollectiveSchedule s, Topology topo = Topology{}) {
+  vmpi::RunOptions o;
+  o.schedule = s;
+  o.topology = topo;
+  return o;
+}
+
+TEST(Schedules, CollectivesIdenticalAcrossSchedulesAndSizes) {
+  // Power-of-two sizes exercise recursive doubling and swing; the rest
+  // exercise the capped dissemination fallback.  The reduction order is
+  // contractually rank order, so every schedule must agree bit for bit.
+  for (const int n : {2, 3, 4, 5, 6, 7, 8, 9, 16}) {
+    for (const auto sched : {CollectiveSchedule::kLinear,
+                             CollectiveSchedule::kRecursiveDoubling,
+                             CollectiveSchedule::kSwing}) {
+      SCOPED_TRACE(std::string(vmpi::schedule_name(sched)) + " n=" + std::to_string(n));
+      vmpi::run(n, with_schedule(sched), [&](Comm& comm) {
+        const auto r = static_cast<std::uint64_t>(comm.rank());
+        const auto sum = comm.allreduce<std::uint64_t>(r + 1, vmpi::ReduceOp::kSum);
+        EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) + 1) / 2);
+        const auto mn = comm.allreduce<std::uint64_t>(r + 10, vmpi::ReduceOp::kMin);
+        EXPECT_EQ(mn, 10u);
+        const auto gathered = comm.allgather<std::uint64_t>(r * r);
+        ASSERT_EQ(gathered.size(), static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          EXPECT_EQ(gathered[static_cast<std::size_t>(i)],
+                    static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(i));
+        }
+      });
+    }
+  }
+}
+
+TEST(Schedules, PayloadByteTotalsAreScheduleInvariant) {
+  // Every schedule ships exactly n-1 blocks per rank (recursive doubling
+  // and swing by the power-of-two doubling argument, dissemination by the
+  // send-count cap), so the accounted remote bytes must not move at all.
+  for (const int n : {3, 8}) {
+    for (const auto sched : {CollectiveSchedule::kLinear,
+                             CollectiveSchedule::kRecursiveDoubling,
+                             CollectiveSchedule::kSwing}) {
+      SCOPED_TRACE(std::string(vmpi::schedule_name(sched)) + " n=" + std::to_string(n));
+      std::vector<CommStats> per_rank;
+      vmpi::run_collect(
+          n, with_schedule(sched),
+          [&](Comm& comm) {
+            (void)comm.allreduce<std::uint64_t>(1, vmpi::ReduceOp::kSum);
+            (void)comm.allgather<std::uint64_t>(2);
+          },
+          per_rank);
+      for (const auto& st : per_rank) {
+        EXPECT_EQ(st.remote_bytes(Op::kAllreduce),
+                  (static_cast<std::uint64_t>(n) - 1) * sizeof(std::uint64_t));
+        EXPECT_EQ(st.remote_bytes(Op::kAllgather),
+                  (static_cast<std::uint64_t>(n) - 1) * sizeof(std::uint64_t));
+      }
+    }
+  }
+}
+
+TEST(Schedules, LogStepSchedulesRecordLogarithmicSteps) {
+  struct Expect {
+    CollectiveSchedule sched;
+    std::uint64_t steps;  // per collective call at n = 8
+  };
+  const Expect expectations[] = {
+      {CollectiveSchedule::kLinear, 7},
+      {CollectiveSchedule::kRecursiveDoubling, 3},
+      {CollectiveSchedule::kSwing, 3},
+  };
+  for (const auto& e : expectations) {
+    SCOPED_TRACE(vmpi::schedule_name(e.sched));
+    std::vector<CommStats> per_rank;
+    vmpi::run_collect(
+        8, with_schedule(e.sched),
+        [&](Comm& comm) {
+          (void)comm.allreduce<std::uint64_t>(1, vmpi::ReduceOp::kSum);
+          (void)comm.allgather<std::uint64_t>(2);
+        },
+        per_rank);
+    for (const auto& st : per_rank) {
+      EXPECT_EQ(st.steps_of(Op::kAllreduce), e.steps);
+      EXPECT_EQ(st.steps_of(Op::kAllgather), e.steps);
+    }
+  }
+  // Non-power-of-two under a log-step schedule: dissemination fallback,
+  // still ceil(log2 n) steps (n = 6 -> 3 rounds).
+  std::vector<CommStats> per_rank;
+  vmpi::run_collect(
+      6, with_schedule(CollectiveSchedule::kRecursiveDoubling),
+      [&](Comm& comm) { (void)comm.allreduce<std::uint64_t>(1, vmpi::ReduceOp::kSum); },
+      per_rank);
+  for (const auto& st : per_rank) EXPECT_EQ(st.steps_of(Op::kAllreduce), 3u);
+}
+
+TEST(Schedules, SplitChildWorldsInheritTheSchedule) {
+  std::vector<CommStats> per_rank;
+  vmpi::run_collect(
+      4, with_schedule(CollectiveSchedule::kLinear),
+      [&](Comm& comm) {
+        auto child = comm.split(comm.rank() % 2, comm.rank());
+        (void)child.comm().allreduce<std::uint64_t>(1, vmpi::ReduceOp::kSum);
+        EXPECT_EQ(child.comm().schedule(), CollectiveSchedule::kLinear);
+      },
+      per_rank);
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind intra- vs cross-node byte attribution (grouped topology)
+// ---------------------------------------------------------------------------
+
+TEST(Stats, CollectiveKindsSplitIntraVsCrossNodeBytes) {
+  // 4 ranks on 2 nodes of 2.  Under the linear slot schedule every rank
+  // sends its 8-byte block to all 3 peers: one shares the node (8 bytes
+  // intra), two do not (16 bytes cross).  An alltoallv with 16-byte
+  // buffers splits the same way: 16 intra, 32 cross.
+  std::vector<CommStats> per_rank;
+  vmpi::run_collect(
+      4, with_schedule(CollectiveSchedule::kLinear, Topology::grouped(4, 2)),
+      [&](Comm& comm) {
+        (void)comm.allreduce<std::uint64_t>(1, vmpi::ReduceOp::kSum);
+        (void)comm.allgather<std::uint64_t>(2);
+        std::vector<std::vector<std::uint64_t>> send(4);
+        for (auto& s : send) s = {1, 2};
+        (void)comm.alltoallv_t(send);
+      },
+      per_rank);
+  for (const auto& st : per_rank) {
+    for (const Op op : {Op::kAllreduce, Op::kAllgather}) {
+      EXPECT_EQ(st.remote_bytes(op), 24u);
+      EXPECT_EQ(st.cross_node_bytes(op), 16u);
+      EXPECT_EQ(st.intra_node_bytes(op), 8u);
+    }
+    EXPECT_EQ(st.remote_bytes(Op::kAlltoallv), 48u);
+    EXPECT_EQ(st.cross_node_bytes(Op::kAlltoallv), 32u);
+    EXPECT_EQ(st.intra_node_bytes(Op::kAlltoallv), 16u);
+    EXPECT_EQ(st.total_cross_node_bytes(),
+              st.cross_node_bytes(Op::kAllreduce) + st.cross_node_bytes(Op::kAllgather) +
+                  st.cross_node_bytes(Op::kAlltoallv));
+  }
+}
+
+TEST(Stats, FlatTopologyCountsAllRemoteBytesAsCrossNode) {
+  // Pre-topology compatibility: with node_size 1 the locality split must
+  // be degenerate — every remote byte is a cross-node byte.
+  std::vector<CommStats> per_rank;
+  vmpi::run_collect(
+      3, [&](Comm& comm) { (void)comm.allgather<std::uint64_t>(1); }, per_rank);
+  for (const auto& st : per_rank) {
+    EXPECT_EQ(st.cross_node_bytes(Op::kAllgather), st.remote_bytes(Op::kAllgather));
+    EXPECT_EQ(st.intra_node_bytes(Op::kAllgather), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical two-level exchange
+// ---------------------------------------------------------------------------
+
+/// Smallest key >= 0 whose unary-prefix tuple `rel` assigns to `rank`.
+value_t key_owned_by(const Relation& rel, int rank) {
+  for (value_t k = 0;; ++k) {
+    const Tuple probe{k, 0, 0};
+    if (rel.owner_rank(probe.view()) == rank) return k;
+  }
+}
+
+/// One MIN-aggregated flush where every rank emits a row with the SAME
+/// independent key toward every other rank, so the node-level pre-merge
+/// has something to collapse.  Returns rank 0's gathered fixpoint.
+std::vector<Tuple> run_min_flush(int ranks, const vmpi::RunOptions& options,
+                                 ExchangeAlgorithm algo, std::vector<CommStats>* stats,
+                                 std::vector<RouterFlushStats>* flush_stats = nullptr) {
+  std::vector<Tuple> rows;
+  std::vector<CommStats> per_rank;
+  if (flush_stats != nullptr) flush_stats->assign(static_cast<std::size_t>(ranks), {});
+  vmpi::run_collect(
+      ranks, options,
+      [&](Comm& comm) {
+        Relation rel(comm, {.name = "h",
+                            .arity = 3,
+                            .jcc = 1,
+                            .dep_arity = 1,
+                            .aggregator = core::make_min_aggregator()});
+        RankProfile profile;
+        ExchangeRouter router(comm, /*preaggregate=*/true);
+        const auto id = router.add_target(&rel);
+        for (int d = 0; d < comm.size(); ++d) {
+          if (d == comm.rank()) continue;
+          const value_t key = key_owned_by(rel, d);
+          router.emit(id, Tuple{key, 7, 100 + static_cast<value_t>(comm.rank())}.view());
+        }
+        const auto st = router.flush(profile, algo);
+        if (flush_stats != nullptr) {
+          (*flush_stats)[static_cast<std::size_t>(comm.rank())] = st;
+        }
+        rel.materialize();
+        auto gathered = rel.gather_to_root(0);
+        if (comm.rank() == 0) rows = std::move(gathered);
+      },
+      per_rank);
+  if (stats != nullptr) *stats = std::move(per_rank);
+  return rows;
+}
+
+TEST(HierarchicalExchange, MatchesDenseFixpointWithFewerCrossNodeBytes) {
+  const int ranks = 8;
+  const auto options = with_schedule(CollectiveSchedule::kRecursiveDoubling,
+                                     Topology::grouped(ranks, 2));
+  std::vector<CommStats> dense_stats, hier_stats;
+  std::vector<RouterFlushStats> hier_flush;
+  const auto dense = run_min_flush(ranks, options, ExchangeAlgorithm::kDense, &dense_stats);
+  const auto hier = run_min_flush(ranks, options, ExchangeAlgorithm::kHierarchical,
+                                  &hier_stats, &hier_flush);
+  ASSERT_FALSE(dense.empty());
+  EXPECT_EQ(hier, dense);
+
+  const auto sum_cross = [](const std::vector<CommStats>& v) {
+    std::uint64_t total = 0;
+    for (const auto& st : v) total += st.cross_node_bytes(Op::kAlltoallv);
+    return total;
+  };
+  // Each node's 4 members emit a row for every off-node destination; the
+  // aggregator folds those four MIN candidates into one before the
+  // leaders-only exchange, so cross-node volume must drop strictly.
+  EXPECT_LT(sum_cross(hier_stats), sum_cross(dense_stats));
+
+  // The node merge really fired, on leaders only.
+  const Topology topo = Topology::grouped(ranks, 2);
+  std::uint64_t merged = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& st = hier_flush[static_cast<std::size_t>(r)];
+    if (!topo.is_leader(r)) {
+      EXPECT_EQ(st.rows_node_merged, 0u) << "rank " << r;
+    }
+    merged += st.rows_node_merged;
+  }
+  EXPECT_GT(merged, 0u);
+
+  for (const auto& st : hier_stats) {
+    // Still exactly one collective tuple exchange per flush per rank, and
+    // the up/down legs show up as the two extra schedule steps.
+    EXPECT_EQ(st.calls_of(Op::kAlltoallv), 1u);
+    EXPECT_EQ(st.steps_of(Op::kAlltoallv), 3u);
+    EXPECT_EQ(st.tickets_posted, 1u);
+    EXPECT_EQ(st.tickets_completed, 1u);
+  }
+}
+
+TEST(HierarchicalExchange, RaggedNodesAndEveryRowCountSurvive) {
+  // 5 ranks on 2 nodes: node {0,1,2} and node {3,4} — the short last node
+  // exercises the member-index arithmetic on both legs.
+  const int ranks = 5;
+  const auto options = with_schedule(CollectiveSchedule::kRecursiveDoubling,
+                                     Topology::grouped(ranks, 2));
+  std::vector<CommStats> dense_stats, hier_stats;
+  const auto dense = run_min_flush(ranks, options, ExchangeAlgorithm::kDense, &dense_stats);
+  const auto hier =
+      run_min_flush(ranks, options, ExchangeAlgorithm::kHierarchical, &hier_stats);
+  ASSERT_FALSE(dense.empty());
+  EXPECT_EQ(hier, dense);
+  std::uint64_t staged_rows = 0;
+  for (const auto& st : hier_stats) staged_rows += st.calls_of(Op::kAlltoallv);
+  EXPECT_EQ(staged_rows, static_cast<std::uint64_t>(ranks));
+}
+
+TEST(HierarchicalExchange, FlatTopologyDegradesToDense) {
+  // node_size 1: the hierarchy is the identity, so the router must take
+  // the plain dense path — one step, no intra-node legs.
+  std::vector<CommStats> per_rank;
+  const auto rows = run_min_flush(4, vmpi::RunOptions{}, ExchangeAlgorithm::kHierarchical,
+                                  &per_rank);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& st : per_rank) {
+    EXPECT_EQ(st.steps_of(Op::kAlltoallv), 1u);
+    EXPECT_EQ(st.intra_node_bytes(Op::kAlltoallv), 0u);
+  }
+}
+
+TEST(HierarchicalExchange, SplitPhasePostCompleteKeepsEmitsFlowing) {
+  const auto options = with_schedule(CollectiveSchedule::kRecursiveDoubling,
+                                     Topology::grouped(4, 2));
+  vmpi::run(4, options, [&](Comm& comm) {
+    Relation rel(comm, {.name = "sp", .arity = 3, .jcc = 1});
+    RankProfile profile;
+    ExchangeRouter router(comm, /*preaggregate=*/true);
+    const auto id = router.add_target(&rel);
+    const value_t theirs = key_owned_by(rel, (comm.rank() + 1) % comm.size());
+
+    router.emit(id, Tuple{theirs, 1, 1}.view());
+    router.post(profile, ExchangeAlgorithm::kHierarchical);
+    EXPECT_TRUE(router.in_flight());
+
+    // Rows emitted while the two-level exchange is in flight land in the
+    // other generation and ride the next flush untouched.
+    router.emit(id, Tuple{theirs, 2, 2}.view());
+    const auto st1 = router.complete(profile);
+    EXPECT_EQ(st1.rows_staged, 1u);
+    EXPECT_EQ(router.pending_rows(), 1u);
+
+    router.post(profile, ExchangeAlgorithm::kHierarchical);
+    const auto st2 = router.complete(profile);
+    EXPECT_EQ(st2.rows_staged, 1u);
+
+    rel.materialize();
+    EXPECT_EQ(rel.global_size(core::Version::kFull), 8u);
+    EXPECT_EQ(comm.stats().tickets_posted, 2u);
+    EXPECT_EQ(comm.stats().tickets_completed, 2u);
+  });
+}
+
+}  // namespace
+}  // namespace paralagg

@@ -383,6 +383,43 @@ TEST(Stats, AllreduceVoteCostsOneIntegerPerRank) {
   }
 }
 
+TEST(Stats, PerKindCountersSplitIntraVsCrossNodeBytes) {
+  // Under a grouped topology every collective kind carries its own
+  // locality split: 4 ranks on 2 nodes of 2 means each rank's n-1 remote
+  // blocks divide into 1 on-node peer and 2 off-node peers, per kind.
+  RunOptions options;
+  options.topology = Topology::grouped(4, 2);
+  std::vector<CommStats> per_rank;
+  run_collect(
+      4, options,
+      [&](Comm& comm) {
+        (void)comm.allreduce<std::uint64_t>(1, ReduceOp::kSum);
+        (void)comm.allgather<std::uint64_t>(2);
+        std::vector<std::vector<std::uint64_t>> send(4);
+        for (auto& s : send) s = {1, 2, 3};
+        (void)comm.alltoallv_t(send);
+      },
+      per_rank);
+  for (const auto& st : per_rank) {
+    for (const Op op : {Op::kAllreduce, Op::kAllgather}) {
+      EXPECT_EQ(st.remote_bytes(op), 24u);
+      EXPECT_EQ(st.intra_node_bytes(op), 8u);
+      EXPECT_EQ(st.cross_node_bytes(op), 16u);
+    }
+    EXPECT_EQ(st.remote_bytes(Op::kAlltoallv), 72u);
+    EXPECT_EQ(st.intra_node_bytes(Op::kAlltoallv), 24u);
+    EXPECT_EQ(st.cross_node_bytes(Op::kAlltoallv), 48u);
+    // Per-kind splits are exhaustive: intra + cross == remote, and the
+    // world totals are the per-kind sums.
+    std::uint64_t cross = 0;
+    for (const Op op : {Op::kAllreduce, Op::kAllgather, Op::kAlltoallv}) {
+      EXPECT_EQ(st.intra_node_bytes(op) + st.cross_node_bytes(op), st.remote_bytes(op));
+      cross += st.cross_node_bytes(op);
+    }
+    EXPECT_EQ(st.total_cross_node_bytes(), cross);
+  }
+}
+
 TEST(Stats, PauseSuppressesAccounting) {
   std::vector<CommStats> per_rank;
   run_collect(
