@@ -28,9 +28,26 @@
 //     --checkpoint FILE   checkpoint manifest path (with --checkpoint-every)
 //     --checkpoint-every N  write the manifest every N loop iterations
 //                         (BSP engine; 0 = off, the default)
-//     --resume FILE       restart from a checkpoint manifest written by an
+//     --resume [FILE]     restart from a checkpoint manifest written by an
 //                         earlier run of the SAME query/graph/options; any
-//                         rank count works
+//                         rank count works.  With --serve the FILE is
+//                         omitted (the manifest comes from --checkpoint)
+//                         and the flag demands a warm start: exit nonzero
+//                         if no manifest exists instead of silently
+//                         recomputing cold
+//     --serve             serving mode (sssp | cc): bring the fixpoint up
+//                         (cold, or warm from --checkpoint), then apply
+//                         --update-batch files in order and answer
+//                         --lookup queries from the resident indexes.
+//                         --checkpoint-every N here counts update batches
+//                         between rolling manifests, not loop iterations
+//     --update-batch FILE edge mutations, one per line: "+ u v [w]" to
+//                         insert, "- u v [w]" to delete (cc ignores w and
+//                         symmetrizes both directions).  Repeatable;
+//                         applied in order (serve mode only)
+//     --lookup a[,b,...]  point lookup by key prefix against the query's
+//                         output relation (spath | cc), answered after all
+//                         batches.  Repeatable (serve mode only)
 //     --watchdog SECONDS  fail blocked waits with a typed timeout instead
 //                         of hanging (0 = off, the default)
 //     --nodes N           group the ranks into N modeled "nodes" for the
@@ -77,6 +94,10 @@ struct Args {
   std::string checkpoint_file;
   std::size_t checkpoint_every = 0;
   std::string resume_file;
+  bool resume_required = false;  // bare --resume (serve mode)
+  bool serve = false;
+  std::vector<std::string> update_batches;
+  std::vector<std::vector<core::value_t>> lookups;
   double watchdog_seconds = 0;
   int nodes = 0;
   std::string topology = "flat";
@@ -90,7 +111,8 @@ struct Args {
                "[--graph FILE | --synthetic NAME] [--scale N] [--ranks N]\n"
                "       [--sources a,b,c] [--rounds N] [--sub-buckets N]\n"
                "       [--engine bsp|async] [--async-batch N] [--baseline]\n"
-               "       [--checkpoint FILE --checkpoint-every N] [--resume FILE]\n"
+               "       [--checkpoint FILE --checkpoint-every N] [--resume [FILE]]\n"
+               "       [--serve] [--update-batch FILE]... [--lookup a,b,...]...\n"
                "       [--watchdog SECONDS] [--nodes N] [--topology flat|hier]\n"
                "       [--schedule linear|rd|swing] [--out FILE]\n";
   std::exit(2);
@@ -145,7 +167,24 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--checkpoint-every") {
       args.checkpoint_every = std::stoull(next());
     } else if (flag == "--resume") {
-      args.resume_file = next();
+      // The FILE is optional: bare --resume (next token is another flag,
+      // or nothing) demands a warm start in serve mode.
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        args.resume_required = true;
+      } else {
+        args.resume_file = argv[++i];
+      }
+    } else if (flag == "--serve") {
+      args.serve = true;
+    } else if (flag == "--update-batch") {
+      args.update_batches.push_back(next());
+    } else if (flag == "--lookup") {
+      std::istringstream ss(next());
+      std::string tok;
+      std::vector<core::value_t> key;
+      while (std::getline(ss, tok, ',')) key.push_back(std::stoull(tok));
+      if (key.empty()) usage("--lookup expects a,b,... key values");
+      args.lookups.push_back(std::move(key));
     } else if (flag == "--watchdog") {
       args.watchdog_seconds = std::stod(next());
     } else if (flag == "--nodes") {
@@ -407,6 +446,135 @@ void run_query(const Args& args, const graph::Graph& g, const queries::QueryTuni
   });
 }
 
+/// Parse an --update-batch file into this rank's sharded contribution:
+/// lines "+ u v [w]" / "- u v [w]", round-robin sliced across ranks.
+serving::UpdateBatch read_update_batch(const std::string& path, std::size_t edge_arity,
+                                       bool symmetrize, int rank, int nranks) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read update batch " + path);
+  serving::RelationDelta delta;
+  delta.relation = "edge";
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const bool mine = lineno++ % static_cast<std::size_t>(nranks) ==
+                      static_cast<std::size_t>(rank);
+    std::istringstream ss(line);
+    char op = 0;
+    core::value_t u = 0, v = 0, w = 1;
+    if (!(ss >> op >> u >> v) || (op != '+' && op != '-')) {
+      throw std::runtime_error(path + ": bad update line '" + line +
+                               "' (want '+ u v [w]' or '- u v [w]')");
+    }
+    ss >> w;  // optional; default weight 1
+    if (!mine) continue;
+    auto& rows = op == '+' ? delta.inserts : delta.deletes;
+    if (edge_arity == 3) {
+      rows.push_back(core::Tuple{u, v, w});
+    } else {
+      rows.push_back(core::Tuple{u, v});
+      if (symmetrize) rows.push_back(core::Tuple{v, u});
+    }
+  }
+  return {std::move(delta)};
+}
+
+int run_serve(const Args& args, const graph::Graph& g, const queries::QueryTuning& tuning,
+              const std::vector<core::value_t>& sources) {
+  int exit_code = 0;
+  vmpi::run(args.ranks, run_options(args), [&](vmpi::Comm& comm) {
+    const bool root = comm.is_root();
+    const bool is_sssp = args.query == "sssp";
+
+    // Keep the builder struct alive: the Program must outlive the engine.
+    queries::SsspProgram sp;
+    queries::CcProgram cp;
+    core::Program* program = nullptr;
+    std::string lookup_rel;
+    if (is_sssp) {
+      sp = queries::build_sssp_program(comm, tuning.edge_sub_buckets,
+                                       /*balance_edges=*/false);
+      program = sp.program.get();
+      lookup_rel = "spath";
+    } else {
+      cp = queries::build_cc_program(comm, tuning.edge_sub_buckets,
+                                     /*balance_edges=*/false);
+      program = cp.program.get();
+      lookup_rel = "cc";
+    }
+
+    serving::ServingConfig scfg;
+    scfg.engine = tuning.engine;
+    scfg.manifest_path = args.checkpoint_file;
+    scfg.checkpoint_every_batches = args.checkpoint_every;
+    serving::ServingEngine srv(comm, *program, scfg);
+
+    const bool warm = srv.can_warm_start();
+    if (args.resume_required && !warm) {
+      if (root) {
+        std::cerr << "error: --resume demanded a warm start but no manifest exists at "
+                  << args.checkpoint_file << "\n";
+      }
+      exit_code = 1;
+      return;
+    }
+    if (!warm) {
+      if (is_sssp) {
+        queries::load_sssp_facts(sp, g, sources);
+      } else {
+        queries::load_cc_facts(cp, g, /*symmetrize=*/true);
+      }
+    }
+    const auto rr = srv.start();
+    if (root) {
+      std::cout << "serve: " << (warm ? "warm start from " + args.checkpoint_file
+                                      : std::string("cold start"))
+                << "\n";
+      report(rr);
+    }
+    if (rr.aborted_fault) {
+      exit_code = 1;
+      return;
+    }
+
+    for (const auto& path : args.update_batches) {
+      const auto batch = read_update_batch(path, is_sssp ? 3 : 2, !is_sssp,
+                                           comm.rank(), comm.size());
+      const auto ur = srv.apply_updates(batch);
+      if (ur.aborted_fault) {
+        if (root) std::cerr << "error: batch " << path << " aborted: " << ur.fault_what
+                            << "\n";
+        exit_code = 1;
+        return;
+      }
+      if (root) {
+        std::cout << "batch " << path << ": +" << ur.base_inserted << " -"
+                  << ur.base_deleted << " edges (" << ur.missing_deletes
+                  << " deletes missed), retracted " << ur.retracted << " in "
+                  << ur.retraction_rounds << " rounds, recovered " << ur.recovered
+                  << ", derived " << ur.tuples_derived << " tuples over "
+                  << ur.tail_iterations << " tail iterations"
+                  << (ur.checkpointed ? ", manifest written" : "") << "\n";
+      }
+    }
+
+    for (const auto& key : args.lookups) {
+      const auto rows = srv.lookup(lookup_rel, key);
+      if (root) {
+        std::cout << lookup_rel << "(";
+        for (std::size_t i = 0; i < key.size(); ++i) std::cout << (i ? "," : "") << key[i];
+        std::cout << "): " << rows.size() << " rows\n";
+        for (const auto& row : rows) {
+          for (std::size_t c = 0; c < row.size(); ++c) std::cout << (c ? " " : "  ") << row[c];
+          std::cout << "\n";
+        }
+      }
+    }
+  });
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -436,11 +604,39 @@ int main(int argc, char** argv) {
     usage("--checkpoint-every needs --checkpoint FILE");
   }
 
+  // Serving-mode flag validation: every flag either works or fails loudly.
+  if (args.serve && args.use_async) {
+    usage("--serve requires the BSP engine (--engine async cannot be served)");
+  }
+  if (!args.serve && !args.update_batches.empty()) {
+    usage("--update-batch requires --serve (batch mode has no resident engine)");
+  }
+  if (!args.serve && !args.lookups.empty()) {
+    usage("--lookup requires --serve: after a batch run there is no resident "
+          "engine to look up");
+  }
+  if (args.resume_required && !args.serve) {
+    usage("bare --resume needs --serve (batch mode resumes with --resume FILE)");
+  }
+  if (args.serve && args.resume_required && args.checkpoint_file.empty()) {
+    usage("--resume in serve mode needs --checkpoint FILE naming the manifest");
+  }
+  if (args.serve && !args.resume_file.empty()) {
+    usage("--serve warm-starts from --checkpoint FILE; --resume takes no FILE here");
+  }
+  if (args.serve && args.query != "sssp" && args.query != "cc") {
+    usage("--serve supports sssp and cc");
+  }
+
   auto sources = args.sources;
   if (sources.empty()) sources = g.pick_hubs(3);
 
   try {
+    if (args.serve) return run_serve(args, g, tuning, sources);
     run_query(args, g, tuning, sources);
+  } catch (const serving::ServingError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::invalid_argument& e) {
     // check_supported rejection (e.g. `pagerank --engine async`).
     std::cerr << "error: " << e.what() << "\n";

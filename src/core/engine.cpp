@@ -180,7 +180,7 @@ StratumResult Engine::run_stratum(const Stratum& stratum, std::size_t start_iter
 
 RunResult Engine::run_from(Program& program, std::size_t first_stratum,
                            std::size_t start_iteration, bool skip_init,
-                           std::uint64_t prior_iterations) {
+                           std::uint64_t prior_iterations, bool delta_mode) {
   RunResult result;
   const auto t0 = std::chrono::steady_clock::now();
   program_ = &program;
@@ -192,7 +192,9 @@ RunResult Engine::run_from(Program& program, std::size_t first_stratum,
       stratum_index_ = i;
       const bool resumed_here = i == first_stratum;
       const std::size_t start = resumed_here ? start_iteration : 0;
-      auto sr = run_stratum(*strata[i], start, resumed_here && skip_init);
+      const bool skip = delta_mode ? !strata[i]->loop_rules.empty()
+                                   : resumed_here && skip_init;
+      auto sr = run_stratum(*strata[i], start, skip);
       prior_iterations_ += start + sr.iterations;
       result.total_iterations += sr.iterations;
       result.aborted_tuple_limit = result.aborted_tuple_limit || sr.aborted_tuple_limit;
@@ -241,6 +243,12 @@ RunResult Engine::run_from(Program& program, std::size_t first_stratum,
 RunResult Engine::run(Program& program) {
   program.validate();
   return run_from(program, 0, 0, /*skip_init=*/false, /*prior_iterations=*/0);
+}
+
+RunResult Engine::run_delta(Program& program) {
+  program.validate();
+  return run_from(program, 0, 0, /*skip_init=*/true, /*prior_iterations=*/0,
+                  /*delta_mode=*/true);
 }
 
 RunResult Engine::resume(Program& program, const std::string& manifest_path) {

@@ -170,6 +170,14 @@ class Engine {
   /// CheckpointError if the manifest is missing or corrupt.
   RunResult resume(Program& program, const std::string& manifest_path);
 
+  /// Delta-seeded continuation for incremental serving: run every stratum
+  /// in order, suppressing init rules for recursive strata (their targets
+  /// are incrementally maintained and the caller has already materialized
+  /// the seed delta), while init-only strata (projections over the evolved
+  /// state) re-run their init rules.  Semi-naive evaluation from whatever
+  /// deltas the caller staged; collective, same summary as run().
+  RunResult run_delta(Program& program);
+
  private:
   /// Execute one rule (join or copy) into `router`, honouring the engine's
   /// join-order override.  Pure local-emit: the exchange schedule (fused /
@@ -187,12 +195,14 @@ class Engine {
   /// Distinct relations read by a rule list (join sides / copy sources).
   static std::vector<Relation*> sources_of(const std::vector<Rule>& rules);
 
-  /// Shared tail of run()/resume(): execute strata `first..end`, catching
-  /// vmpi::FaultError into aborted_fault, then assemble the cross-rank
-  /// summary (skipped when the world is poisoned by a fault).
+  /// Shared tail of run()/resume()/run_delta(): execute strata
+  /// `first..end`, catching vmpi::FaultError into aborted_fault, then
+  /// assemble the cross-rank summary (skipped when the world is poisoned
+  /// by a fault).  `delta_mode` overrides the init-skip decision per
+  /// stratum: recursive strata skip init, init-only strata run it.
   RunResult run_from(Program& program, std::size_t first_stratum,
                      std::size_t start_iteration, bool skip_init,
-                     std::uint64_t prior_iterations);
+                     std::uint64_t prior_iterations, bool delta_mode = false);
 
   vmpi::Comm* comm_;
   EngineConfig cfg_;

@@ -208,6 +208,23 @@ void ExchangeRouter::post(RankProfile& profile, ExchangeAlgorithm algo) {
     if (algo == ExchangeAlgorithm::kHierarchical && comm_->topology().node_size > 1) {
       inflight_.hier = true;
       inflight_.hier_seq = hier_seq_++;
+      {
+        // Leader election by load: the member with the most staged delta
+        // bytes aggregates, so the node's heaviest buffer never crosses
+        // the intra-node wire.  Election metadata, not payload — the
+        // allgather runs unaccounted (StatsPause) like the schedule
+        // bookkeeping, keeping byte totals election-invariant.
+        std::uint64_t my_load = 0;
+        for (const auto& rows : outgoing_[cur_gen_]) {
+          my_load += rows.size() * sizeof(value_t);
+        }
+        vmpi::StatsPause pause(*comm_);
+        const auto loads = comm_->allgather<std::uint64_t>(my_load);
+        inflight_.leaders = comm_->topology().elect_leaders(loads);
+      }
+      inflight_.stats.elected_leader =
+          inflight_.leaders[static_cast<std::size_t>(
+              comm_->topology().node_of(comm_->rank()))];
       auto send = pack_hier(inflight_.stats);
       profile.add_work(Phase::kAllToAll, inflight_.stats.rows_sent);
       inflight_.ticket = comm_->ialltoallv(std::move(send));
@@ -264,7 +281,7 @@ std::vector<vmpi::Bytes> ExchangeRouter::pack_hier(RouterFlushStats& st) {
   const auto nsz = static_cast<std::size_t>(n);
   const int me = comm_->rank();
   const vmpi::Topology& topo = comm_->topology();
-  const int leader = topo.leader_of(me);
+  const int leader = inflight_.leaders[static_cast<std::size_t>(topo.node_of(me))];
   const int up_tag = kHierUpTagBase + static_cast<int>(inflight_.hier_seq % kHierTagWindow);
   const auto seq = static_cast<value_t>(inflight_.hier_seq);
 
@@ -379,9 +396,9 @@ std::vector<vmpi::Bytes> ExchangeRouter::pack_hier(RouterFlushStats& st) {
     }
   }
 
-  // One frame per destination node, addressed to its leader; the final
-  // destination travels in-band so the peer leader can scatter.
-  for (const int peer : topo.leaders(n)) {
+  // One frame per destination node, addressed to its elected leader; the
+  // final destination travels in-band so the peer leader can scatter.
+  for (const int peer : inflight_.leaders) {
     vmpi::TypedWriter<value_t> w;
     for (const int d : topo.node_members(peer, n)) {
       for (std::size_t id = 0; id < targets_.size(); ++id) {
@@ -407,7 +424,7 @@ void ExchangeRouter::absorb_hier(const std::vector<vmpi::Bytes>& received,
   const int n = comm_->size();
   const int me = comm_->rank();
   const vmpi::Topology& topo = comm_->topology();
-  const int leader = topo.leader_of(me);
+  const int leader = inflight_.leaders[static_cast<std::size_t>(topo.node_of(me))];
   const int down_tag = kHierDownTagBase + static_cast<int>(inflight_.hier_seq % kHierTagWindow);
   const auto seq = static_cast<value_t>(inflight_.hier_seq);
 
@@ -454,7 +471,9 @@ void ExchangeRouter::absorb_hier(const std::vector<vmpi::Bytes>& received,
 
   // Leader: split every arriving leader frame by final destination —
   // stage own rows, forward the rest as one sealed frame per member.
-  // Node ranks are contiguous, so member index == d - me.
+  // Node ranks are contiguous, so member index == d - node_base (the
+  // elected leader may sit anywhere in the block, hence base, not me).
+  const int base = topo.node_base(me);
   const std::vector<int> members = topo.node_members(me, n);
   std::vector<std::vector<value_t>> fwd(members.size() * targets_.size());
   {
@@ -468,7 +487,7 @@ void ExchangeRouter::absorb_hier(const std::vector<vmpi::Bytes>& received,
       vmpi::TypedReader<value_t> r(frame.payload);
       while (!r.done()) {
         const auto d = static_cast<int>(r.get());
-        if (d < me || d >= me + static_cast<int>(members.size())) {
+        if (d < base || d >= base + static_cast<int>(members.size())) {
           throw vmpi::FrameDecodeError("router: leaders frame names a rank outside this node");
         }
         if (r.remaining() < 2) {
@@ -488,7 +507,7 @@ void ExchangeRouter::absorb_hier(const std::vector<vmpi::Bytes>& received,
           rel.stage_rows(rows);
           st.rows_staged += count;
         } else {
-          auto& acc = fwd[static_cast<std::size_t>(d - me) * targets_.size() + id];
+          auto& acc = fwd[static_cast<std::size_t>(d - base) * targets_.size() + id];
           acc.insert(acc.end(), rows.begin(), rows.end());
         }
       }
@@ -497,8 +516,9 @@ void ExchangeRouter::absorb_hier(const std::vector<vmpi::Bytes>& received,
   }
   {
     PhaseScope scope(*comm_, profile, Phase::kAllToAll);
-    for (std::size_t i = 1; i < members.size(); ++i) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
       const int m = members[i];
+      if (m == me) continue;  // own rows were staged above
       vmpi::TypedWriter<value_t> w;
       for (std::size_t id = 0; id < targets_.size(); ++id) {
         const auto& rows = fwd[i * targets_.size() + id];

@@ -50,11 +50,13 @@ namespace paralagg::core {
 enum class ExchangeAlgorithm : std::uint8_t {
   kDense,  // matrix alltoallv (bandwidth-optimal)
   kBruck,  // log-round relay (message-count-optimal; see vmpi::Comm)
-  /// Two-level topology-aware exchange: every node's aggregator rank (its
-  /// lowest rank — vmpi::Topology::leader_of) pre-merges the node's
-  /// buffered deltas through the sender-side combine, a leaders-only
-  /// ialltoallv carries the merged frames across nodes, and each leader
-  /// scatters the arrivals intra-node.  3 steps instead of 1, but the
+  /// Two-level topology-aware exchange: every node's aggregator rank —
+  /// elected per flush by staged delta bytes (vmpi::Topology::
+  /// elect_leaders; ties to the lowest rank) so the heaviest member merges
+  /// in place — pre-merges the node's buffered deltas through the
+  /// sender-side combine, a leaders-only ialltoallv carries the merged
+  /// frames across nodes, and each leader scatters the arrivals
+  /// intra-node.  3 steps instead of 1, but the
   /// cross-node volume shrinks by whatever the node-level MIN/MAX merge
   /// collapses.  Router flushes only; the raw exchange_alltoallv helper
   /// (intra-bucket shuffles, no combine context) degrades it to kDense.
@@ -75,6 +77,11 @@ struct RouterFlushStats {
   /// before the leaders-only exchange (hierarchical path, leaders only) —
   /// the cross-node bytes the two-level exchange avoided.
   std::uint64_t rows_node_merged = 0;
+  /// The rank this flush elected as this rank's node aggregator
+  /// (hierarchical path only; -1 elsewhere).  Election is by staged delta
+  /// bytes with ties to the lowest rank, so the member already holding the
+  /// most data merges in place instead of shipping it up first.
+  int elected_leader = -1;
 };
 
 class ExchangeRouter {
@@ -197,6 +204,10 @@ class ExchangeRouter {
     vmpi::Comm::Ticket ticket;
     std::vector<vmpi::Bytes> received;
     RouterFlushStats stats;
+    /// Elected leader per node for this flush, node-indexed.  Stored here
+    /// so the pack (post) and absorb (complete) sides agree even when
+    /// emits refill the other generation in between.
+    std::vector<int> leaders;
   };
 
   vmpi::Comm* comm_;

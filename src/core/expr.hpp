@@ -120,6 +120,10 @@ class Expr {
   [[nodiscard]] int max_col_b() const { return max_col(Kind::kColB); }
 
   [[nodiscard]] Kind kind() const { return kind_; }
+  /// Column index of a kColA / kColB leaf (meaningless for other kinds).
+  /// Lets incremental maintenance recognise head shapes like "output key
+  /// = side-B column i" without a full expression-compiler round trip.
+  [[nodiscard]] std::size_t col_index() const { return idx_; }
 
  private:
   Expr(Kind k, std::size_t idx) : kind_(k), idx_(idx) {}

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
 
 #include "vmpi/crc32.hpp"
 
@@ -84,6 +85,10 @@ void Relation::ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) cons
 void Relation::stage(std::span<const value_t> tuple) {
   assert(tuple.size() == cfg_.arity);
   assert(owner_rank(tuple) == comm_->rank() && "tuple staged on a non-owner rank");
+  if (support_counts_) {
+    // Count the derivation event before any same-iteration collapse below.
+    ++support_[Tuple(tuple.subspan(0, indep_arity()))];
+  }
   if (!aggregated()) {
     staged_set_.insert(Tuple(tuple));
     return;
@@ -192,6 +197,33 @@ void Relation::reset() {
   delta_.clear();
   staged_set_.clear();
   staged_agg_.clear();
+  support_.clear();
+}
+
+std::uint64_t Relation::support_of(std::span<const value_t> key) const {
+  assert(key.size() == indep_arity());
+  const auto it = support_.find(Tuple(key));
+  return it == support_.end() ? 0 : it->second;
+}
+
+std::uint64_t Relation::support_release(std::span<const value_t> key, std::uint64_t n) {
+  assert(key.size() == indep_arity());
+  const auto it = support_.find(Tuple(key));
+  if (it == support_.end()) return 0;
+  it->second = it->second > n ? it->second - n : 0;
+  return it->second;
+}
+
+Tuple Relation::retract_key(std::span<const value_t> key) {
+  assert(key.size() == indep_arity());
+  Tuple removed;
+  const auto stored = std::as_const(full_).find_key(key);
+  if (stored.empty()) return removed;
+  removed = Tuple(stored);
+  full_.erase_key(key);
+  delta_.erase_key(key);  // a same-batch re-derivation may have put it there
+  support_.erase(Tuple(key));
+  return removed;
 }
 
 void Relation::load_facts(std::span<const Tuple> slice) {

@@ -125,7 +125,44 @@ class Relation {
 
   /// Drop every tuple and staged row (full, delta, staging).  Local; the
   /// checkpoint-restore path clears a relation before repopulating it.
+  /// Support counts (when enabled) are cleared too.
   void reset();
+
+  // -- support counts (incremental serving) ------------------------------------
+  //
+  // With support counting enabled, stage() also counts derivation *events*
+  // per key (the independent-column prefix; the whole tuple for plain
+  // relations) — how many times anything derived that key, across
+  // iterations, before any same-iteration pre-aggregation collapses them.
+  // The serving layer's DRed-style deletion uses the counts to retract
+  // conclusions whose last support disappeared.  For aggregated relations
+  // the counts are advisory (the retract decision also compares the stored
+  // aggregate against the invalidated derivation's value — see
+  // DESIGN.md §11); for plain relations they are exact under per-event
+  // staging.  Counting requires per-event granularity, so serving runs the
+  // engine with sender-side pre-aggregation off.
+
+  /// Turn on support counting (idempotent).  Local; enable before any
+  /// facts are loaded or derived so every event is counted.
+  void enable_support_counts() { support_counts_ = true; }
+  [[nodiscard]] bool support_counts_enabled() const { return support_counts_; }
+
+  /// Drop every support entry, keeping the stored tuples.  The serving
+  /// warm start clears the manifest-load counts (1 per key) right before
+  /// its superset re-derivation pass recounts every surviving event.
+  void clear_support_counts() { support_.clear(); }
+
+  /// Current support of `key` (indep_arity() columns); 0 when unknown.
+  [[nodiscard]] std::uint64_t support_of(std::span<const value_t> key) const;
+
+  /// Subtract `n` from `key`'s support, saturating at 0; returns what
+  /// remains.  Local.
+  std::uint64_t support_release(std::span<const value_t> key, std::uint64_t n);
+
+  /// Remove the stored tuple for `key` (indep_arity() columns) from full
+  /// (and delta, if present) and drop its support entry.  Returns the
+  /// removed full row, or an empty tuple if the key was absent.  Local.
+  Tuple retract_key(std::span<const value_t> key);
 
   [[nodiscard]] std::size_t staged_count() const {
     return aggregated() ? staged_agg_.size() : staged_set_.size();
@@ -185,6 +222,10 @@ class Relation {
   // Staging: plain relations deduplicate, aggregated relations pre-aggregate.
   std::unordered_set<Tuple, storage::TupleHash> staged_set_;
   std::unordered_map<Tuple, Tuple, storage::TupleHash> staged_agg_;  // key -> dep
+
+  // Derivation-event counts per key (serving mode only; empty otherwise).
+  bool support_counts_ = false;
+  std::unordered_map<Tuple, std::uint64_t, storage::TupleHash> support_;
 };
 
 }  // namespace paralagg::core

@@ -17,6 +17,7 @@
 //   async     — nonblocking evaluation mode (delta propagation + Safra)
 //   graph     — generators, IO, dataset zoo
 //   queries   — prebuilt declarative queries (SSSP, CC, PageRank, TC, ...)
+//   serving   — resident incremental engine (update batches + point lookups)
 //   baseline  — comparator engines (shuffle-style, stratified Datalog)
 
 #include "async/async_engine.hpp"
@@ -33,9 +34,11 @@
 #include "queries/cc.hpp"
 #include "queries/lsp.hpp"
 #include "queries/pagerank.hpp"
+#include "queries/programs.hpp"
 #include "queries/reference.hpp"
 #include "queries/sssp.hpp"
 #include "queries/sssp_tree.hpp"
 #include "queries/tc.hpp"
 #include "queries/triangles.hpp"
+#include "serving/serving_engine.hpp"
 #include "vmpi/runtime.hpp"

@@ -1,74 +1,22 @@
 #include "queries/cc.hpp"
 
-#include "core/program.hpp"
+#include "queries/programs.hpp"
 
 namespace paralagg::queries {
 
 CcResult run_cc(vmpi::Comm& comm, const graph::Graph& g, const CcOptions& opts) {
-  core::Program program(comm);
-
-  auto* edge = program.relation({
-      .name = "edge",
-      .arity = 2,
-      .jcc = 1,
-      .sub_buckets = opts.tuning.edge_sub_buckets,
-      .balanceable = opts.tuning.balance_edges,
-  });
-  auto* cc = program.relation({
-      .name = "cc",
-      .arity = 2,
-      .jcc = 1,
-      .dep_arity = 1,
-      .aggregator = core::make_min_aggregator(),
-  });
-  auto* comp = program.relation({.name = "cc_representative", .arity = 1, .jcc = 1});
-
-  auto& propagate = program.stratum();
-  // cc(n, n) <- edge(n, _).
-  propagate.init_rules.push_back(core::CopyRule{
-      .src = edge,
-      .version = core::Version::kFull,
-      .out = {.target = cc, .cols = {Expr::col_a(0), Expr::col_a(0)}},
-  });
-  // cc(y, $MIN(z)) <- cc(x, z), edge(x, y).
-  propagate.loop_rules.push_back(core::JoinRule{
-      .a = cc,
-      .a_version = core::Version::kDelta,
-      .b = edge,
-      .b_version = core::Version::kFull,
-      .out = {.target = cc, .cols = {Expr::col_b(1), Expr::col_a(1)}},
-  });
-
-  // Second stratum: project the distinct labels.
-  auto& represent = program.stratum();
-  represent.init_rules.push_back(core::CopyRule{
-      .src = cc,
-      .version = core::Version::kFull,
-      .out = {.target = comp, .cols = {Expr::col_a(1)}},
-  });
-
-  // Load facts.  Symmetrization happens at load time so the graph object
-  // itself need not be doubled in memory.
-  {
-    std::vector<Tuple> slice;
-    const auto n = static_cast<std::size_t>(comm.size());
-    const auto me = static_cast<std::size_t>(comm.rank());
-    for (std::size_t i = me; i < g.edges.size(); i += n) {
-      const auto& e = g.edges[i];
-      slice.push_back(Tuple{e.src, e.dst});
-      if (opts.symmetrize) slice.push_back(Tuple{e.dst, e.src});
-    }
-    edge->load_facts(slice);
-  }
+  CcProgram p =
+      build_cc_program(comm, opts.tuning.edge_sub_buckets, opts.tuning.balance_edges);
+  load_cc_facts(p, g, opts.symmetrize);
 
   CcResult result;
-  result.run = run_engine(comm, program, opts.tuning);
+  result.run = run_engine(comm, *p.program, opts.tuning);
   result.iterations = result.run.total_iterations;
   // Faulted world: no further collectives are possible, return the abort.
   if (result.run.aborted_fault) return result;
-  result.component_count = comp->global_size(core::Version::kFull);
-  result.labelled_nodes = cc->global_size(core::Version::kFull);
-  if (opts.collect_labels) result.labels = cc->gather_to_root(0);
+  result.component_count = p.comp->global_size(core::Version::kFull);
+  result.labelled_nodes = p.cc->global_size(core::Version::kFull);
+  if (opts.collect_labels) result.labels = p.cc->gather_to_root(0);
   return result;
 }
 

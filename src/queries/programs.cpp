@@ -1,0 +1,115 @@
+#include "queries/programs.hpp"
+
+#include "core/ra_op.hpp"
+
+namespace paralagg::queries {
+
+SsspProgram build_sssp_program(vmpi::Comm& comm, int edge_sub_buckets, bool balance_edges) {
+  SsspProgram p;
+  p.program = std::make_unique<core::Program>(comm);
+
+  p.edge = p.program->relation({
+      .name = "edge",
+      .arity = 3,
+      .jcc = 1,
+      .sub_buckets = edge_sub_buckets,
+      .balanceable = balance_edges,
+  });
+  p.spath = p.program->relation({
+      .name = "spath",
+      .arity = 3,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_min_aggregator(),
+  });
+
+  auto& stratum = p.program->stratum();
+  stratum.loop_rules.push_back(core::JoinRule{
+      .a = p.spath,
+      .a_version = core::Version::kDelta,
+      .b = p.edge,
+      .b_version = core::Version::kFull,
+      // new spath row, stored order (to, from, l + n)
+      .out = {.target = p.spath,
+              .cols = {Expr::col_b(1), Expr::col_a(1),
+                       Expr::add(Expr::col_a(2), Expr::col_b(2))}},
+  });
+  return p;
+}
+
+void load_sssp_facts(SsspProgram& p, const graph::Graph& g,
+                     std::span<const value_t> sources) {
+  p.edge->load_facts(edge_slice(p.program->comm(), g, /*weighted=*/true));
+
+  // Seed Spath(n, n, 0) for each start node; rank 0 contributes them all
+  // (load_facts routes each to its owner).
+  std::vector<Tuple> seeds;
+  if (p.program->comm().rank() == 0) {
+    seeds.reserve(sources.size());
+    for (value_t s : sources) seeds.push_back(Tuple{s, s, 0});
+  }
+  p.spath->load_facts(seeds);
+}
+
+CcProgram build_cc_program(vmpi::Comm& comm, int edge_sub_buckets, bool balance_edges) {
+  CcProgram p;
+  p.program = std::make_unique<core::Program>(comm);
+
+  p.edge = p.program->relation({
+      .name = "edge",
+      .arity = 2,
+      .jcc = 1,
+      .sub_buckets = edge_sub_buckets,
+      .balanceable = balance_edges,
+  });
+  p.cc = p.program->relation({
+      .name = "cc",
+      .arity = 2,
+      .jcc = 1,
+      .dep_arity = 1,
+      .aggregator = core::make_min_aggregator(),
+  });
+  p.comp = p.program->relation({.name = "cc_representative", .arity = 1, .jcc = 1});
+
+  auto& propagate = p.program->stratum();
+  // cc(n, n) <- edge(n, _).
+  propagate.init_rules.push_back(core::CopyRule{
+      .src = p.edge,
+      .version = core::Version::kFull,
+      .out = {.target = p.cc, .cols = {Expr::col_a(0), Expr::col_a(0)}},
+  });
+  // cc(y, $MIN(z)) <- cc(x, z), edge(x, y).
+  propagate.loop_rules.push_back(core::JoinRule{
+      .a = p.cc,
+      .a_version = core::Version::kDelta,
+      .b = p.edge,
+      .b_version = core::Version::kFull,
+      .out = {.target = p.cc, .cols = {Expr::col_b(1), Expr::col_a(1)}},
+  });
+
+  // Second stratum: project the distinct labels.
+  auto& represent = p.program->stratum();
+  represent.init_rules.push_back(core::CopyRule{
+      .src = p.cc,
+      .version = core::Version::kFull,
+      .out = {.target = p.comp, .cols = {Expr::col_a(1)}},
+  });
+  return p;
+}
+
+void load_cc_facts(CcProgram& p, const graph::Graph& g, bool symmetrize) {
+  // Symmetrization happens at load time so the graph object itself need
+  // not be doubled in memory.
+  vmpi::Comm& comm = p.program->comm();
+  std::vector<Tuple> slice;
+  const auto n = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+  for (std::size_t i = me; i < g.edges.size(); i += n) {
+    const auto& e = g.edges[i];
+    slice.push_back(Tuple{e.src, e.dst});
+    if (symmetrize) slice.push_back(Tuple{e.dst, e.src});
+  }
+  p.edge->load_facts(slice);
+}
+
+}  // namespace paralagg::queries

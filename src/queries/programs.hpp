@@ -1,0 +1,57 @@
+#pragma once
+
+// Reusable program builders for the prebuilt graph queries.
+//
+// The run_<query> drivers historically built their Program inline and let
+// it die with the call — fine for batch evaluation, useless for serving,
+// where the compiled Program and its relation B-trees must stay resident
+// across update batches.  These builders split "compile the program" from
+// "load the facts" so a caller can hold the Program (and, e.g., enable
+// support counting on its targets) before any data exists, then either
+// load facts cold or restore a checkpoint manifest warm.
+//
+// Programs are immovable (they own their relations), so builders return
+// them behind unique_ptr together with the named relation handles.
+
+#include <memory>
+#include <span>
+
+#include "core/program.hpp"
+#include "graph/generators.hpp"
+#include "queries/common.hpp"
+
+namespace paralagg::queries {
+
+/// SSSP: spath(to, from, $MIN dist) over edge(from, to, w) — see sssp.hpp
+/// for the stored orders.
+struct SsspProgram {
+  std::unique_ptr<core::Program> program;
+  core::Relation* edge = nullptr;
+  core::Relation* spath = nullptr;
+};
+
+[[nodiscard]] SsspProgram build_sssp_program(vmpi::Comm& comm, int edge_sub_buckets = 1,
+                                             bool balance_edges = true);
+
+/// Load this rank's edge slice and the Spath(s, s, 0) seeds (rank 0
+/// contributes the seeds).  Collective.
+void load_sssp_facts(SsspProgram& p, const graph::Graph& g,
+                     std::span<const value_t> sources);
+
+/// CC: cc(n, $MIN label) + cc_representative(label) over symmetrized
+/// edge(x, y) — see cc.hpp for the stored orders.
+struct CcProgram {
+  std::unique_ptr<core::Program> program;
+  core::Relation* edge = nullptr;
+  core::Relation* cc = nullptr;
+  core::Relation* comp = nullptr;
+};
+
+[[nodiscard]] CcProgram build_cc_program(vmpi::Comm& comm, int edge_sub_buckets = 1,
+                                         bool balance_edges = true);
+
+/// Load this rank's edge slice, inserting both directions when
+/// `symmetrize` (paper semantics for undirected inputs).  Collective.
+void load_cc_facts(CcProgram& p, const graph::Graph& g, bool symmetrize = true);
+
+}  // namespace paralagg::queries

@@ -1,57 +1,21 @@
 #include "queries/sssp.hpp"
 
-#include "core/program.hpp"
+#include "queries/programs.hpp"
 
 namespace paralagg::queries {
 
 SsspResult run_sssp(vmpi::Comm& comm, const graph::Graph& g, const SsspOptions& opts) {
-  core::Program program(comm);
-
-  auto* edge = program.relation({
-      .name = "edge",
-      .arity = 3,
-      .jcc = 1,
-      .sub_buckets = opts.tuning.edge_sub_buckets,
-      .balanceable = opts.tuning.balance_edges,
-  });
-  auto* spath = program.relation({
-      .name = "spath",
-      .arity = 3,
-      .jcc = 1,
-      .dep_arity = 1,
-      .aggregator = core::make_min_aggregator(),
-  });
-
-  auto& stratum = program.stratum();
-  stratum.loop_rules.push_back(core::JoinRule{
-      .a = spath,
-      .a_version = core::Version::kDelta,
-      .b = edge,
-      .b_version = core::Version::kFull,
-      // new spath row, stored order (to, from, l + n)
-      .out = {.target = spath,
-              .cols = {Expr::col_b(1), Expr::col_a(1),
-                       Expr::add(Expr::col_a(2), Expr::col_b(2))}},
-  });
-
-  edge->load_facts(edge_slice(comm, g, /*weighted=*/true));
-
-  // Seed Spath(n, n, 0) for each start node; rank 0 contributes them all
-  // (load_facts routes each to its owner).
-  std::vector<Tuple> seeds;
-  if (comm.rank() == 0) {
-    seeds.reserve(opts.sources.size());
-    for (value_t s : opts.sources) seeds.push_back(Tuple{s, s, 0});
-  }
-  spath->load_facts(seeds);
+  SsspProgram p =
+      build_sssp_program(comm, opts.tuning.edge_sub_buckets, opts.tuning.balance_edges);
+  load_sssp_facts(p, g, opts.sources);
 
   SsspResult result;
-  result.run = run_engine(comm, program, opts.tuning);
+  result.run = run_engine(comm, *p.program, opts.tuning);
   result.iterations = result.run.total_iterations;
   // Faulted world: no further collectives are possible, return the abort.
   if (result.run.aborted_fault) return result;
-  result.path_count = spath->global_size(core::Version::kFull);
-  if (opts.collect_distances) result.distances = spath->gather_to_root(0);
+  result.path_count = p.spath->global_size(core::Version::kFull);
+  if (opts.collect_distances) result.distances = p.spath->gather_to_root(0);
   return result;
 }
 

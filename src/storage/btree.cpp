@@ -137,6 +137,27 @@ bool TupleBTree::insert_rec(Node* node, std::span<const value_t> row, Tuple& sep
   return inserted;
 }
 
+bool TupleBTree::erase_key(std::span<const value_t> key) {
+  assert(key.size() == key_arity_);
+  // Same chain-tolerant walk as find_key; leaf storage is not const (the
+  // const_cast mirrors the mutable find_key overload).
+  for (const Leaf* cl = descend_lower_bound(key); cl != nullptr; cl = cl->next) {
+    const std::size_t n = leaf_rows(*cl);
+    const std::size_t pos = partition_point_idx(n, [&](std::size_t i) {
+      return cmp_key(leaf_row(*cl, i), key, key_arity_) < 0;
+    });
+    if (pos < n) {
+      if (cmp_key(leaf_row(*cl, pos), key, key_arity_) != 0) return false;
+      auto* leaf = const_cast<Leaf*>(cl);
+      const auto first = leaf->vals.begin() + static_cast<std::ptrdiff_t>(pos * arity_);
+      leaf->vals.erase(first, first + static_cast<std::ptrdiff_t>(arity_));
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
 const TupleBTree::Leaf* TupleBTree::descend_lower_bound(
     std::span<const value_t> prefix) const {
   const std::size_t p = prefix.size();
@@ -182,7 +203,7 @@ std::span<const value_t> TupleBTree::find_key(std::span<const value_t> key) cons
       }
       return {};  // first row >= key differs -> absent
     }
-    // Entire leaf < key; continue into the chain (can happen only once).
+    // Entire leaf < key (or emptied by erase); continue into the chain.
   }
   return {};
 }
@@ -190,14 +211,12 @@ std::span<const value_t> TupleBTree::find_key(std::span<const value_t> key) cons
 // -- cursor -------------------------------------------------------------------
 
 void TupleBTree::Cursor::seek_first() {
-  const Leaf* l = tree_->leftmost_leaf();
   tail_ = nullptr;
-  if (tree_->leaf_rows(*l) == 0) {
-    leaf_ = nullptr;  // empty tree
-  } else {
-    leaf_ = l;
-    idx_ = 0;
-  }
+  // The leftmost leaf (and any run after it) may be empty after erases.
+  const Leaf* l = tree_->leftmost_leaf();
+  while (l != nullptr && tree_->leaf_rows(*l) == 0) l = l->next;
+  leaf_ = l;  // null = tree holds no rows
+  idx_ = 0;
 }
 
 bool TupleBTree::Cursor::land(const Leaf* l, std::size_t start,

@@ -77,6 +77,15 @@ class TupleBTree {
     return !find_key(key).empty();
   }
 
+  /// Remove the stored row whose key equals `key` (exactly key_arity
+  /// columns).  Returns true iff a row was removed.  Erase never
+  /// restructures the tree: a leaf may go empty but stays in the chain,
+  /// and separators are left stale — both are safe, because a separator
+  /// remains a lower bound of everything at or right of its child and
+  /// every traversal (find_key, Cursor, scan_prefix) already walks the
+  /// chain past exhausted leaves.  Like insert, it invalidates cursors.
+  bool erase_key(std::span<const value_t> key);
+
   void clear();
 
  private:
@@ -160,8 +169,12 @@ class TupleBTree {
 
     /// Advance to the next row in key order.  Only when valid().
     void next() {
-      if (++idx_ >= tree_->leaf_rows(*leaf_)) {
-        tail_ = leaf_;
+      ++idx_;
+      // Hop over exhausted leaves (erase_key may leave empty ones in the
+      // chain).  tail_ only ever names a non-empty leaf, so seek()'s
+      // past-the-end probe can always read its last row.
+      while (leaf_ != nullptr && idx_ >= tree_->leaf_rows(*leaf_)) {
+        if (tree_->leaf_rows(*leaf_) > 0) tail_ = leaf_;
         leaf_ = leaf_->next;
         idx_ = 0;
       }

@@ -36,6 +36,24 @@ std::vector<int> Topology::leaders(int nranks) const {
   return out;
 }
 
+std::vector<int> Topology::elect_leaders(std::span<const std::uint64_t> loads) const {
+  const int nranks = static_cast<int>(loads.size());
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(node_count(nranks)));
+  for (int base = 0; base < nranks; base += node_size) {
+    int best = base;
+    for (int r = base + 1; r < base + node_size && r < nranks; ++r) {
+      // Strictly greater: equal loads keep the lower rank (deterministic,
+      // and degenerates to leader_of when every member reports the same).
+      if (loads[static_cast<std::size_t>(r)] > loads[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
 Topology Topology::grouped(int nranks, int nodes) {
   Topology t;
   if (nodes <= 0 || nodes >= nranks) {

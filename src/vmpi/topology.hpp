@@ -23,6 +23,8 @@
 // accounting.
 
 #include <cassert>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,9 +69,20 @@ struct Topology {
     return rank / node_size;
   }
   [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
-  /// The aggregator (leader) of `rank`'s node: its lowest rank.
-  [[nodiscard]] int leader_of(int rank) const { return node_of(rank) * node_size; }
+  /// The first (lowest) rank of `rank`'s node — the contiguous block base.
+  [[nodiscard]] int node_base(int rank) const { return node_of(rank) * node_size; }
+  /// The *default* aggregator (leader) of `rank`'s node: its lowest rank.
+  /// With per-rank loads in hand, use elect_leaders instead — the
+  /// hierarchical exchange does, so the member already holding the most
+  /// data aggregates in place instead of shipping it intra-node first.
+  [[nodiscard]] int leader_of(int rank) const { return node_base(rank); }
   [[nodiscard]] bool is_leader(int rank) const { return leader_of(rank) == rank; }
+  /// Load-based leader election: for each node, the member with the
+  /// largest load wins; ties break to the lowest rank, so every rank
+  /// folding the same load vector (e.g. from an allgather) elects
+  /// identically, and an all-equal vector reproduces leader_of.  Returns
+  /// one leader rank per node, node-indexed.  Pure function.
+  [[nodiscard]] std::vector<int> elect_leaders(std::span<const std::uint64_t> loads) const;
   [[nodiscard]] int node_count(int nranks) const {
     return (nranks + node_size - 1) / node_size;
   }

@@ -82,6 +82,28 @@ TEST(Topology, GroupedHandlesRaggedAndDegenerateShapes) {
   EXPECT_EQ(Topology::grouped(8, 100).node_size, 1);
 }
 
+TEST(Topology, ElectLeadersPicksHeaviestMemberWithDeterministicTies) {
+  const Topology t = Topology::grouped(8, 2);  // nodes {0..3}, {4..7}
+  ASSERT_EQ(t.node_size, 4);
+
+  // The heavier, non-lowest member wins its node.
+  const std::vector<std::uint64_t> skewed{10, 40, 20, 5, 7, 7, 7, 99};
+  EXPECT_EQ(t.elect_leaders(skewed), (std::vector<int>{1, 7}));
+
+  // Ties keep the lowest contender (deterministic across ranks).
+  const std::vector<std::uint64_t> tied{3, 9, 9, 0, 4, 4, 4, 4};
+  EXPECT_EQ(t.elect_leaders(tied), (std::vector<int>{1, 4}));
+
+  // All-equal degenerates to the static lowest-rank leaders.
+  const std::vector<std::uint64_t> flat(8, 5);
+  EXPECT_EQ(t.elect_leaders(flat), t.leaders(8));
+
+  // Ragged last node: the election respects the short member range.
+  const Topology r = Topology::grouped(5, 2);  // nodes {0,1,2}, {3,4}
+  const std::vector<std::uint64_t> ragged_loads{1, 2, 3, 4, 9};
+  EXPECT_EQ(r.elect_leaders(ragged_loads), (std::vector<int>{2, 4}));
+}
+
 TEST(Topology, ParseScheduleNamesRoundTrip) {
   EXPECT_EQ(vmpi::parse_schedule("linear"), CollectiveSchedule::kLinear);
   EXPECT_EQ(vmpi::parse_schedule("rd"), CollectiveSchedule::kRecursiveDoubling);
@@ -407,6 +429,63 @@ TEST(HierarchicalExchange, SplitPhasePostCompleteKeepsEmitsFlowing) {
     EXPECT_EQ(comm.stats().tickets_posted, 2u);
     EXPECT_EQ(comm.stats().tickets_completed, 2u);
   });
+}
+
+TEST(HierarchicalExchange, HeaviestMemberAggregatesItsNode) {
+  // Node {0,1}: rank 1 stages far more delta bytes than rank 0, so the
+  // load election must aggregate on rank 1 — the heavy buffer never
+  // crosses the intra-node wire.  Node {2,3} stays symmetric and keeps
+  // its lowest rank.  The fixpoint must be dense-identical either way.
+  const int ranks = 4;
+  const auto options = with_schedule(CollectiveSchedule::kRecursiveDoubling,
+                                     Topology::grouped(ranks, 2));
+  const auto leg = [&](ExchangeAlgorithm algo, std::vector<RouterFlushStats>* flush) {
+    std::vector<Tuple> rows;
+    if (flush != nullptr) flush->assign(static_cast<std::size_t>(ranks), {});
+    vmpi::run(ranks, options, [&](Comm& comm) {
+      Relation rel(comm, {.name = "h",
+                          .arity = 3,
+                          .jcc = 1,
+                          .dep_arity = 1,
+                          .aggregator = core::make_min_aggregator()});
+      RankProfile profile;
+      ExchangeRouter router(comm, /*preaggregate=*/true);
+      const auto id = router.add_target(&rel);
+      for (int d = 0; d < comm.size(); ++d) {
+        if (d == comm.rank()) continue;
+        const value_t key = key_owned_by(rel, d);
+        router.emit(id, Tuple{key, 7, 100 + static_cast<value_t>(comm.rank())}.view());
+      }
+      if (comm.rank() == 1) {
+        // The burst that makes rank 1 node 0's heaviest member.
+        for (value_t k = 0; k < 64; ++k) {
+          router.emit(id, Tuple{k, 9, 200 + k}.view());
+        }
+      }
+      const auto st = router.flush(profile, algo);
+      if (flush != nullptr) (*flush)[static_cast<std::size_t>(comm.rank())] = st;
+      rel.materialize();
+      auto gathered = rel.gather_to_root(0);
+      if (comm.rank() == 0) rows = std::move(gathered);
+    });
+    return rows;
+  };
+
+  std::vector<RouterFlushStats> flush;
+  const auto dense = leg(ExchangeAlgorithm::kDense, nullptr);
+  const auto hier = leg(ExchangeAlgorithm::kHierarchical, &flush);
+  ASSERT_FALSE(dense.empty());
+  EXPECT_EQ(hier, dense);
+
+  // The skewed node elects its heavier, non-lowest member...
+  EXPECT_EQ(flush[0].elected_leader, 1);
+  EXPECT_EQ(flush[1].elected_leader, 1);
+  // ... and the node merge runs there, not on the static leader.
+  EXPECT_EQ(flush[0].rows_node_merged, 0u);
+  EXPECT_GT(flush[1].rows_node_merged, 0u);
+  // The symmetric node ties and keeps its lowest rank.
+  EXPECT_EQ(flush[2].elected_leader, 2);
+  EXPECT_EQ(flush[3].elected_leader, 2);
 }
 
 }  // namespace
