@@ -3,8 +3,10 @@
 //
 // Sweeps injected drop/dup/reorder/corrupt rates over SSSP on both engines
 // (BSP with the Bruck exchange and the async delta-propagation loop — the
-// two paths whose traffic rides the faultable mailboxes) and reports, per
-// leg, the outcome and its price:
+// two paths whose traffic rides the faultable mailboxes), then over
+// PageRank in stale-synchronous mode at two staleness windows (the epoch
+// ledger's dup/reorder legs must stay bit-identical to the BSP oracle, not
+// merely converge).  Reports, per leg, the outcome and its price:
 //
 //   outcome   — "exact" (bit-identical fixpoint) or "abort:<what>" (typed
 //               FaultError); anything else is a bug and exits nonzero
@@ -96,6 +98,58 @@ Leg run_once(const graph::Graph& g, int ranks, bool use_async,
   return leg;
 }
 
+// Stale-synchronous legs ride PageRank, not SSSP: SSP accepts only
+// bounded-round ($SUM refresh) strata, and its exactness claim is the
+// stronger one — bit-identity to the *BSP* oracle, with the epoch ledger
+// (not lattice idempotence) absorbing duplicated and reordered frames.
+Leg run_ssp_pagerank(const graph::Graph& g, int ranks, std::size_t staleness,
+                     const SweepPoint& point, double watchdog,
+                     const std::vector<core::Tuple>& reference) {
+  Leg leg;
+  leg.engine = "ssp s=" + std::to_string(staleness);
+  leg.fault = point.name;
+
+  vmpi::RunOptions options;
+  options.fault = point.plan;
+  options.watchdog_seconds = watchdog;
+
+  std::vector<core::Tuple> rows;
+  bool aborted = false;
+  std::string what;
+  std::vector<vmpi::CommStats> per_rank;
+  vmpi::run_collect(
+      ranks, options,
+      [&](vmpi::Comm& comm) {
+        queries::PagerankOptions opts;
+        opts.rounds = 8;
+        opts.collect_ranks = true;
+        opts.tuning.use_async = true;
+        opts.tuning.async.ssp = true;
+        opts.tuning.async.ssp_staleness = staleness;
+        const auto r = run_pagerank(comm, g, opts);
+        if (comm.rank() == 0) {
+          rows = r.ranks;
+          aborted = r.run.aborted_fault;
+          what = r.run.fault_what;
+          leg.wall_s = r.run.wall_seconds;
+        }
+      },
+      per_rank);
+  for (const auto& s : per_rank) {
+    leg.injected += s.faults_dropped + s.faults_duplicated + s.faults_delayed +
+                    s.faults_corrupted;
+    leg.dups_discarded += s.dup_frames_discarded;
+  }
+  if (aborted) {
+    leg.outcome = "abort: " + what.substr(0, 48);
+  } else if (!reference.empty() && rows != reference) {
+    leg.outcome = "WRONG FIXPOINT";
+  } else {
+    leg.outcome = "exact";
+  }
+  return leg;
+}
+
 void emit(const Leg& l) {
   std::printf("%-10s  %-14s  %8.3fs  %7llu  %7llu  %s\n", l.engine.c_str(),
               l.fault.c_str(), l.wall_s,
@@ -181,8 +235,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Stale-synchronous matrix: PageRank under the same fault points, at two
+  // staleness windows, against the BSP engine's fixpoint.
+  std::vector<core::Tuple> pr_reference;
+  vmpi::run(ranks, [&](vmpi::Comm& comm) {
+    queries::PagerankOptions opts;
+    opts.rounds = 8;
+    opts.collect_ranks = true;
+    const auto r = run_pagerank(comm, g, opts);
+    if (comm.rank() == 0) pr_reference = r.ranks;
+  });
+  if (pr_reference.empty()) {
+    std::printf("BSP pagerank reference failed\n");
+    return 1;
+  }
+  for (const std::size_t s : {std::size_t{1}, std::size_t{4}}) {
+    const auto base = run_ssp_pagerank(g, ranks, s, clean, 0, pr_reference);
+    emit(base);
+    violated |= base.outcome != "exact";
+    for (const auto& point : {drop, dup, reorder, corrupt}) {
+      const auto leg = run_ssp_pagerank(g, ranks, s, point, watchdog, pr_reference);
+      emit(leg);
+      violated |= leg.outcome == "WRONG FIXPOINT";
+      // The ledger, unlike an abort, is the designed response to these.
+      if (point.plan.dup_prob > 0 || point.plan.delay_prob > 0) {
+        violated |= leg.outcome != "exact";
+      }
+    }
+  }
+
   rule(72);
-  std::printf("\ndup/reorder legs stay exact (frame dedup + lattice idempotence);\n");
+  std::printf("\ndup/reorder legs stay exact (frame dedup + lattice idempotence;\n");
+  std::printf("on the ssp legs, the per-(source, epoch) ledger — see the deduped column);\n");
   std::printf("drop legs abort typed within the %.1fs watchdog instead of hanging.\n", watchdog);
   if (violated) {
     std::printf("INVARIANT VIOLATED: some leg produced a wrong fixpoint.\n");

@@ -20,10 +20,15 @@
 //     --sub-buckets N     edge relation fan-out (default 1)
 //     --engine MODE       bsp (default) | async — async runs the recursive
 //                         loop with nonblocking delta propagation + Safra
-//                         termination (lattice queries only; pagerank's
-//                         $SUM is rejected)
+//                         termination (lattice queries; pagerank needs
+//                         --staleness to opt into stale-synchronous mode)
 //     --async-batch N     async mode: rows buffered per destination before
-//                         an eager send (default 128)
+//                         an eager send (default 128; must be >= 1)
+//     --staleness N       async mode: enable the stale-synchronous protocol
+//                         for bounded-round queries (pagerank) with an
+//                         epoch lead window of N (0 = honest lockstep).
+//                         Exactness never depends on N — epoch-tagged
+//                         contributions fold exactly once at any setting
 //     --baseline          disable dynamic join order + balancing
 //     --checkpoint FILE   checkpoint manifest path (with --checkpoint-every)
 //     --checkpoint-every N  write the manifest every N loop iterations
@@ -90,6 +95,8 @@ struct Args {
   int sub_buckets = 1;
   bool use_async = false;
   std::size_t async_batch = 128;
+  bool ssp = false;  // --staleness given: stale-synchronous mode
+  std::size_t staleness = 1;
   bool baseline = false;
   std::string checkpoint_file;
   std::size_t checkpoint_every = 0;
@@ -110,7 +117,7 @@ struct Args {
   std::cerr << "usage: paralagg_cli <sssp|cc|tc|pagerank|triangles|lsp|sssp-tree> "
                "[--graph FILE | --synthetic NAME] [--scale N] [--ranks N]\n"
                "       [--sources a,b,c] [--rounds N] [--sub-buckets N]\n"
-               "       [--engine bsp|async] [--async-batch N] [--baseline]\n"
+               "       [--engine bsp|async] [--async-batch N] [--staleness N] [--baseline]\n"
                "       [--checkpoint FILE --checkpoint-every N] [--resume [FILE]]\n"
                "       [--serve] [--update-batch FILE]... [--lookup a,b,...]...\n"
                "       [--watchdog SECONDS] [--nodes N] [--topology flat|hier]\n"
@@ -160,6 +167,14 @@ Args parse(int argc, char** argv) {
       }
     } else if (flag == "--async-batch") {
       args.async_batch = std::stoull(next());
+      if (args.async_batch == 0) {
+        usage("--async-batch must be >= 1 (a zero-row batch never sends)");
+      }
+    } else if (flag == "--staleness") {
+      // 0 is legal: honest lockstep (every epoch confirmed ring-wide before
+      // the next scan).  The flag itself is what opts into SSP.
+      args.ssp = true;
+      args.staleness = std::stoull(next());
     } else if (flag == "--baseline") {
       args.baseline = true;
     } else if (flag == "--checkpoint") {
@@ -597,6 +612,11 @@ int main(int argc, char** argv) {
   tuning.edge_sub_buckets = args.sub_buckets;
   tuning.use_async = args.use_async;
   tuning.async.batch_rows = args.async_batch;
+  if (args.ssp && !args.use_async) {
+    usage("--staleness is an async-engine knob; add --engine async");
+  }
+  tuning.async.ssp = args.ssp;
+  tuning.async.ssp_staleness = args.staleness;
   tuning.engine.checkpoint_every = args.checkpoint_every;
   tuning.engine.checkpoint_path = args.checkpoint_file;
   tuning.resume_manifest = args.resume_file;
@@ -637,8 +657,14 @@ int main(int argc, char** argv) {
   } catch (const serving::ServingError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  } catch (const async::UnsupportedProgramError& e) {
+    // The program (not the flags) cannot run on the async schedule — e.g.
+    // `pagerank --engine async` without --staleness.  Distinct exit code so
+    // scripts can tell "pick another engine" from "fix your flags".
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
   } catch (const std::invalid_argument& e) {
-    // check_supported rejection (e.g. `pagerank --engine async`).
+    // Flag/config mistakes (async::ConfigError included): usage-class error.
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <variant>
 
@@ -33,6 +34,12 @@ using core::Version;
 // from the TerminationDetector's control block.
 constexpr int kTagStage = 0x51A50000;  // generated rows -> owner rank
 constexpr int kTagProbe = 0x51A50001;  // delta rows -> static side's bucket ranks
+// Stale-synchronous mode: both frame kinds open with an epoch word inside
+// the CRC-sealed payload, and exactly one frame of each kind flows per
+// (source, destination, epoch) — that is what makes the receiver's
+// per-source epoch ledger a complete exactly-once filter.
+constexpr int kTagSspProbe = 0x51A50002;    // epoch-tagged scan rows
+constexpr int kTagSspPartial = 0x51A50003;  // epoch-tagged pre-folded partials
 
 void push_unique(std::vector<Relation*>& v, Relation* r) {
   if (r != nullptr && std::find(v.begin(), v.end(), r) == v.end()) v.push_back(r);
@@ -351,8 +358,10 @@ class StratumLoop {
 
   void maybe_flush() {
     ++stale_rounds_;
-    if (cfg_.routing == AsyncRouting::kDense ||
-        stale_rounds_ >= std::max<std::size_t>(cfg_.max_staleness, 1)) {
+    // max_staleness == 0 is rejected by validate_config before any loop
+    // starts (it used to be silently clamped to 1 here, which lied about
+    // the configuration actually in effect).
+    if (cfg_.routing == AsyncRouting::kDense || stale_rounds_ >= cfg_.max_staleness) {
       flush_all();
     }
   }
@@ -555,72 +564,683 @@ class StratumLoop {
   double last_progress_ = 0;
 };
 
+/// One bounded-round (Jacobi / kRefresh) stratum under the stale-
+/// synchronous exactly-once protocol (DESIGN.md §12).  Epochs mirror BSP
+/// iterations; each passes through three local steps:
+///
+///   scan(e)   — run the loop rules over this rank's partitions, read at
+///               kFull in the state left by fold(e-1); join-side rows that
+///               must probe a remote static partition ship as ONE epoch-
+///               tagged probe frame per destination — empty frames
+///               included, they are the "source finished epoch e"
+///               completeness signal.  Gated by the staleness window: e may
+///               exceed the token-carried watermark by at most
+///               cfg.ssp_staleness (0 = honest lockstep).
+///   close(e)  — once every rank's epoch-e probe frame has been joined
+///               (first ledger complete), the locally generated
+///               contributions — already pre-folded per (target, key), the
+///               Partial Partial Aggregates move — ship as ONE partial
+///               frame per destination; self-owned rows fold locally.
+///   fold(e)   — once every rank's epoch-e partial frame has been merged
+///               (second ledger complete) and epoch e-1 is folded, the
+///               accumulators stage into the targets and materialize
+///               (kRefresh replacement).  The fold advances the local
+///               watermark that rides the Safra token.
+///
+/// Exactly-once: each (source, epoch, kind) frame is accepted at most once
+/// — the per-source epoch ledger discards injected duplicates and
+/// retransmits BEFORE the Safra counter is credited and BEFORE anything
+/// reaches an accumulator — and every accepted contribution enters exactly
+/// one fold.  Epoch arithmetic over a commutative+associative aggregate is
+/// then oblivious to delivery order, so the fixpoint is bit-identical to
+/// the BSP engine's, duplicates and reorderings notwithstanding.
+class SspStratumLoop {
+ public:
+  SspStratumLoop(vmpi::Comm& comm, const AsyncConfig& cfg, core::RankProfile& profile,
+                 AsyncLoopStats& ls, const core::Stratum& stratum, int detector_tag_base,
+                 std::size_t epochs)
+      : comm_(comm),
+        cfg_(cfg),
+        profile_(profile),
+        ls_(ls),
+        detector_(comm, detector_tag_base),
+        targets_(targets_of(stratum.loop_rules)),
+        nranks_(static_cast<std::size_t>(comm.size())),
+        epochs_total_(epochs) {
+    app_seq_.assign(nranks_, 0);
+    for (const auto& rule : stratum.loop_rules) {
+      if (const auto* j = std::get_if<core::JoinRule>(&rule)) {
+        joins_.push_back(SspJoin{j, target_index(j->out.target)});
+      } else {
+        const auto& c = std::get<core::CopyRule>(rule);
+        copies_.push_back(SspCopy{&c, target_index(c.out.target)});
+      }
+    }
+    probe_out_.resize(joins_.size() * nranks_);
+    // Quiescence alone is not completion when epochs are pipelined: rank 0
+    // must also see every rank's watermark at the final epoch.
+    detector_.require_watermark(epochs_total_);
+  }
+
+  /// Loop until the detector announces global completion.  No collectives.
+  void run() {
+    const double deadline = comm_.watchdog_seconds();
+    last_progress_ = wall_now();
+
+    while (!detector_.terminated()) {
+      bool progressed = drain_app() > 0;
+      if (try_advance()) progressed = true;
+      if (progressed) {
+        last_progress_ = wall_now();
+        continue;
+      }
+
+      // Passive: ledgers incomplete or the staleness gate is shut.  Move
+      // the termination/watermark protocol along — a token can raise the
+      // watermark estimate, so re-check the gate before parking.
+      {
+        PhaseScope scope(comm_, profile_, Phase::kOther);
+        detector_.poll();
+        detector_.try_terminate();
+      }
+      if (detector_.terminated()) break;
+      if (try_advance()) {
+        last_progress_ = wall_now();
+        continue;
+      }
+      if (deadline > 0 && wall_now() - last_progress_ > deadline) {
+        comm_.world().fault_abort();
+        throw vmpi::TimeoutError("ssp loop (epoch pipeline starved, no progress)",
+                                 deadline, comm_.stats());
+      }
+      blocking_wait();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t epochs_folded() const { return fold_epoch_; }
+  [[nodiscard]] std::uint64_t staged_total() const { return staged_total_; }
+  [[nodiscard]] const TerminationDetector::Stats& detector_stats() const {
+    return detector_.stats();
+  }
+
+ private:
+  struct SspJoin {
+    const core::JoinRule* rule;
+    std::size_t out_idx;  // index of rule->out.target in targets_
+  };
+  struct SspCopy {
+    const core::CopyRule* rule;
+    std::size_t out_idx;
+  };
+  using AccMap = std::unordered_map<Tuple, Tuple, storage::TupleHash>;
+
+  /// Live state of one in-flight epoch.  At most ssp_staleness + 2 epochs
+  /// are live at once (the gate bounds how far any sender runs ahead of
+  /// this rank's fold), and a folded epoch's state is erased — the ledger
+  /// for retired epochs is the fold_epoch_ cursor itself.
+  struct EpochState {
+    std::vector<AccMap> out_acc;   // per target: locally generated key -> dep
+    std::vector<AccMap> fold_acc;  // per target: owned contributions key -> dep
+    std::vector<bool> probe_from;  // first ledger: epoch-e probe frame per source
+    std::vector<bool> partial_from;  // second ledger: epoch-e partial frame
+    std::size_t probes_seen = 0;
+    std::size_t partials_seen = 0;
+    bool scanned = false;
+    bool closed = false;
+  };
+
+  std::size_t target_index(Relation* r) const {
+    const auto it = std::find(targets_.begin(), targets_.end(), r);
+    assert(it != targets_.end() && "check_supported admitted a foreign relation");
+    return static_cast<std::size_t>(it - targets_.begin());
+  }
+
+  EpochState& epoch_state(std::uint64_t e) {
+    auto [it, inserted] = live_.try_emplace(e);
+    EpochState& st = it->second;
+    if (inserted) {
+      st.out_acc.resize(targets_.size());
+      st.fold_acc.resize(targets_.size());
+      st.probe_from.assign(nranks_, false);
+      st.partial_from.assign(nranks_, false);
+    }
+    return st;
+  }
+
+  /// Fold one generated row into an accumulator: within-epoch duplicates of
+  /// a key collapse through partial_agg, exactly as Relation::stage would.
+  void merge_acc(AccMap& m, std::size_t target_idx, std::span<const value_t> row) {
+    const Relation& t = *targets_[target_idx];
+    const std::size_t indep = t.indep_arity();
+    Tuple key(row.subspan(0, indep));
+    const auto dep = row.subspan(indep, t.dep_arity());
+    auto [it, inserted] = m.try_emplace(std::move(key), Tuple(dep));
+    if (!inserted) {
+      Tuple merged = it->second;
+      t.config().aggregator->partial_agg(it->second.view(), dep, merged.mutable_view());
+      it->second = std::move(merged);
+    }
+  }
+
+  // -- the three epoch steps ---------------------------------------------------
+
+  [[nodiscard]] bool can_scan() const {
+    // scan(e) reads the state fold(e-1) left behind, so the local pipeline
+    // is scan-fold interlocked; the watermark gate additionally keeps this
+    // rank within the staleness window of the slowest peer.
+    return scan_epoch_ == fold_epoch_ && scan_epoch_ < epochs_total_ &&
+           scan_epoch_ <= detector_.global_watermark() + cfg_.ssp_staleness;
+  }
+
+  void scan() {
+    const std::uint64_t e = scan_epoch_;
+    EpochState& st = epoch_state(e);
+    {
+      PhaseScope scope(comm_, profile_, Phase::kLocalJoin);
+      std::uint64_t work = 0;
+      static const Tuple kEmpty;
+      for (const SspCopy& task : copies_) {
+        const core::CopyRule& rule = *task.rule;
+        rule.src->tree(Version::kFull).for_each([&](std::span<const value_t> row) {
+          ++work;
+          if (rule.filter && rule.filter->eval(row, kEmpty.view()) == 0) return;
+          out_scratch_.clear();
+          for (const auto& ex : rule.out.cols) {
+            out_scratch_.push_back(ex.eval(row, kEmpty.view()));
+          }
+          merge_acc(st.out_acc[task.out_idx], task.out_idx, out_scratch_.view());
+        });
+      }
+      for (std::size_t j = 0; j < joins_.size(); ++j) {
+        const SspJoin& task = joins_[j];
+        const Relation& a = *task.rule->a;
+        const Relation& b = *task.rule->b;
+        auto cur = b.tree(Version::kFull).cursor();
+        a.tree(Version::kFull).for_each([&](std::span<const value_t> row) {
+          const auto bucket = a.bucket_of(row);
+          b.ranks_of_bucket(bucket, dest_scratch_);
+          for (int d : dest_scratch_) {
+            ++work;
+            if (d == comm_.rank()) {
+              join_probe_row(task, st, row, cur);
+            } else {
+              auto& buf = probe_out_[j * nranks_ + static_cast<std::size_t>(d)];
+              buf.insert(buf.end(), row.begin(), row.end());
+            }
+          }
+        });
+      }
+      profile_.add_work(Phase::kLocalJoin, work);
+    }
+    send_probe_frames(e);
+    st.scanned = true;
+    // Own probes were joined in place above: the ledger slot fills now.
+    st.probe_from[static_cast<std::size_t>(comm_.rank())] = true;
+    ++st.probes_seen;
+    ++scan_epoch_;
+  }
+
+  void close_epoch(std::uint64_t e) {
+    EpochState& st = epoch_state(e);
+    const auto me = static_cast<std::size_t>(comm_.rank());
+    // Partition the pre-folded contributions by owner: self rows go
+    // straight to the fold accumulator, the rest frame up per destination.
+    std::vector<std::vector<value_t>> out(targets_.size() * nranks_);
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      Relation* t = targets_[i];
+      for (const auto& [key, dep] : st.out_acc[i]) {
+        row_scratch_.clear();
+        for (const value_t v : key.view()) row_scratch_.push_back(v);
+        for (const value_t v : dep.view()) row_scratch_.push_back(v);
+        const int dst = t->owner_rank(row_scratch_.view());
+        if (static_cast<std::size_t>(dst) == me) {
+          merge_acc(st.fold_acc[i], i, row_scratch_.view());
+          ++ls_.rows_loopback;
+        } else {
+          auto& buf = out[i * nranks_ + static_cast<std::size_t>(dst)];
+          buf.insert(buf.end(), row_scratch_.view().begin(), row_scratch_.view().end());
+        }
+      }
+      st.out_acc[i].clear();
+    }
+    {
+      PhaseScope scope(comm_, profile_, Phase::kAllToAll);
+      for (std::size_t d = 0; d < nranks_; ++d) {
+        if (d == me) continue;
+        vmpi::TypedWriter<value_t> w;
+        w.put(static_cast<value_t>(e));
+        std::uint64_t rows = 0;
+        for (std::size_t i = 0; i < targets_.size(); ++i) {
+          auto& buf = out[i * nranks_ + d];
+          if (buf.empty()) continue;
+          const auto count = buf.size() / targets_[i]->arity();
+          w.put(static_cast<value_t>(i));
+          w.put(static_cast<value_t>(count));
+          w.put_span(std::span<const value_t>(buf));
+          rows += count;
+        }
+        send_app(static_cast<int>(d), kTagSspPartial, w);
+        ls_.stage_rows_sent += rows;
+        profile_.add_work(Phase::kAllToAll, rows);
+      }
+    }
+    st.closed = true;
+    // Own partial contribution is folded: fill the second ledger slot.
+    st.partial_from[me] = true;
+    ++st.partials_seen;
+    ++ls_.ssp_partials_folded;
+  }
+
+  void fold_epoch() {
+    const std::uint64_t e = fold_epoch_;
+    EpochState& st = epoch_state(e);
+    {
+      PhaseScope scope(comm_, profile_, Phase::kDedupAgg);
+      for (std::size_t i = 0; i < targets_.size(); ++i) {
+        Relation* t = targets_[i];
+        for (const auto& [key, dep] : st.fold_acc[i]) {
+          row_scratch_.clear();
+          for (const value_t v : key.view()) row_scratch_.push_back(v);
+          for (const value_t v : dep.view()) row_scratch_.push_back(v);
+          t->stage(row_scratch_.view());
+        }
+        // Materialize every target every epoch, rows or not: kRefresh
+        // replacement clears the previous state exactly as a BSP iteration
+        // boundary would.
+        const auto m = t->materialize();
+        profile_.add_work(Phase::kDedupAgg, m.staged);
+        staged_total_ += m.staged;
+      }
+    }
+    live_.erase(e);
+    ++fold_epoch_;
+    ++ls_.ssp_epochs;
+    detector_.set_local_watermark(fold_epoch_);
+    // Epoch boundary: release injected delays, apply epoch faults — the
+    // SSP analogue of the BSP iteration boundary.
+    comm_.advance_epoch();
+    profile_.end_iteration();
+  }
+
+  /// Run every enabled epoch step until none applies.  Returns whether
+  /// anything happened.
+  bool try_advance() {
+    bool any = false;
+    for (bool progressed = true; progressed;) {
+      progressed = false;
+      if (fold_epoch_ < epochs_total_) {
+        const auto it = live_.find(fold_epoch_);
+        if (it != live_.end() && it->second.partials_seen == nranks_) {
+          fold_epoch();
+          progressed = true;
+          continue;
+        }
+      }
+      for (auto& [e, st] : live_) {
+        if (st.scanned && !st.closed && st.probes_seen == nranks_) {
+          close_epoch(e);
+          progressed = true;
+          break;
+        }
+      }
+      if (progressed) {
+        any = true;
+        continue;
+      }
+      if (can_scan()) {
+        scan();
+        progressed = true;
+      }
+      any = any || progressed;
+    }
+    return any;
+  }
+
+  // -- outbound ----------------------------------------------------------------
+
+  void send_app(int dst, int tag, vmpi::TypedWriter<value_t>& w) {
+    core::wire::seal_frame(w, app_seq_[static_cast<std::size_t>(dst)]++);
+    comm_.isend(dst, tag, w.take());
+    detector_.on_app_send();
+    ++ls_.messages_sent;
+  }
+
+  void send_probe_frames(std::uint64_t e) {
+    PhaseScope scope(comm_, profile_, Phase::kAllToAll);
+    const auto me = static_cast<std::size_t>(comm_.rank());
+    for (std::size_t d = 0; d < nranks_; ++d) {
+      if (d == me) continue;
+      vmpi::TypedWriter<value_t> w;
+      w.put(static_cast<value_t>(e));
+      std::uint64_t rows = 0;
+      for (std::size_t j = 0; j < joins_.size(); ++j) {
+        auto& buf = probe_out_[j * nranks_ + d];
+        if (buf.empty()) continue;
+        const auto count = buf.size() / joins_[j].rule->a->arity();
+        w.put(static_cast<value_t>(j));
+        w.put(static_cast<value_t>(count));
+        w.put_span(std::span<const value_t>(buf));
+        rows += count;
+        buf.clear();
+      }
+      send_app(static_cast<int>(d), kTagSspProbe, w);
+      ls_.probe_rows_sent += rows;
+      profile_.add_work(Phase::kAllToAll, rows);
+    }
+  }
+
+  /// Join one scan row against the local partition of the static side;
+  /// outputs accumulate into the epoch's out_acc.
+  void join_probe_row(const SspJoin& task, EpochState& st,
+                      std::span<const value_t> outer_row,
+                      storage::TupleBTree::Cursor& cur) {
+    const core::JoinRule& rule = *task.rule;
+    const std::size_t jcc = rule.a->jcc();
+    const auto prefix = outer_row.first(jcc);
+    for (cur.seek(prefix); cur.valid() && cur.matches(prefix); cur.next()) {
+      const auto irow = cur.row();
+      if (rule.filter && rule.filter->eval(outer_row, irow) == 0) continue;
+      out_scratch_.clear();
+      for (const auto& ex : rule.out.cols) out_scratch_.push_back(ex.eval(outer_row, irow));
+      merge_acc(st.out_acc[task.out_idx], task.out_idx, out_scratch_.view());
+    }
+  }
+
+  // -- inbound -----------------------------------------------------------------
+
+  void on_ssp_frame(int src, int tag, const vmpi::Bytes& bytes) {
+    const core::wire::Frame frame = core::wire::open_frame(bytes);
+    if (frame.empty()) {
+      throw vmpi::FrameDecodeError("ssp: frame has no epoch word");
+    }
+    vmpi::TypedReader<value_t> r(frame.payload);
+    const auto e = static_cast<std::uint64_t>(r.get());
+    if (e >= epochs_total_) {
+      throw vmpi::FrameDecodeError("ssp: frame epoch out of range");
+    }
+    const auto s = static_cast<std::size_t>(src);
+    const bool probe_kind = tag == kTagSspProbe;
+    // The epoch ledger, consulted BEFORE the Safra counter is credited and
+    // before anything reaches an accumulator: exactly one frame of each
+    // kind per (source, epoch) is the sender's contract, so a second one —
+    // the PR 5 dup-injection path, or any retransmit — is discarded here.
+    // An epoch below the fold cursor was only folded because every source's
+    // slot had filled, so a late frame for it is a duplicate by definition.
+    bool dup = e < fold_epoch_;
+    if (!dup) {
+      const EpochState& st = epoch_state(e);
+      dup = probe_kind ? st.probe_from[s] : st.partial_from[s];
+    }
+    if (dup) {
+      ++ls_.ssp_ledger_discards;
+      comm_.stats().dup_frames_discarded += 1;
+      return;
+    }
+    detector_.on_app_receive();
+    ++ls_.messages_received;
+    if (probe_kind) {
+      on_ssp_probe(e, r);
+      EpochState& st = epoch_state(e);
+      st.probe_from[s] = true;
+      ++st.probes_seen;
+    } else {
+      on_ssp_partial(e, r);
+      EpochState& st = epoch_state(e);
+      st.partial_from[s] = true;
+      ++st.partials_seen;
+      ++ls_.ssp_partials_folded;
+    }
+  }
+
+  void on_ssp_probe(std::uint64_t e, vmpi::TypedReader<value_t>& r) {
+    PhaseScope scope(comm_, profile_, Phase::kLocalJoin);
+    EpochState& st = epoch_state(e);
+    std::uint64_t rows = 0;
+    while (!r.done()) {
+      if (r.remaining() < 2) {
+        throw vmpi::FrameDecodeError("ssp: probe frame truncated before row count");
+      }
+      const auto j = static_cast<std::size_t>(r.get());
+      if (j >= joins_.size()) {
+        throw vmpi::FrameDecodeError("ssp: probe frame names an unknown join rule");
+      }
+      const SspJoin& task = joins_[j];
+      const std::size_t arity = task.rule->a->arity();
+      const auto count = static_cast<std::size_t>(r.get());
+      if (count > r.remaining() / arity) {
+        throw vmpi::FrameDecodeError("ssp: probe frame row count overruns payload");
+      }
+      const auto flat = r.take_span(count * arity);
+      auto cur = task.rule->b->tree(Version::kFull).cursor();
+      for (std::size_t off = 0; off < flat.size(); off += arity) {
+        join_probe_row(task, st, flat.subspan(off, arity), cur);
+      }
+      rows += count;
+    }
+    profile_.add_work(Phase::kLocalJoin, rows);
+  }
+
+  void on_ssp_partial(std::uint64_t e, vmpi::TypedReader<value_t>& r) {
+    PhaseScope scope(comm_, profile_, Phase::kDedupAgg);
+    EpochState& st = epoch_state(e);
+    std::uint64_t rows = 0;
+    while (!r.done()) {
+      if (r.remaining() < 2) {
+        throw vmpi::FrameDecodeError("ssp: partial frame truncated before row count");
+      }
+      const auto i = static_cast<std::size_t>(r.get());
+      if (i >= targets_.size()) {
+        throw vmpi::FrameDecodeError("ssp: partial frame names an unknown target");
+      }
+      const std::size_t arity = targets_[i]->arity();
+      const auto count = static_cast<std::size_t>(r.get());
+      if (count > r.remaining() / arity) {
+        throw vmpi::FrameDecodeError("ssp: partial frame row count overruns payload");
+      }
+      const auto flat = r.take_span(count * arity);
+      for (std::size_t off = 0; off < flat.size(); off += arity) {
+        merge_acc(st.fold_acc[i], i, flat.subspan(off, arity));
+      }
+      rows += count;
+    }
+    profile_.add_work(Phase::kDedupAgg, rows);
+  }
+
+  std::size_t drain_app() {
+    std::size_t n = 0;
+    n += comm_.drain(kTagSspProbe,
+                     [&](int src, vmpi::Bytes b) { on_ssp_frame(src, kTagSspProbe, b); });
+    n += comm_.drain(kTagSspPartial, [&](int src, vmpi::Bytes b) {
+      on_ssp_frame(src, kTagSspPartial, b);
+    });
+    return n;
+  }
+
+  /// Park until *any* message arrives and dispatch it by tag.
+  void blocking_wait() {
+    const double t0 = wall_now();
+    int src = 0;
+    int tag = 0;
+    const vmpi::Bytes bytes = comm_.recv(vmpi::kAnySource, vmpi::kAnyTag, &src, &tag);
+    ls_.blocked_seconds += wall_now() - t0;
+    if (detector_.owns_tag(tag)) {
+      detector_.on_control(src, tag, bytes);
+      return;
+    }
+    if (tag == kTagSspProbe || tag == kTagSspPartial) {
+      on_ssp_frame(src, tag, bytes);
+      return;
+    }
+    // Foreign tag: a delayed control frame from a retired stratum's
+    // detector.  Stale by construction — discard, don't abort.
+    comm_.stats().dup_frames_discarded += 1;
+  }
+
+  vmpi::Comm& comm_;
+  const AsyncConfig& cfg_;
+  core::RankProfile& profile_;
+  AsyncLoopStats& ls_;
+  TerminationDetector detector_;
+
+  std::vector<Relation*> targets_;
+  std::vector<SspJoin> joins_;
+  std::vector<SspCopy> copies_;
+
+  std::size_t nranks_;
+  std::uint64_t epochs_total_;
+  std::uint64_t scan_epoch_ = 0;  // epochs scanned (own contributions sent)
+  std::uint64_t fold_epoch_ = 0;  // epochs folded (state visible at kFull)
+  std::unordered_map<std::uint64_t, EpochState> live_;
+
+  // Per-destination probe buffers of the epoch being scanned, join-major.
+  std::vector<std::vector<value_t>> probe_out_;
+
+  std::uint64_t staged_total_ = 0;
+  std::vector<int> dest_scratch_;
+  Tuple out_scratch_;
+  Tuple row_scratch_;
+  std::vector<value_t> app_seq_;
+  double last_progress_ = 0;
+};
+
 }  // namespace
 
-void AsyncEngine::check_supported(const core::Program& program) {
+void AsyncEngine::validate_config(const AsyncConfig& cfg) {
+  if (cfg.max_staleness == 0) {
+    throw ConfigError(
+        "async engine: max_staleness = 0 describes no flush schedule (a buffered "
+        "row that may linger for zero rounds); use 1 for flush-every-round, or "
+        "ssp_staleness = 0 for the stale-synchronous lockstep mode");
+  }
+  if (cfg.batch_rows == 0) {
+    throw ConfigError("async engine: batch_rows = 0 — eager sends need a positive "
+                      "row threshold");
+  }
+}
+
+void AsyncEngine::check_supported(const core::Program& program, const AsyncConfig& cfg) {
+  // Collect every violation, deduplicated, and throw ONE typed diagnostic:
+  // the same relation can be the target of several rules (and a program can
+  // offend in several strata), and the old per-target throw-on-first shape
+  // meant callers that catch-print-continue reported the same defect twice
+  // while hiding the rest.
+  std::vector<std::string> violations;
+  const auto flag = [&](std::string msg) {
+    if (std::find(violations.begin(), violations.end(), msg) == violations.end()) {
+      violations.push_back(std::move(msg));
+    }
+  };
+
   std::size_t si = 0;
   for (const auto& sptr : program.strata()) {
     const core::Stratum& s = *sptr;
-    const std::string where = "async engine: stratum " + std::to_string(si++);
+    const std::string where = "stratum " + std::to_string(si++);
     if (s.loop_rules.empty()) continue;
-    if (!s.fixpoint) {
-      throw std::invalid_argument(
-          where + " runs a fixed number of rounds (fixpoint = false, Jacobi-style "
-                  "refresh recomputation, e.g. PageRank); its semantics depend on "
-                  "synchronized rounds — run it on the BSP core::Engine");
-    }
     const auto targets = targets_of(s.loop_rules);
+    const bool ssp_stratum = !s.fixpoint && cfg.ssp;
+
+    if (!s.fixpoint && !cfg.ssp) {
+      flag(where +
+           " runs a fixed number of rounds (fixpoint = false, Jacobi-style refresh "
+           "recomputation, e.g. PageRank); its semantics depend on synchronized "
+           "rounds — run it on the BSP core::Engine, or opt into the "
+           "stale-synchronous mode (AsyncConfig::ssp / --staleness)");
+      continue;  // the remaining checks assume one of the two loop protocols
+    }
+
     for (const Relation* t : targets) {
-      if (t->config().agg_mode == core::AggMode::kRefresh) {
-        throw std::invalid_argument(
-            where + ": relation '" + t->name() +
-            "' uses AggMode::kRefresh (per-round replacement), which is not "
-            "order-insensitive — run it on the BSP core::Engine");
-      }
-      if (t->aggregated() && !t->config().aggregator->idempotent()) {
-        throw std::invalid_argument(
-            where + ": relation '" + t->name() + "' aggregates with " +
-            std::string(t->config().aggregator->name()) +
-            ", which is not idempotent — asynchronous delivery may fold a stale "
-            "delta more than once, so only idempotent lattice joins ($MIN, $MAX, "
-            "set-union, ...) are safe; run it on the BSP core::Engine");
+      if (ssp_stratum) {
+        if (!t->aggregated()) {
+          flag(where + ": relation '" + t->name() +
+               "' is not aggregated; the stale-synchronous protocol folds per-epoch "
+               "partial aggregates, so every loop target needs an aggregator");
+          continue;
+        }
+        if (!t->config().aggregator->exactly_once_capable()) {
+          flag(where + ": relation '" + t->name() + "' aggregates with " +
+               std::string(t->config().aggregator->name()) +
+               ", which is not exactly-once capable (commutative + associative); "
+               "the epoch ledger cannot make its folds order-insensitive");
+        }
+        if (t->config().agg_mode == core::AggMode::kRefresh &&
+            t->aggregated() && !t->config().aggregator->invertible()) {
+          flag(where + ": relation '" + t->name() + "' refreshes with " +
+               std::string(t->config().aggregator->name()) +
+               ", which declares no pre-mappable inverse (RecursiveAggregator::"
+               "unapply); kRefresh under stale-synchronous folding requires one "
+               "to retract a superseded contribution");
+        }
+      } else {
+        if (t->config().agg_mode == core::AggMode::kRefresh) {
+          flag(where + ": relation '" + t->name() +
+               "' uses AggMode::kRefresh (per-round replacement), which is not "
+               "order-insensitive — run it on the BSP core::Engine, or opt into "
+               "the stale-synchronous mode (AsyncConfig::ssp / --staleness)");
+        }
+        if (t->aggregated() && !t->config().aggregator->idempotent()) {
+          flag(where + ": relation '" + t->name() + "' aggregates with " +
+               std::string(t->config().aggregator->name()) +
+               ", which is not idempotent — asynchronous delivery may fold a stale "
+               "delta more than once, so only idempotent lattice joins ($MIN, $MAX, "
+               "set-union, ...) are safe; run it on the BSP core::Engine");
+        }
       }
     }
     for (const auto& rule : s.loop_rules) {
       if (const auto* j = std::get_if<core::JoinRule>(&rule)) {
         if (j->anti) {
-          throw std::invalid_argument(
-              where + ": antijoin against '" + j->b->name() +
-              "' — deciding absence needs a globally synchronized view; run it on "
-              "the BSP core::Engine");
+          flag(where + ": antijoin against '" + j->b->name() +
+               "' — deciding absence needs a globally synchronized view; run it on "
+               "the BSP core::Engine");
         }
-        if (std::find(targets.begin(), targets.end(), j->a) == targets.end() ||
-            j->a_version != Version::kDelta) {
-          throw std::invalid_argument(
-              where + ": loop join must drive from the recursive relation's delta "
-                      "(side a must be a loop target read at kDelta), but reads '" +
-              j->a->name() + "'");
+        if (ssp_stratum) {
+          if (std::find(targets.begin(), targets.end(), j->a) == targets.end() ||
+              j->a_version != Version::kFull) {
+            flag(where + ": stale-synchronous loop join must scan a loop target at "
+                         "kFull (the state the previous epoch's fold left behind), "
+                         "but reads '" +
+                 j->a->name() + "'");
+          }
+        } else if (std::find(targets.begin(), targets.end(), j->a) == targets.end() ||
+                   j->a_version != Version::kDelta) {
+          flag(where + ": loop join must drive from the recursive relation's delta "
+                       "(side a must be a loop target read at kDelta), but reads '" +
+               j->a->name() + "'");
         }
         if (std::find(targets.begin(), targets.end(), j->b) != targets.end()) {
-          throw std::invalid_argument(
-              where + ": join side '" + j->b->name() +
-              "' is itself a loop target; the asynchronous schedule requires a "
-              "static probe side");
+          flag(where + ": join side '" + j->b->name() +
+               "' is itself a loop target; the asynchronous schedule requires a "
+               "static probe side");
         }
         if (j->b_version != Version::kFull) {
-          throw std::invalid_argument(where + ": the static join side '" + j->b->name() +
-                                      "' must be probed at kFull");
+          flag(where + ": the static join side '" + j->b->name() +
+               "' must be probed at kFull");
         }
       } else {
         const auto& c = std::get<core::CopyRule>(rule);
-        if (std::find(targets.begin(), targets.end(), c.src) == targets.end() ||
-            c.version != Version::kDelta) {
-          throw std::invalid_argument(
-              where + ": loop copy must read a loop target's delta, but reads '" +
-              c.src->name() + "'");
+        if (ssp_stratum) {
+          if (std::find(targets.begin(), targets.end(), c.src) != targets.end() ||
+              c.version != Version::kFull) {
+            flag(where + ": stale-synchronous loop copy must read a static relation "
+                         "at kFull (it re-injects per-epoch base contributions), "
+                         "but reads '" +
+                 c.src->name() + "'");
+          }
+        } else if (std::find(targets.begin(), targets.end(), c.src) == targets.end() ||
+                   c.version != Version::kDelta) {
+          flag(where + ": loop copy must read a loop target's delta, but reads '" +
+               c.src->name() + "'");
         }
       }
     }
+  }
+
+  if (!violations.empty()) {
+    std::string msg = "async engine: program not async-capable (" +
+                      std::to_string(violations.size()) + " violation" +
+                      (violations.size() == 1 ? "" : "s") + "):";
+    for (const auto& v : violations) msg += "\n  - " + v;
+    throw UnsupportedProgramError(msg);
   }
 }
 
@@ -658,13 +1278,31 @@ core::StratumResult AsyncEngine::run_stratum(const core::Stratum& stratum) {
   }
 
   // ---- the nonblocking loop --------------------------------------------------
+  // Fixpoint strata run the free-running delta loop; bounded-round strata
+  // run the stale-synchronous epoch pipeline (check_supported admitted them
+  // only under cfg_.ssp).  Both are collective-free.
   const auto collectives_before = collective_calls(comm_->stats());
-  StratumLoop loop(*comm_, cfg_, profile_, loop_stats_, stratum, detector_base);
-  loop.run();
+  std::uint64_t rounds = 0;
+  std::uint64_t staged = 0;
+  if (stratum.fixpoint) {
+    StratumLoop loop(*comm_, cfg_, profile_, loop_stats_, stratum, detector_base);
+    loop.run();
+    rounds = loop.rounds();
+    staged = loop.staged_total();
+    loop_stats_.token_probes += loop.detector_stats().probes_started;
+    loop_stats_.tokens_forwarded += loop.detector_stats().tokens_forwarded;
+  } else {
+    const std::size_t epochs = std::min(stratum.max_rounds, cfg_.max_rounds);
+    SspStratumLoop loop(*comm_, cfg_, profile_, loop_stats_, stratum, detector_base,
+                        epochs);
+    loop.run();
+    rounds = loop.epochs_folded();
+    staged = loop.staged_total();
+    loop_stats_.token_probes += loop.detector_stats().probes_started;
+    loop_stats_.tokens_forwarded += loop.detector_stats().tokens_forwarded;
+  }
   loop_stats_.collective_calls_in_loop +=
       collective_calls(comm_->stats()) - collectives_before;
-  loop_stats_.token_probes += loop.detector_stats().probes_started;
-  loop_stats_.tokens_forwarded += loop.detector_stats().tokens_forwarded;
 
   // Fence before the first post-loop collective.  The log-step collective
   // schedules relay over the mailboxes, and a rank that learns of
@@ -679,9 +1317,9 @@ core::StratumResult AsyncEngine::run_stratum(const core::Stratum& stratum) {
   {
     PhaseScope scope(*comm_, profile_, Phase::kOther);
     result.iterations = static_cast<std::size_t>(
-        comm_->allreduce<std::uint64_t>(loop.rounds(), vmpi::ReduceOp::kMax));
+        comm_->allreduce<std::uint64_t>(rounds, vmpi::ReduceOp::kMax));
     result.tuples_generated =
-        comm_->allreduce<std::uint64_t>(loop.staged_total(), vmpi::ReduceOp::kSum);
+        comm_->allreduce<std::uint64_t>(staged, vmpi::ReduceOp::kSum);
   }
   profile_.end_iteration();
   result.reached_fixpoint = true;
@@ -689,8 +1327,9 @@ core::StratumResult AsyncEngine::run_stratum(const core::Stratum& stratum) {
 }
 
 core::RunResult AsyncEngine::run(core::Program& program) {
+  validate_config(cfg_);
   program.validate();
-  check_supported(program);
+  check_supported(program, cfg_);
 
   core::RunResult result;
   const auto t0 = std::chrono::steady_clock::now();

@@ -34,14 +34,32 @@
 // join — commutative, associative, and idempotent (RecursiveAggregator::
 // idempotent()).  Then the fixpoint is the join over all generated values,
 // independent of delivery order, and bit-identical to the BSP engine's.
-// check_supported() rejects everything else (PageRank's kRefresh $SUM,
-// antijoins, non-delta-driven loop rules) with a diagnostic.
+// check_supported() rejects everything else (antijoins, non-delta-driven
+// loop rules, and — unless stale-synchronous mode is enabled — kRefresh /
+// non-idempotent aggregates) with one typed UnsupportedProgramError that
+// lists every violation once.
+//
+// Stale-synchronous mode (AsyncConfig::ssp, DESIGN.md §12): bounded-round
+// Jacobi strata (fixpoint = false, e.g. PageRank) run as an epoch-pipelined
+// exactly-once protocol instead of being rejected.  Every contribution is
+// tagged (source rank, epoch) at frame granularity; each owner folds a
+// given (source, epoch) partial exactly once — injected duplicates and
+// retransmits are discarded against a per-source epoch ledger *before* the
+// fold — so commutative+associative aggregates that are not idempotent
+// ($SUM: RecursiveAggregator::exactly_once_capable()) reach fixpoints
+// bit-identical to the BSP engine's.  Epoch watermarks ride the Safra
+// token: the ring-wide minimum of folded epochs is both the flow-control
+// signal that keeps a rank at most `ssp_staleness` epochs ahead of the
+// slowest peer and the gate that keeps rank 0 from announcing termination
+// before every rank has folded every epoch.
 //
 // Init rules and inter-stratum boundaries still use the collective path:
 // the prohibition is on per-iteration collectives inside the loop, which
 // is where the barrier-wait cost of skew lives.
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -49,6 +67,23 @@
 #include "core/profile.hpp"
 
 namespace paralagg::async {
+
+/// Typed rejection for AsyncConfig values that cannot describe a run
+/// (max_staleness == 0, batch_rows == 0, ...).  A config error is the
+/// caller's flag mistake — distinct from UnsupportedProgramError, which
+/// indicts the program, not the knobs.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Typed rejection for programs the asynchronous schedule cannot run
+/// soundly.  One instance carries *every* violation (deduplicated), so a
+/// program with two offending rules produces one diagnostic, not two.
+class UnsupportedProgramError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// When buffered outbound rows are put on the wire.
 enum class AsyncRouting : std::uint8_t {
@@ -68,10 +103,24 @@ struct AsyncConfig {
   /// Local rounds an outbound row may linger before a forced full flush.
   /// 1 = flush every round; larger values trade message count for
   /// staleness (still sound: the lattice join is order-insensitive).
+  /// 0 is a ConfigError: a row that may linger for zero rounds describes
+  /// no schedule (it used to be silently clamped to 1).
   std::size_t max_staleness = 1;
   /// Safety net against runaway local loops (mirrors EngineConfig's
   /// max_iterations; exceeding it aborts the world).
   std::size_t max_rounds = 1'000'000;
+  /// Stale-synchronous mode: run bounded-round Jacobi strata (fixpoint =
+  /// false) under the epoch-pipelined exactly-once protocol instead of
+  /// rejecting them.  Off by default — SSP admits non-idempotent
+  /// aggregates, so it is an explicit opt-in.
+  bool ssp = false;
+  /// SSP flow-control window: how many epochs a rank may scan ahead of the
+  /// watermark (the token-carried minimum of folded epochs across ranks).
+  /// 0 is honest lockstep — every rank waits for the ring to confirm the
+  /// previous epoch before scanning the next; >= 1 pipelines epochs.
+  /// Exactness never depends on this value: the epoch ledger makes every
+  /// setting reach the same bit-identical fixpoint.
+  std::size_t ssp_staleness = 1;
 };
 
 /// Per-rank counters for one engine's async loops (cumulative over strata).
@@ -90,6 +139,16 @@ struct AsyncLoopStats {
   double blocked_seconds = 0;
   std::uint64_t token_probes = 0;      // Safra probes rank 0 launched
   std::uint64_t tokens_forwarded = 0;
+
+  // Stale-synchronous mode only (zero for fixpoint loops).
+  std::uint64_t ssp_epochs = 0;  // epochs this rank folded
+  /// (source, epoch) partial frames folded into an accumulator — the
+  /// exactly-once invariant is that this equals nranks * epochs on every
+  /// rank, no matter what the fault plan injected.
+  std::uint64_t ssp_partials_folded = 0;
+  /// Frames discarded by the epoch ledger (injected duplicates and
+  /// retransmits caught before the fold).
+  std::uint64_t ssp_ledger_discards = 0;
 };
 
 class AsyncEngine {
@@ -101,11 +160,16 @@ class AsyncEngine {
   [[nodiscard]] const AsyncConfig& config() const { return cfg_; }
   [[nodiscard]] const AsyncLoopStats& loop_stats() const { return loop_stats_; }
 
-  /// Throws std::invalid_argument naming the first construct the
-  /// asynchronous schedule cannot run soundly (non-fixpoint strata,
-  /// kRefresh or non-idempotent aggregates, antijoins, loop rules not
-  /// driven by a recursive delta).
-  static void check_supported(const core::Program& program);
+  /// Throws UnsupportedProgramError listing every construct the
+  /// asynchronous schedule cannot run soundly under `cfg` (antijoins, loop
+  /// rules not driven by a recursive delta, and — without cfg.ssp —
+  /// non-fixpoint strata and kRefresh / non-idempotent aggregates).  All
+  /// violations are collected and deduplicated into one diagnostic.
+  static void check_supported(const core::Program& program, const AsyncConfig& cfg = {});
+
+  /// Throws ConfigError on knob values that describe no schedule
+  /// (max_staleness == 0, batch_rows == 0).  run() calls this first.
+  static void validate_config(const AsyncConfig& cfg);
 
   /// Execute one stratum: init rules on the collective path, then the
   /// nonblocking loop to quiescence.  Collective at entry and exit only.

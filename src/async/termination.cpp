@@ -1,5 +1,6 @@
 #include "async/termination.hpp"
 
+#include <algorithm>
 #include <span>
 
 #include "vmpi/crc32.hpp"
@@ -10,25 +11,29 @@ namespace paralagg::async {
 
 namespace {
 
-// Token wire format: four little-endian u64 words.
+// Token wire format: six little-endian u64 words.
 //   [0] accumulated counter q (two's-complement int64)
 //   [1] probe id (monotone per ring; rank 0 assigns, forwarders preserve)
 //   [2] token colour (0 = white, 1 = black)
-//   [3] CRC-32 of words [0..2], zero-extended
+//   [3] watermark accumulator (min of the local epoch watermarks folded in
+//       so far on this circulation)
+//   [4] global watermark (the last fully-circulated minimum, distributed by
+//       rank 0 so every holder can refresh its stale-synchronous estimate)
+//   [5] CRC-32 of words [0..4], zero-extended
 // The CRC catches injected corruption; the probe id catches injected
 // duplication and reordering (a token is accepted at most once per rank
 // per probe, and rank 0 only accepts the probe it actually launched).
-constexpr std::size_t kTokenWords = 4;
+constexpr std::size_t kTokenWords = 6;
 constexpr std::size_t kTokenBytes = kTokenWords * sizeof(std::uint64_t);
 constexpr std::size_t kTokenCrcBytes = (kTokenWords - 1) * sizeof(std::uint64_t);
 
-vmpi::Bytes pack_token(std::int64_t q, std::uint64_t probe_id, bool black) {
-  const std::uint64_t words[3] = {static_cast<std::uint64_t>(q), probe_id,
-                                  black ? std::uint64_t{1} : std::uint64_t{0}};
+vmpi::Bytes pack_token(std::int64_t q, std::uint64_t probe_id, bool black,
+                       std::uint64_t wmark_acc, std::uint64_t wmark_global) {
+  const std::uint64_t words[5] = {static_cast<std::uint64_t>(q), probe_id,
+                                  black ? std::uint64_t{1} : std::uint64_t{0}, wmark_acc,
+                                  wmark_global};
   vmpi::BufferWriter w(kTokenBytes);
-  w.put(words[0]);
-  w.put(words[1]);
-  w.put(words[2]);
+  for (const std::uint64_t word : words) w.put(word);
   w.put(static_cast<std::uint64_t>(vmpi::crc32(std::as_bytes(std::span(words)))));
   return w.take();
 }
@@ -37,6 +42,8 @@ struct TokenWire {
   std::int64_t q;
   std::uint64_t probe_id;
   bool black;
+  std::uint64_t wmark_acc;
+  std::uint64_t wmark_global;
 };
 
 TokenWire unpack_token(const vmpi::Bytes& payload) {
@@ -47,6 +54,8 @@ TokenWire unpack_token(const vmpi::Bytes& payload) {
   const auto q = r.get<std::uint64_t>();
   const auto probe_id = r.get<std::uint64_t>();
   const auto black = r.get<std::uint64_t>();
+  const auto wmark_acc = r.get<std::uint64_t>();
+  const auto wmark_global = r.get<std::uint64_t>();
   const auto crc = r.get<std::uint64_t>();
   if (vmpi::crc32({payload.data(), kTokenCrcBytes}) != crc) {
     throw vmpi::FrameDecodeError("safra: token CRC mismatch");
@@ -54,7 +63,8 @@ TokenWire unpack_token(const vmpi::Bytes& payload) {
   if (black > 1) {
     throw vmpi::FrameDecodeError("safra: token colour out of range");
   }
-  return TokenWire{static_cast<std::int64_t>(q), probe_id, black != 0};
+  return TokenWire{static_cast<std::int64_t>(q), probe_id, black != 0, wmark_acc,
+                   wmark_global};
 }
 
 }  // namespace
@@ -89,7 +99,13 @@ void TerminationDetector::on_control(int src, int tag, const vmpi::Bytes& payloa
   token_q_ = wire.q;
   token_black_ = wire.black;
   token_probe_id_ = wire.probe_id;
+  token_wmark_acc_ = wire.wmark_acc;
   has_token_ = true;
+  // The distributed watermark is a completed-circulation minimum, so it is
+  // always ≤ the true global minimum — adopting the larger estimate is safe
+  // and lets a stale-synchronous holder unblock without waiting a full
+  // extra circulation.
+  global_watermark_ = std::max(global_watermark_, wire.wmark_global);
 }
 
 std::size_t TerminationDetector::poll() {
@@ -106,9 +122,10 @@ void TerminationDetector::try_terminate() {
   if (terminated_) return;
 
   // Degenerate ring: with one rank there is nobody to hear from, so
-  // passivity plus a balanced counter *is* global quiescence.
+  // passivity plus a balanced counter *is* global quiescence (once the
+  // caller's own watermark has reached the required epoch).
   if (comm_->size() == 1) {
-    if (counter_ == 0) terminated_ = true;
+    if (counter_ == 0 && local_watermark_ >= required_watermark_) terminated_ = true;
     return;
   }
 
@@ -129,21 +146,30 @@ void TerminationDetector::start_probe() {
   // probe, which is the point.)
   black_ = false;
   ++probe_id_;
-  comm_->isend(1 % comm_->size(), token_tag(), pack_token(0, probe_id_, false));
+  comm_->isend(1 % comm_->size(), token_tag(),
+               pack_token(0, probe_id_, false, local_watermark_, global_watermark_));
   probe_outstanding_ = true;
   ++stats_.probes_started;
 }
 
 void TerminationDetector::forward_token() {
   comm_->isend((comm_->rank() + 1) % comm_->size(), token_tag(),
-               pack_token(token_q_ + counter_, token_probe_id_, token_black_ || black_));
+               pack_token(token_q_ + counter_, token_probe_id_, token_black_ || black_,
+                          std::min(token_wmark_acc_, local_watermark_),
+                          global_watermark_));
   black_ = false;  // this rank's activity is now folded into the token
   ++stats_.tokens_forwarded;
 }
 
 void TerminationDetector::evaluate_token() {
   probe_outstanding_ = false;
-  if (!token_black_ && !black_ && token_q_ + counter_ == 0) {
+  // A returned token carries the min over every *other* rank's watermark at
+  // forwarding time; folding rank 0's own makes it a completed-circulation
+  // global minimum — the value the next token distributes.
+  global_watermark_ =
+      std::max(global_watermark_, std::min(token_wmark_acc_, local_watermark_));
+  if (!token_black_ && !black_ && token_q_ + counter_ == 0 &&
+      global_watermark_ >= required_watermark_) {
     announce();
   }
   // Failed probe: try_terminate() launches the next one immediately —

@@ -34,6 +34,18 @@
 // A *dropped* token stalls the probe forever — that is not detectable
 // here by design (Safra assumes reliable delivery) and is the async
 // loop's progress watchdog's job.
+//
+// Epoch watermarks (stale-synchronous mode): each rank may publish a
+// monotone `local watermark` — the number of epochs it has fully folded.
+// Tokens accumulate the ring-wide minimum alongside Safra's counter and
+// redistribute the last completed minimum, so every rank holds a safe
+// (never-overestimating) estimate of the slowest peer's progress: the
+// flow-control signal that bounds how far ahead a rank may run.  Rank 0
+// additionally refuses to announce termination until the global minimum
+// reaches `require_watermark(target)` — quiescence alone is not
+// completion when epochs are pipelined, because a momentarily idle ring
+// may still owe future epochs.  With the default target of 0 the fixpoint
+// loops' behaviour is unchanged.
 
 #include <cstdint>
 
@@ -91,6 +103,25 @@ class TerminationDetector {
   [[nodiscard]] std::int64_t counter() const { return counter_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Publish this rank's epoch watermark (monotone: epochs fully folded
+  /// locally).  Rides the next token this rank launches or forwards.
+  void set_local_watermark(std::uint64_t w) {
+    if (w > local_watermark_) local_watermark_ = w;
+    if (comm_->size() == 1 && local_watermark_ > global_watermark_) {
+      global_watermark_ = local_watermark_;
+    }
+  }
+
+  /// Safe lower bound on min-over-ranks of the local watermarks: the last
+  /// completed token circulation's minimum (or better, if a later token
+  /// already carried a fresher one through this rank).
+  [[nodiscard]] std::uint64_t global_watermark() const { return global_watermark_; }
+
+  /// Rank 0 will not announce termination until the global watermark
+  /// reaches `target`.  Default 0: pure Safra quiescence, as the fixpoint
+  /// loops expect.
+  void require_watermark(std::uint64_t target) { required_watermark_ = target; }
+
  private:
   void start_probe();
   void forward_token();
@@ -107,7 +138,12 @@ class TerminationDetector {
   bool has_token_ = false;
   std::int64_t token_q_ = 0;
   bool token_black_ = false;
-  std::uint64_t token_probe_id_ = 0;  // id of the held token
+  std::uint64_t token_probe_id_ = 0;   // id of the held token
+  std::uint64_t token_wmark_acc_ = 0;  // watermark min folded into the held token
+
+  std::uint64_t local_watermark_ = 0;     // epochs fully folded on this rank
+  std::uint64_t global_watermark_ = 0;    // last completed circulation minimum
+  std::uint64_t required_watermark_ = 0;  // rank 0: announce gate
   bool probe_outstanding_ = false;    // rank 0 only
   std::uint64_t probe_id_ = 0;        // rank 0: id of the last launched probe
   std::uint64_t seen_probe_id_ = 0;   // rank>0: highest probe id accepted

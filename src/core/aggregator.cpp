@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace paralagg::core {
+
+void RecursiveAggregator::unapply(std::span<const value_t> /*a*/,
+                                  std::span<const value_t> /*b*/,
+                                  std::span<value_t> /*out*/) const {
+  throw std::logic_error(std::string(name()) + ": unapply on a non-invertible aggregate");
+}
 
 namespace {
 
@@ -56,6 +64,14 @@ class SumAggregator : public RecursiveAggregator {
  public:
   [[nodiscard]] std::string_view name() const override { return "$SUM"; }
   [[nodiscard]] bool idempotent() const override { return false; }  // a + a != a
+  // Addition is commutative + associative, so exactly-once delivery of
+  // epoch-tagged partials is enough — and it has a pre-mappable inverse.
+  [[nodiscard]] bool exactly_once_capable() const override { return true; }
+  [[nodiscard]] bool invertible() const override { return true; }
+  void unapply(std::span<const value_t> a, std::span<const value_t> b,
+               std::span<value_t> out) const override {
+    out[0] = a[0] - b[0];
+  }
 
   [[nodiscard]] PartialOrder partial_cmp(std::span<const value_t> a,
                                          std::span<const value_t> b) const override {

@@ -48,9 +48,31 @@ class RecursiveAggregator {
   /// True when partial_agg is a genuine semilattice join (commutative,
   /// associative, AND idempotent: a ⊔ a = a).  Idempotence is what makes a
   /// fixpoint insensitive to duplicated or re-ordered delta delivery, so
-  /// only idempotent aggregates may run under the asynchronous engine.
+  /// only idempotent aggregates may run under the asynchronous engine's
+  /// free-running fixpoint loop.
   /// $SUM is the counterexample: re-applying a stale delta double-counts.
   [[nodiscard]] virtual bool idempotent() const { return true; }
+
+  /// True when the aggregate tolerates the stale-synchronous engine's
+  /// exactly-once delivery discipline: commutative and associative, so a
+  /// round's contributions may fold in any arrival order, provided each is
+  /// folded exactly once.  Strictly weaker than idempotent() — every
+  /// idempotent join qualifies, and so does $SUM, whose epoch-tagged
+  /// partials the SSP ledger deduplicates before the fold.
+  [[nodiscard]] virtual bool exactly_once_capable() const { return idempotent(); }
+
+  /// True when partial_agg has a pre-mappable inverse: unapply() can
+  /// retract a previously folded contribution.  Required for $SUM-style
+  /// aggregates under AggMode::kRefresh, where a superseded partial must be
+  /// replaceable (fold the new value, unapply the old) without recomputing
+  /// the accumulator from scratch.
+  [[nodiscard]] virtual bool invertible() const { return false; }
+
+  /// Inverse of partial_agg: out := a ⊖ b, such that
+  /// partial_agg(out, b) == a.  Only meaningful when invertible(); the
+  /// default implementation refuses.
+  virtual void unapply(std::span<const value_t> a, std::span<const value_t> b,
+                       std::span<value_t> out) const;
 
   /// True when `candidate` strictly ascends past `current` — i.e. the fused
   /// pass must update the accumulator and emit a delta row.

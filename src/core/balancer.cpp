@@ -1,14 +1,18 @@
 #include "core/balancer.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
 
 #include "core/phase_scope.hpp"
+#include "vmpi/serialize.hpp"
 
 namespace paralagg::core {
 
 namespace {
 
-double imbalance_of(const std::vector<std::uint64_t>& sizes) {
+double imbalance_of(std::span<const std::uint64_t> sizes) {
   std::uint64_t total = 0, biggest = 0;
   for (auto s : sizes) {
     total += s;
@@ -17,6 +21,69 @@ double imbalance_of(const std::vector<std::uint64_t>& sizes) {
   if (total == 0) return 1.0;
   const double avg = static_cast<double>(total) / static_cast<double>(sizes.size());
   return static_cast<double>(biggest) / avg;
+}
+
+/// Pick the fan-out to reshuffle to.  Flat topology: the target, as always.
+/// Grouped topology: project every power-of-two candidate up to the target
+/// — per-rank sizes it would produce and the intra-/cross-node bytes the
+/// move would ship — fold the projections with one allgatherv (every rank
+/// folds the same vector, so every rank decides identically), and commit
+/// to the cheapest candidate that clears the threshold.  Collective iff
+/// the topology is grouped.
+int plan_fanout(vmpi::Comm& comm, Relation& rel, const BalanceConfig& cfg) {
+  const auto& topo = comm.topology();
+  if (topo.flat()) return cfg.target_sub_buckets;
+
+  std::vector<int> candidates;
+  for (int s = rel.sub_buckets() * 2; s < cfg.target_sub_buckets; s *= 2) {
+    candidates.push_back(s);
+  }
+  candidates.push_back(cfg.target_sub_buckets);
+
+  const auto n = static_cast<std::size_t>(comm.size());
+  const int me = comm.rank();
+  // Per candidate: n projected per-rank tuple counts, then the bytes this
+  // rank would ship intra-node and cross-node.
+  const std::size_t words = n + 2;
+  std::vector<std::uint64_t> local(candidates.size() * words, 0);
+  rel.tree(Version::kFull).for_each([&](std::span<const value_t> t) {
+    const auto bucket = rel.bucket_of(t);
+    const auto bytes = static_cast<std::uint64_t>(t.size() * sizeof(value_t));
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const int cand = candidates[c];
+      const int dst = rel.rank_for(bucket, rel.sub_bucket_for(t, cand), cand);
+      auto* row = &local[c * words];
+      row[static_cast<std::size_t>(dst)] += 1;
+      if (dst != me) row[n + (topo.same_node(me, dst) ? 0 : 1)] += bytes;
+    }
+  });
+
+  std::vector<std::uint64_t> global(local.size(), 0);
+  for (const auto& buf : comm.allgatherv(std::as_bytes(std::span(local)))) {
+    vmpi::BufferReader r(buf);
+    for (auto& g : global) g += r.get<std::uint64_t>();
+  }
+
+  int chosen = cfg.target_sub_buckets;  // fallback: maximum spread, old behaviour
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t best_cross = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const std::span<const std::uint64_t> row(&global[c * words], words);
+    if (imbalance_of(row.subspan(0, n)) > cfg.imbalance_threshold) continue;
+    const std::uint64_t intra = row[n], cross = row[n + 1];
+    const double cost =
+        static_cast<double>(intra) + topo.cross_cost_ratio * static_cast<double>(cross);
+    const bool better = cost < best_cost ||
+                        (cost == best_cost && cross < best_cross) ||
+                        (cost == best_cost && cross == best_cross &&
+                         candidates[c] < chosen);
+    if (better) {
+      chosen = candidates[c];
+      best_cost = cost;
+      best_cross = cross;
+    }
+  }
+  return chosen;
 }
 
 }  // namespace
@@ -47,7 +114,8 @@ BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relatio
   // extra coordination round needed.
   if (d.imbalance <= cfg.imbalance_threshold) return d;
 
-  d.bytes_moved = rel.reshuffle_to_sub_buckets(cfg.target_sub_buckets);
+  d.bytes_moved = rel.reshuffle_to_sub_buckets(plan_fanout(comm, rel, cfg),
+                                               &d.cross_bytes_moved);
   d.rebalanced = true;
   d.sub_buckets_after = rel.sub_buckets();
   // Charge the phase with what the reshuffle actually did — tuples moved —

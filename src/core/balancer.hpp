@@ -10,6 +10,18 @@
 // by H2 over the non-join independent columns.  The price is the
 // intra-bucket replication the join must then perform; §V-B shows (and our
 // benches reproduce) that this trade pays off at scale.
+//
+// Under a grouped topology (vmpi::Topology, node_size > 1) the balancer is
+// additionally locality-aware: instead of jumping straight to the target
+// fan-out, it projects every intermediate power-of-two fan-out, charges the
+// projected move at the topology's cross-node cost ratio (an intra-node
+// byte costs 1, a cross-node byte cross_cost_ratio), and commits to the
+// cheapest candidate that already clears the imbalance threshold — ties
+// break to fewer cross-node bytes, then to the smaller fan-out.  A hot
+// bucket that two sibling ranks can absorb stays inside their node rather
+// than paying the fabric.  On the flat topology the old direct-to-target
+// behaviour is unchanged (every remote byte costs the same there, so the
+// bigger fan-out strictly dominates on balance).
 
 #include "core/profile.hpp"
 #include "core/relation.hpp"
@@ -32,6 +44,9 @@ struct BalanceDecision {
   bool rebalanced = false;
   int sub_buckets_after = 1;
   std::uint64_t bytes_moved = 0;
+  /// Cross-node portion of bytes_moved.  On the flat topology every remote
+  /// byte is cross-node by definition, so this equals bytes_moved there.
+  std::uint64_t cross_bytes_moved = 0;
 };
 
 /// Measure imbalance of `rel` (collective: one allgather) and reshuffle it

@@ -56,16 +56,25 @@ std::uint32_t Relation::bucket_of(std::span<const value_t> tuple) const {
 }
 
 std::uint32_t Relation::sub_bucket_of(std::span<const value_t> tuple) const {
-  if (sub_buckets_ == 1) return 0;
-  const auto cols = tuple.subspan(cfg_.jcc, effective_sub_cols());
-  return static_cast<std::uint32_t>(storage::hash_columns(cols, storage::kSubBucketSeed) %
-                                    static_cast<std::uint64_t>(sub_buckets_));
+  return sub_bucket_for(tuple, sub_buckets_);
 }
 
 int Relation::rank_of(std::uint32_t bucket, std::uint32_t sub) const {
+  return rank_for(bucket, sub, sub_buckets_);
+}
+
+std::uint32_t Relation::sub_bucket_for(std::span<const value_t> tuple,
+                                       int sub_buckets) const {
+  if (sub_buckets == 1) return 0;
+  const auto cols = tuple.subspan(cfg_.jcc, effective_sub_cols());
+  return static_cast<std::uint32_t>(storage::hash_columns(cols, storage::kSubBucketSeed) %
+                                    static_cast<std::uint64_t>(sub_buckets));
+}
+
+int Relation::rank_for(std::uint32_t bucket, std::uint32_t sub, int sub_buckets) const {
   const auto n = static_cast<std::uint64_t>(comm_->size());
   return static_cast<int>((static_cast<std::uint64_t>(bucket) *
-                               static_cast<std::uint64_t>(sub_buckets_) +
+                               static_cast<std::uint64_t>(sub_buckets) +
                            sub) %
                           n);
 }
@@ -267,8 +276,10 @@ std::vector<Tuple> Relation::gather_to_root(int root) {
   return out;
 }
 
-std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
+std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets,
+                                                 std::uint64_t* cross_bytes) {
   assert(new_sub_buckets >= 1);
+  if (cross_bytes != nullptr) *cross_bytes = 0;
   if (effective_sub_cols() == 0) new_sub_buckets = 1;
   const int old_sub = sub_buckets_;
   sub_buckets_ = new_sub_buckets;
@@ -276,6 +287,7 @@ std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
 
   const auto n = static_cast<std::size_t>(comm_->size());
   const auto me = comm_->rank();
+  const auto& topo = comm_->topology();
   std::uint64_t moved_bytes = 0;
 
   // Re-route both versions under the new mapping.  Delta must survive a
@@ -287,7 +299,12 @@ std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets) {
     });
     std::vector<vmpi::Bytes> send(n);
     for (std::size_t d = 0; d < n; ++d) {
-      if (d != static_cast<std::size_t>(me)) moved_bytes += outgoing[d].size();
+      if (d != static_cast<std::size_t>(me)) {
+        moved_bytes += outgoing[d].size();
+        if (cross_bytes != nullptr && !topo.same_node(me, static_cast<int>(d))) {
+          *cross_bytes += outgoing[d].size();
+        }
+      }
       send[d] = outgoing[d].take();
     }
     auto got = comm_->alltoallv(std::move(send));

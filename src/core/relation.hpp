@@ -87,6 +87,13 @@ class Relation {
   [[nodiscard]] std::uint32_t sub_bucket_of(std::span<const value_t> tuple) const;
   [[nodiscard]] int rank_of(std::uint32_t bucket, std::uint32_t sub) const;
   [[nodiscard]] int owner_rank(std::span<const value_t> tuple) const;
+  /// What-if variants of sub_bucket_of / rank_of under a *candidate*
+  /// sub-bucket count — the balancer's planner projects where tuples would
+  /// land at each fan-out before committing to a reshuffle.
+  [[nodiscard]] std::uint32_t sub_bucket_for(std::span<const value_t> tuple,
+                                             int sub_buckets) const;
+  [[nodiscard]] int rank_for(std::uint32_t bucket, std::uint32_t sub,
+                             int sub_buckets) const;
   /// Distinct ranks holding any sub-bucket of `bucket` (the destinations of
   /// intra-bucket replication when this relation is the inner side).
   void ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) const;
@@ -183,8 +190,11 @@ class Relation {
   [[nodiscard]] std::vector<Tuple> gather_to_root(int root = 0);
 
   /// Re-shard to a new sub-bucket count (spatial load balancing).
-  /// Collective; returns the remote bytes this rank shipped.
-  std::uint64_t reshuffle_to_sub_buckets(int new_sub_buckets);
+  /// Collective; returns the remote bytes this rank shipped.  When
+  /// `cross_bytes` is given, it receives the cross-node portion (classified
+  /// against the comm's topology) so the balancer can account locality.
+  std::uint64_t reshuffle_to_sub_buckets(int new_sub_buckets,
+                                         std::uint64_t* cross_bytes = nullptr);
 
   /// Persist the full version to a binary checkpoint file (rank 0 writes).
   /// Collective.  Long-running deductive jobs on shared clusters need

@@ -61,8 +61,11 @@ struct QueryTuning {
 
   /// Run the recursive strata on async::AsyncEngine (nonblocking delta
   /// propagation, Safra termination) instead of the BSP core::Engine.
-  /// Throws std::invalid_argument for programs the asynchronous schedule
-  /// cannot run soundly (e.g. PageRank's non-idempotent $SUM).
+  /// Non-idempotent refresh aggregates (PageRank's $SUM) additionally
+  /// need async.ssp — the stale-synchronous epoch pipeline whose
+  /// per-(source, epoch) ledger restores exactly-once folding; without
+  /// it, and for programs no async schedule can run soundly, throws
+  /// async::UnsupportedProgramError naming every violation once.
   bool use_async = false;
   async::AsyncConfig async;
 

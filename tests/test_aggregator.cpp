@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <stdexcept>
 #include <vector>
 
 namespace paralagg::core {
@@ -85,6 +86,48 @@ TEST(SumAggregator, AddsAndChains) {
   const auto a = make_sum_aggregator();
   EXPECT_EQ(agg1(*a, 3, 4), 7u);
   EXPECT_EQ(cmp1(*a, 3, 4), PartialOrder::kLess);
+}
+
+TEST(SumAggregator, ExactlyOnceCapableAndInvertible) {
+  // $SUM is not idempotent (a + a != a), but commutative + associative:
+  // exactly-once delivery of epoch-tagged partials is sufficient, and the
+  // pre-mappable inverse lets kRefresh retract a superseded contribution.
+  const auto a = make_sum_aggregator();
+  EXPECT_FALSE(a->idempotent());
+  EXPECT_TRUE(a->exactly_once_capable());
+  EXPECT_TRUE(a->invertible());
+}
+
+value_t unapply1(const RecursiveAggregator& a, value_t x, value_t y) {
+  const value_t xs[] = {x};
+  const value_t ys[] = {y};
+  value_t out[1];
+  a.unapply(std::span<const value_t>(xs, 1), std::span<const value_t>(ys, 1),
+            std::span<value_t>(out, 1));
+  return out[0];
+}
+
+TEST(SumAggregator, UnapplyInvertsPartialAgg) {
+  const auto a = make_sum_aggregator();
+  // unapply(agg(x, y), y) == x, including across u64 wraparound.
+  for (const value_t x : {value_t{0}, value_t{7}, ~value_t{0} - 2}) {
+    for (const value_t y : {value_t{1}, value_t{13}, ~value_t{0}}) {
+      EXPECT_EQ(unapply1(*a, agg1(*a, x, y), y), x) << x << " " << y;
+    }
+  }
+}
+
+TEST(RecursiveAggregator, DefaultsTieExactlyOnceToIdempotence) {
+  // Idempotent lattice joins are trivially exactly-once capable; none of
+  // them declares an inverse, and calling unapply anyway is a logic error,
+  // not silent corruption.
+  for (const auto& a : {make_min_aggregator(), make_max_aggregator(),
+                        make_bitor_aggregator(), make_mcount_aggregator()}) {
+    EXPECT_TRUE(a->idempotent()) << a->name();
+    EXPECT_TRUE(a->exactly_once_capable()) << a->name();
+    EXPECT_FALSE(a->invertible()) << a->name();
+    EXPECT_THROW(unapply1(*a, 5, 3), std::logic_error) << a->name();
+  }
 }
 
 TEST(MCountAggregator, LowerBoundSemantics) {

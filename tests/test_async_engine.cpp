@@ -269,6 +269,71 @@ TEST(AsyncRejection, NonIdempotentAggregateInFixpointLoop) {
   });
 }
 
+TEST(AsyncConfigValidation, ZeroStalenessAndZeroBatchAreTypedErrors) {
+  // max_staleness = 0 used to be silently clamped to 1 — a lying knob.  It
+  // is now a typed ConfigError (distinct from UnsupportedProgramError: the
+  // flags are wrong, not the program).  Honest lockstep is spelled
+  // ssp_staleness = 0, which stays legal.
+  async::AsyncConfig zero_staleness;
+  zero_staleness.max_staleness = 0;
+  EXPECT_THROW(async::AsyncEngine::validate_config(zero_staleness), async::ConfigError);
+
+  async::AsyncConfig zero_batch;
+  zero_batch.batch_rows = 0;
+  EXPECT_THROW(async::AsyncEngine::validate_config(zero_batch), async::ConfigError);
+
+  async::AsyncConfig lockstep;
+  lockstep.ssp = true;
+  lockstep.ssp_staleness = 0;
+  EXPECT_NO_THROW(async::AsyncEngine::validate_config(lockstep));
+
+  // And through the full run path: the engine validates before any work.
+  const auto g = graph::make_grid(4, 4, 3, 38);
+  vmpi::run(2, [&](vmpi::Comm& comm) {
+    queries::SsspOptions opts;
+    opts.sources = {0};
+    opts.tuning.use_async = true;
+    opts.tuning.async.max_staleness = 0;
+    EXPECT_THROW(run_sssp(comm, g, opts), async::ConfigError);
+  });
+}
+
+TEST(AsyncRejection, DiagnosticIsTypedAndListsEachViolationOnce) {
+  vmpi::run(1, [&](vmpi::Comm& comm) {
+    core::Program program(comm);
+    auto* edge = program.relation({.name = "edge", .arity = 2, .jcc = 1});
+    auto* total = program.relation({.name = "total",
+                                    .arity = 2,
+                                    .jcc = 1,
+                                    .dep_arity = 1,
+                                    .aggregator = core::make_sum_aggregator()});
+    auto& stratum = program.stratum();
+    // Two rules target the same offending relation: the old per-target
+    // diagnostic printed the $SUM complaint once per rule.
+    for (int i = 0; i < 2; ++i) {
+      stratum.loop_rules.push_back(core::JoinRule{
+          .a = total,
+          .a_version = core::Version::kDelta,
+          .b = edge,
+          .b_version = core::Version::kFull,
+          .out = {.target = total, .cols = {Expr::col_b(1), Expr::col_a(1)}},
+      });
+    }
+    try {
+      async::AsyncEngine::check_supported(program);
+      FAIL() << "a $SUM-aggregated fixpoint loop target must be rejected";
+    } catch (const async::UnsupportedProgramError& e) {  // the typed class
+      const std::string what = e.what();
+      std::size_t occurrences = 0;
+      for (std::size_t pos = what.find("not idempotent"); pos != std::string::npos;
+           pos = what.find("not idempotent", pos + 1)) {
+        ++occurrences;
+      }
+      EXPECT_EQ(occurrences, 1u) << what;
+    }
+  });
+}
+
 TEST(AsyncRejection, AntijoinAndNonDeltaLoopRules) {
   vmpi::run(1, [&](vmpi::Comm& comm) {
     core::Program program(comm);

@@ -163,6 +163,58 @@ TEST(Balancer, ChargesMovedTuplesNotResidentSize) {
   });
 }
 
+TEST(Balancer, PrefersIntraNodeSplitOnGroupedTopology) {
+  // Two nodes of two ranks.  A hot bucket whose 2-way split stays inside
+  // the owner's node must be absorbed there: the topology-blind planner
+  // jumped straight to the target fan-out and shipped the bucket across
+  // the fabric; the locality-aware one picks the node-local fan-out and
+  // moves zero cross-node bytes.
+  vmpi::RunOptions options;
+  options.topology = vmpi::Topology::grouped(4, 2);  // nodes {0,1}, {2,3}
+  vmpi::run(4, options, [&](vmpi::Comm& comm) {
+    // Pick a key whose bucket b owns rank b%4 and splits to ranks
+    // {(2b)%4, (2b+1)%4} at fan-out 2 — chosen so both live on one node.
+    Relation probe(comm, {.name = "probe", .arity = 2, .jcc = 1});
+    value_t key = 0;
+    for (value_t k = 0;; ++k) {
+      const value_t t[2] = {k, 0};
+      const auto b = probe.bucket_of(std::span<const value_t>(t, 2));
+      const int owner_node = static_cast<int>(b % 4) / 2;
+      const int pair_node = static_cast<int>((b * 2) % 4) / 2;
+      if (owner_node == pair_node) {
+        key = k;
+        break;
+      }
+    }
+    Relation r(comm, {.name = "r", .arity = 2, .jcc = 1, .balanceable = true});
+    load_hot(comm, r, key, 800);
+
+    RankProfile profile;
+    BalanceConfig cfg;
+    cfg.target_sub_buckets = 8;
+    cfg.imbalance_threshold = 2.5;  // a 2-way split of the hot bucket clears it
+    const auto d = balance_relation(comm, profile, r, cfg);
+    EXPECT_TRUE(d.rebalanced);
+    EXPECT_EQ(d.sub_buckets_after, 2);  // node-local split, not max spread
+    const auto cross =
+        comm.allreduce<std::uint64_t>(d.cross_bytes_moved, vmpi::ReduceOp::kSum);
+    const auto moved = comm.allreduce<std::uint64_t>(d.bytes_moved, vmpi::ReduceOp::kSum);
+    EXPECT_GT(moved, 0u);
+    EXPECT_EQ(cross, 0u) << "an intra-node split must not touch the fabric";
+    EXPECT_EQ(r.global_size(Version::kFull), 800u);
+    EXPECT_LE(measure_imbalance(comm, r), cfg.imbalance_threshold);
+
+    // Control: the pre-topology move (straight to the target fan-out)
+    // ships part of the same workload across the node boundary.
+    Relation old_style(comm,
+                       {.name = "old_style", .arity = 2, .jcc = 1, .balanceable = true});
+    load_hot(comm, old_style, key, 800);
+    std::uint64_t old_cross = 0;
+    old_style.reshuffle_to_sub_buckets(cfg.target_sub_buckets, &old_cross);
+    EXPECT_GT(comm.allreduce<std::uint64_t>(old_cross, vmpi::ReduceOp::kSum), 0u);
+  });
+}
+
 TEST(Balancer, PreservesJoinability) {
   // After rebalancing the inner side, joins must still find every match
   // (intra-bucket replication reaches all sub-bucket holders).

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "async/async_engine.hpp"
 #include "core/checkpoint.hpp"
 #include "queries/cc.hpp"
 #include "queries/common.hpp"
@@ -459,6 +460,182 @@ TEST(AsyncFaults, RankDeathStarvesTokenRingIntoTypedAbort) {
   EXPECT_TRUE(leg.all_aborted());
   EXPECT_NE(leg.fault_what[2].find("injected death"), std::string::npos)
       << leg.fault_what[2];
+}
+
+// ---- stale-synchronous mode under faults ------------------------------------
+//
+// SSP's exactly-once contract is precisely a fault-tolerance claim: the
+// per-source epoch ledger must discard injected duplicates and absorb
+// bounded reorder *before* the fold, so every (source, epoch) partial is
+// folded exactly once and the fixpoint stays bit-identical to the BSP
+// oracle.  Drops still abort typed — a missing partial starves the epoch
+// pipeline, never fabricates a wrong sum.
+
+template <typename TuningFn>
+LegOutcome run_pagerank_leg(int ranks, const vmpi::RunOptions& options,
+                            const graph::Graph& g, TuningFn&& tuning_fn) {
+  LegOutcome out;
+  out.aborted.assign(static_cast<std::size_t>(ranks), 0);
+  out.fault_what.resize(static_cast<std::size_t>(ranks));
+  vmpi::run(ranks, options, [&](vmpi::Comm& comm) {
+    queries::PagerankOptions opts;
+    opts.rounds = 6;
+    opts.collect_ranks = true;
+    tuning_fn(opts.tuning);
+    auto r = run_pagerank(comm, g, opts);
+    if (comm.rank() == 0) out.rows = std::move(r.ranks);
+    const auto me = static_cast<std::size_t>(comm.rank());
+    out.aborted[me] = r.run.aborted_fault ? 1 : 0;
+    out.fault_what[me] = r.run.fault_what;
+  });
+  return out;
+}
+
+/// SSP SUM-reachability (walk counting, kRefresh $SUM) run directly on the
+/// AsyncEngine so the per-rank exactly-once counters stay visible.
+struct SspWalkOutcome {
+  LegOutcome leg;
+  std::vector<std::uint64_t> epochs_folded;     // per rank
+  std::vector<std::uint64_t> partials_folded;   // per rank
+  std::vector<std::uint64_t> ledger_discards;   // per rank
+};
+
+SspWalkOutcome run_ssp_walk(int ranks, const vmpi::RunOptions& options,
+                            const graph::Graph& g, std::size_t epochs) {
+  SspWalkOutcome out;
+  out.leg.aborted.assign(static_cast<std::size_t>(ranks), 0);
+  out.leg.fault_what.resize(static_cast<std::size_t>(ranks));
+  out.epochs_folded.assign(static_cast<std::size_t>(ranks), 0);
+  out.partials_folded.assign(static_cast<std::size_t>(ranks), 0);
+  out.ledger_discards.assign(static_cast<std::size_t>(ranks), 0);
+  vmpi::run(ranks, options, [&](vmpi::Comm& comm) {
+    core::Program program(comm);
+    auto* edge = program.relation({.name = "edge", .arity = 2, .jcc = 1});
+    auto* seed = program.relation({.name = "seed", .arity = 1, .jcc = 1});
+    auto* paths = program.relation({.name = "paths",
+                                    .arity = 2,
+                                    .jcc = 1,
+                                    .dep_arity = 1,
+                                    .aggregator = core::make_sum_aggregator(),
+                                    .agg_mode = core::AggMode::kRefresh});
+    auto& s = program.stratum();
+    s.fixpoint = false;
+    s.max_rounds = epochs;
+    s.loop_rules.push_back(core::CopyRule{
+        .src = seed,
+        .version = core::Version::kFull,
+        .out = {.target = paths, .cols = {core::Expr::col_a(0), core::Expr::constant(1)}},
+    });
+    s.loop_rules.push_back(core::JoinRule{
+        .a = paths,
+        .a_version = core::Version::kFull,
+        .b = edge,
+        .b_version = core::Version::kFull,
+        .out = {.target = paths, .cols = {core::Expr::col_b(1), core::Expr::col_a(1)}},
+    });
+    edge->load_facts(queries::edge_slice(comm, g, /*weighted=*/false));
+    std::vector<Tuple> seeds;
+    if (comm.rank() == 0) {
+      seeds.push_back(Tuple{0});
+      seeds.push_back(Tuple{1});
+    }
+    seed->load_facts(seeds);
+
+    async::AsyncConfig cfg;
+    cfg.ssp = true;
+    cfg.ssp_staleness = 2;
+    async::AsyncEngine engine(comm, cfg);
+    const auto run = engine.run(program);
+
+    const auto me = static_cast<std::size_t>(comm.rank());
+    out.leg.aborted[me] = run.aborted_fault ? 1 : 0;
+    out.leg.fault_what[me] = run.fault_what;
+    const auto& ls = engine.loop_stats();
+    out.epochs_folded[me] = ls.ssp_epochs;
+    out.partials_folded[me] = ls.ssp_partials_folded;
+    out.ledger_discards[me] = ls.ssp_ledger_discards;
+    if (!run.aborted_fault) {
+      auto rows = paths->gather_to_root(0);
+      if (comm.rank() == 0) out.leg.rows = std::move(rows);
+    }
+  });
+  return out;
+}
+
+TEST(SspFaults, DupAndReorderReachBitIdenticalPagerank) {
+  const auto g = sweep_graph();
+  // BSP oracle: the fixpoint SSP must reproduce bit-for-bit.
+  const auto oracle = run_pagerank_leg(4, vmpi::RunOptions{}, g,
+                                       [](queries::QueryTuning&) {});
+  ASSERT_FALSE(oracle.any_aborted());
+  ASSERT_FALSE(oracle.rows.empty());
+
+  for (const int ranks : {4, 7}) {
+    SCOPED_TRACE("ssp pagerank dup+reorder at " + std::to_string(ranks) + " ranks");
+    vmpi::RunOptions options;
+    options.fault.seed = 48;
+    options.fault.dup_prob = 0.10;
+    options.fault.delay_prob = 0.10;
+    options.watchdog_seconds = kWatchdog;
+    const auto leg = run_pagerank_leg(ranks, options, g, [](queries::QueryTuning& t) {
+      t.use_async = true;
+      t.async.ssp = true;
+      t.async.ssp_staleness = 2;
+    });
+    EXPECT_FALSE(leg.any_aborted()) << leg.fault_what[0];
+    EXPECT_EQ(leg.rows, oracle.rows);
+  }
+}
+
+TEST(SspFaults, DupAndReorderFoldEachSourceEpochExactlyOnce) {
+  const auto g = sweep_graph();
+  constexpr std::size_t kEpochs = 5;
+  const auto clean = run_ssp_walk(4, vmpi::RunOptions{}, g, kEpochs);
+  ASSERT_FALSE(clean.leg.any_aborted()) << clean.leg.fault_what[0];
+  ASSERT_FALSE(clean.leg.rows.empty());
+
+  for (const int ranks : {4, 7}) {
+    SCOPED_TRACE("ssp walk dup+reorder at " + std::to_string(ranks) + " ranks");
+    vmpi::RunOptions options;
+    options.fault.seed = 49;
+    options.fault.dup_prob = 0.15;
+    options.fault.delay_prob = 0.10;
+    options.watchdog_seconds = kWatchdog;
+    const auto out = run_ssp_walk(ranks, options, g, kEpochs);
+    EXPECT_FALSE(out.leg.any_aborted()) << out.leg.fault_what[0];
+    EXPECT_EQ(out.leg.rows, clean.leg.rows);  // $SUM survived duplication exactly
+
+    std::uint64_t discards_total = 0;
+    for (int r = 0; r < ranks; ++r) {
+      // The exactly-once invariant, per rank: every epoch folded once,
+      // with exactly one partial per source rank — no matter what the
+      // fault plan injected.
+      EXPECT_EQ(out.epochs_folded[static_cast<std::size_t>(r)], kEpochs) << "rank " << r;
+      EXPECT_EQ(out.partials_folded[static_cast<std::size_t>(r)],
+                static_cast<std::uint64_t>(ranks) * kEpochs)
+          << "rank " << r;
+      discards_total += out.ledger_discards[static_cast<std::size_t>(r)];
+    }
+    // The plan injected real duplicates and the ledger really caught them
+    // (otherwise this test proves nothing).
+    EXPECT_GT(discards_total, 0u);
+  }
+}
+
+TEST(SspFaults, DroppedFramesStarveEpochPipelineIntoTypedAbort) {
+  const auto g = sweep_graph();
+  vmpi::RunOptions options;
+  options.fault.seed = 50;
+  options.fault.drop_prob = 0.05;
+  options.watchdog_seconds = 2.0;
+  const auto out = run_ssp_walk(4, options, g, /*epochs=*/5);
+  expect_unanimous(out.leg);
+  // A dropped probe or partial leaves an epoch's ledger permanently short:
+  // the fold gate never opens, tokens keep circulating without app
+  // progress, and the progress watchdog must convert the starved pipeline
+  // into a typed abort — never a partial (wrong) sum.
+  EXPECT_TRUE(out.leg.all_aborted());
+  EXPECT_FALSE(out.leg.fault_what[0].empty());
 }
 
 // ---- checkpoint / restart ---------------------------------------------------
