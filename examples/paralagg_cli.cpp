@@ -106,6 +106,8 @@ struct Args {
   std::vector<std::string> update_batches;
   std::vector<std::vector<core::value_t>> lookups;
   double watchdog_seconds = 0;
+  std::uint64_t skew_threshold = 0;  // 0 = heavy-hitter routing off
+  std::size_t skew_max_keys = 16;
   int nodes = 0;
   std::string topology = "flat";
   std::string schedule = "rd";
@@ -120,6 +122,7 @@ struct Args {
                "       [--engine bsp|async] [--async-batch N] [--staleness N] [--baseline]\n"
                "       [--checkpoint FILE --checkpoint-every N] [--resume [FILE]]\n"
                "       [--serve] [--update-batch FILE]... [--lookup a,b,...]...\n"
+               "       [--skew-threshold N] [--skew-max-keys N]\n"
                "       [--watchdog SECONDS] [--nodes N] [--topology flat|hier]\n"
                "       [--schedule linear|rd|swing] [--out FILE]\n";
   std::exit(2);
@@ -202,6 +205,14 @@ Args parse(int argc, char** argv) {
       args.lookups.push_back(std::move(key));
     } else if (flag == "--watchdog") {
       args.watchdog_seconds = std::stod(next());
+    } else if (flag == "--skew-threshold") {
+      args.skew_threshold = std::stoull(next());
+      if (args.skew_threshold == 0) {
+        usage("--skew-threshold must be >= 1 (omit the flag to disable)");
+      }
+    } else if (flag == "--skew-max-keys") {
+      args.skew_max_keys = std::stoull(next());
+      if (args.skew_max_keys == 0) usage("--skew-max-keys must be >= 1");
     } else if (flag == "--nodes") {
       args.nodes = std::stoi(next());
     } else if (flag == "--topology") {
@@ -617,6 +628,15 @@ int main(int argc, char** argv) {
   }
   tuning.async.ssp = args.ssp;
   tuning.async.ssp_staleness = args.staleness;
+  if (args.skew_threshold > 0) {
+    if (args.use_async) {
+      usage("--skew-threshold is a BSP-engine knob (hot-set agreement needs "
+            "iteration boundaries); drop --engine async");
+    }
+    tuning.engine.skew.enabled = true;
+    tuning.engine.skew.hot_threshold = args.skew_threshold;
+    tuning.engine.skew.max_hot_keys = args.skew_max_keys;
+  }
   tuning.engine.checkpoint_every = args.checkpoint_every;
   tuning.engine.checkpoint_path = args.checkpoint_file;
   tuning.resume_manifest = args.resume_file;

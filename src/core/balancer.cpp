@@ -47,6 +47,15 @@ int plan_fanout(vmpi::Comm& comm, Relation& rel, const BalanceConfig& cfg) {
   const std::size_t words = n + 2;
   std::vector<std::uint64_t> local(candidates.size() * words, 0);
   rel.tree(Version::kFull).for_each([&](std::span<const value_t> t) {
+    if (rel.key_is_hot(t)) {
+      // Hot rows keep their H2 spread placement under any fan-out
+      // (Relation::route_rank ignores sub_buckets for them), so project
+      // them as immovable at this rank.
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        local[c * words + static_cast<std::size_t>(me)] += 1;
+      }
+      return;
+    }
     const auto bucket = rel.bucket_of(t);
     const auto bytes = static_cast<std::uint64_t>(t.size() * sizeof(value_t));
     for (std::size_t c = 0; c < candidates.size(); ++c) {
@@ -88,14 +97,17 @@ int plan_fanout(vmpi::Comm& comm, Relation& rel, const BalanceConfig& cfg) {
 
 }  // namespace
 
+std::vector<std::uint64_t> gather_full_sizes(vmpi::Comm& comm, const Relation& rel) {
+  return comm.allgather<std::uint64_t>(rel.local_size(Version::kFull));
+}
+
 double measure_imbalance(vmpi::Comm& comm, const Relation& rel) {
-  const auto sizes =
-      comm.allgather<std::uint64_t>(rel.local_size(Version::kFull));
-  return imbalance_of(sizes);
+  return imbalance_of(gather_full_sizes(comm, rel));
 }
 
 BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relation& rel,
-                                 const BalanceConfig& cfg) {
+                                 const BalanceConfig& cfg,
+                                 const std::vector<std::uint64_t>* pre_gathered) {
   BalanceDecision d;
   d.sub_buckets_after = rel.sub_buckets();
 
@@ -107,7 +119,8 @@ BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relatio
   }
 
   PhaseScope scope(comm, profile, Phase::kBalance);
-  const auto sizes = comm.allgather<std::uint64_t>(rel.local_size(Version::kFull));
+  const std::vector<std::uint64_t> sizes =
+      pre_gathered != nullptr ? *pre_gathered : gather_full_sizes(comm, rel);
   d.imbalance = imbalance_of(sizes);
 
   // Every rank computed the same sizes vector, hence the same decision — no

@@ -51,9 +51,20 @@ struct BalanceDecision {
 
 /// Measure imbalance of `rel` (collective: one allgather) and reshuffle it
 /// to `cfg.target_sub_buckets` when warranted.  No-op for relations not
-/// marked balanceable or already at the target fan-out.
+/// marked balanceable or already at the target fan-out.  When the caller
+/// already holds this iteration's size gather (the skew detector shares
+/// it), pass it via `pre_gathered` to skip the duplicate collective — the
+/// vector must be the allgather of `rel.local_size(Version::kFull)` and
+/// still current (no reshuffle/respread since it was taken).
 BalanceDecision balance_relation(vmpi::Comm& comm, RankProfile& profile, Relation& rel,
-                                 const BalanceConfig& cfg);
+                                 const BalanceConfig& cfg,
+                                 const std::vector<std::uint64_t>* pre_gathered = nullptr);
+
+/// One allgather of `rel`'s per-rank full sizes — the shared measurement
+/// feeding both the balancer's imbalance ratio and the skew detector's
+/// activation gate.  Collective.
+[[nodiscard]] std::vector<std::uint64_t> gather_full_sizes(vmpi::Comm& comm,
+                                                           const Relation& rel);
 
 /// Measure only (collective); used by diagnostics and Fig. 3.
 double measure_imbalance(vmpi::Comm& comm, const Relation& rel);

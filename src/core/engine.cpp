@@ -51,7 +51,41 @@ RuleExecStats Engine::execute_rule(const Rule& rule, ExchangeRouter& router) {
   local_kernel_.probes += stats.probes;
   local_kernel_.probe_seeks += stats.probe_seeks;
   local_kernel_.matches += stats.matches;
+  local_skew_.broadcast_rows += stats.hot_broadcast_rows;
   return stats;
+}
+
+std::vector<Relation*> Engine::skew_candidates(const Stratum& stratum) const {
+  std::vector<Relation*> out;
+  for (const auto& rule : stratum.loop_rules) {
+    const auto* j = std::get_if<JoinRule>(&rule);
+    if (j == nullptr || j->anti) continue;
+    for (Relation* side : {j->a, j->b}) {
+      // A side whose independent columns are all join columns has nothing
+      // for H2 to spread by — its rows for one key can only pile up.
+      if (side->indep_arity() > side->jcc()) push_unique(out, side);
+    }
+  }
+  // Negated relations must keep owner placement everywhere: an antijoin
+  // decides absence from one rank's partition.  Scan the whole program
+  // (the same relation may be negated in a later stratum).
+  const auto drop_negated = [&out](const std::vector<Rule>& rules) {
+    for (const auto& rule : rules) {
+      const auto* j = std::get_if<JoinRule>(&rule);
+      if (j == nullptr || !j->anti) continue;
+      out.erase(std::remove(out.begin(), out.end(), j->b), out.end());
+    }
+  };
+  if (program_ != nullptr) {
+    for (const auto& s : program_->strata()) {
+      drop_negated(s->init_rules);
+      drop_negated(s->loop_rules);
+    }
+  } else {
+    drop_negated(stratum.init_rules);
+    drop_negated(stratum.loop_rules);
+  }
+  return out;
 }
 
 void Engine::run_rules(const std::vector<Rule>& rules, ExchangeRouter& router) {
@@ -107,6 +141,8 @@ StratumResult Engine::run_stratum(const Stratum& stratum, std::size_t start_iter
   const auto loop_targets = targets_of(stratum.loop_rules);
   auto balance_candidates = sources_of(stratum.loop_rules);
   for (Relation* t : loop_targets) push_unique(balance_candidates, t);
+  const auto skew_cands =
+      cfg_.skew.enabled ? skew_candidates(stratum) : std::vector<Relation*>{};
 
   const std::size_t bound =
       stratum.fixpoint ? cfg_.max_iterations
@@ -118,10 +154,54 @@ StratumResult Engine::run_stratum(const Stratum& stratum, std::size_t start_iter
     // an installed FaultPlan.
     comm_->advance_epoch();
 
+    // ---- heavy-hitter detection + hot-set switches ----------------------------
+    // Before the balancer on purpose: rows a respread just spread out must
+    // not trip the imbalance ratio into a redundant sub-bucket reshuffle.
+    // Size gathers taken here are handed to the balancer below (the shared
+    // measurement), except for relations whose layout changed.
+    std::vector<std::pair<Relation*, std::vector<std::uint64_t>>> fresh_sizes;
+    if (!skew_cands.empty()) {
+      PhaseScope scope(*comm_, profile_, Phase::kBalance);
+      for (Relation* rel : skew_cands) {
+        auto sizes = gather_full_sizes(*comm_, *rel);
+        std::uint64_t total = 0;
+        for (const auto s : sizes) total += s;
+        // Run the detection collective only when a hot key is possible
+        // (the global size bounds any per-key count) or a hot set must be
+        // re-examined.  Both inputs are globally identical, so every rank
+        // takes the same branch.
+        if (total >= cfg_.skew.hot_threshold || !rel->hot_keys().empty()) {
+          auto hot = detect_hot_keys(*comm_, *rel, cfg_.skew);
+          ++local_skew_.detections;
+          if (hot != rel->hot_keys()) {
+            const auto moved = rel->adopt_hot_keys(std::move(hot));
+            local_skew_.respread_rows += moved;
+            profile_.add_work(Phase::kBalance, moved);
+            continue;  // sizes are stale after the respread
+          }
+        }
+        fresh_sizes.emplace_back(rel, std::move(sizes));
+      }
+      for (const Relation* rel : skew_cands) {
+        if (!rel->hot_keys().empty()) {
+          ++local_skew_.hot_iterations;
+          break;
+        }
+      }
+    }
+
     // ---- spatial load balancing ---------------------------------------------
     if (cfg_.balance.enabled && iter % std::max<std::size_t>(cfg_.balance.period, 1) == 0) {
       for (Relation* rel : balance_candidates) {
-        if (rel->config().balanceable) balance_relation(*comm_, profile_, *rel, cfg_.balance);
+        if (!rel->config().balanceable) continue;
+        const std::vector<std::uint64_t>* pre = nullptr;
+        for (const auto& [r, sizes] : fresh_sizes) {
+          if (r == rel) {
+            pre = &sizes;
+            break;
+          }
+        }
+        balance_relation(*comm_, profile_, *rel, cfg_.balance, pre);
       }
     }
 
@@ -200,6 +280,16 @@ RunResult Engine::run_from(Program& program, std::size_t first_stratum,
       result.aborted_tuple_limit = result.aborted_tuple_limit || sr.aborted_tuple_limit;
       result.strata.push_back(sr);
     }
+    // Restore owner placement before anyone downstream (serving warm
+    // starts, checkpoint readers, diagnostics assuming owner_rank) sees
+    // the relations.  Hot sets are identical on every rank, so the
+    // collective fires symmetrically; without hot layouts this loop is
+    // free.
+    if (cfg_.skew.enabled) {
+      for (const auto& rel : program.relations()) {
+        if (!rel->hot_keys().empty()) rel->adopt_hot_keys({});
+      }
+    }
   } catch (const vmpi::FaultError& e) {
     // One catch site for every injected-failure surface: watchdog
     // timeout, injected rank death, corrupt frame.  Poison the world
@@ -236,6 +326,24 @@ RunResult Engine::run_from(Program& program, std::size_t first_stratum,
         comm_->allreduce<std::uint64_t>(local_kernel_.probe_seeks, vmpi::ReduceOp::kSum);
     result.kernel.matches =
         comm_->allreduce<std::uint64_t>(local_kernel_.matches, vmpi::ReduceOp::kSum);
+    result.kernel_max.outer_tuples_shipped = comm_->allreduce<std::uint64_t>(
+        local_kernel_.outer_tuples_shipped, vmpi::ReduceOp::kMax);
+    result.kernel_max.probes =
+        comm_->allreduce<std::uint64_t>(local_kernel_.probes, vmpi::ReduceOp::kMax);
+    result.kernel_max.probe_seeks =
+        comm_->allreduce<std::uint64_t>(local_kernel_.probe_seeks, vmpi::ReduceOp::kMax);
+    result.kernel_max.matches =
+        comm_->allreduce<std::uint64_t>(local_kernel_.matches, vmpi::ReduceOp::kMax);
+    // Detection runs are symmetric (max = the shared count); row moves are
+    // per-rank shares, so they sum.
+    result.skew.detections =
+        comm_->allreduce<std::uint64_t>(local_skew_.detections, vmpi::ReduceOp::kMax);
+    result.skew.hot_iterations =
+        comm_->allreduce<std::uint64_t>(local_skew_.hot_iterations, vmpi::ReduceOp::kMax);
+    result.skew.respread_rows =
+        comm_->allreduce<std::uint64_t>(local_skew_.respread_rows, vmpi::ReduceOp::kSum);
+    result.skew.broadcast_rows =
+        comm_->allreduce<std::uint64_t>(local_skew_.broadcast_rows, vmpi::ReduceOp::kSum);
   }
   return result;
 }

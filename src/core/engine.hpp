@@ -32,6 +32,7 @@
 #include "core/balancer.hpp"
 #include "core/program.hpp"
 #include "core/profile.hpp"
+#include "core/skew.hpp"
 
 namespace paralagg::core {
 
@@ -42,6 +43,12 @@ struct EngineConfig {
   JoinOrderPolicy fixed_order = JoinOrderPolicy::kFixedBOuter;
 
   BalanceConfig balance;
+
+  /// Heavy-hitter routing (DESIGN.md §13): derive per-iteration hot join
+  /// keys from the delta histogram and switch them to the hybrid plan —
+  /// heavy-side rows spread across all ranks, probe rows broadcast.
+  /// Fixpoints are bit-identical to the uniform path either way.
+  SkewConfig skew;
 
   /// Exchange algorithm for the engine's tuple shuffles.  kBruck caps the
   /// per-rank message count at ceil(log2 n) per exchange — the trade the
@@ -142,6 +149,14 @@ struct RunResult {
   ProfileSummary profile;      // identical on every rank
   vmpi::CommStats comm_total;  // identical on every rank
   JoinKernelTotals kernel;     // identical on every rank
+  /// Max-over-ranks of each kernel counter (identical on every rank) —
+  /// the straggler's view.  kernel / kernel_max is the skew story: a
+  /// uniform workload has kernel_max ≈ kernel / nranks, a hub-dominated
+  /// one concentrates kernel_max on the hub's owner.
+  JoinKernelTotals kernel_max;
+  /// Heavy-hitter routing activity (identical on every rank): detections
+  /// and hot_iterations are max-over-ranks, row counts are summed.
+  SkewStats skew;
   double wall_seconds = 0;     // this rank's view
 };
 
@@ -204,11 +219,18 @@ class Engine {
                      std::size_t start_iteration, bool skip_init,
                      std::uint64_t prior_iterations, bool delta_mode = false);
 
+  /// Relations of this stratum's loop joins eligible for the hot-key
+  /// layout: non-anti join sides with non-join independent columns to
+  /// spread by, minus anything negated anywhere in the program (absence
+  /// is a global property; a spread inner could conclude it locally).
+  [[nodiscard]] std::vector<Relation*> skew_candidates(const Stratum& stratum) const;
+
   vmpi::Comm* comm_;
   EngineConfig cfg_;
   RankProfile profile_;
   std::uint64_t cumulative_materialized_ = 0;
   JoinKernelTotals local_kernel_;  // this rank's share; summed in run()
+  SkewStats local_skew_;           // this rank's share; reduced in run()
   // Checkpoint context, valid only inside run_from(): the program being
   // executed, the index of the stratum in flight, and the loop iterations
   // completed in earlier strata (for the manifest's total count).

@@ -37,7 +37,10 @@ void ExchangeRouter::emit(std::uint32_t route_id, std::span<const value_t> row) 
   assert(route_id < targets_.size());
   Relation* rel = targets_[route_id];
   assert(row.size() == rel->arity());
-  const int dst = rel->owner_rank(row);
+  // route_rank: a row for a hot join key lands on its H2 spread rank so a
+  // heavy hitter's derivations fan across all ranks (DESIGN.md §13).
+  const int dst = rel->route_rank(row);
+  if (rel->key_is_hot(row)) ++hot_routed_rows_;
   if (dst == comm_->rank()) {
     // Loopback fast path: the row never sees a serialization buffer.
     rel->stage(row);
@@ -185,6 +188,8 @@ RouterFlushStats ExchangeRouter::flush(RankProfile& profile, ExchangeAlgorithm a
   RouterFlushStats st;
   st.rows_loopback = loopback_rows_;
   loopback_rows_ = 0;
+  st.rows_hot_routed = hot_routed_rows_;
+  hot_routed_rows_ = 0;
 
   std::vector<vmpi::Bytes> received;
   {
@@ -203,6 +208,8 @@ void ExchangeRouter::post(RankProfile& profile, ExchangeAlgorithm algo) {
   inflight_.stats = RouterFlushStats{};
   inflight_.stats.rows_loopback = loopback_rows_;
   loopback_rows_ = 0;
+  inflight_.stats.rows_hot_routed = hot_routed_rows_;
+  hot_routed_rows_ = 0;
   {
     PhaseScope scope(*comm_, profile, Phase::kAllToAll);
     if (algo == ExchangeAlgorithm::kHierarchical && comm_->topology().node_size > 1) {

@@ -73,6 +73,9 @@ struct RouterFlushStats {
   std::uint64_t rows_staged = 0;     // rows decoded and staged from the exchange
   std::uint64_t rows_loopback = 0;   // self-owned rows staged without serialization
   std::uint64_t rows_combined = 0;   // rows collapsed by sender-side pre-aggregation
+  /// Rows whose join key was hot at emit time: routed to the H2 spread
+  /// rank instead of the owner (skew-optimal layout, DESIGN.md §13).
+  std::uint64_t rows_hot_routed = 0;
   /// Rows the node aggregator collapsed across its members' contributions
   /// before the leaders-only exchange (hierarchical path, leaders only) —
   /// the cross-node bytes the two-level exchange avoided.
@@ -221,6 +224,7 @@ class ExchangeRouter {
   InFlight inflight_;
   std::uint64_t pending_rows_ = 0;
   std::uint64_t loopback_rows_ = 0;
+  std::uint64_t hot_routed_rows_ = 0;
   std::uint64_t flush_seq_ = 0;  // frame sequence stamp (advances per pack)
   std::uint64_t hier_seq_ = 0;   // hierarchical flush sequence (tag rotation)
 };

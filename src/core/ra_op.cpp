@@ -19,10 +19,25 @@ namespace {
 /// intra-bucket exchange.
 std::uint64_t serialize_outer(const storage::TupleBTree& tree, const Relation& outer,
                               const Relation& inner,
-                              std::vector<vmpi::TypedWriter<value_t>>& outgoing) {
+                              std::vector<vmpi::TypedWriter<value_t>>& outgoing,
+                              std::uint64_t* hot_broadcast) {
   std::uint64_t shipped = 0;
+  const bool inner_has_hot = !inner.hot_keys().empty();
+  const std::size_t nranks = outgoing.size();
   std::vector<int> dests;
   tree.for_each([&](std::span<const value_t> t) {
+    if (inner_has_hot && inner.key_is_hot(t)) {
+      // The inner side's rows for this hot key are spread across ALL ranks
+      // (Relation::route_rank), so the probe row must reach every rank.
+      // Each inner row still lives on exactly one rank, so every joined
+      // pair is found exactly once (DESIGN.md §13).
+      for (std::size_t d = 0; d < nranks; ++d) {
+        outgoing[d].put_span(t);
+        ++shipped;
+      }
+      if (hot_broadcast != nullptr) *hot_broadcast += nranks;
+      return;
+    }
     const auto bucket = outer.bucket_of(t);
     inner.ranks_of_bucket(bucket, dests);
     for (int d : dests) {
@@ -91,6 +106,8 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
     // Antijoins cannot swap sides: absence can only be decided where ALL
     // of B's candidates for a bucket live.
     assert(rule.b->sub_buckets() == 1 && "antijoin inner must not be sub-bucketed");
+    assert(rule.b->hot_keys().empty() &&
+           "antijoin inner must not carry a hot-key layout (absence is global)");
     plan = PlanDecision{.a_outer = true, .votes_for_a = 0, .voted = false};
   } else {
     PhaseScope scope(comm, profile, Phase::kPlan);
@@ -112,8 +129,8 @@ RuleExecStats execute_join(vmpi::Comm& comm, RankProfile& profile, const JoinRul
   {
     PhaseScope scope(comm, profile, Phase::kIntraBucket);
     std::vector<vmpi::TypedWriter<value_t>> outgoing(static_cast<std::size_t>(comm.size()));
-    stats.outer_tuples_shipped =
-        serialize_outer(outer.tree(outer_version), outer, inner, outgoing);
+    stats.outer_tuples_shipped = serialize_outer(outer.tree(outer_version), outer, inner,
+                                                 outgoing, &stats.hot_broadcast_rows);
     profile.add_work(Phase::kIntraBucket, stats.outer_tuples_shipped);
     received_outer = exchange_alltoallv(comm, take_all(outgoing), exchange_algo);
   }

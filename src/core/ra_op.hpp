@@ -93,6 +93,7 @@ struct RuleExecStats {
                                            // sorted batching dedups equal keys)
   std::uint64_t matches = 0;               // joined pairs surviving the filter
   std::uint64_t outputs = 0;               // tuples sent to the target
+  std::uint64_t hot_broadcast_rows = 0;    // probe rows broadcast for hot inner keys
 };
 
 /// Run one join pass, emitting generated tuples into `router` (they ship

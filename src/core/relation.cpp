@@ -83,6 +83,63 @@ int Relation::owner_rank(std::span<const value_t> tuple) const {
   return rank_of(bucket_of(tuple), sub_bucket_of(tuple));
 }
 
+int Relation::route_rank(std::span<const value_t> tuple) const {
+  if (key_is_hot(tuple)) {
+    // Hot keys spread by H2 over the full rank range: rank_for with
+    // sub_buckets == nranks collapses to the sub-bucket index itself, and
+    // dependent columns stay out of H2, so equal-key folds still collide.
+    return static_cast<int>(sub_bucket_for(tuple, comm_->size()));
+  }
+  return owner_rank(tuple);
+}
+
+std::uint64_t Relation::adopt_hot_keys(std::vector<Tuple> keys) {
+  assert(staged_count() == 0 && "hot-set switches must run between iterations");
+  if (effective_sub_cols() == 0) return 0;  // H2 has nothing to spread by
+
+  // Only keys whose hotness *changed* move; a key hot before and after
+  // keeps its placement because the spread rank ignores the hot set.
+  std::vector<Tuple> changed;
+  for (const auto& k : keys) {
+    if (hot_set_.count(k) == 0) changed.push_back(k);
+  }
+  for (const auto& k : hot_keys_) {
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) changed.push_back(k);
+  }
+
+  hot_keys_ = std::move(keys);
+  hot_set_.clear();
+  for (const auto& k : hot_keys_) hot_set_.insert(k);
+
+  const auto n = static_cast<std::size_t>(comm_->size());
+  const auto me = comm_->rank();
+  std::uint64_t moved = 0;
+  for (const Version v : {Version::kFull, Version::kDelta}) {
+    std::vector<vmpi::BufferWriter> outgoing(n);
+    std::vector<Tuple> moving;
+    for (const auto& key : changed) {
+      tree(v).scan_prefix(key.view(), [&](std::span<const value_t> t) {
+        const int dst = route_rank(t);
+        if (dst == me) return;  // already in place under the new layout
+        outgoing[static_cast<std::size_t>(dst)].put_span(t);
+        moving.emplace_back(t);
+      });
+    }
+    for (const auto& t : moving) tree(v).erase_key(t.view().subspan(0, indep_arity()));
+    std::vector<vmpi::Bytes> send(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d != static_cast<std::size_t>(me)) moved += outgoing[d].size();
+      send[d] = outgoing[d].take();
+    }
+    auto got = comm_->alltoallv(std::move(send));
+    for (const auto& buf : got) {
+      vmpi::TypedReader<value_t> r(buf);
+      while (!r.done()) tree(v).insert(r.take_span(cfg_.arity));
+    }
+  }
+  return moved / (cfg_.arity * sizeof(value_t));
+}
+
 void Relation::ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) const {
   out.clear();
   for (int s = 0; s < sub_buckets_; ++s) {
@@ -93,7 +150,7 @@ void Relation::ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) cons
 
 void Relation::stage(std::span<const value_t> tuple) {
   assert(tuple.size() == cfg_.arity);
-  assert(owner_rank(tuple) == comm_->rank() && "tuple staged on a non-owner rank");
+  assert(route_rank(tuple) == comm_->rank() && "tuple staged on the wrong rank");
   if (support_counts_) {
     // Count the derivation event before any same-iteration collapse below.
     ++support_[Tuple(tuple.subspan(0, indep_arity()))];
@@ -207,6 +264,8 @@ void Relation::reset() {
   staged_set_.clear();
   staged_agg_.clear();
   support_.clear();
+  hot_keys_.clear();
+  hot_set_.clear();
 }
 
 std::uint64_t Relation::support_of(std::span<const value_t> key) const {
@@ -240,7 +299,7 @@ void Relation::load_facts(std::span<const Tuple> slice) {
   std::vector<vmpi::BufferWriter> outgoing(n);
   for (const auto& t : slice) {
     assert(t.size() == cfg_.arity);
-    outgoing[static_cast<std::size_t>(owner_rank(t.view()))].put_span(t.view());
+    outgoing[static_cast<std::size_t>(route_rank(t.view()))].put_span(t.view());
   }
   std::vector<vmpi::Bytes> send(n);
   for (std::size_t d = 0; d < n; ++d) send[d] = outgoing[d].take();
@@ -294,8 +353,10 @@ std::uint64_t Relation::reshuffle_to_sub_buckets(int new_sub_buckets,
   // mid-fixpoint rebalance, so it travels tagged separately from full.
   for (const Version v : {Version::kFull, Version::kDelta}) {
     std::vector<vmpi::BufferWriter> outgoing(n);
+    // route_rank, not owner_rank: hot rows keep their H2 spread placement
+    // (independent of sub_buckets_), so a rebalance never disturbs them.
     tree(v).for_each([&](std::span<const value_t> t) {
-      outgoing[static_cast<std::size_t>(owner_rank(t))].put_span(t);
+      outgoing[static_cast<std::size_t>(route_rank(t))].put_span(t);
     });
     std::vector<vmpi::Bytes> send(n);
     for (std::size_t d = 0; d < n; ++d) {

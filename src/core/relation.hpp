@@ -98,6 +98,38 @@ class Relation {
   /// intra-bucket replication when this relation is the inner side).
   void ranks_of_bucket(std::uint32_t bucket, std::vector<int>& out) const;
 
+  // -- heavy-hitter layout (skew-optimal routing, DESIGN.md §13) ---------------
+  //
+  // A relation may carry a *hot set* of join-key prefixes (adopted via
+  // adopt_hot_keys, detected by core::detect_hot_keys).  Rows whose join
+  // key is hot are spread across ALL ranks by H2 over the non-join
+  // independent columns — a pure function of row content, independent of
+  // the bucket/sub-bucket layout — instead of living at their owner rank.
+  // Dependent columns stay out of the hash, so equal-key aggregate folds
+  // still collide on one rank and fused dedup/aggregation stays local.
+
+  /// Where a row lives under the current layout: the hot spread rank for
+  /// hot keys, owner_rank for everything else.
+  [[nodiscard]] int route_rank(std::span<const value_t> tuple) const;
+  /// Is `tuple`'s join-key prefix (its first jcc() columns) currently hot?
+  /// `tuple` may be a full row or a bare jcc-column key.
+  [[nodiscard]] bool key_is_hot(std::span<const value_t> tuple) const {
+    return !hot_set_.empty() && hot_set_.count(Tuple(tuple.subspan(0, cfg_.jcc))) > 0;
+  }
+  /// Current hot keys, in the deterministic (count desc, key asc) adoption
+  /// order; identical on every rank.
+  [[nodiscard]] const std::vector<Tuple>& hot_keys() const { return hot_keys_; }
+
+  /// Switch to a new hot set, moving the rows of every key that changed
+  /// hotness (newly hot -> spread by H2; no longer hot -> back to owner).
+  /// Keys hot before and after keep their placement: the spread rank is a
+  /// pure function of row content.  Collective; must run between
+  /// iterations (staging empty).  Returns the rows this rank shipped.
+  /// No-op (hot set stays empty) when the relation has no non-join
+  /// independent columns — H2 has nothing to hash, so spreading is
+  /// impossible.
+  std::uint64_t adopt_hot_keys(std::vector<Tuple> keys);
+
   // -- local storage ------------------------------------------------------------
 
   [[nodiscard]] storage::TupleBTree& tree(Version v) {
@@ -236,6 +268,11 @@ class Relation {
   // Derivation-event counts per key (serving mode only; empty otherwise).
   bool support_counts_ = false;
   std::unordered_map<Tuple, std::uint64_t, storage::TupleHash> support_;
+
+  // Hot set (both containers hold the same keys; the vector preserves the
+  // deterministic adoption order, the set answers key_is_hot in O(1)).
+  std::vector<Tuple> hot_keys_;
+  std::unordered_set<Tuple, storage::TupleHash> hot_set_;
 };
 
 }  // namespace paralagg::core

@@ -1,0 +1,86 @@
+#pragma once
+
+// Heavy-hitter detection for skew-optimal join routing (ROADMAP skew item;
+// Ketsman–Suciu–Tao / Beame–Koutris–Suciu style hybrid plans, PAPERS.md).
+//
+// Hash-partitioned exchange is communication-optimal only under near-uniform
+// key frequencies.  Sub-bucket splitting (the paper's §IV-C balancer) spreads
+// a skewed bucket's *storage*, but the probe side then replicates every
+// outer row to all sub-buckets, so one super-hub key still concentrates join
+// work — or, for relations the balancer may not touch, never spreads at all.
+//
+// The remedy is per-key, not per-bucket: derive the current heavy hitters
+// from the delta histogram, MOVE the heavy relation's rows for those keys
+// across all ranks (H2 over the non-join independent columns, so equal-key
+// aggregate folds still collide), and BROADCAST the light side's probe rows
+// for hot keys so every rank joins its share.  Everything below the
+// threshold keeps the uniform hash-partitioned path.
+//
+// Agreement protocol (every rank must compute the *identical* hot set, or
+// the collectives that follow deadlock or misroute):
+//   1. each rank histograms its local delta by join-key prefix,
+//   2. nominates its top `max_candidates_per_rank` entries, ordered by
+//      (count desc, key asc),
+//   3. one allgatherv of (count, key) records — rank-ordered and identical
+//      on every rank by vmpi's determinism guarantee,
+//   4. every rank folds the same gathered vector with fold_hot_candidates:
+//      sum per key, keep counts >= hot_threshold, order by (count desc,
+//      key asc), truncate to max_hot_keys.
+// Detection is a pure function of the gathered records: no hysteresis, no
+// local state.  A borderline key whose spread-out per-rank counts fall
+// under the nomination cap can flap in and out of the hot set across
+// iterations; that costs a respread, never correctness (DESIGN.md §13).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/relation.hpp"
+
+namespace paralagg::core {
+
+struct SkewConfig {
+  /// Master switch.  Off (default) keeps the engine byte-identical to the
+  /// uniform path: no extra collectives, no hot-key layouts.
+  bool enabled = false;
+  /// Global per-key delta count at or above which a key is a heavy hitter.
+  std::uint64_t hot_threshold = 4096;
+  /// Hard cap on the hot set (the broadcast side pays O(hot keys)).
+  std::size_t max_hot_keys = 16;
+  /// Candidates each rank nominates into the agreement exchange.  Must
+  /// comfortably exceed max_hot_keys: a hot key whose rows are already
+  /// spread contributes ~count/nranks per rank and still has to make every
+  /// rank's nomination list to stay hot.
+  std::size_t max_candidates_per_rank = 64;
+};
+
+/// Heavy-hitter routing activity, accumulated per rank by the engine and
+/// reduced into RunResult::skew (detections / hot_iterations by max,
+/// row counts by sum).
+struct SkewStats {
+  std::uint64_t detections = 0;      // detect_hot_keys collectives run
+  std::uint64_t hot_iterations = 0;  // iterations with a non-empty hot set
+  std::uint64_t respread_rows = 0;   // rows moved by hot-set switches
+  std::uint64_t broadcast_rows = 0;  // probe rows broadcast for hot keys
+};
+
+/// One nominated heavy-hitter candidate: the join-key prefix and the delta
+/// rows counted for it (per rank before the fold, global after).
+using HotCandidate = std::pair<Tuple, std::uint64_t>;
+
+/// The deterministic fold at the heart of the agreement protocol: sum
+/// counts per key, keep keys whose global count reaches cfg.hot_threshold,
+/// order by (count desc, key asc), truncate to cfg.max_hot_keys.  Pure —
+/// every rank folding the same candidate vector gets the same hot set.
+/// Exposed for the adversarial-histogram unit tests.
+[[nodiscard]] std::vector<Tuple> fold_hot_candidates(
+    const std::vector<HotCandidate>& candidates, const SkewConfig& cfg);
+
+/// Derive `rel`'s current hot set from its delta histogram.  Collective
+/// (one allgatherv of nominated (count, key) records); returns the
+/// identical key vector on every rank.  The caller decides whether to
+/// adopt it (Relation::adopt_hot_keys).
+[[nodiscard]] std::vector<Tuple> detect_hot_keys(vmpi::Comm& comm, const Relation& rel,
+                                                 const SkewConfig& cfg);
+
+}  // namespace paralagg::core

@@ -206,4 +206,33 @@ Graph make_components(std::uint64_t k, std::uint64_t nodes_per, std::uint64_t ed
   return g;
 }
 
+void plant_hub(Graph& g, double fraction, value_t hub, std::uint64_t seed) {
+  const auto target =
+      static_cast<std::uint64_t>(fraction * static_cast<double>(g.num_edges()) + 0.5);
+  std::uint64_t current = 0;
+  std::vector<std::uint64_t> rewritable;  // indices of edges not sourced at the hub
+  rewritable.reserve(g.edges.size());
+  for (std::uint64_t i = 0; i < g.edges.size(); ++i) {
+    if (g.edges[i].src == hub) {
+      ++current;
+    } else {
+      rewritable.push_back(i);
+    }
+  }
+  // Fisher–Yates over the rewritable indices: which edges turn into hub
+  // out-edges is a function of (seed, edge order) only — identical on
+  // every rank, independent of rank count.
+  Rng rng(seed);
+  std::uint64_t need = target > current ? target - current : 0;
+  need = std::min<std::uint64_t>(need, rewritable.size());
+  for (std::uint64_t i = 0; i < need; ++i) {
+    const std::uint64_t j = i + rng.below(rewritable.size() - i);
+    std::swap(rewritable[i], rewritable[j]);
+    Edge& e = g.edges[rewritable[i]];
+    e.src = hub;
+    if (e.dst == hub) e.dst = (hub + 1) % g.num_nodes;  // no self loops
+  }
+  g.name += "+hub";
+}
+
 }  // namespace paralagg::graph

@@ -111,4 +111,14 @@ Graph make_random_tree(std::uint64_t nodes, value_t max_weight = 10, std::uint64
 Graph make_components(std::uint64_t k, std::uint64_t nodes_per, std::uint64_t edges_per,
                       std::uint64_t seed = 1);
 
+/// Plant a super-hub: rewrite edge sources until `hub` owns
+/// round(fraction * num_edges()) out-edges (exactly — unless it already
+/// had more, which stays).  Rewritten edges are chosen by a
+/// seed-deterministic shuffle over the non-hub-sourced edges, so every
+/// rank planting with the same arguments gets the identical graph.  A
+/// rewritten self-loop's destination is bumped to the next node.  Models
+/// the celebrity vertex that concentrates join work on one key
+/// (bench/skew_join); appends "+hub" to the graph name.
+void plant_hub(Graph& g, double fraction, value_t hub, std::uint64_t seed = 1);
+
 }  // namespace paralagg::graph

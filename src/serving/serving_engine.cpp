@@ -37,6 +37,7 @@ core::EngineConfig serving_engine_config(core::EngineConfig e) {
   e.router_preagg = false;                       // support counts need per-event staging
   e.exchange = core::ExchangeAlgorithm::kDense;  // leader merges would collapse events
   e.balance.enabled = false;                     // owners must stay put mid-service
+  e.skew.enabled = false;                        // retraction needs owner placement
   e.checkpoint_every = 0;                        // serving checkpoints at batch boundaries
   e.checkpoint_path.clear();
   return e;

@@ -157,20 +157,28 @@ TEST(Determinism, FixpointsIdenticalAcrossSchedulesAndTopologies) {
     vmpi::CollectiveSchedule schedule;
     int nodes;  // 0 -> flat topology
     core::ExchangeAlgorithm exchange;
+    std::uint64_t skew_threshold;  // 0 -> hybrid skew plans off
   };
+  // The +skew variants use an absurdly low hot threshold so hot sets engage
+  // (and churn) on an ordinary graph — the hybrid routing must still land on
+  // the same fixpoint bit for bit.
   const Variant variants[] = {
       {"linear/flat/dense", vmpi::CollectiveSchedule::kLinear, 0,
-       core::ExchangeAlgorithm::kDense},
+       core::ExchangeAlgorithm::kDense, 0},
       {"rd/flat/dense", vmpi::CollectiveSchedule::kRecursiveDoubling, 0,
-       core::ExchangeAlgorithm::kDense},
+       core::ExchangeAlgorithm::kDense, 0},
       {"swing/flat/dense", vmpi::CollectiveSchedule::kSwing, 0,
-       core::ExchangeAlgorithm::kDense},
+       core::ExchangeAlgorithm::kDense, 0},
       {"rd/flat/bruck", vmpi::CollectiveSchedule::kRecursiveDoubling, 0,
-       core::ExchangeAlgorithm::kBruck},
+       core::ExchangeAlgorithm::kBruck, 0},
       {"rd/2x4/hier", vmpi::CollectiveSchedule::kRecursiveDoubling, 2,
-       core::ExchangeAlgorithm::kHierarchical},
+       core::ExchangeAlgorithm::kHierarchical, 0},
       {"swing/4x2/hier", vmpi::CollectiveSchedule::kSwing, 4,
-       core::ExchangeAlgorithm::kHierarchical},
+       core::ExchangeAlgorithm::kHierarchical, 0},
+      {"rd/flat/dense+skew", vmpi::CollectiveSchedule::kRecursiveDoubling, 0,
+       core::ExchangeAlgorithm::kDense, 16},
+      {"swing/4x2/hier+skew", vmpi::CollectiveSchedule::kSwing, 4,
+       core::ExchangeAlgorithm::kHierarchical, 16},
   };
 
   // reference[q] from the first variant; later variants must match.
@@ -184,6 +192,10 @@ TEST(Determinism, FixpointsIdenticalAcrossSchedulesAndTopologies) {
     vmpi::run(kRanks, options, [&](vmpi::Comm& comm) {
       queries::QueryTuning tuning;
       tuning.engine.exchange = v.exchange;
+      if (v.skew_threshold > 0) {
+        tuning.engine.skew.enabled = true;
+        tuning.engine.skew.hot_threshold = v.skew_threshold;
+      }
       {
         queries::SsspOptions opts;
         opts.sources = sources;

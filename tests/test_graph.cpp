@@ -114,6 +114,40 @@ TEST(Components, DisjointByConstruction) {
   }
 }
 
+TEST(PlantHub, ExactDegreeAndDeterminism) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  Graph g = make_rmat(p);
+  const std::uint64_t m = g.num_edges();
+  plant_hub(g, 0.25, 3, 11);
+  EXPECT_EQ(g.num_edges(), m);  // rewrites edges, never adds or drops
+  std::uint64_t hub_degree = 0;
+  for (const auto& e : g.edges) {
+    if (e.src == 3) ++hub_degree;
+    EXPECT_NE(e.src, e.dst);  // rewiring must not introduce self loops
+  }
+  EXPECT_EQ(hub_degree, static_cast<std::uint64_t>(0.25 * static_cast<double>(m) + 0.5));
+  EXPECT_EQ(g.name, "rmat-s10-e8+hub");
+  // Same (graph, fraction, hub, seed) rewires the exact same edges — the
+  // bench relies on every rank building an identical hubbed graph.
+  Graph h = make_rmat(p);
+  plant_hub(h, 0.25, 3, 11);
+  EXPECT_EQ(h.edges, g.edges);
+  Graph other = make_rmat(p);
+  plant_hub(other, 0.25, 3, 12);
+  EXPECT_NE(other.edges, g.edges);
+}
+
+TEST(PlantHub, KeepsLargerExistingDegree) {
+  // A star's hub already owns every edge; asking for half of them is a no-op.
+  Graph g = make_star(100);
+  const auto before = g.edges;
+  plant_hub(g, 0.5, 0, 1);
+  EXPECT_EQ(g.edges, before);
+  EXPECT_EQ(g.name, "star-100+hub");
+}
+
 TEST(Graph, SymmetrizedDoublesEdges) {
   const Graph g = make_chain(5);
   const Graph s = g.symmetrized();
