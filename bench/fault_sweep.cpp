@@ -1,24 +1,33 @@
 // Fault sweep: cost and outcome of running the engines under an adversarial
 // (but seeded, replayable) network.
 //
-// Sweeps injected drop/dup/reorder/corrupt rates over SSSP on both engines
-// (BSP with the Bruck exchange and the async delta-propagation loop — the
-// two paths whose traffic rides the faultable mailboxes), then over
-// PageRank in stale-synchronous mode at two staleness windows (the epoch
-// ledger's dup/reorder legs must stay bit-identical to the BSP oracle, not
-// merely converge).  Reports, per leg, the outcome and its price:
+// Sweeps injected drop/dup/reorder/corrupt rates and a rank kill over SSSP
+// on both engines (BSP with the Bruck exchange and the async
+// delta-propagation loop — the two paths whose traffic rides the faultable
+// mailboxes), then over PageRank in stale-synchronous mode at two staleness
+// windows.  Every fault point runs twice: once under the default retry
+// budget ("healed" — the reliable channel retransmits until the fixpoint is
+// bit-identical) and once with the budget zeroed ("legacy" — the bare
+// fail-stop contract of the pre-reliable transport).  Reports, per leg, the
+// outcome and its price:
 //
 //   outcome   — "exact" (bit-identical fixpoint) or "abort:<what>" (typed
 //               FaultError); anything else is a bug and exits nonzero
 //   wall_s    — end-to-end seconds (aborted legs pay the watchdog deadline)
-//   overhead  — wall_s / clean wall_s of the same engine
 //   injected  — faults the plan actually fired, summed over ranks
+//   retrans   — data frames the reliable channel re-sent, summed over ranks
 //
 // Also measures the checkpoint tax: the same clean run with a manifest
 // written every iteration, so the overhead column prices `--checkpoint-every`.
+//
+// With --verdict the sweep turns into a gate: low-rate drop and corrupt
+// legs must heal bit-identically with retransmits > 0, the kill legs must
+// still abort typed (a dead rank is not healable), and the legacy drop legs
+// must keep their fail-stop abort.  CI runs this as the heal-smoke job.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -30,10 +39,12 @@ namespace {
 struct Leg {
   std::string engine;
   std::string fault;
+  std::string mode;  // "healed" (default retry budget) or "legacy" (retry=0)
   std::string outcome;
   double wall_s = 0;
   std::uint64_t injected = 0;
   std::uint64_t dups_discarded = 0;
+  std::uint64_t retransmits = 0;
 };
 
 struct SweepPoint {
@@ -41,16 +52,24 @@ struct SweepPoint {
   vmpi::FaultPlan plan;
 };
 
+vmpi::RetryPolicy legacy_policy() {
+  vmpi::RetryPolicy p;
+  p.max_attempts = 0;
+  return p;
+}
+
 Leg run_once(const graph::Graph& g, int ranks, bool use_async,
-             const SweepPoint& point, double watchdog,
-             const std::vector<core::Tuple>& reference,
+             const SweepPoint& point, const vmpi::RetryPolicy& retry,
+             double watchdog, const std::vector<core::Tuple>& reference,
              std::size_t checkpoint_every = 0) {
   Leg leg;
   leg.engine = use_async ? "async" : "bsp+bruck";
   leg.fault = point.name;
+  leg.mode = retry.enabled() ? "healed" : "legacy";
 
   vmpi::RunOptions options;
   options.fault = point.plan;
+  options.retry = retry;
   options.watchdog_seconds = watchdog;
 
   std::vector<core::Tuple> rows;
@@ -87,6 +106,7 @@ Leg run_once(const graph::Graph& g, int ranks, bool use_async,
     leg.injected += s.faults_dropped + s.faults_duplicated + s.faults_delayed +
                     s.faults_corrupted;
     leg.dups_discarded += s.dup_frames_discarded;
+    leg.retransmits += s.retransmits;
   }
   if (aborted) {
     leg.outcome = "abort: " + what.substr(0, 48);
@@ -103,14 +123,17 @@ Leg run_once(const graph::Graph& g, int ranks, bool use_async,
 // stronger one — bit-identity to the *BSP* oracle, with the epoch ledger
 // (not lattice idempotence) absorbing duplicated and reordered frames.
 Leg run_ssp_pagerank(const graph::Graph& g, int ranks, std::size_t staleness,
-                     const SweepPoint& point, double watchdog,
+                     const SweepPoint& point, const vmpi::RetryPolicy& retry,
+                     double watchdog,
                      const std::vector<core::Tuple>& reference) {
   Leg leg;
   leg.engine = "ssp s=" + std::to_string(staleness);
   leg.fault = point.name;
+  leg.mode = retry.enabled() ? "healed" : "legacy";
 
   vmpi::RunOptions options;
   options.fault = point.plan;
+  options.retry = retry;
   options.watchdog_seconds = watchdog;
 
   std::vector<core::Tuple> rows;
@@ -139,6 +162,7 @@ Leg run_ssp_pagerank(const graph::Graph& g, int ranks, std::size_t staleness,
     leg.injected += s.faults_dropped + s.faults_duplicated + s.faults_delayed +
                     s.faults_corrupted;
     leg.dups_discarded += s.dup_frames_discarded;
+    leg.retransmits += s.retransmits;
   }
   if (aborted) {
     leg.outcome = "abort: " + what.substr(0, 48);
@@ -151,11 +175,16 @@ Leg run_ssp_pagerank(const graph::Graph& g, int ranks, std::size_t staleness,
 }
 
 void emit(const Leg& l) {
-  std::printf("%-10s  %-14s  %8.3fs  %7llu  %7llu  %s\n", l.engine.c_str(),
-              l.fault.c_str(), l.wall_s,
+  std::printf("%-10s  %-12s  %-6s  %8.3fs  %7llu  %7llu  %7llu  %s\n",
+              l.engine.c_str(), l.fault.c_str(), l.mode.c_str(), l.wall_s,
               static_cast<unsigned long long>(l.injected),
+              static_cast<unsigned long long>(l.retransmits),
               static_cast<unsigned long long>(l.dups_discarded),
               l.outcome.c_str());
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
 }
 
 }  // namespace
@@ -165,13 +194,22 @@ int main(int argc, char** argv) {
   using namespace paralagg;
   using namespace paralagg::bench;
 
-  const int ranks = argc > 1 ? std::atoi(argv[1]) : 6;
-  const int scale = argc > 2 ? std::atoi(argv[2]) : 10;
-  const double watchdog = argc > 3 ? std::atof(argv[3]) : 3.0;
+  bool verdict = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verdict") == 0) {
+      verdict = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int ranks = positional.size() > 0 ? std::atoi(positional[0]) : 6;
+  const int scale = positional.size() > 1 ? std::atoi(positional[1]) : 10;
+  const double watchdog = positional.size() > 2 ? std::atof(positional[2]) : 3.0;
 
   banner("fault sweep: outcome and cost under an adversarial network",
          "n/a (the paper assumes a perfect interconnect; this prices dropping that assumption)",
-         "SSSP per (engine, fault) leg; every leg must end 'exact' or 'abort', never wrong/hung");
+         "SSSP per (engine, fault, mode) leg; every leg must end 'exact' or 'abort', never wrong/hung");
 
   const auto g = graph::make_rmat({.scale = scale, .edge_factor = 6, .seed = 77});
 
@@ -189,16 +227,25 @@ int main(int argc, char** argv) {
   SweepPoint corrupt{"corrupt 1%", {}};
   corrupt.plan.seed = 104;
   corrupt.plan.corrupt_prob = 0.01;
+  SweepPoint kill{"kill r1@e2", {}};
+  kill.plan.kill_rank = 1;
+  kill.plan.kill_epoch = 2;
 
-  std::printf("%-10s  %-14s  %9s  %7s  %7s  %s\n", "engine", "fault", "wall",
-              "injected", "deduped", "outcome");
-  rule(72);
+  const vmpi::RetryPolicy healed{};
+  const vmpi::RetryPolicy legacy = legacy_policy();
+
+  std::printf("%-10s  %-12s  %-6s  %9s  %7s  %7s  %7s  %s\n", "engine",
+              "fault", "mode", "wall", "injected", "retrans", "deduped",
+              "outcome");
+  rule(80);
 
   bool violated = false;
+  std::vector<Leg> legs;
   for (const bool use_async : {false, true}) {
     // Clean reference for this engine (fixpoints agree across engines, but
     // wall-clock baselines do not).
-    const auto base = run_once(g, ranks, use_async, clean, /*watchdog=*/0, {});
+    const auto base =
+        run_once(g, ranks, use_async, clean, healed, /*watchdog=*/0, {});
     if (base.outcome != "exact") {
       std::printf("clean %s run failed: %s\n", base.engine.c_str(),
                   base.outcome.c_str());
@@ -221,22 +268,27 @@ int main(int argc, char** argv) {
     }
 
     if (!use_async) {
-      auto ckpt = run_once(g, ranks, use_async, clean, 0, reference,
+      auto ckpt = run_once(g, ranks, use_async, clean, healed, 0, reference,
                            /*checkpoint_every=*/1);
       ckpt.fault = "ckpt every=1";
       emit(ckpt);
       violated |= ckpt.outcome != "exact";
     }
 
-    for (const auto& point : {drop, dup, reorder, corrupt}) {
-      const auto leg = run_once(g, ranks, use_async, point, watchdog, reference);
-      emit(leg);
-      violated |= leg.outcome == "WRONG FIXPOINT";
+    for (const auto& point : {drop, dup, reorder, corrupt, kill}) {
+      for (const auto& retry : {healed, legacy}) {
+        const auto leg =
+            run_once(g, ranks, use_async, point, retry, watchdog, reference);
+        emit(leg);
+        violated |= leg.outcome == "WRONG FIXPOINT";
+        legs.push_back(leg);
+      }
     }
   }
 
   // Stale-synchronous matrix: PageRank under the same fault points, at two
-  // staleness windows, against the BSP engine's fixpoint.
+  // staleness windows, against the BSP engine's fixpoint.  The kill point is
+  // skipped here — rank death is engine-independent and already priced above.
   std::vector<core::Tuple> pr_reference;
   vmpi::run(ranks, [&](vmpi::Comm& comm) {
     queries::PagerankOptions opts;
@@ -250,24 +302,79 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (const std::size_t s : {std::size_t{1}, std::size_t{4}}) {
-    const auto base = run_ssp_pagerank(g, ranks, s, clean, 0, pr_reference);
+    const auto base =
+        run_ssp_pagerank(g, ranks, s, clean, healed, 0, pr_reference);
     emit(base);
     violated |= base.outcome != "exact";
     for (const auto& point : {drop, dup, reorder, corrupt}) {
-      const auto leg = run_ssp_pagerank(g, ranks, s, point, watchdog, pr_reference);
-      emit(leg);
-      violated |= leg.outcome == "WRONG FIXPOINT";
-      // The ledger, unlike an abort, is the designed response to these.
-      if (point.plan.dup_prob > 0 || point.plan.delay_prob > 0) {
-        violated |= leg.outcome != "exact";
+      for (const auto& retry : {healed, legacy}) {
+        const auto leg = run_ssp_pagerank(g, ranks, s, point, retry, watchdog,
+                                          pr_reference);
+        emit(leg);
+        violated |= leg.outcome == "WRONG FIXPOINT";
+        legs.push_back(leg);
+        // The ledger, unlike an abort, is the designed response to dup and
+        // reorder — in both modes; it predates the reliable channel.
+        if (point.plan.dup_prob > 0 || point.plan.delay_prob > 0) {
+          violated |= leg.outcome != "exact";
+        }
       }
     }
   }
 
-  rule(72);
-  std::printf("\ndup/reorder legs stay exact (frame dedup + lattice idempotence;\n");
-  std::printf("on the ssp legs, the per-(source, epoch) ledger — see the deduped column);\n");
-  std::printf("drop legs abort typed within the %.1fs watchdog instead of hanging.\n", watchdog);
+  rule(80);
+  std::printf("\nhealed legs ride the reliable channel: drop and corrupt retransmit to a\n");
+  std::printf("bit-identical fixpoint (retrans column); dup/reorder stay exact via frame\n");
+  std::printf("dedup, lattice idempotence, and on ssp the per-(source, epoch) ledger.\n");
+  std::printf("legacy legs (retry=0) keep the fail-stop contract: drop aborts typed within\n");
+  std::printf("the %.1fs watchdog; a killed rank aborts typed in either mode.\n", watchdog);
+
+  if (verdict) {
+    int failures = 0;
+    const auto fail = [&](const Leg& l, const char* why) {
+      std::printf(
+          "VERDICT FAIL: %s / %s / %s — %s (outcome: %s, retransmits: %llu)\n",
+          l.engine.c_str(), l.fault.c_str(), l.mode.c_str(), why,
+          l.outcome.c_str(), static_cast<unsigned long long>(l.retransmits));
+      ++failures;
+    };
+    for (const auto& l : legs) {
+      const bool is_drop = starts_with(l.fault, "drop");
+      const bool is_corrupt = starts_with(l.fault, "corrupt");
+      const bool is_kill = starts_with(l.fault, "kill");
+      if (is_kill) {
+        // A dead rank is not healable; the retry budget must not convert
+        // rank death into a hang or a wrong answer.
+        if (!starts_with(l.outcome, "abort")) {
+          fail(l, "kill must abort typed in every mode");
+        }
+        continue;
+      }
+      // The drop/corrupt checks gate on injected > 0: at small scales a
+      // low-rate plan can fire nothing, and a leg with no faults has
+      // nothing to heal (and nothing for the legacy mode to abort on).
+      if (l.injected == 0) continue;
+      if (l.mode == "healed" && (is_drop || is_corrupt)) {
+        if (l.outcome != "exact") {
+          fail(l, "low-rate drop/corrupt must heal bit-identically");
+        } else if (l.retransmits == 0) {
+          fail(l, "healed leg recorded no retransmits — channel not engaged");
+        }
+      }
+      if (l.mode == "legacy" && is_drop && !starts_with(l.outcome, "abort")) {
+        fail(l, "retry=0 drop must keep the fail-stop abort");
+      }
+    }
+    if (failures > 0 || violated) {
+      std::printf("\nVERDICT: FAIL (%d gate failure(s)%s)\n", failures,
+                  violated ? ", plus a wrong fixpoint" : "");
+      return 1;
+    }
+    std::printf("\nVERDICT: PASS — drop/corrupt heal with retransmits, kill aborts typed,\n");
+    std::printf("legacy fail-stop preserved.\n");
+    return 0;
+  }
+
   if (violated) {
     std::printf("INVARIANT VIOLATED: some leg produced a wrong fixpoint.\n");
     return 1;

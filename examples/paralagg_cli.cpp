@@ -55,6 +55,13 @@
 //                         batches.  Repeatable (serve mode only)
 //     --watchdog SECONDS  fail blocked waits with a typed timeout instead
 //                         of hanging (0 = off, the default)
+//     --retry-max N       retransmit budget per frame for the self-healing
+//                         transport (default 5; 0 = legacy fail-stop, the
+//                         channel never engages and injected faults abort)
+//     --retry-backoff S   seconds before the first retransmit; attempt k
+//                         waits S * 2^k (default 0.05; must be > 0)
+//     --retry-deadline S  hard per-frame ceiling before the retry budget
+//                         escalates to a typed abort (default 8; must be > 0)
 //     --nodes N           group the ranks into N modeled "nodes" for the
 //                         topology: locality-split byte accounting and the
 //                         hierarchical exchange (0 = flat, the default)
@@ -106,6 +113,7 @@ struct Args {
   std::vector<std::string> update_batches;
   std::vector<std::vector<core::value_t>> lookups;
   double watchdog_seconds = 0;
+  vmpi::RetryPolicy retry{};  // self-healing transport budget (reliable.hpp)
   std::uint64_t skew_threshold = 0;  // 0 = heavy-hitter routing off
   std::size_t skew_max_keys = 16;
   int nodes = 0;
@@ -123,7 +131,8 @@ struct Args {
                "       [--checkpoint FILE --checkpoint-every N] [--resume [FILE]]\n"
                "       [--serve] [--update-batch FILE]... [--lookup a,b,...]...\n"
                "       [--skew-threshold N] [--skew-max-keys N]\n"
-               "       [--watchdog SECONDS] [--nodes N] [--topology flat|hier]\n"
+               "       [--watchdog SECONDS] [--retry-max N] [--retry-backoff S]\n"
+               "       [--retry-deadline S] [--nodes N] [--topology flat|hier]\n"
                "       [--schedule linear|rd|swing] [--out FILE]\n";
   std::exit(2);
 }
@@ -205,6 +214,22 @@ Args parse(int argc, char** argv) {
       args.lookups.push_back(std::move(key));
     } else if (flag == "--watchdog") {
       args.watchdog_seconds = std::stod(next());
+    } else if (flag == "--retry-max") {
+      // 0 is legal: it restores the pre-reliable fail-stop transport.
+      args.retry.max_attempts =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--retry-backoff") {
+      args.retry.base_backoff = std::stod(next());
+      if (args.retry.base_backoff <= 0) {
+        usage("--retry-backoff must be > 0 (use --retry-max 0 to disable "
+              "the reliable channel)");
+      }
+    } else if (flag == "--retry-deadline") {
+      args.retry.deadline = std::stod(next());
+      if (args.retry.deadline <= 0) {
+        usage("--retry-deadline must be > 0 (use --retry-max 0 to disable "
+              "the reliable channel)");
+      }
     } else if (flag == "--skew-threshold") {
       args.skew_threshold = std::stoull(next());
       if (args.skew_threshold == 0) {
@@ -329,6 +354,7 @@ int run_datalog(const Args& args) {
 
   vmpi::RunOptions ropts;
   ropts.watchdog_seconds = args.watchdog_seconds;
+  ropts.retry = args.retry;
   ropts.topology = vmpi::Topology::grouped(args.ranks, args.nodes);
   ropts.schedule = vmpi::parse_schedule(args.schedule);
   vmpi::run(args.ranks, ropts, [&](vmpi::Comm& comm) {
@@ -383,6 +409,7 @@ namespace {
 vmpi::RunOptions run_options(const Args& args) {
   vmpi::RunOptions ropts;
   ropts.watchdog_seconds = args.watchdog_seconds;
+  ropts.retry = args.retry;
   ropts.topology = vmpi::Topology::grouped(args.ranks, args.nodes);
   ropts.schedule = vmpi::parse_schedule(args.schedule);
   return ropts;

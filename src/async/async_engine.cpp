@@ -1356,7 +1356,7 @@ core::RunResult AsyncEngine::run(core::Program& program) {
   result.profile = core::summarize_profiles(*comm_, profile_);
   {
     vmpi::StatsPause pause(*comm_);
-    const auto all = comm_->allgather<vmpi::CommStats>(comm_->stats());
+    const auto all = comm_->allgather_stats(comm_->stats());
     for (const auto& s : all) result.comm_total += s;
   }
   return result;

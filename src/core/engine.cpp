@@ -316,7 +316,7 @@ RunResult Engine::run_from(Program& program, std::size_t first_stratum,
   result.profile = summarize_profiles(*comm_, profile_);
   {
     vmpi::StatsPause pause(*comm_);
-    const auto all = comm_->allgather<vmpi::CommStats>(comm_->stats());
+    const auto all = comm_->allgather_stats(comm_->stats());
     for (const auto& s : all) result.comm_total += s;
     result.kernel.outer_tuples_shipped = comm_->allreduce<std::uint64_t>(
         local_kernel_.outer_tuples_shipped, vmpi::ReduceOp::kSum);

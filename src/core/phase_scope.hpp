@@ -23,7 +23,9 @@ class PhaseScope {
         start_cross_bytes_(comm.stats().total_cross_node_bytes()),
         start_exchanges_(comm.stats().exchange_rounds()),
         start_steps_(comm.stats().total_steps()),
-        start_wait_(comm.stats().wait_seconds) {}
+        start_wait_(comm.stats().wait_seconds),
+        start_retransmits_(comm.stats().retransmits),
+        start_heal_(comm.stats().heal_seconds) {}
 
   ~PhaseScope() {
     profile_->add_bytes(phase_, comm_->stats().total_remote_bytes() - start_bytes_);
@@ -32,6 +34,8 @@ class PhaseScope {
     profile_->add_exchanges(phase_, comm_->stats().exchange_rounds() - start_exchanges_);
     profile_->add_steps(phase_, comm_->stats().total_steps() - start_steps_);
     profile_->add_wait(phase_, comm_->stats().wait_seconds - start_wait_);
+    profile_->add_heal(comm_->stats().retransmits - start_retransmits_,
+                       comm_->stats().heal_seconds - start_heal_);
   }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -47,6 +51,8 @@ class PhaseScope {
   std::uint64_t start_exchanges_;
   std::uint64_t start_steps_;
   double start_wait_;
+  std::uint64_t start_retransmits_;
+  double start_heal_;
 };
 
 }  // namespace paralagg::core

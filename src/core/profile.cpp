@@ -15,7 +15,8 @@ double ScopedPhaseTimer::thread_cpu_seconds() {
 ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
   vmpi::StatsPause pause(comm);  // instrumentation traffic is not "communication"
 
-  // Serialize my history: [iterations, then per iteration the seven arrays].
+  // Serialize my history: [iterations, then per iteration the seven arrays
+  // plus the two healing scalars].
   const auto& hist = mine.history();
   vmpi::BufferWriter w;
   w.put<std::uint64_t>(hist.size());
@@ -27,6 +28,8 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
     for (std::uint64_t e : rec.exchanges) w.put(e);
     for (std::uint64_t s : rec.steps) w.put(s);
     for (double s : rec.wait_seconds) w.put(s);
+    w.put(rec.retransmits);
+    w.put(rec.heal_seconds);
   }
   const auto mine_bytes = w.take();
   auto all = comm.allgatherv(mine_bytes);
@@ -50,6 +53,8 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
       for (auto& e : rec.exchanges) e = rd.get<std::uint64_t>();
       for (auto& s : rec.steps) s = rd.get<std::uint64_t>();
       for (auto& s : rec.wait_seconds) s = rd.get<double>();
+      rec.retransmits = rd.get<std::uint64_t>();
+      rec.heal_seconds = rd.get<double>();
     }
     max_iters = recs.size() > max_iters ? recs.size() : max_iters;
   }
@@ -62,6 +67,7 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
   out.per_iteration_max_cross_bytes.assign(max_iters, 0);
   out.per_iteration_exchanges.assign(max_iters, 0);
   out.per_iteration_steps.assign(max_iters, 0);
+  out.per_iteration_retransmits.assign(max_iters, 0);
   for (std::size_t it = 0; it < max_iters; ++it) {
     auto& row = out.per_iteration_max[it];
     row.fill(0.0);
@@ -71,6 +77,9 @@ ProfileSummary summarize_profiles(vmpi::Comm& comm, const RankProfile& mine) {
       const auto& recs = per_rank[static_cast<std::size_t>(r)];
       if (it >= recs.size()) continue;
       const auto& rec = recs[it];
+      out.total_retransmits += rec.retransmits;
+      out.total_heal_seconds += rec.heal_seconds;
+      out.per_iteration_retransmits[it] += rec.retransmits;
       std::uint64_t rank_bytes = 0;
       std::uint64_t rank_cross = 0;
       std::uint64_t rank_exchanges = 0;

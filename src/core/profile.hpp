@@ -81,6 +81,13 @@ struct IterationRecord {
   /// blocked time, so this is the only per-phase window into *exposed*
   /// exchange latency — what the split-phase flush exists to hide.
   std::array<double, kPhaseCount> wait_seconds{};
+  /// Reliable-transport healing this iteration (CommStats deltas): frames
+  /// retransmitted and wall seconds spent between a frame's first send and
+  /// its cumulative acknowledgement, counting only frames that needed at
+  /// least one retransmit.  Not split by phase — a retransmit timer can
+  /// fire while servicing any wait — so these are iteration scalars.
+  std::uint64_t retransmits = 0;
+  double heal_seconds = 0;
 
   IterationRecord& operator+=(const IterationRecord& o) {
     for (std::size_t i = 0; i < kPhaseCount; ++i) {
@@ -92,6 +99,8 @@ struct IterationRecord {
       steps[i] += o.steps[i];
       wait_seconds[i] += o.wait_seconds[i];
     }
+    retransmits += o.retransmits;
+    heal_seconds += o.heal_seconds;
     return *this;
   }
 };
@@ -106,6 +115,10 @@ class RankProfile {
   void add_exchanges(Phase p, std::uint64_t n) { current_.exchanges[idx(p)] += n; }
   void add_steps(Phase p, std::uint64_t n) { current_.steps[idx(p)] += n; }
   void add_wait(Phase p, double s) { current_.wait_seconds[idx(p)] += s; }
+  void add_heal(std::uint64_t retransmits, double seconds) {
+    current_.retransmits += retransmits;
+    current_.heal_seconds += seconds;
+  }
 
   /// Close the current iteration and append it to the history.
   void end_iteration() {
@@ -169,6 +182,11 @@ struct ProfileSummary {
   /// bench/overlap_flush: with the split-phase schedule, the shares of
   /// kAllToAll and kOverlapWait together must undercut the blocking flush.
   std::array<double, kPhaseCount> total_wait_seconds{};
+  /// Σ over ranks and iterations of reliable-transport retransmits / wall
+  /// seconds spent healing (time from a damaged frame's first send to its
+  /// cumulative ACK).  Zero on a clean run or when retry is disabled.
+  std::uint64_t total_retransmits = 0;
+  double total_heal_seconds = 0;
   /// Per-iteration critical-path seconds per phase (Fig. 7 series).
   std::vector<std::array<double, kPhaseCount>> per_iteration_max;
   /// Per-iteration max-over-ranks remote bytes sent (feeds CostModel).
@@ -179,6 +197,8 @@ struct ProfileSummary {
   std::vector<std::uint64_t> per_iteration_exchanges;
   /// Per-iteration max-over-ranks schedule steps, all phases combined.
   std::vector<std::uint64_t> per_iteration_steps;
+  /// Per-iteration sum-over-ranks retransmits — which iterations healed.
+  std::vector<std::uint64_t> per_iteration_retransmits;
 
   [[nodiscard]] double modelled_total() const {
     double s = 0;

@@ -268,6 +268,38 @@ void Relation::reset() {
   hot_set_.clear();
 }
 
+Relation::LocalSnapshot Relation::snapshot() const {
+  assert(staged_set_.empty() && staged_agg_.empty() &&
+         "snapshot is only legal between iterations");
+  LocalSnapshot s;
+  s.full.reserve(full_.size() * cfg_.arity);
+  full_.for_each([&](std::span<const value_t> row) {
+    s.full.insert(s.full.end(), row.begin(), row.end());
+  });
+  s.delta.reserve(delta_.size() * cfg_.arity);
+  delta_.for_each([&](std::span<const value_t> row) {
+    s.delta.insert(s.delta.end(), row.begin(), row.end());
+  });
+  s.support.assign(support_.begin(), support_.end());
+  return s;
+}
+
+void Relation::restore(const LocalSnapshot& snap) {
+  full_.clear();
+  delta_.clear();
+  staged_set_.clear();
+  staged_agg_.clear();
+  for (std::size_t off = 0; off < snap.full.size(); off += cfg_.arity) {
+    full_.insert(std::span<const value_t>{snap.full.data() + off, cfg_.arity});
+  }
+  for (std::size_t off = 0; off < snap.delta.size(); off += cfg_.arity) {
+    delta_.insert(std::span<const value_t>{snap.delta.data() + off, cfg_.arity});
+  }
+  support_.clear();
+  support_.reserve(snap.support.size());
+  for (const auto& [key, count] : snap.support) support_.emplace(key, count);
+}
+
 std::uint64_t Relation::support_of(std::span<const value_t> key) const {
   assert(key.size() == indep_arity());
   const auto it = support_.find(Tuple(key));

@@ -207,6 +207,24 @@ class Relation {
     return aggregated() ? staged_agg_.size() : staged_set_.size();
   }
 
+  // -- batch rollback (serving graceful degradation) ---------------------------
+
+  /// Local flat copy of everything a serving batch can mutate: full rows,
+  /// delta rows, and the support-count map.  Staging is not captured — a
+  /// snapshot is only legal between iterations (staging empty), which is
+  /// where the serving engine takes it.
+  struct LocalSnapshot {
+    std::vector<value_t> full;   // flat stored-order rows
+    std::vector<value_t> delta;
+    std::vector<std::pair<Tuple, std::uint64_t>> support;
+  };
+  [[nodiscard]] LocalSnapshot snapshot() const;
+
+  /// Restore exactly the state captured by snapshot(): full/delta rebuilt
+  /// by reinsertion, staging cleared, support map replaced.  Local; the
+  /// serving engine calls it on every rank after an aborted batch.
+  void restore(const LocalSnapshot& snap);
+
   // -- collective operations ----------------------------------------------------
 
   /// Distribute and materialize initial facts.  Collective: every rank

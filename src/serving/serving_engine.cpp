@@ -1,6 +1,7 @@
 #include "serving/serving_engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <unordered_set>
 #include <utility>
@@ -8,6 +9,7 @@
 
 #include "core/expr.hpp"
 #include "core/ra_op.hpp"
+#include "core/wire.hpp"
 #include "vmpi/fault.hpp"
 #include "vmpi/serialize.hpp"
 
@@ -185,13 +187,62 @@ void ServingEngine::classify_and_validate() {
 }
 
 std::vector<value_t> ServingEngine::exchange_flat(std::vector<std::vector<value_t>> send) {
-  auto recv = comm_->alltoallv_t<value_t>(send);
+  // Owner-routed mutation rows ride the faultable split-phase exchange as
+  // CRC-sealed frames (the dense alltoallv would bypass fault injection
+  // and the reliable transport entirely).  One seq per call: every rank
+  // advances flat_seq_ in the same SPMD order, and the reliable layer (or
+  // the ticket's arrival flags, with the retry budget off) discards
+  // injected duplicates before the decode.
+  const auto n = send.size();
+  const value_t seq = static_cast<value_t>(flat_seq_++);
+  std::vector<vmpi::Bytes> raw(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    vmpi::TypedWriter<value_t> w(send[d].size() + core::wire::kTrailerWords);
+    w.put_span(std::span<const value_t>(send[d]));
+    core::wire::seal_frame(w, seq);
+    raw[d] = w.take();
+  }
+  auto ticket = comm_->ialltoallv(std::move(raw));
+  const auto got = comm_->wait(ticket);
   std::size_t total = 0;
-  for (const auto& r : recv) total += r.size();
+  for (const auto& b : got) total += b.size() / sizeof(value_t);
   std::vector<value_t> flat;
   flat.reserve(total);
-  for (const auto& r : recv) flat.insert(flat.end(), r.begin(), r.end());
+  for (const auto& b : got) {
+    const auto f = core::wire::open_frame(b);  // throws FrameDecodeError if corrupt
+    const std::size_t old = flat.size();
+    flat.resize(old + f.payload.size() / sizeof(value_t));
+    if (!f.payload.empty()) {
+      std::memcpy(flat.data() + old, f.payload.data(), f.payload.size());
+    }
+  }
   return flat;
+}
+
+std::vector<std::pair<Relation*, Relation::LocalSnapshot>> ServingEngine::snapshot_all()
+    const {
+  std::vector<std::pair<Relation*, Relation::LocalSnapshot>> snaps;
+  if (!cfg_.rollback) return snaps;
+  for (const auto& rel : program_->relations()) {
+    snaps.emplace_back(rel.get(), rel->snapshot());
+  }
+  for (const auto& rev : rev_store_) snaps.emplace_back(rev.get(), rev->snapshot());
+  return snaps;
+}
+
+bool ServingEngine::roll_back(
+    std::vector<std::pair<Relation*, Relation::LocalSnapshot>>& snaps,
+    UpdateResult& res) {
+  if (snaps.empty()) return false;  // rollback disabled
+  // Collective un-poisoning: every live rank parks in the reset
+  // rendezvous (peers of a killed rank arrive once their watchdog fires
+  // and their own abort unwinds to here).  A rank that never arrives
+  // means real process death — the rendezvous times out, the world stays
+  // poisoned, and this engine stops serving.
+  if (!comm_->fault_reset(cfg_.rollback_timeout_seconds)) return false;
+  for (auto& [rel, snap] : snaps) rel->restore(snap);
+  res.rolled_back = true;
+  return true;
 }
 
 bool ServingEngine::can_warm_start() {
@@ -598,6 +649,9 @@ void ServingEngine::seed_inserts(const RowsBy& inserted_base, const KeysBy& retr
 UpdateResult ServingEngine::apply_updates(const UpdateBatch& batch) {
   if (!ready_) throw ServingError("apply_updates before start()");
   UpdateResult res;
+  // Pre-batch undo log: everything below stages against this, so an
+  // aborted batch can restore the fixpoint instead of killing the engine.
+  auto snaps = snapshot_all();
   try {
     RowsBy deleted, inserted;
     apply_base(batch, deleted, inserted, res);
@@ -616,9 +670,11 @@ UpdateResult ServingEngine::apply_updates(const UpdateBatch& batch) {
     const auto run = engine_.run_delta(*program_);
     res.tail_iterations = run.total_iterations;
     if (run.aborted_fault) {
-      ready_ = false;
+      // The engine caught the fault internally (e.g. this rank is the
+      // kill victim) — same degradation path as the catch blocks below.
       res.aborted_fault = true;
       res.fault_what = run.fault_what;
+      if (!roll_back(snaps, res)) ready_ = false;
       return res;
     }
     for (const auto& s : run.strata) res.tuples_derived += s.tuples_generated;
@@ -650,18 +706,19 @@ UpdateResult ServingEngine::apply_updates(const UpdateBatch& batch) {
     }
   } catch (const vmpi::FaultError& e) {
     // Same contract as Engine::run_from: poison the world (idempotent) so
-    // peers unwind, and hand back a typed abort.  The engine is no longer
-    // serviceable — restart the process and warm-start from the manifest.
+    // peers unwind — then try to roll the batch back and keep serving.
+    // Only when rollback is off (or a rank is truly gone) is the engine
+    // no longer serviceable: restart and warm-start from the manifest.
     comm_->world().fault_abort();
-    ready_ = false;
     res.aborted_fault = true;
     res.fault_what = e.what();
+    if (!roll_back(snaps, res)) ready_ = false;
   } catch (const vmpi::WorldAborted& e) {
     // A peer already poisoned the world (its fault fired first); unwind
     // to the same aborted result.
-    ready_ = false;
     res.aborted_fault = true;
     res.fault_what = e.what();
+    if (!roll_back(snaps, res)) ready_ = false;
   }
   return res;
 }

@@ -85,6 +85,18 @@ struct ServingConfig {
   std::string manifest_path;
   /// Write a manifest every this many applied batches (0 = never).
   std::size_t checkpoint_every_batches = 0;
+  /// Stage every batch against a pre-batch snapshot of the mutable
+  /// relations, so an aborted batch (retry budget exhausted, rank killed
+  /// mid-batch) rolls back to the pre-batch fixpoint and the engine keeps
+  /// serving lookups — graceful degradation instead of process restart.
+  /// Costs one flat copy of every relation per batch.
+  bool rollback = true;
+  /// Rendezvous deadline (seconds) for the post-abort world reset; every
+  /// live rank must arrive within it or the rollback is abandoned (a rank
+  /// is truly gone) and the engine stops serving.  Peers of a killed rank
+  /// only unwind once their watchdog fires, so this must comfortably
+  /// exceed the watchdog deadline.  0 = wait forever.
+  double rollback_timeout_seconds = 30.0;
 };
 
 /// One base relation's mutations within a batch.  Rows are full stored-
@@ -119,6 +131,11 @@ struct UpdateResult {
   std::size_t tail_iterations = 0;    // loop iterations of the tail fixpoint
   bool checkpointed = false;          // this batch wrote a rolling manifest
   bool aborted_fault = false;
+  /// The aborted batch was undone: the fixpoint is back at its pre-batch
+  /// state and the engine still serves lookups (re-apply the batch to
+  /// retry).  False with aborted_fault set = rollback disabled or a rank
+  /// is truly gone; the engine stopped serving.
+  bool rolled_back = false;
   std::string fault_what;
 };
 
@@ -206,7 +223,23 @@ class ServingEngine {
   void classify_and_validate();
 
   /// Route `send[dest]` flat rows and return the received rows, flattened.
+  /// Rides the faultable split-phase exchange with CRC-sealed frames, so
+  /// serving's mutation traffic heals under the reliable transport and a
+  /// corrupted frame that does get through (retry budget off) surfaces as
+  /// a typed FrameDecodeError, never silent garbage.
   std::vector<value_t> exchange_flat(std::vector<std::vector<value_t>> send);
+
+  /// Snapshot every mutable relation (cfg_.rollback only; empty otherwise).
+  [[nodiscard]] std::vector<std::pair<Relation*, Relation::LocalSnapshot>>
+  snapshot_all() const;
+
+  /// Collective recovery from an aborted batch: un-poison the world
+  /// (Comm::fault_reset rendezvous) and restore the pre-batch snapshots.
+  /// Returns true when the engine is back at the pre-batch fixpoint and
+  /// still serving; false (rollback disabled / rendezvous timed out) means
+  /// the engine stops serving.
+  bool roll_back(std::vector<std::pair<Relation*, Relation::LocalSnapshot>>& snaps,
+                 UpdateResult& res);
 
   /// Phase 0: route the batch to base owners, mutate base full versions
   /// and reverse indexes, record what actually changed.
@@ -244,6 +277,7 @@ class ServingEngine {
   core::Engine engine_;
   bool ready_ = false;
   std::uint64_t batches_applied_ = 0;
+  std::uint64_t flat_seq_ = 0;  // wire seq of exchange_flat frames
 
   const core::Stratum* recursive_ = nullptr;  // the single recursive stratum
   std::vector<const core::Rule*> rec_rules_;  // its init + loop rules

@@ -18,6 +18,17 @@ double wall_now() {
       .count();
 }
 
+// Wait-slice for the serviced blocking paths: short relative to the retry
+// backoff (so retransmit timers fire promptly) but coarse enough that a
+// parked rank costs ~100 wakeups/s, not a spin.
+constexpr double kServiceSliceSeconds = 0.01;
+
+/// Push under the box lock, maintaining the undelivered count.
+void enqueue_locked(detail::Mailbox& box, detail::Message m) {
+  if (!detail::deliverable(m)) ++box.undelivered;
+  box.q.push_back(std::move(m));
+}
+
 }  // namespace
 
 World::World(int nranks)
@@ -54,12 +65,54 @@ CommStats World::total_stats() const {
   return total;
 }
 
+bool World::fault_reset(double timeout_seconds) {
+  std::unique_lock lock(reset_mu_);
+  const auto my_gen = reset_gen_;
+  if (++reset_arrived_ == nranks_) {
+    // Last arrival scrubs the shared state while every peer is parked in
+    // this rendezvous — no rank is mid-send or mid-collective.
+    barrier_.reset_fault();
+    for (auto& box : mailboxes_) {
+      std::lock_guard box_lock(box.m);
+      box.faulted = false;
+      box.q.clear();
+      box.undelivered = 0;
+    }
+    for (auto& s : slots_) s.clear();
+    for (auto& c : matrix_) c.clear();
+    reset_arrived_ = 0;
+    ++reset_gen_;
+    reset_cv_.notify_all();
+    return true;
+  }
+  const auto pred = [&] { return reset_gen_ != my_gen; };
+  if (timeout_seconds > 0) {
+    if (!reset_cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                            pred)) {
+      if (reset_gen_ == my_gen && reset_arrived_ > 0) --reset_arrived_;
+      return false;
+    }
+  } else {
+    reset_cv_.wait(lock, pred);
+  }
+  return true;
+}
+
 void Comm::timed_barrier_wait() {
   flush_delayed();
   const double deadline = world_->watchdog_seconds_;
   const double t0 = wall_now();
   try {
-    world_->barrier_.arrive_and_wait(deadline);
+    if (channel_) {
+      world_->barrier_.arrive_and_wait_serviced(
+          deadline, kServiceSliceSeconds, [this] {
+            flush_delayed();
+            service_reliable();
+            return channel_->take_progress();
+          });
+    } else {
+      world_->barrier_.arrive_and_wait(deadline);
+    }
   } catch (const detail::WaitTimeout&) {
     if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
     // Our deadline fired first: poison the world so peers blocked on us
@@ -78,6 +131,7 @@ void Comm::timed_barrier_wait() {
 
 void Comm::advance_epoch() {
   flush_delayed();
+  service_reliable();
   const std::uint64_t e = epoch_++;
   const FaultPlan& plan = world_->plan_;
   if (plan.kill_rank == rank_ && plan.kill_epoch == e) {
@@ -97,7 +151,8 @@ void Comm::flush_delayed() {
     {
       std::lock_guard lock(box.m);
       for (auto& h : edge.held) {
-        box.q.push_back(detail::Message{rank_, h.tag, std::move(h.payload)});
+        enqueue_locked(box,
+                       detail::Message{rank_, h.tag, std::move(h.payload), h.enveloped});
       }
     }
     edge.held.clear();
@@ -105,7 +160,7 @@ void Comm::flush_delayed() {
   }
 }
 
-void Comm::faulted_enqueue(int dst, int tag, Bytes payload) {
+void Comm::faulted_enqueue(int dst, int tag, Bytes payload, bool enveloped) {
   if (edges_.empty()) edges_.resize(static_cast<std::size_t>(size()));
   auto& edge = edges_[static_cast<std::size_t>(dst)];
   const std::uint64_t seq = edge.seq++;
@@ -130,7 +185,8 @@ void Comm::faulted_enqueue(int dst, int tag, Bytes payload) {
       break;
     case FaultAction::kDelay:
       stats().faults_delayed += 1;
-      edge.held.push_back(Held{tag, std::move(payload), seq + decision.delay_msgs});
+      edge.held.push_back(
+          Held{tag, std::move(payload), seq + decision.delay_msgs, enveloped});
       copies = 0;
       break;
     case FaultAction::kCorrupt:
@@ -147,14 +203,15 @@ void Comm::faulted_enqueue(int dst, int tag, Bytes payload) {
   {
     std::lock_guard lock(box.m);
     for (int c = 0; c < copies; ++c) {
-      box.q.push_back(detail::Message{rank_, tag, payload});
+      enqueue_locked(box, detail::Message{rank_, tag, payload, enveloped});
       published = true;
     }
     // Release held messages that have now been passed by enough newer
     // sends on this edge (this is what makes the delay a bounded reorder).
     while (!edge.held.empty() && edge.held.front().release_at <= seq) {
-      box.q.push_back(detail::Message{rank_, edge.held.front().tag,
-                                      std::move(edge.held.front().payload)});
+      enqueue_locked(box, detail::Message{rank_, edge.held.front().tag,
+                                          std::move(edge.held.front().payload),
+                                          edge.held.front().enveloped});
       edge.held.pop_front();
       published = true;
     }
@@ -181,6 +238,15 @@ void Comm::isend(int dst, int tag, std::span<const std::byte> data) {
   // Self-sends are exempt from injection: a process does not lose messages
   // to itself, and the loopback staging paths rely on that.
   if (dst != rank_ && world_->plan_.faults_messages()) {
+    if (channel_) {
+      faulted_enqueue(dst, tag, channel_->send_data(dst, tag, data, wall_now()),
+                      /*enveloped=*/true);
+      // A send is also a progress opportunity: pump timers and inbound
+      // acks so a compute-and-send phase between blocking waits cannot
+      // let this rank's retransmit obligations go stale.
+      service_reliable();
+      return;
+    }
     faulted_enqueue(dst, tag, Bytes(data.begin(), data.end()));
     return;
   }
@@ -196,15 +262,88 @@ void Comm::isend(int dst, int tag, std::span<const std::byte> data) {
 namespace {
 
 bool matches(const detail::Message& m, int src, int tag) {
-  return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+  return detail::deliverable(m) && (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
 }
 
 }  // namespace
+
+void Comm::service_reliable() {
+  if (!channel_) return;
+  const double now = wall_now();
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  {
+    std::lock_guard lock(box.m);
+    if (box.undelivered > 0) {
+      for (auto it = box.q.begin(); it != box.q.end();) {
+        if (it->tag == kReliableCtrlTag) {
+          channel_->on_ctrl(it->src, it->payload, now);
+          it = box.q.erase(it);
+          --box.undelivered;
+        } else if (it->enveloped) {
+          auto payload = channel_->on_data(it->src, it->payload, now);
+          --box.undelivered;
+          if (payload) {
+            // Strip in place: the message keeps its arrival position, so
+            // FIFO matching is unchanged by the envelope detour.
+            it->payload = std::move(*payload);
+            it->enveloped = false;
+            ++it;
+          } else {
+            it = box.q.erase(it);  // duplicate or corrupt: consumed
+          }
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  channel_->poll(now);
+  // Ship with our own mailbox lock released: these acquire peer box locks
+  // (never two at once — no ordering hazard).
+  for (auto& a : channel_->take_outbox()) {
+    if (a.ctrl) {
+      reliable_send(a.dst, kReliableCtrlTag, std::move(a.bytes));
+    } else {
+      faulted_enqueue(a.dst, a.tag, std::move(a.bytes), /*enveloped=*/true);
+    }
+  }
+  if (channel_->failure()) {
+    const auto f = *channel_->failure();
+    world_->fault_abort();
+    throw TimeoutError("reliable delivery to rank " + std::to_string(f.dst) +
+                           " (seq " + std::to_string(f.seq) + ", " +
+                           std::to_string(f.attempts) + " retransmits over " +
+                           std::to_string(f.waited_seconds) + "s)",
+                       world_->retry_.deadline, stats());
+  }
+}
+
+bool Comm::fault_reset(double timeout_seconds) {
+  for (auto& e : edges_) e.held.clear();
+  if (channel_) {
+    // Fresh transport state: the old rings reference a purged world.  The
+    // CommStats heal counters survive (the channel only appends).
+    channel_ = std::make_unique<ReliableChannel>(rank_, size(), world_->retry_,
+                                                 &stats());
+  }
+  // Ranks unwind from an abort at different phases, so the per-rank tag
+  // stream counters have diverged; the first post-reset collective would
+  // pair mismatched relay tags and hang.  Re-zero them — the rendezvous
+  // below guarantees every rank does this before any new traffic.  The
+  // epoch counter is deliberately NOT reset: one-shot epoch faults
+  // (kill/stall) must not re-fire on the replayed work.
+  ialltoallv_seq_ = 0;
+  bruck_seq_ = 0;
+  sched_seq_ = 0;
+  return world_->fault_reset(timeout_seconds);
+}
 
 Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
   // About to block: anything our own injected delays still hold must go
   // out first, or two ranks could deadlock on each other's held messages.
   flush_delayed();
+  if (channel_) return recv_reliable(src, tag, out_src, out_tag);
   auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
   const double deadline = world_->watchdog_seconds_;
   const double t0 = wall_now();
@@ -252,7 +391,66 @@ Bytes Comm::recv(int src, int tag, int* out_src, int* out_tag) {
   }
 }
 
+Bytes Comm::recv_reliable(int src, int tag, int* out_src, int* out_tag) {
+  // The serviced variant of recv: a rank parked here still answers its
+  // transport obligations (retransmit timers, inbound acks/nacks) by
+  // slicing the wait.  The watchdog is re-armed on every healing round
+  // that makes progress — a cumulative ack advancing or a fresh frame
+  // landing — so a wait that is slow *because it is healing* does not
+  // time out, while a genuinely dead peer still does.  Ticket::wait rides
+  // this path too, so ialltoallv waits get the same per-round re-arm.
+  auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  const double deadline = world_->watchdog_seconds_;
+  const double t0 = wall_now();
+  double armed = t0;
+  for (;;) {
+    service_reliable();  // may escalate to TimeoutError on budget exhaustion
+    if (channel_->take_progress()) armed = wall_now();
+    {
+      std::unique_lock lock(box.m);
+      auto it = std::find_if(box.q.begin(), box.q.end(), [&](const detail::Message& m) {
+        return matches(m, src, tag);
+      });
+      if (it != box.q.end()) {
+        detail::Message m = std::move(*it);
+        box.q.erase(it);
+        if (out_src != nullptr) *out_src = m.src;
+        if (out_tag != nullptr) *out_tag = m.tag;
+        if (stats_enabled_) {
+          auto& st = stats();
+          st.messages_received += 1;
+          st.p2p_bytes_received += m.payload.size();
+          st.wait_seconds += wall_now() - t0;
+        }
+        return std::move(m.payload);
+      }
+      if (box.aborted) throw WorldAborted{};
+      if (box.faulted) {
+        lock.unlock();
+        if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+        throw TimeoutError("recv (released by peer fault)", deadline, stats());
+      }
+      const auto pred = [&] {
+        return box.aborted || box.faulted || box.undelivered > 0 ||
+               std::any_of(box.q.begin(), box.q.end(), [&](const detail::Message& m) {
+                 return matches(m, src, tag);
+               });
+      };
+      box.cv.wait_for(lock, std::chrono::duration<double>(kServiceSliceSeconds), pred);
+    }
+    if (deadline > 0 && wall_now() - armed > deadline) {
+      if (stats_enabled_) stats().wait_seconds += wall_now() - t0;
+      world_->fault_abort();
+      throw TimeoutError("recv", deadline, stats());
+    }
+  }
+}
+
 bool Comm::iprobe(int src, int tag) {
+  // Service first so a frame sitting in the queue enveloped (or a pending
+  // ack/nack) is processed before the probe answers — otherwise a drain
+  // loop over iprobe would spin on an undeliverable message forever.
+  service_reliable();
   auto& box = world_->mailboxes_[static_cast<std::size_t>(rank_)];
   std::lock_guard lock(box.m);
   return std::any_of(box.q.begin(), box.q.end(),
@@ -291,7 +489,7 @@ void Comm::reliable_send(int dst, int tag, Bytes payload) {
   auto& box = world_->mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.m);
-    box.q.push_back(detail::Message{rank_, tag, std::move(payload)});
+    enqueue_locked(box, detail::Message{rank_, tag, std::move(payload)});
   }
   box.cv.notify_all();
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "vmpi/fault.hpp"
+#include "vmpi/reliable.hpp"
 #include "vmpi/serialize.hpp"
 #include "vmpi/stats.hpp"
 #include "vmpi/topology.hpp"
@@ -94,6 +95,56 @@ class Barrier {
     }
   }
 
+  /// As arrive_and_wait, but slices the park so `service` (the reliable
+  /// transport pump) keeps running while this rank waits: a barrier is
+  /// exactly where a sender with unacked frames would otherwise go silent
+  /// and starve its peers' heals.  `service` runs with the barrier lock
+  /// dropped and this rank's arrival retained (the generation may complete
+  /// underneath — that is fine, the arrival already counted); returning
+  /// true (healing progress) re-arms the watchdog deadline, so a long heal
+  /// under a generous retry budget cannot trip it spuriously.  The slice
+  /// must be short relative to the retry backoff: control-frame arrivals
+  /// wake the mailbox cv, not this one.
+  void arrive_and_wait_serviced(double timeout_seconds, double slice_seconds,
+                                const std::function<bool()>& service) {
+    std::unique_lock lock(m_);
+    if (aborted_) throw WorldAborted{};
+    if (faulted_) throw FaultWake{};
+    const auto my_gen = gen_;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++gen_;
+      cv_.notify_all();
+      return;
+    }
+    const auto pred = [&] { return gen_ != my_gen || aborted_ || faulted_; };
+    auto armed = std::chrono::steady_clock::now();
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::duration<double>(slice_seconds), pred)) break;
+      lock.unlock();
+      bool progressed = false;
+      try {
+        progressed = service();
+      } catch (...) {
+        lock.lock();
+        if (gen_ == my_gen && arrived_ > 0) --arrived_;
+        throw;
+      }
+      lock.lock();
+      if (pred()) break;
+      if (progressed) armed = std::chrono::steady_clock::now();
+      if (timeout_seconds > 0 && std::chrono::steady_clock::now() - armed >
+                                     std::chrono::duration<double>(timeout_seconds)) {
+        if (gen_ == my_gen && arrived_ > 0) --arrived_;
+        throw WaitTimeout{};
+      }
+    }
+    if (gen_ == my_gen) {
+      if (aborted_) throw WorldAborted{};
+      if (faulted_) throw FaultWake{};
+    }
+  }
+
   void abort() {
     std::lock_guard lock(m_);
     aborted_ = true;
@@ -103,6 +154,17 @@ class Barrier {
   void fault_abort() {
     std::lock_guard lock(m_);
     faulted_ = true;
+    cv_.notify_all();
+  }
+
+  /// Clear fault poisoning (the serving engine's post-rollback world
+  /// reset).  Waiters a fault released never withdrew their arrivals, so
+  /// the count and generation are re-zeroed together.
+  void reset_fault() {
+    std::lock_guard lock(m_);
+    faulted_ = false;
+    arrived_ = 0;
+    ++gen_;
     cv_.notify_all();
   }
 
@@ -120,7 +182,17 @@ struct Message {
   int src;
   int tag;
   Bytes payload;
+  /// True while the payload is still wrapped in a ReliableChannel
+  /// envelope: invisible to recv / iprobe matching until the receiver's
+  /// service pass strips (fresh frame) or consumes (dup, corrupt) it.
+  bool enveloped = false;
 };
+
+/// Deliverable to the application — reliable-layer frames are not, even
+/// under the kAnySource / kAnyTag wildcards.
+inline bool deliverable(const Message& m) {
+  return !m.enveloped && m.tag != kReliableCtrlTag;
+}
 
 struct Mailbox {
   std::mutex m;
@@ -128,6 +200,9 @@ struct Mailbox {
   std::deque<Message> q;
   bool aborted = false;
   bool faulted = false;
+  /// Count of queued messages that are NOT deliverable (enveloped data +
+  /// control frames); lets consumers skip the service scan when zero.
+  std::size_t undelivered = 0;
 };
 
 }  // namespace detail
@@ -159,6 +234,24 @@ class World {
   void set_fault_plan(const FaultPlan& plan) { plan_ = plan; }
   [[nodiscard]] const FaultPlan& fault_plan() const { return plan_; }
 
+  /// Retransmit budget for the self-healing transport (vmpi/reliable.hpp);
+  /// like the fault plan, installed before the rank threads start.  The
+  /// channel engages only when the plan faults messages, so a clean world
+  /// pays nothing; max_attempts = 0 is the legacy fail-stop escape hatch.
+  void set_retry(const RetryPolicy& r) { retry_ = r; }
+  [[nodiscard]] const RetryPolicy& retry() const { return retry_; }
+
+  /// Collective un-poisoning after a typed abort — the serving engine's
+  /// batch rollback needs it, because lookups are collectives and serving
+  /// after an aborted batch requires a clean world.  Every live rank must
+  /// call this; the last arrival clears the barrier/mailbox poison and
+  /// purges stranded messages and collective slots while all peers are
+  /// parked here (so no rank is mid-send).  Returns false if the
+  /// rendezvous does not complete within `timeout_seconds` (a rank is
+  /// truly gone): the world stays poisoned and the caller must stop
+  /// serving.  abort() poisoning (real process death) is not resettable.
+  bool fault_reset(double timeout_seconds);
+
   /// Deadline (seconds) for every blocking wait: barrier / collective
   /// rendezvous, recv, ticket wait.  0 disables the watchdog (the
   /// default — fault-free runs must not pay spurious wakeups).
@@ -187,10 +280,17 @@ class World {
 
   int nranks_;
   FaultPlan plan_;
+  RetryPolicy retry_{};
   Topology topo_{};
   CollectiveSchedule schedule_ = CollectiveSchedule::kRecursiveDoubling;
   double watchdog_seconds_ = 0;
   detail::Barrier barrier_;
+  // Rendezvous for fault_reset: poison-immune counter/cv pair (the barrier
+  // itself may be the thing being reset).
+  std::mutex reset_mu_;
+  std::condition_variable reset_cv_;
+  int reset_arrived_ = 0;
+  std::uint64_t reset_gen_ = 0;
   // Collective exchange area: slot per rank, double-barrier protected.
   std::vector<Bytes> slots_;
   // alltoallv exchange matrix: cell (src, dst).
@@ -207,10 +307,26 @@ class World {
 /// world in the same order (MPI semantics).
 class Comm {
  public:
-  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {
+    if (world.plan_.faults_messages() && world.retry_.enabled()) {
+      channel_ = std::make_unique<ReliableChannel>(
+          rank, world.size(), world.retry_, &world.stats_[static_cast<std::size_t>(rank)]);
+    }
+  }
   /// A dying rank must not strand messages an injected delay held back:
   /// peers blocked on them would otherwise only learn via the watchdog.
-  ~Comm() { flush_delayed(); }
+  /// Likewise the reliable channel gets one best-effort final pump so
+  /// pending acks and retransmits ship before this rank goes silent
+  /// (escalation is meaningless mid-destruction and is swallowed).
+  ~Comm() {
+    flush_delayed();
+    if (channel_) {
+      try {
+        service_reliable();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+    }
+  }
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
   Comm(Comm&&) = default;
@@ -262,6 +378,16 @@ class Comm {
     return prev;
   }
   [[nodiscard]] bool stats_enabled() const { return stats_enabled_; }
+
+  /// True when the self-healing transport is engaged on this rank
+  /// (message faults configured AND a nonzero retry budget).
+  [[nodiscard]] bool reliable_active() const { return channel_ != nullptr; }
+
+  /// Reset this rank's transport state (drop held frames, fresh channel)
+  /// and rendezvous with every peer to un-poison the world — the serving
+  /// engine's post-rollback path.  Returns false if the rendezvous timed
+  /// out; the world then stays poisoned.
+  bool fault_reset(double timeout_seconds);
 
   // -- synchronisation ------------------------------------------------------
 
@@ -421,6 +547,17 @@ class Comm {
     return out;
   }
 
+  /// allgather for CommStats, which the per-edge heal vectors make
+  /// non-trivially-copyable: byte-serialized over the same scheduled
+  /// collective, so accounting and determinism match allgather<T>.
+  std::vector<CommStats> allgather_stats(const CommStats& mine) {
+    auto all = gather_blocks(mine.to_bytes(), Op::kAllgather);
+    std::vector<CommStats> out;
+    out.reserve(all.size());
+    for (const auto& b : all) out.push_back(CommStats::from_bytes(b));
+    return out;
+  }
+
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   T bcast_value(int root, T v) {
@@ -496,7 +633,22 @@ class Comm {
   /// messages whose delay ran out.  All copies of one logical message are
   /// published under a single mailbox lock, so a duplicate is never
   /// observable without its original already queued ahead of it.
-  void faulted_enqueue(int dst, int tag, Bytes payload);
+  /// `enveloped` marks reliable-transport frames (both first sends and
+  /// retransmits ride this path — every retransmit rolls its own fault).
+  void faulted_enqueue(int dst, int tag, Bytes payload, bool enveloped = false);
+
+  /// The reliable-transport pump: strip or consume enveloped frames in
+  /// this rank's mailbox (in place — FIFO positions are preserved),
+  /// absorb control frames, fire retransmit timers, ship the channel's
+  /// outbox, and escalate a retry-budget exhaustion to the typed abort.
+  /// Called from every blocking wait's slices, iprobe, isend, and epoch
+  /// boundaries; no-op without an engaged channel.
+  void service_reliable();
+
+  /// recv when the reliable channel is engaged: a sliced wait that keeps
+  /// the transport serviced and re-arms the watchdog deadline on every
+  /// healing progress (per retransmit round, not once per call).
+  Bytes recv_reliable(int src, int tag, int* out_src, int* out_tag);
 
   // Dedicated tag space for ialltoallv frames, disjoint from the Bruck
   // relay (0x42......) and the async engine's tags.  The per-Comm sequence
@@ -527,6 +679,7 @@ class Comm {
     int tag;
     Bytes payload;
     std::uint64_t release_at;  // edge seq at/after which the message ships
+    bool enveloped = false;
   };
   struct EdgeState {
     std::uint64_t seq = 0;
@@ -542,6 +695,7 @@ class Comm {
   std::uint64_t sched_seq_ = 0;
   std::uint64_t epoch_ = 0;
   std::vector<EdgeState> edges_;  // sized lazily when a plan faults messages
+  std::unique_ptr<ReliableChannel> channel_;  // engaged when faults + retry > 0
 };
 
 /// Owning handle for a child communicator produced by Comm::split.

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "vmpi/reliable.hpp"
+
 namespace paralagg::vmpi {
 
 namespace {
@@ -18,15 +20,27 @@ double to_unit(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+/// An escalated abort should say what healing was attempted first; a run
+/// with no healing activity (retry budget 0, or no message faults) keeps
+/// the PR 5 message byte-for-byte.
+std::string timeout_message(const std::string& where, double deadline_seconds,
+                            const CommStats& snapshot) {
+  std::string msg = "vmpi: watchdog timeout after " +
+                    std::to_string(deadline_seconds) + "s in " + where;
+  if (snapshot.retransmits > 0 || snapshot.nacks_sent > 0) {
+    msg += "; " + ReliableChannel::heal_summary(snapshot);
+  }
+  return msg;
+}
+
 }  // namespace
 
 TimeoutError::TimeoutError(std::string where_, double deadline_seconds_,
                            CommStats snapshot)
-    : FaultError("vmpi: watchdog timeout after " + std::to_string(deadline_seconds_) +
-                 "s in " + where_),
+    : FaultError(timeout_message(where_, deadline_seconds_, snapshot)),
       where(std::move(where_)),
       deadline_seconds(deadline_seconds_),
-      stats(snapshot) {}
+      stats(std::move(snapshot)) {}
 
 FaultInjectedDeath::FaultInjectedDeath(int rank_, std::uint64_t epoch_)
     : FaultError("vmpi: injected death of rank " + std::to_string(rank_) +
@@ -45,6 +59,8 @@ std::uint64_t fault_hash(std::uint64_t seed, int src, int dst, std::uint64_t seq
 FaultDecision fault_decide(const FaultPlan& plan, int src, int dst, std::uint64_t seq) {
   FaultDecision d;
   if (!plan.faults_messages()) return d;
+  if (plan.only_src >= 0 && src != plan.only_src) return d;
+  if (plan.only_dst >= 0 && dst != plan.only_dst) return d;
   const std::uint64_t h = fault_hash(plan.seed, src, dst, seq);
   const double u = to_unit(h);
 

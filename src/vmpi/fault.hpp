@@ -22,6 +22,14 @@
 // Failure surfacing is layered on top (see comm.hpp): a watchdog deadline
 // on every blocking wait converts the silent hang an injected fault would
 // cause into a typed TimeoutError carrying this rank's CommStats snapshot.
+//
+// Since PR 10 the faultable path is normally wrapped by the self-healing
+// transport (vmpi/reliable.hpp): with a nonzero RetryPolicy the injected
+// drops and corruptions are retransmitted to bit-identical completion, and
+// the typed abort fires only when the retry budget is exhausted.  Setting
+// RetryPolicy::max_attempts = 0 restores the bare fail-stop behaviour
+// described above.  Retransmits re-enter this layer with a fresh per-edge
+// physical sequence number, so every retransmit rolls its own fault.
 
 #include <cstdint>
 #include <stdexcept>
@@ -85,6 +93,12 @@ struct FaultPlan {
   /// may be held behind (it is also released whenever the sender blocks,
   /// so delivery is always eventual).
   std::uint32_t max_delay_msgs = 3;
+  /// Directed-edge filter: when >= 0, message faults fire only on sends
+  /// from only_src / to only_dst (both set = one directed edge).  This is
+  /// how a test expresses "drop every retransmit of edge a->b" without
+  /// touching the rest of the traffic.
+  int only_src = -1;
+  int only_dst = -1;
 
   // -- rank faults ----------------------------------------------------------
   /// Kill `kill_rank` when its epoch counter reaches `kill_epoch` (epochs

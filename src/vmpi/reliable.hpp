@@ -1,0 +1,186 @@
+#pragma once
+
+// Self-healing transport for the virtual MPI substrate.
+//
+// PR 5 made the failure model fail-stop: a dropped or corrupted mailbox
+// frame surfaces as a typed abort (watchdog TimeoutError / FrameDecodeError)
+// and the run restarts from a checkpoint — even though the sender still
+// holds the bytes.  ReliableChannel closes that gap with per-edge
+// sequence-numbered delivery layered over the existing faultable mailbox
+// path:
+//
+//   * every faultable send is wrapped in a 4-word envelope
+//     [magic | logical seq | piggybacked cumulative ack | crc], where the
+//     CRC covers the sequence number, the piggybacked ack, and the payload
+//     — so a corrupted
+//     frame is detected *below* the application's sealed-frame decode;
+//   * the sender keeps each unacknowledged frame in a per-edge retransmit
+//     ring, trimmed at the receiver's cumulative-ACK high watermark
+//     (piggybacked on reverse data traffic, or carried by explicit ACK
+//     control messages when no reverse traffic exists);
+//   * a frame that fails its CRC at the receiver triggers an immediate
+//     NACK — a retransmit request — instead of an abort; dropped frames
+//     are recovered by deterministic exponential-backoff retransmit
+//     timers (a receiver cannot NACK a frame it never saw, so sender
+//     timers are the only mechanism that covers a dropped *final* frame);
+//   * duplicates (injected dups, or retransmits racing a delayed
+//     original) are discarded by logical sequence number before the
+//     application sees them;
+//   * when the RetryPolicy budget is exhausted — max_attempts retransmits
+//     of one frame, or the per-frame deadline — the channel escalates to
+//     the PR 5 fail-stop path: the caller poisons the world
+//     (World::fault_abort) and raises a TimeoutError whose message embeds
+//     the healing counters, so the outer typed-abort safety net is
+//     unchanged.
+//
+// Control traffic (ACK/NACK) rides the unfaulted reliable_send path, the
+// same modelling choice as the scheduled-collective relay legs: acks model
+// the transport-level control traffic under real MPI, and keeping them
+// lossless makes healing convergent (no ack-of-ack recursion) and the
+// escalation deterministic.  Retransmitted *data* frames, in contrast,
+// re-enter the faultable path with a fresh per-edge physical sequence
+// number — every retransmit gets an independent fault roll, which is what
+// makes "drop every retransmit of one edge" an expressible test plan.
+//
+// Determinism note: retransmit *timing* is wall-clock driven, so healing
+// counters are schedule-deterministic only when the plan makes them so
+// (e.g. a directed drop_prob = 1 edge retransmits exactly max_attempts
+// times and then escalates).  Fixpoints stay bit-identical regardless:
+// the layer delivers every logical frame exactly once or aborts.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vmpi/serialize.hpp"
+#include "vmpi/stats.hpp"
+
+namespace paralagg::vmpi {
+
+/// Retransmit budget for the self-healing transport.  max_attempts = 0
+/// disables the layer entirely (the explicit legacy fail-stop escape
+/// hatch): faultable sends ride the wire bare, exactly as before PR 10.
+struct RetryPolicy {
+  /// Retransmits allowed per frame beyond the initial send; attempt k
+  /// (0-based) fires base_backoff * 2^k after the previous one.
+  std::uint32_t max_attempts = 5;
+  /// Seconds before the first retransmit of an unacked frame.
+  double base_backoff = 0.05;
+  /// Hard ceiling (seconds) on how long one frame may stay unacked before
+  /// the channel escalates, even with attempts left.
+  double deadline = 8.0;
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 0; }
+};
+
+/// Tag of the ACK/NACK control messages; disjoint from every application
+/// tag space (ialltoallv 0x41A2...., Bruck 0x42......, scheduled
+/// collectives 0x44......, hierarchical router 0x48A....., async
+/// 0x51A5..../0x53AF....).  Control frames are never visible to recv /
+/// iprobe matching.
+inline constexpr int kReliableCtrlTag = 0x4AC50000;
+
+/// Per-rank reliable-delivery state machine.  Owned by Comm (one per rank
+/// thread, no internal locking); Comm moves bytes, the channel decides
+/// what to (re)send, deliver, discard, or escalate.
+class ReliableChannel {
+ public:
+  /// One wire operation the channel wants performed.  Data frames go back
+  /// through the faultable enqueue (fresh fault roll per retransmit);
+  /// control frames go through the reliable enqueue under kReliableCtrlTag.
+  struct WireAction {
+    bool ctrl;
+    int dst;
+    int tag;  // data frames only: the original application tag
+    Bytes bytes;
+  };
+
+  /// The frame that exhausted its retry budget (sticky once set).
+  struct Failure {
+    int dst = -1;
+    std::uint64_t seq = 0;
+    std::uint32_t attempts = 0;
+    double waited_seconds = 0;
+  };
+
+  ReliableChannel(int rank, int nranks, const RetryPolicy& policy, CommStats* stats);
+
+  /// Sender path: envelope `payload` for `dst` (logical seq + piggybacked
+  /// ack), register it in the retransmit ring, and return the wire bytes.
+  [[nodiscard]] Bytes send_data(int dst, int tag, std::span<const std::byte> payload,
+                                double now);
+
+  /// Receiver path: process one enveloped data frame from `src`.  Returns
+  /// the stripped payload if the frame is fresh (deliver it to the
+  /// application), or nullopt if the channel consumed it (duplicate, or
+  /// corrupt-and-NACKed).
+  std::optional<Bytes> on_data(int src, const Bytes& frame, double now);
+
+  /// Receiver path: process one ACK/NACK control frame from `src`.
+  void on_ctrl(int src, const Bytes& frame, double now);
+
+  /// Fire due retransmit timers and queue pending explicit ACKs.
+  void poll(double now);
+
+  /// Drain the wire operations accumulated by on_data / on_ctrl / poll.
+  [[nodiscard]] std::vector<WireAction> take_outbox();
+
+  /// Set once a frame exhausts its budget; the caller escalates.
+  [[nodiscard]] const std::optional<Failure>& failure() const { return failure_; }
+
+  /// True if any healing progress (a cumulative ack advanced, a fresh
+  /// frame was delivered) happened since the last call; consuming resets
+  /// the flag.  Blocking waits use this to re-arm their watchdog per
+  /// retransmit round instead of once per call.
+  [[nodiscard]] bool take_progress() {
+    const bool p = progressed_;
+    progressed_ = false;
+    return p;
+  }
+
+  /// Any frames still awaiting acknowledgement?
+  [[nodiscard]] bool idle() const { return in_flight_ == 0; }
+
+  /// One-line summary of the healing counters for embedding in escalated
+  /// fault messages ("what healing was attempted before this abort").
+  static std::string heal_summary(const CommStats& stats);
+
+ private:
+  struct TxFrame {
+    std::uint64_t seq = 0;
+    int tag = 0;
+    Bytes payload;            // application payload (re-enveloped per send)
+    std::uint32_t attempts = 0;  // retransmits so far (initial send excluded)
+    double first_sent = 0;
+    double next_retry = 0;
+  };
+  struct TxEdge {
+    std::uint64_t next_seq = 1;   // 0 is never a valid logical seq
+    std::uint64_t acked_cum = 0;  // peer's cumulative-ack high watermark
+    std::deque<TxFrame> ring;     // unacked frames, ascending seq
+  };
+  struct RxEdge {
+    std::uint64_t cum = 0;              // delivered contiguously through here
+    std::vector<std::uint64_t> ahead;   // delivered beyond the gap (sorted)
+    bool ack_pending = false;
+  };
+
+  void absorb_ack(int src, std::uint64_t cum, double now);
+  void retransmit_front(TxEdge& edge, int dst, double now);
+  Bytes envelope(int dst, std::uint64_t seq, std::span<const std::byte> payload);
+
+  int rank_;
+  RetryPolicy policy_;
+  CommStats* stats_;
+  std::vector<TxEdge> tx_;
+  std::vector<RxEdge> rx_;
+  std::vector<WireAction> outbox_;
+  std::optional<Failure> failure_;
+  std::size_t in_flight_ = 0;
+  bool progressed_ = false;
+};
+
+}  // namespace paralagg::vmpi

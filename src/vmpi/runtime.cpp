@@ -30,6 +30,7 @@ CommStats run_collect(int nranks, const RunOptions& options,
 
   World world(nranks);
   world.set_fault_plan(options.fault);
+  world.set_retry(options.retry);
   world.set_watchdog(options.watchdog_seconds);
   world.set_topology(options.topology);
   world.set_schedule(options.schedule);

@@ -19,6 +19,11 @@ namespace paralagg::vmpi {
 /// rank observes the same schedule from its first message.
 struct RunOptions {
   FaultPlan fault{};
+  /// Retransmit budget for the self-healing transport (vmpi/reliable.hpp).
+  /// Engages only when `fault` injects message faults; default-on, so
+  /// seeded drop/corrupt legs heal to bit-identical fixpoints instead of
+  /// aborting.  max_attempts = 0 restores the bare fail-stop behaviour.
+  RetryPolicy retry{};
   /// Deadline (seconds) for every blocking wait; 0 disables the watchdog.
   /// A fault sweep sets a few seconds: long enough for slow CI, short
   /// enough that an injected hang fails the test instead of the runner.

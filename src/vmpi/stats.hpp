@@ -11,7 +11,11 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
+
+#include "vmpi/serialize.hpp"
 
 namespace paralagg::vmpi {
 
@@ -88,6 +92,28 @@ struct CommStats {
   std::uint64_t faults_delayed = 0;
   std::uint64_t faults_corrupted = 0;
   std::uint64_t dup_frames_discarded = 0;
+  /// Self-healing transport accounting (vmpi/reliable.hpp; recorded even
+  /// under StatsPause, like the fault counters — healing is diagnostic
+  /// state, not measured traffic, and retransmitted bytes are deliberately
+  /// excluded from the byte counters so volume totals stay
+  /// schedule-deterministic).  `retransmits` counts data frames re-sent
+  /// (timer- or NACK-triggered); `nacks_sent` counts corrupt frames this
+  /// rank asked to have resent; `reliable_dups_discarded` counts frames
+  /// the envelope-sequence dedup consumed (these also count into
+  /// dup_frames_discarded — they are dup frames discarded, one layer
+  /// lower); `frames_healed` counts frames that needed at least one
+  /// retransmit and were eventually acknowledged, with `heal_seconds`
+  /// their total first-send-to-ack exposure.  The edge_* vectors (indexed
+  /// by peer rank) locate the sick link.
+  std::uint64_t retransmits = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t reliable_dups_discarded = 0;
+  std::uint64_t frames_healed = 0;
+  double heal_seconds = 0;
+  std::vector<std::uint64_t> edge_retransmits;
+  std::vector<std::uint64_t> edge_nacks;
+  std::vector<double> edge_heal_seconds;
 
   void record_send(Op op, std::uint64_t bytes, bool remote) {
     const auto i = static_cast<std::size_t>(op);
@@ -168,7 +194,94 @@ struct CommStats {
     faults_delayed += other.faults_delayed;
     faults_corrupted += other.faults_corrupted;
     dup_frames_discarded += other.dup_frames_discarded;
+    retransmits += other.retransmits;
+    nacks_sent += other.nacks_sent;
+    acks_sent += other.acks_sent;
+    reliable_dups_discarded += other.reliable_dups_discarded;
+    frames_healed += other.frames_healed;
+    heal_seconds += other.heal_seconds;
+    merge_edges(edge_retransmits, other.edge_retransmits);
+    merge_edges(edge_nacks, other.edge_nacks);
+    merge_edges(edge_heal_seconds, other.edge_heal_seconds);
     return *this;
+  }
+
+  /// Wire round-trip for the stats-gathering collectives: the per-edge
+  /// heal vectors make CommStats non-trivially-copyable, so it can no
+  /// longer ride the typed allgather.  Fixed fields first, then each edge
+  /// vector length-prefixed (lengths may differ after merges).
+  [[nodiscard]] Bytes to_bytes() const {
+    BufferWriter w;
+    w.put_span(std::span<const std::uint64_t>(bytes_sent));
+    w.put_span(std::span<const std::uint64_t>(bytes_local));
+    w.put_span(std::span<const std::uint64_t>(bytes_cross_node));
+    w.put_span(std::span<const std::uint64_t>(steps));
+    w.put_span(std::span<const std::uint64_t>(calls));
+    w.put(messages_sent);
+    w.put(messages_received);
+    w.put(p2p_bytes_received);
+    w.put(tickets_posted);
+    w.put(tickets_completed);
+    w.put(wait_seconds);
+    w.put(faults_dropped);
+    w.put(faults_duplicated);
+    w.put(faults_delayed);
+    w.put(faults_corrupted);
+    w.put(dup_frames_discarded);
+    w.put(retransmits);
+    w.put(nacks_sent);
+    w.put(acks_sent);
+    w.put(reliable_dups_discarded);
+    w.put(frames_healed);
+    w.put(heal_seconds);
+    w.put<std::uint64_t>(edge_retransmits.size());
+    w.put_span(std::span<const std::uint64_t>(edge_retransmits));
+    w.put<std::uint64_t>(edge_nacks.size());
+    w.put_span(std::span<const std::uint64_t>(edge_nacks));
+    w.put<std::uint64_t>(edge_heal_seconds.size());
+    w.put_span(std::span<const double>(edge_heal_seconds));
+    return w.take();
+  }
+
+  [[nodiscard]] static CommStats from_bytes(const Bytes& b) {
+    CommStats s;
+    BufferReader r(b);
+    r.get_into(std::span<std::uint64_t>(s.bytes_sent));
+    r.get_into(std::span<std::uint64_t>(s.bytes_local));
+    r.get_into(std::span<std::uint64_t>(s.bytes_cross_node));
+    r.get_into(std::span<std::uint64_t>(s.steps));
+    r.get_into(std::span<std::uint64_t>(s.calls));
+    s.messages_sent = r.get<std::uint64_t>();
+    s.messages_received = r.get<std::uint64_t>();
+    s.p2p_bytes_received = r.get<std::uint64_t>();
+    s.tickets_posted = r.get<std::uint64_t>();
+    s.tickets_completed = r.get<std::uint64_t>();
+    s.wait_seconds = r.get<double>();
+    s.faults_dropped = r.get<std::uint64_t>();
+    s.faults_duplicated = r.get<std::uint64_t>();
+    s.faults_delayed = r.get<std::uint64_t>();
+    s.faults_corrupted = r.get<std::uint64_t>();
+    s.dup_frames_discarded = r.get<std::uint64_t>();
+    s.retransmits = r.get<std::uint64_t>();
+    s.nacks_sent = r.get<std::uint64_t>();
+    s.acks_sent = r.get<std::uint64_t>();
+    s.reliable_dups_discarded = r.get<std::uint64_t>();
+    s.frames_healed = r.get<std::uint64_t>();
+    s.heal_seconds = r.get<double>();
+    s.edge_retransmits.resize(static_cast<std::size_t>(r.get<std::uint64_t>()));
+    r.get_into(std::span<std::uint64_t>(s.edge_retransmits));
+    s.edge_nacks.resize(static_cast<std::size_t>(r.get<std::uint64_t>()));
+    r.get_into(std::span<std::uint64_t>(s.edge_nacks));
+    s.edge_heal_seconds.resize(static_cast<std::size_t>(r.get<std::uint64_t>()));
+    r.get_into(std::span<double>(s.edge_heal_seconds));
+    return s;
+  }
+
+ private:
+  template <typename T>
+  static void merge_edges(std::vector<T>& into, const std::vector<T>& from) {
+    if (into.size() < from.size()) into.resize(from.size());
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
   }
 };
 
